@@ -1,0 +1,28 @@
+"""Shared benchmark fixtures.
+
+Benchmarks regenerate the paper's tables/figures on the simulator.  The
+matrix scale and GPU sweep are kept moderate so the full run finishes in
+a few minutes; set ``REPRO_BENCH_SCALE`` (matrix rows) to raise them.
+"""
+
+import os
+
+import pytest
+
+from repro.machine import lassen
+from repro.mpi import SimJob
+
+
+def bench_matrix_n() -> int:
+    return int(os.environ.get("REPRO_BENCH_SCALE", "16000"))
+
+
+@pytest.fixture(scope="session")
+def machine():
+    return lassen()
+
+
+@pytest.fixture(scope="session")
+def micro_job(machine):
+    """Two full Lassen nodes — the microbenchmark shape."""
+    return SimJob(machine, num_nodes=2, ppn=40)

@@ -1,0 +1,46 @@
+"""Ablation — comm/compute overlap in the distributed SpMV.
+
+The paper excludes compute timing from its benchmarks but notes that
+optimal SpMV performance "depends on some combination of communication
+and computation overlap" (Section 2.4.1).  This ablation composes the
+simulated exchange with a GPU kernel model and quantifies what overlap
+buys under each strategy.
+"""
+
+import pytest
+
+from conftest import bench_matrix_n
+
+from repro.bench.figures import render_series
+from repro.core import all_strategies
+from repro.mpi import SimJob
+from repro.sparse import ComputeModel, DistributedCSR, spmv_time_breakdown
+from repro.sparse.suite import SUITE
+
+
+def test_overlap_ablation(benchmark, machine):
+    matrix = SUITE["audikw_1"].build(bench_matrix_n())
+    dist = DistributedCSR(matrix, num_gpus=16)
+    pattern = dist.comm_pattern()
+    job = SimJob(machine, num_nodes=4, ppn=40)
+    compute = ComputeModel()  # V100-class SpMV throughput
+
+    def run():
+        out = {}
+        for strategy in all_strategies():
+            out[strategy.label] = spmv_time_breakdown(
+                job, dist, strategy, compute=compute, pattern=pattern)
+        return out
+
+    timings = benchmark.pedantic(run, iterations=1, rounds=1)
+    for label, t in timings.items():
+        assert t.total_overlapped <= t.total_sequential
+        assert t.overlap_speedup >= 1.0
+
+    print()
+    print(render_series(
+        "Ablation: SpMV total time with/without comm-compute overlap "
+        "(audikw analog, 16 GPUs)",
+        "variant", ["sequential", "overlapped", "speedup"],
+        {label: [t.total_sequential, t.total_overlapped, t.overlap_speedup]
+         for label, t in timings.items()}))

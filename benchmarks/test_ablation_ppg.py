@@ -1,0 +1,48 @@
+"""Ablation — host processes per GPU (the MD/DD axis).
+
+The model's DD copies use Table 3's 4-process duplicate-device-pointer
+fits; this ablation evaluates the Split model across ppg in {1, 2, 4}
+and confirms the paper's structure: DD's advantage is on-node latency,
+its penalty contended copies, so ppg=1 (MD) wins once volumes grow.
+"""
+
+import numpy as np
+
+from repro.bench.figures import render_series
+from repro.models.pattern_summary import PatternSummary
+from repro.models.strategies import _SplitModelBase
+
+
+def _split_model(machine, ppg):
+    class Ablated(_SplitModelBase):
+        name = f"Split ppg={ppg}"
+
+    model = Ablated(machine)
+    model.ppg = ppg
+    return model
+
+
+def test_ppg_sweep(benchmark, machine):
+    sizes = np.logspace(2, 6, 12)
+
+    def run():
+        out = {}
+        for ppg in (1, 2, 4):
+            model = _split_model(machine, ppg)
+            times = []
+            for s in sizes:
+                summary = PatternSummary(
+                    num_dest_nodes=16, messages_per_node_pair=16,
+                    bytes_per_node_pair=16 * s, node_bytes=256 * s,
+                    proc_bytes=64 * s, proc_messages=64,
+                    proc_dest_nodes=16, active_gpus=4)
+                times.append(model.time(summary))
+            out[f"ppg={ppg}"] = times
+        return out
+
+    series = benchmark.pedantic(run, iterations=1, rounds=3)
+    # At large volumes MD (ppg=1) is fastest: contended copies dominate.
+    assert series["ppg=1"][-1] < series["ppg=4"][-1]
+    print()
+    print(render_series("Ablation: Split host-processes-per-GPU (model)",
+                        "msg B", sizes, series, mark_min=True))

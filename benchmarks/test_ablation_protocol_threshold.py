@@ -1,0 +1,57 @@
+"""Ablation — rendezvous-threshold sensitivity.
+
+The protocol switchover (8 KiB on Lassen's Spectrum MPI) decides both
+message costing and the Split default cap.  This ablation rebuilds the
+machine with shifted thresholds and re-runs a heavy exchange, checking
+the reproduction's conclusions are not an artifact of the exact cutoff.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+
+from conftest import bench_matrix_n
+
+from repro.bench.figures import render_series
+from repro.core import SplitMD, StandardStaged, ThreeStepStaged, run_exchange
+from repro.machine.params import CommParams, ProtocolThresholds
+from repro.mpi import SimJob
+from repro.sparse import DistributedCSR
+from repro.sparse.suite import SUITE
+
+THRESHOLDS = [2048, 8192, 32768]
+
+
+def _with_threshold(machine, eager_limit):
+    th = ProtocolThresholds(short_limit=512, eager_limit=eager_limit,
+                            gpu_eager_limit=eager_limit)
+    comm = CommParams(dict(machine.comm_params.table), th)
+    return replace(machine, comm_params=comm)
+
+
+def test_threshold_sensitivity(benchmark, machine):
+    matrix = SUITE["thermal2"].build(bench_matrix_n())
+    strategies = [StandardStaged(), ThreeStepStaged(), SplitMD()]
+
+    def run():
+        out = {s.label: [] for s in strategies}
+        for limit in THRESHOLDS:
+            m = _with_threshold(machine, limit)
+            job = SimJob(m, num_nodes=4, ppn=40)
+            dist = DistributedCSR(matrix, num_gpus=16)
+            pattern = dist.comm_pattern()
+            for s in strategies:
+                out[s.label].append(
+                    run_exchange(job, s, pattern).comm_time)
+        return out
+
+    series = benchmark.pedantic(run, iterations=1, rounds=1)
+    # Node-aware strategies beat standard at every threshold setting.
+    for i in range(len(THRESHOLDS)):
+        assert (min(series["3-Step (staged)"][i],
+                    series["Split + MD (staged)"][i])
+                < series["Standard (staged)"][i])
+    print()
+    print(render_series("Ablation: rendezvous threshold (thermal2 analog, "
+                        "16 GPUs)", "eager B", THRESHOLDS, series,
+                        mark_min=True))

@@ -1,0 +1,54 @@
+"""Ablation — RCM reordering vs node-aware strategies.
+
+Strategy choice and matrix reordering attack the same cost from two
+sides: reordering shrinks the pattern, node-aware routing shrinks the
+cost of whatever pattern remains.  This ablation quantifies both and
+their combination on a badly-ordered matrix.
+"""
+
+import pytest
+
+from repro.bench.figures import render_series
+from repro.core import SplitMD, StandardStaged, run_exchange
+from repro.mpi import SimJob
+from repro.sparse import DistributedCSR
+from repro.sparse.generators import random_sparse
+from repro.sparse.reorder import rcm_reorder
+
+
+def test_reordering_vs_strategy(benchmark, machine):
+    matrix = random_sparse(3000, 0.002, seed=12)
+
+    def run():
+        job = SimJob(machine, num_nodes=4, ppn=40)
+        reordered, _ = rcm_reorder(matrix)
+        out = {}
+        for mat_name, mat in (("scattered", matrix),
+                              ("RCM-reordered", reordered)):
+            dist = DistributedCSR(mat, num_gpus=16)
+            pattern = dist.comm_pattern()
+            for strategy in (StandardStaged(), SplitMD()):
+                label = f"{strategy.label} / {mat_name}"
+                out[label] = run_exchange(job, strategy, pattern).comm_time
+        return out
+
+    times = benchmark.pedantic(run, iterations=1, rounds=1)
+    # Reordering clearly helps standard communication (it shrinks the
+    # scattered pattern's destination set and volume)...
+    assert (times["Standard (staged) / RCM-reordered"]
+            < times["Standard (staged) / scattered"])
+    # ...while Split + MD is robust to bad orderings: it already
+    # deduplicates and load-balances, so RCM moves it only marginally.
+    split_ratio = (times["Split + MD (staged) / RCM-reordered"]
+                   / times["Split + MD (staged) / scattered"])
+    assert 0.7 < split_ratio < 1.3
+    # On the scattered ordering, Split + MD beats Standard outright.
+    assert (times["Split + MD (staged) / scattered"]
+            < times["Standard (staged) / scattered"])
+    print()
+    print(render_series("Ablation: RCM reordering x strategy "
+                        "(scattered 3000x3000, 16 GPUs)",
+                        "config", ["time"],
+                        {k: [v] for k, v in sorted(times.items(),
+                                                   key=lambda kv: kv[1])},
+                        mark_min=True))

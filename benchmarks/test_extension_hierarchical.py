@@ -1,0 +1,64 @@
+"""Extension — hierarchical 3-Step (paper Section 2.3.1 / ref [13]).
+
+Benchmarks the full-node-hierarchy 3-Step variant against the plain one
+on gather-heavy patterns.  On Lassen's device path (on-socket GPU alpha
+1.87e-6 vs cross-socket 2.02e-5) the hierarchy must win, reproducing
+why Hidayetoglu et al. adopt it for multi-GPU nodes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.figures import render_series
+from repro.core import (
+    CommPattern,
+    ThreeStepDevice,
+    ThreeStepHierarchicalDevice,
+    ThreeStepHierarchicalStaged,
+    ThreeStepStaged,
+    run_exchange,
+)
+from repro.mpi import SimJob
+
+
+def dense_pattern(num_gpus, elems):
+    sends = {s: {d: np.arange(elems) for d in range(num_gpus) if d != s}
+             for s in range(num_gpus)}
+    return CommPattern(num_gpus, sends)
+
+
+def test_hierarchical_vs_plain(benchmark, machine):
+    sizes = [64, 256, 1024, 4096]
+    strategies = [ThreeStepStaged(), ThreeStepHierarchicalStaged(),
+                  ThreeStepDevice(), ThreeStepHierarchicalDevice()]
+
+    def run():
+        job = SimJob(machine, num_nodes=4, ppn=8)
+        series = {s.label + (" [hier]" if "Hierarchical" in type(s).__name__
+                             else ""): [] for s in strategies}
+        for elems in sizes:
+            pattern = dense_pattern(16, elems)
+            for s in strategies:
+                key = s.label + (" [hier]"
+                                 if "Hierarchical" in type(s).__name__ else "")
+                series[key].append(run_exchange(job, s, pattern).comm_time)
+        return series
+
+    series = benchmark.pedantic(run, iterations=1, rounds=1)
+    plain_da = series["3-Step (device-aware)"]
+    hier_da = series["3-Step H (device-aware) [hier]"]
+    # The hierarchy trades message count for an extra store-and-forward
+    # hop: it wins the latency-bound regime (small messages, where the
+    # cross-socket GPU alpha of 2.02e-5 dominates) and concedes the
+    # bandwidth-bound one (the extra hop re-pays beta*s).
+    assert hier_da[0] < plain_da[0]
+    assert hier_da[1] < plain_da[1]
+    assert hier_da[-1] > plain_da[-1]
+    speedup = plain_da[0] / hier_da[0]
+    benchmark.extra_info["device_aware_small_msg_speedup"] = speedup
+    print()
+    print(render_series(
+        "Extension: hierarchical vs plain 3-Step (16 GPUs all-to-all)",
+        "elems", sizes, series, mark_min=True))
+    print(f"\ndevice-aware hierarchy speedup at {sizes[0]} elems: "
+          f"{speedup:.2f}x (crossover to plain at large messages)")

@@ -1,0 +1,29 @@
+"""Figure 2.5 — two-process transfer time by relative location.
+
+Reproduces the paper's observation that small messages order
+on-socket < on-node < off-node, while for large messages the network
+(rendezvous beta) overtakes cross-socket transfers on Lassen.
+"""
+
+import numpy as np
+
+from repro.bench.figures import fig2_5_data, render_series
+
+
+def test_fig2_5_pingpong_by_locality(benchmark, machine):
+    sizes = [1 << k for k in range(0, 21, 2)]
+
+    def run():
+        return fig2_5_data(machine, sizes=sizes)
+
+    xs, series = benchmark.pedantic(run, iterations=1, rounds=3)
+    small = {k: v[0] for k, v in series.items()}
+    large = {k: v[-1] for k, v in series.items()}
+    # Small messages: latency ordering.
+    assert small["on-socket"] < small["on-node"] < small["off-node"]
+    # Large messages: network bandwidth beats cross-socket (paper Fig 2.5).
+    assert large["off-node"] < large["on-node"]
+    benchmark.extra_info["crossover_observed"] = True
+    print()
+    print(render_series("Figure 2.5: ping-pong time by locality",
+                        "bytes", xs, series))

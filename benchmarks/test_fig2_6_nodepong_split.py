@@ -1,0 +1,31 @@
+"""Figure 2.6 — node-to-node volume split across ppn processes.
+
+Reproduces the paper's point that splitting large inter-node volumes
+over more on-node processes reduces transfer time (until the NIC
+injection limit binds).
+"""
+
+import numpy as np
+
+from repro.bench.figures import fig2_6_data, render_series
+
+
+def test_fig2_6_nodepong_split(benchmark, machine):
+    sizes = [1 << k for k in range(10, 25, 2)]
+    ppn_values = [1, 2, 4, 8, 16, 32, 40]
+
+    def run():
+        return fig2_6_data(machine, sizes=sizes, ppn_values=ppn_values)
+
+    xs, series = benchmark.pedantic(run, iterations=1, rounds=3)
+    big = {k: v[-1] for k, v in series.items()}
+    # Splitting helps at volume; the minimum is not at ppn=1.
+    assert big["ppn=40"] < big["ppn=1"]
+    # Aggregate can never beat the injection limit.
+    assert big["ppn=40"] >= (1 << 24) * machine.nic.rn_inv
+    print()
+    print(render_series(
+        "Figure 2.6: node-pong, volume split over ppn processes "
+        "(minimum per row marked *)",
+        "bytes", xs,
+        {k: list(v) for k, v in series.items()}, mark_min=True))

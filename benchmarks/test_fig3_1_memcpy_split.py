@@ -1,0 +1,26 @@
+"""Figure 3.1 — GPU copy time when splitting across NP processes.
+
+Reproduces the paper's finding that there is no benefit in splitting
+``cudaMemcpyAsync`` traffic across more concurrent processes (the
+4-process betas exceed the 1-process ones due to contention).
+"""
+
+from repro.bench.figures import fig3_1_data, render_series
+
+
+def test_fig3_1_memcpy_split(benchmark, machine):
+    sizes = [1 << k for k in range(10, 25, 2)]
+
+    def run():
+        return fig3_1_data(machine, sizes=sizes, nproc_values=(1, 2, 4, 8))
+
+    xs, series = benchmark.pedantic(run, iterations=1, rounds=3)
+    # At volume, 4-way concurrent copies are slower than single copies
+    # for both directions (contended duplicate device pointers).
+    assert series["H2D NP=4"][-1] > series["H2D NP=1"][-1]
+    assert series["D2H NP=4"][-1] > series["D2H NP=1"][-1]
+    # No benefit past NP=4 either.
+    assert series["H2D NP=8"][-1] >= series["H2D NP=4"][-1] * 0.999
+    print()
+    print(render_series("Figure 3.1: memcpy split across NP processes",
+                        "bytes", xs, series))

@@ -1,0 +1,36 @@
+"""Figure 4.3 — modelled strategy times for the Section-4.6 scenarios.
+
+Four panels ({4,16} destination nodes x {32,256} messages), each with a
+25 %-duplicate-data variant.  The assertions pin the paper's qualitative
+structure: staged node-aware wins small/medium sizes, Split + MD wins
+high counts at many nodes, standard device-aware wins very large sizes.
+"""
+
+import numpy as np
+
+from repro.bench.figures import fig4_3_data, render_series
+from repro.models.scenarios import Scenario, best_strategy
+
+
+def test_fig4_3_scenarios(benchmark, machine):
+    sizes = np.logspace(1, 5.5, 10)
+
+    def run():
+        return fig4_3_data(machine, sizes=sizes)
+
+    panels = benchmark.pedantic(run, iterations=1, rounds=2)
+    assert len(panels) == 8
+
+    # Paper-shape checks on the winners (2-Step 1 excluded, as circled).
+    sc_hi = Scenario(num_dest_nodes=16, num_messages=256)
+    assert best_strategy(machine, sc_hi, 4096.0) == "Split + MD (staged)"
+    sc_lo = Scenario(num_dest_nodes=4, num_messages=32)
+    assert best_strategy(machine, sc_lo, 2 ** 20) == "Standard (device-aware)"
+    lbl = best_strategy(machine, sc_lo, 128.0)
+    assert "staged" in lbl
+
+    print()
+    for label, (xs, series) in panels.items():
+        print(render_series(f"Figure 4.3 panel: {label}", "bytes", xs,
+                            series, mark_min=True))
+        print()

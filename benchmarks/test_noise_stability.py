@@ -1,0 +1,47 @@
+"""Robustness — strategy ordering is stable under timing noise.
+
+The paper's measurements average 1000 noisy runs; our conclusions must
+not hinge on noiseless determinism.  This benchmark repeats a
+Figure-5.1-style comparison under seeded lognormal jitter and checks
+the winners and key orderings survive.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import bench_matrix_n
+
+from repro.core import NodeAwareExchanger, all_strategies
+from repro.mpi import SimJob
+from repro.sparse import DistributedCSR
+from repro.sparse.suite import SUITE
+
+
+def test_ordering_stable_under_noise(benchmark, machine):
+    matrix = SUITE["thermal2"].build(bench_matrix_n())
+    reps = 15
+
+    def run():
+        job = SimJob(machine, num_nodes=8, ppn=40, noise_sigma=0.08, seed=17)
+        dist = DistributedCSR(matrix, num_gpus=32)
+        pattern = dist.comm_pattern()
+        stats = {}
+        for strategy in all_strategies():
+            ex = NodeAwareExchanger(job, pattern, strategy)
+            stats[strategy.label] = ex.measure(reps=reps)
+        return stats
+
+    stats = benchmark.pedantic(run, iterations=1, rounds=1)
+    t = {label: s.max_avg_time for label, s in stats.items()}
+
+    # The qualitative Figure-5.1 findings survive jitter:
+    assert t["Split + MD (staged)"] < t["Standard (device-aware)"]
+    assert t["3-Step (staged)"] < t["Standard (device-aware)"]
+    assert t["3-Step (device-aware)"] < t["Standard (device-aware)"]
+    assert t["Split + MD (staged)"] <= t["Split + DD (staged)"] * 1.05
+
+    # And the jitter is real: spreads are nonzero but bounded.
+    for label, s in stats.items():
+        spread = (s.max_time - s.min_time) / s.mean_time
+        assert 0.0 < spread < 0.6, (label, spread)
+    benchmark.extra_info["winner"] = min(t, key=lambda k: t[k])

@@ -1,0 +1,45 @@
+"""Extension — strong-scaling sweep to 64 GPUs (16 Lassen nodes).
+
+Extends Figure 5.1 beyond the default sweep: the node-aware advantage
+over standard communication must *grow* with node count (more
+destination nodes, more messages), the paper's central scaling claim.
+"""
+
+import pytest
+
+from conftest import bench_matrix_n
+
+from repro.bench.figures import render_series
+from repro.core import SplitMD, StandardStaged, ThreeStepStaged, run_exchange
+from repro.mpi import SimJob
+from repro.sparse import DistributedCSR
+from repro.sparse.suite import SUITE
+
+GPU_COUNTS = (8, 16, 32, 64)
+
+
+def test_strong_scaling_to_64_gpus(benchmark, machine):
+    matrix = SUITE["thermal2"].build(bench_matrix_n())
+    strategies = [StandardStaged(), ThreeStepStaged(), SplitMD()]
+
+    def run():
+        series = {s.label: [] for s in strategies}
+        for gpus in GPU_COUNTS:
+            job = SimJob(machine, num_nodes=gpus // 4, ppn=40)
+            dist = DistributedCSR(matrix, num_gpus=gpus)
+            pattern = dist.comm_pattern()
+            for s in strategies:
+                series[s.label].append(
+                    run_exchange(job, s, pattern).comm_time)
+        return series
+
+    series = benchmark.pedantic(run, iterations=1, rounds=1)
+    std = series["Standard (staged)"]
+    split = series["Split + MD (staged)"]
+    # Node-aware advantage grows with scale.
+    assert std[-1] / split[-1] > std[0] / split[0]
+    assert split[-1] < std[-1]
+    benchmark.extra_info["advantage_at_64"] = std[-1] / split[-1]
+    print()
+    print(render_series("Strong scaling to 64 GPUs (thermal2 analog)",
+                        "GPUs", GPU_COUNTS, series, mark_min=True))

@@ -1,0 +1,39 @@
+"""Table 2 — fitted postal parameters for every communication path.
+
+Regenerates the paper's Table 2 by running simulated ping-pong sweeps
+for each (transport kind, protocol, locality) and fitting
+``alpha + beta * s``.  The benchmark measures the full fitting pipeline;
+the assertions check the fits recover the machine's constants.
+"""
+
+import pytest
+
+from repro.bench.tables import render_table2, table2_data
+from repro.benchpress import fit_comm_table
+
+
+def test_table2_regeneration(benchmark, machine, micro_job):
+    fits = benchmark.pedantic(fit_comm_table, args=(micro_job,),
+                              iterations=1, rounds=3)
+    for key, fit in fits.items():
+        true = machine.comm_params.table[key]
+        assert fit.alpha == pytest.approx(true.alpha, rel=1e-5), key
+        assert fit.beta == pytest.approx(true.beta, rel=1e-5), key
+    benchmark.extra_info["paths_fitted"] = len(fits)
+    print()
+    print(render_table2(fits, machine=machine))
+
+
+def test_table2_with_noise(benchmark, machine):
+    """The paper averages 1000 noisy iterations; 100 suffice here for
+    the fits to land within a few percent."""
+    def run():
+        return table2_data(machine, iterations=100, noise_sigma=0.05, seed=7)
+
+    fits = benchmark.pedantic(run, iterations=1, rounds=1)
+    worst = 0.0
+    for key, fit in fits.items():
+        true = machine.comm_params.table[key]
+        worst = max(worst, abs(fit.beta - true.beta) / max(true.beta, 1e-15))
+    assert worst < 0.25
+    benchmark.extra_info["worst_beta_rel_error"] = worst

@@ -1,0 +1,17 @@
+"""Table 3 — fitted cudaMemcpyAsync parameters (1- and 4-process)."""
+
+import pytest
+
+from repro.bench.tables import render_table3
+from repro.benchpress import fit_copy_table
+
+
+def test_table3_regeneration(benchmark, machine, micro_job):
+    fits = benchmark.pedantic(fit_copy_table, args=(micro_job,),
+                              iterations=1, rounds=5)
+    for key, fit in fits.items():
+        true = machine.copy_params.table[key]
+        assert fit.alpha == pytest.approx(true.alpha, rel=1e-3), key
+        assert fit.beta == pytest.approx(true.beta, rel=1e-3), key
+    print()
+    print(render_table3(fits, machine=machine))

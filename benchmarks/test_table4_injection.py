@@ -1,0 +1,16 @@
+"""Table 4 — NIC injection-bandwidth limit from saturated node-pong."""
+
+import pytest
+
+from repro.bench.tables import render_table4
+from repro.benchpress import fit_injection_rate
+
+
+def test_table4_regeneration(benchmark, machine, micro_job):
+    fit = benchmark.pedantic(fit_injection_rate, args=(micro_job,),
+                             iterations=1, rounds=5)
+    assert fit.beta == pytest.approx(machine.nic.rn_inv, rel=1e-3)
+    benchmark.extra_info["rn_inv_fitted"] = fit.beta
+    benchmark.extra_info["rn_inv_paper"] = machine.nic.rn_inv
+    print()
+    print(render_table4(fit, machine=machine))

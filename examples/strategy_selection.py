@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Model-guided strategy selection across workload regimes.
+
+Sweeps the Section-4.6 scenario space (destination nodes x message
+count x message size), asks the Table-6 models for the fastest strategy
+at every point, and then validates a few picks by actually simulating
+the exchange — the workflow a library like the paper's would use to
+choose a communication scheme per (workload, machine).
+
+Run:  python examples/strategy_selection.py
+"""
+
+import numpy as np
+
+from repro.core import CommPattern, run_exchange, select_strategy
+from repro.machine import lassen
+from repro.models.scenarios import Scenario, best_strategy
+from repro.mpi import SimJob
+
+
+def winner_map(machine) -> None:
+    sizes = [64, 1024, 8192, 65536, 1 << 20]
+    print("Modelled best strategy (2-Step 1 idealization excluded):")
+    header = f"{'scenario':>26s} " + " ".join(f"{s:>12d}B"[:13].rjust(13)
+                                              for s in sizes)
+    print(header)
+    for nodes in (4, 16):
+        for msgs in (32, 256):
+            sc = Scenario(num_dest_nodes=nodes, num_messages=msgs)
+            row = [best_strategy(machine, sc, s)
+                   .replace(" (staged)", "/S").replace(" (device-aware)", "/D")
+                   for s in sizes]
+            print(f"{sc.label:>26s} " + " ".join(f"{r:>13s}" for r in row))
+
+
+def validate_pick(machine) -> None:
+    """Simulate a workload and check the model's pick is near-optimal."""
+    job = SimJob(machine, num_nodes=4, ppn=40)
+    # High-count, duplicated workload.
+    sends = {s: {d: np.arange(128) for d in range(16) if d != s}
+             for s in range(16)}
+    pattern = CommPattern(16, sends)
+    chosen, predicted = select_strategy(pattern, job.layout)
+    print(f"\nworkload: 16 GPUs all-to-all, 1 KiB duplicated blocks")
+    print(f"model pick: {chosen.label}")
+
+    from repro.core import all_strategies
+
+    measured = {}
+    for strategy in all_strategies():
+        measured[strategy.label] = run_exchange(job, strategy,
+                                                pattern).comm_time
+    ranked = sorted(measured, key=lambda k: measured[k])
+    print(f"{'strategy':30s} {'measured':>12s} {'predicted':>12s}")
+    for label in ranked:
+        mark = " <— pick" if label == chosen.label else ""
+        print(f"{label:30s} {measured[label]:>12.3e} "
+              f"{predicted[label]:>12.3e}{mark}")
+    pick_rank = ranked.index(chosen.label)
+    print(f"model pick ranks #{pick_rank + 1} of {len(ranked)} measured")
+
+
+def main() -> None:
+    machine = lassen()
+    winner_map(machine)
+    validate_pick(machine)
+
+
+if __name__ == "__main__":
+    main()

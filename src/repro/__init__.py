@@ -1,0 +1,83 @@
+"""repro — node-aware communication strategies on heterogeneous architectures.
+
+A reproduction of Lockhart, Bienz, Gropp & Olson, *Characterizing the
+Performance of Node-Aware Strategies for Irregular Point-to-Point
+Communication on Heterogeneous Architectures*, as a self-contained
+Python library: a discrete-event-simulated machine + MPI stack carrying
+the paper's measured Lassen constants, the full set of communication
+strategies (Standard / 3-Step / 2-Step / Split+MD / Split+DD, staged and
+device-aware), the Table-6 analytic models, and a distributed-SpMV
+workload substrate.
+
+Typical entry points:
+
+>>> from repro import lassen, SimJob, CommPattern, SplitMD, run_exchange
+>>> job = SimJob(lassen(), num_nodes=2, ppn=8)
+>>> import numpy as np
+>>> pattern = CommPattern(8, {0: {4: np.arange(32)}})
+>>> result = run_exchange(job, SplitMD(), pattern)
+>>> result.comm_time > 0
+True
+
+Subpackages
+-----------
+``repro.sim``         discrete-event simulation kernel
+``repro.machine``     topologies + measured constants (Tables 2-4)
+``repro.mpi``         simulated MPI runtime
+``repro.models``      postal/max-rate models, Table-6 strategy models
+``repro.core``        the communication strategies (the contribution)
+``repro.sparse``      distributed SpMV substrate + matrix analogs
+``repro.benchpress``  microbenchmarks (parameter recovery)
+``repro.bench``       per-table/figure experiment harness
+"""
+
+from repro.machine import lassen, summit, frontier_like, delta_like
+from repro.mpi import DeviceBuffer, SimJob
+from repro.core import (
+    CommPattern,
+    NodeAwareExchanger,
+    SplitDD,
+    SplitMD,
+    StandardDevice,
+    StandardStaged,
+    ThreeStepDevice,
+    ThreeStepStaged,
+    TwoStepDevice,
+    TwoStepStaged,
+    all_strategies,
+    compare_strategies,
+    run_exchange,
+    select_strategy,
+    verify_exchange,
+)
+from repro.sparse import DistributedCSR, build_suite_matrix, distributed_spmv
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "lassen",
+    "summit",
+    "frontier_like",
+    "delta_like",
+    "DeviceBuffer",
+    "SimJob",
+    "CommPattern",
+    "NodeAwareExchanger",
+    "SplitDD",
+    "SplitMD",
+    "StandardDevice",
+    "StandardStaged",
+    "ThreeStepDevice",
+    "ThreeStepStaged",
+    "TwoStepDevice",
+    "TwoStepStaged",
+    "all_strategies",
+    "compare_strategies",
+    "run_exchange",
+    "select_strategy",
+    "verify_exchange",
+    "DistributedCSR",
+    "build_suite_matrix",
+    "distributed_spmv",
+    "__version__",
+]

@@ -1,0 +1,79 @@
+"""Command-line entry point.
+
+Usage::
+
+    python -m repro info                  # package + machine summary
+    python -m repro report [out.md]       # regenerate EXPERIMENTS body
+    python -m repro predict N_NODES MSGS SIZE
+                                          # model the Fig-4.3 scenario
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def _info() -> None:
+    import repro
+    from repro.machine import PRESETS
+
+    print(f"repro {repro.__version__} — node-aware communication strategies")
+    print("machines:")
+    for name, factory in PRESETS.items():
+        m = factory()
+        print(f"  {name:14s} {m.sockets_per_node} socket(s) x "
+              f"{m.gpus_per_socket} GPU(s), {m.cores_per_node} cores/node, "
+              f"R_N = {m.nic.injection_rate:.2e} B/s")
+    from repro.core import all_strategies
+
+    print("strategies:", ", ".join(s.label for s in all_strategies()))
+
+
+def _predict(args: list) -> None:
+    from repro.machine import lassen
+    from repro.models.scenarios import Scenario, scenario_summary
+    from repro.models.strategies import all_strategy_models, model_label
+
+    if len(args) != 3:
+        raise SystemExit("usage: python -m repro predict N_NODES MSGS SIZE")
+    nodes, msgs, size = int(args[0]), int(args[1]), float(args[2])
+    machine = lassen()
+    sc = Scenario(num_dest_nodes=nodes, num_messages=msgs)
+    summary = scenario_summary(machine, sc, size)
+    times = {model_label(m): m.time(summary)
+             for m in all_strategy_models(machine)}
+    best = min(times, key=lambda k: times[k])
+    print(f"scenario: {sc.label}, {size:g} B/message on {machine.name}")
+    for label, t in sorted(times.items(), key=lambda kv: kv[1]):
+        mark = "  <= best" if label == best else ""
+        print(f"  {label:30s} {t:.3e} s{mark}")
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if not argv or argv[0] in ("-h", "--help"):
+        print(__doc__)
+        return 0
+    cmd, rest = argv[0], argv[1:]
+    if cmd == "info":
+        _info()
+    elif cmd == "report":
+        from repro.bench.report import generate
+
+        text = generate()
+        if rest:
+            with open(rest[0], "w") as fh:
+                fh.write(text)
+            print(f"wrote {rest[0]}")
+        else:
+            print(text)
+    elif cmd == "predict":
+        _predict(rest)
+    else:
+        print(f"unknown command {cmd!r}; see --help", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

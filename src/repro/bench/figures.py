@@ -1,0 +1,222 @@
+"""Regeneration of the paper's figures (2.5, 2.6, 3.1, 4.2, 4.3, 5.1).
+
+Every function returns the figure's data series; ``render_series``
+prints them in a gnuplot-ready ASCII layout.  "Measured" always means
+DES virtual time (max per-rank communication time, the paper's
+statistic); "modelled" means the Table-6 analytic models.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.benchpress.memcpy import memcpy_sweep
+from repro.benchpress.nodepong import nodepong_sweep
+from repro.benchpress.pingpong import pingpong_sweep
+from repro.core.base import run_exchange
+from repro.core.selector import all_strategies
+from repro.machine.locality import CopyDirection, Locality, TransportKind
+from repro.machine.topology import MachineSpec
+from repro.models.scenarios import PAPER_SCENARIOS, Scenario, sweep_scenario
+from repro.models.strategies import all_strategy_models, model_label
+from repro.mpi.job import SimJob
+from repro.sparse.distributed import DistributedCSR
+from repro.sparse.suite import SUITE
+
+
+# ---------------------------------------------------------------------------
+# Figure 2.5 — ping-pong time by locality
+# ---------------------------------------------------------------------------
+def fig2_5_data(machine: MachineSpec,
+                sizes: Optional[Sequence[int]] = None,
+                noise_sigma: float = 0.0, seed: int = 0
+                ) -> Tuple[np.ndarray, Dict[str, np.ndarray]]:
+    """CPU ping-pong times per locality over a size sweep."""
+    if sizes is None:
+        sizes = [1 << k for k in range(0, 21, 2)]
+    job = SimJob(machine, num_nodes=2, ppn=machine.max_ppn,
+                 noise_sigma=noise_sigma, seed=seed)
+    out = {
+        str(loc): pingpong_sweep(job, loc, sizes, kind=TransportKind.CPU)
+        for loc in (Locality.ON_SOCKET, Locality.ON_NODE, Locality.OFF_NODE)
+    }
+    return np.asarray(sizes), out
+
+
+# ---------------------------------------------------------------------------
+# Figure 2.6 — node-pong split across ppn processes
+# ---------------------------------------------------------------------------
+def fig2_6_data(machine: MachineSpec,
+                sizes: Optional[Sequence[int]] = None,
+                ppn_values: Optional[Sequence[int]] = None
+                ) -> Tuple[np.ndarray, Dict[str, np.ndarray]]:
+    """Node-to-node transfer time when splitting over ppn processes."""
+    if sizes is None:
+        sizes = [1 << k for k in range(10, 25, 2)]
+    if ppn_values is None:
+        ppn_values = [1, 2, 4, 8, 16, 32, machine.max_ppn]
+    job = SimJob(machine, num_nodes=2, ppn=machine.max_ppn)
+    sweep = nodepong_sweep(job, sizes, ppn_values)
+    return np.asarray(sizes), {f"ppn={p}": t for p, t in sweep.items()}
+
+
+# ---------------------------------------------------------------------------
+# Figure 3.1 — memcpy split across NP processes
+# ---------------------------------------------------------------------------
+def fig3_1_data(machine: MachineSpec,
+                sizes: Optional[Sequence[int]] = None,
+                nproc_values: Sequence[int] = (1, 2, 4, 8)
+                ) -> Tuple[np.ndarray, Dict[str, np.ndarray]]:
+    """H2D and D2H copy times per concurrent-process count."""
+    if sizes is None:
+        sizes = [1 << k for k in range(10, 25, 2)]
+    job = SimJob(machine, num_nodes=1, ppn=machine.max_ppn)
+    out: Dict[str, np.ndarray] = {}
+    for direction in (CopyDirection.H2D, CopyDirection.D2H):
+        sweep = memcpy_sweep(job, direction, sizes, nproc_values)
+        for np_, times in sweep.items():
+            out[f"{direction} NP={np_}"] = times
+    return np.asarray(sizes), out
+
+
+# ---------------------------------------------------------------------------
+# Figure 4.3 — modelled scenarios
+# ---------------------------------------------------------------------------
+def fig4_3_data(machine: MachineSpec,
+                sizes: Optional[Sequence[float]] = None,
+                scenarios: Sequence[Scenario] = PAPER_SCENARIOS,
+                dup_fractions: Sequence[float] = (0.0, 0.25)
+                ) -> Dict[str, Tuple[np.ndarray, Dict[str, np.ndarray]]]:
+    """Modelled strategy times per scenario panel (incl. dup variants)."""
+    from dataclasses import replace
+
+    if sizes is None:
+        sizes = np.logspace(1, 5.5, 19)
+    sizes = np.asarray(sizes, dtype=np.float64)
+    panels: Dict[str, Tuple[np.ndarray, Dict[str, np.ndarray]]] = {}
+    for base in scenarios:
+        for dup in dup_fractions:
+            sc = replace(base, dup_fraction=dup)
+            panels[sc.label] = (sizes, sweep_scenario(machine, sc, sizes))
+    return panels
+
+
+# ---------------------------------------------------------------------------
+# Figure 4.2 — model validation on the audikw_1 analog
+# ---------------------------------------------------------------------------
+def fig4_2_data(machine: MachineSpec,
+                gpu_counts: Sequence[int] = (8, 16, 32, 64),
+                matrix_n: int = 24_000, ppn: int = 0,
+                noise_sigma: float = 0.0, seed: int = 0) -> Dict[int, Dict]:
+    """Measured (DES) vs modelled times, audikw analog, per GPU count.
+
+    Returns ``{gpus: {"measured": {label: t}, "model": {label: t},
+    "meta": {...}}}``.
+    """
+    ppn = ppn or machine.max_ppn
+    gpn = machine.gpus_per_node
+    matrix = SUITE["audikw_1"].build(matrix_n)
+    out: Dict[int, Dict] = {}
+    for gpus in gpu_counts:
+        if gpus % gpn:
+            raise ValueError(f"gpu count {gpus} not a multiple of {gpn}")
+        nodes = gpus // gpn
+        job = SimJob(machine, num_nodes=nodes, ppn=ppn,
+                     noise_sigma=noise_sigma, seed=seed)
+        dist = DistributedCSR(matrix, num_gpus=gpus)
+        pattern = dist.comm_pattern()
+        summary = pattern.summarize(job.layout)
+        measured = {}
+        for strategy in all_strategies():
+            res = run_exchange(job, strategy, pattern)
+            measured[strategy.label] = res.comm_time
+        model = {
+            model_label(m): m.time(summary)
+            for m in all_strategy_models(machine, ppn=ppn,
+                                         include_best_case=False)
+        }
+        out[gpus] = {
+            "measured": measured,
+            "model": model,
+            "meta": {
+                "nodes": nodes,
+                "recv_nodes": summary.num_dest_nodes,
+                "node_bytes": summary.node_bytes,
+                "messages": pattern.total_messages,
+            },
+        }
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figure 5.1 — SpMV communication across the matrix suite
+# ---------------------------------------------------------------------------
+def fig5_1_data(machine: MachineSpec,
+                matrices: Optional[Sequence[str]] = None,
+                gpu_counts: Sequence[int] = (8, 16, 32, 64),
+                matrix_n: int = 0, ppn: int = 0,
+                noise_sigma: float = 0.0, seed: int = 0
+                ) -> Dict[str, Dict]:
+    """Measured strategy times per suite matrix and GPU count.
+
+    Returns ``{matrix: {"gpus": [...], "series": {label: [t...]},
+    "meta": {...}}}`` — the content of one Figure-5.1 panel per matrix.
+    """
+    if matrices is None:
+        matrices = list(SUITE)
+    ppn = ppn or machine.max_ppn
+    gpn = machine.gpus_per_node
+    out: Dict[str, Dict] = {}
+    for name in matrices:
+        entry = SUITE[name]
+        matrix = entry.build(matrix_n)
+        series: Dict[str, List[float]] = {
+            s.label: [] for s in all_strategies()
+        }
+        meta: Dict[int, Dict] = {}
+        for gpus in gpu_counts:
+            nodes = gpus // gpn
+            if nodes < 2:
+                raise ValueError(f"gpu count {gpus} gives < 2 nodes")
+            job = SimJob(machine, num_nodes=nodes, ppn=ppn,
+                         noise_sigma=noise_sigma, seed=seed)
+            dist = DistributedCSR(matrix, num_gpus=gpus)
+            pattern = dist.comm_pattern()
+            summary = pattern.summarize(job.layout)
+            pair = pattern.node_pair_traffic(job.layout)
+            meta[gpus] = {
+                "recv_nodes": summary.num_dest_nodes,
+                "inter_node_bytes": sum(b for _m, b in pair.values()),
+                "inter_node_msgs": sum(m for m, _b in pair.values()),
+            }
+            for strategy in all_strategies():
+                res = run_exchange(job, strategy, pattern)
+                series[strategy.label].append(res.comm_time)
+        out[name] = {"gpus": list(gpu_counts), "series": series, "meta": meta}
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------------
+def render_series(title: str, x_label: str, xs: Sequence,
+                  series: Dict[str, Sequence[float]],
+                  mark_min: bool = False) -> str:
+    """ASCII rendering of one figure panel (rows = x, columns = series)."""
+    names = list(series)
+    width = max(12, max((len(n) for n in names), default=12) + 2)
+    lines = [title, f"{x_label:>12s} " + " ".join(f"{n:>{width}s}"
+                                                  for n in names)]
+    for i, x in enumerate(xs):
+        cells = []
+        row = [float(series[n][i]) for n in names]
+        best = min(row) if mark_min and row else None
+        for val in row:
+            mark = "*" if best is not None and val == best else " "
+            cells.append(f"{val:>{width - 1}.3e}{mark}")
+        xs_str = f"{x:>12.4g}" if isinstance(x, (int, float, np.floating)) \
+            else f"{str(x):>12s}"
+        lines.append(xs_str + " " + " ".join(cells))
+    return "\n".join(lines)

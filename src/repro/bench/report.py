@@ -1,0 +1,149 @@
+"""Full experiment record generator.
+
+``python -m repro.bench.report [output.md]`` reruns every table and
+figure regeneration at the default benchmark scale and writes the
+paper-vs-measured record (the body of EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import List
+
+import numpy as np
+
+from repro.bench.figures import (
+    fig2_5_data,
+    fig2_6_data,
+    fig3_1_data,
+    fig4_2_data,
+    fig4_3_data,
+    fig5_1_data,
+    render_series,
+)
+from repro.bench.tables import (
+    render_table2,
+    render_table3,
+    render_table4,
+    table2_data,
+    table3_data,
+    table4_data,
+)
+from repro.machine import lassen
+from repro.sparse.suite import SUITE
+
+
+def _code(text: str) -> List[str]:
+    return ["```", text, "```", ""]
+
+
+def generate(matrix_n: int = 16_000, gpu_counts=(8, 16, 32)) -> str:
+    machine = lassen()
+    out: List[str] = []
+    t_start = time.time()
+
+    out.append("## Regenerated results (simulator, Lassen constants)\n")
+    out.append(f"Matrix analog scale: n = {matrix_n:,}; GPU sweep: "
+               f"{list(gpu_counts)}; all times are DES virtual seconds "
+               f"(max per-rank communication time).\n")
+
+    # --- Tables ----------------------------------------------------------
+    out.append("### Table 2 — communication parameters\n")
+    out.extend(_code(render_table2(table2_data(machine), machine=machine)))
+    out.append("### Table 3 — cudaMemcpyAsync parameters\n")
+    out.extend(_code(render_table3(table3_data(machine), machine=machine)))
+    out.append("### Table 4 — injection bandwidth limit\n")
+    out.extend(_code(render_table4(table4_data(machine), machine=machine)))
+
+    # --- Figure 2.5 --------------------------------------------------------
+    out.append("### Figure 2.5 — ping-pong by locality\n")
+    xs, series = fig2_5_data(machine)
+    out.extend(_code(render_series("time [s] vs message size", "bytes",
+                                   xs, series)))
+
+    # --- Figure 2.6 --------------------------------------------------------
+    out.append("### Figure 2.6 — node-pong split over ppn processes\n")
+    xs, series = fig2_6_data(machine)
+    out.extend(_code(render_series("time [s] vs total volume "
+                                   "(row minimum marked *)", "bytes", xs,
+                                   series, mark_min=True)))
+
+    # --- Figure 3.1 --------------------------------------------------------
+    out.append("### Figure 3.1 — memcpy split over NP processes\n")
+    xs, series = fig3_1_data(machine)
+    out.extend(_code(render_series("time [s] vs total volume", "bytes",
+                                   xs, series)))
+
+    # --- Figure 4.2 --------------------------------------------------------
+    out.append("### Figure 4.2 — model validation (audikw analog)\n")
+    data = fig4_2_data(machine, gpu_counts=gpu_counts, matrix_n=matrix_n)
+    labels = sorted(next(iter(data.values()))["measured"])
+    measured = {l: [data[g]["measured"][l] for g in gpu_counts]
+                for l in labels}
+    modelled = {l: [data[g]["model"][l] for g in gpu_counts] for l in labels}
+    out.extend(_code(
+        render_series("measured (DES)", "GPUs", list(gpu_counts), measured,
+                      mark_min=True)
+        + "\n\n"
+        + render_series("modelled (Table 6)", "GPUs", list(gpu_counts),
+                        modelled)))
+    ratios = [data[g]["model"]["Standard (device-aware)"]
+              / data[g]["measured"]["Standard (device-aware)"]
+              for g in gpu_counts]
+    out.append(f"Standard (device-aware) model/measured ratio by scale: "
+               + ", ".join(f"{g} GPUs: {r:.1f}x"
+                           for g, r in zip(gpu_counts, ratios)) + "\n")
+
+    # --- Figure 4.3 --------------------------------------------------------
+    out.append("### Figure 4.3 — modelled scenarios\n")
+    panels = fig4_3_data(machine, sizes=np.logspace(1, 5.5, 10))
+    for label, (xs, series) in panels.items():
+        out.extend(_code(render_series(f"panel: {label}", "bytes", xs,
+                                       series, mark_min=True)))
+
+    # --- Figure 5.1 --------------------------------------------------------
+    out.append("### Figure 5.1 — SpMV communication across the suite\n")
+    suite_data = fig5_1_data(machine, gpu_counts=gpu_counts,
+                             matrix_n=matrix_n)
+    winners = {}
+    for name, d in suite_data.items():
+        meta = ", ".join(
+            f"{g} GPUs: recv_nodes={m['recv_nodes']}, "
+            f"vol={m['inter_node_bytes'] / 1e3:.0f}KB, "
+            f"msgs={m['inter_node_msgs']}"
+            for g, m in d["meta"].items())
+        out.extend(_code(render_series(
+            f"{name} ({SUITE[name].description})\n  [{meta}]",
+            "GPUs", d["gpus"], d["series"], mark_min=True)))
+        at = {l: ts[-1] for l, ts in d["series"].items()}
+        winners[name] = min(at, key=lambda k: at[k])
+    out.append("Winners at the largest GPU count: "
+               + "; ".join(f"{k}: **{v}**" for k, v in winners.items())
+               + "\n")
+
+    # --- Regime map (summary view of Figure 4.3) -----------------------------
+    out.append("### Strategy regime map (model, 256 messages)\n")
+    from repro.models.regime_map import compute_regime_map, render_regime_map
+
+    out.extend(_code(render_regime_map(compute_regime_map(machine))))
+    out.extend(_code(render_regime_map(
+        compute_regime_map(machine, dup_fraction=0.25))))
+
+    out.append(f"\n_Total regeneration wall time: "
+               f"{time.time() - t_start:.0f} s._\n")
+    return "\n".join(out)
+
+
+def main() -> None:
+    text = generate()
+    if len(sys.argv) > 1:
+        with open(sys.argv[1], "w") as fh:
+            fh.write(text)
+        print(f"wrote {sys.argv[1]}")
+    else:
+        print(text)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+"""Regeneration of the paper's measured-parameter tables (2, 3, 4)."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.benchpress.fitting import LinearFit
+from repro.benchpress.memcpy import fit_copy_table
+from repro.benchpress.nodepong import fit_injection_rate
+from repro.benchpress.pingpong import fit_comm_table
+from repro.machine.locality import CopyDirection, Locality, Protocol, TransportKind
+from repro.machine.topology import MachineSpec
+from repro.mpi.job import SimJob
+
+
+def _job(machine: MachineSpec, noise_sigma: float, seed: int) -> SimJob:
+    return SimJob(machine, num_nodes=2, ppn=machine.max_ppn,
+                  noise_sigma=noise_sigma, seed=seed)
+
+
+def table2_data(machine: MachineSpec, iterations: int = 1,
+                noise_sigma: float = 0.0, seed: int = 0
+                ) -> Dict[Tuple[TransportKind, Protocol, Locality], LinearFit]:
+    """Table 2: fitted (alpha, beta) for every communication path."""
+    job = _job(machine, noise_sigma, seed)
+    return fit_comm_table(job, iterations=iterations)
+
+
+def table3_data(machine: MachineSpec, noise_sigma: float = 0.0,
+                seed: int = 0) -> Dict[Tuple[CopyDirection, int], LinearFit]:
+    """Table 3: fitted cudaMemcpyAsync parameters."""
+    job = _job(machine, noise_sigma, seed)
+    return fit_copy_table(job)
+
+
+def table4_data(machine: MachineSpec, noise_sigma: float = 0.0,
+                seed: int = 0) -> LinearFit:
+    """Table 4: fitted injection limit; ``fit.beta`` is ``R_N^{-1}``."""
+    job = _job(machine, noise_sigma, seed)
+    return fit_injection_rate(job)
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------------
+_LOCS = (Locality.ON_SOCKET, Locality.ON_NODE, Locality.OFF_NODE)
+
+
+def render_table2(fits: Dict, machine: Optional[MachineSpec] = None) -> str:
+    """ASCII Table 2, with the paper's true values when ``machine`` given."""
+    lines = [
+        "Table 2: inter-CPU / inter-GPU postal parameters "
+        "(fitted from simulated ping-pongs)",
+        f"{'path':28s} {'on-socket':>22s} {'on-node':>22s} {'off-node':>22s}",
+    ]
+    rows = [
+        (TransportKind.CPU, Protocol.SHORT, "CPU short"),
+        (TransportKind.CPU, Protocol.EAGER, "CPU eager"),
+        (TransportKind.CPU, Protocol.RENDEZVOUS, "CPU rendezvous"),
+        (TransportKind.GPU, Protocol.EAGER, "GPU eager"),
+        (TransportKind.GPU, Protocol.RENDEZVOUS, "GPU rendezvous"),
+    ]
+    for kind, protocol, label in rows:
+        alphas = " ".join(
+            f"{fits[(kind, protocol, loc)].alpha:>22.3e}" for loc in _LOCS)
+        betas = " ".join(
+            f"{fits[(kind, protocol, loc)].beta:>22.3e}" for loc in _LOCS)
+        lines.append(f"{label + '  alpha':28s}{alphas}")
+        lines.append(f"{label + '  beta':28s}{betas}")
+        if machine is not None:
+            ref_a = " ".join(
+                f"{machine.comm_params.table[(kind, protocol, loc)].alpha:>22.3e}"
+                for loc in _LOCS)
+            lines.append(f"{'  (paper alpha)':28s}{ref_a}")
+    return "\n".join(lines)
+
+
+def render_table3(fits: Dict, machine: Optional[MachineSpec] = None) -> str:
+    lines = [
+        "Table 3: cudaMemcpyAsync parameters (fitted from simulated copies)",
+        f"{'config':14s} {'H2D alpha':>12s} {'H2D beta':>12s} "
+        f"{'D2H alpha':>12s} {'D2H beta':>12s}",
+    ]
+    nprocs = sorted({np_ for (_d, np_) in fits})
+    for np_ in nprocs:
+        h = fits[(CopyDirection.H2D, np_)]
+        d = fits[(CopyDirection.D2H, np_)]
+        lines.append(
+            f"{str(np_) + ' proc':14s} {h.alpha:>12.3e} {h.beta:>12.3e} "
+            f"{d.alpha:>12.3e} {d.beta:>12.3e}"
+        )
+        if machine is not None:
+            ht = machine.copy_params.table[(CopyDirection.H2D, np_)]
+            dt = machine.copy_params.table[(CopyDirection.D2H, np_)]
+            lines.append(
+                f"{'  (paper)':14s} {ht.alpha:>12.3e} {ht.beta:>12.3e} "
+                f"{dt.alpha:>12.3e} {dt.beta:>12.3e}"
+            )
+    return "\n".join(lines)
+
+
+def render_table4(fit: LinearFit, machine: Optional[MachineSpec] = None) -> str:
+    lines = [
+        "Table 4: injection-bandwidth limit (fitted from saturated node-pong)",
+        f"  inter-CPU R_N^-1 = {fit.beta:.3e} s/byte  (r^2 = {fit.r_squared:.5f})",
+    ]
+    if machine is not None:
+        lines.append(f"  (paper: {machine.nic.rn_inv:.3e} s/byte)")
+    return "\n".join(lines)

@@ -1,0 +1,162 @@
+"""Trace analysis and ASCII timelines.
+
+With ``SimJob(..., trace=True)`` the transport records a
+:class:`~repro.mpi.transport.MessageTrace` per message.  The helpers
+here turn a trace log into a per-rank utilization summary and an ASCII
+Gantt view — the debugging lens for understanding *why* one strategy
+beats another (pipe queueing, NIC serialization, phase structure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.machine.locality import Locality
+from repro.mpi.transport import MessageTrace
+
+
+@dataclass
+class RankActivity:
+    """Aggregated sending activity of one rank."""
+
+    rank: int
+    messages: int
+    bytes_sent: int
+    first_send: float
+    last_delivery: float
+    pipe_wait: float       # total time queued behind own earlier sends
+    busy_time: float       # total transfer time (may overlap)
+
+    @property
+    def span(self) -> float:
+        return self.last_delivery - self.first_send
+
+
+def summarize_trace(log: Sequence[MessageTrace]) -> Dict[int, RankActivity]:
+    """Per-sending-rank activity summary."""
+    out: Dict[int, RankActivity] = {}
+    for t in log:
+        a = out.get(t.src)
+        if a is None:
+            out[t.src] = RankActivity(
+                rank=t.src, messages=1, bytes_sent=t.nbytes,
+                first_send=t.t_send, last_delivery=t.delivery,
+                pipe_wait=t.pipe_wait, busy_time=t.transfer_time)
+        else:
+            a.messages += 1
+            a.bytes_sent += t.nbytes
+            a.first_send = min(a.first_send, t.t_send)
+            a.last_delivery = max(a.last_delivery, t.delivery)
+            a.pipe_wait += t.pipe_wait
+            a.busy_time += t.transfer_time
+    return out
+
+
+def busiest_links(log: Sequence[MessageTrace], top: int = 5
+                  ) -> List[tuple]:
+    """Heaviest (src, dest) links by bytes: ``[(src, dest, bytes, msgs)]``."""
+    if top < 1:
+        raise ValueError(f"top must be >= 1, got {top}")
+    agg: Dict[tuple, List[int]] = {}
+    for t in log:
+        entry = agg.setdefault((t.src, t.dest), [0, 0])
+        entry[0] += t.nbytes
+        entry[1] += 1
+    ranked = sorted(agg.items(), key=lambda kv: -kv[1][0])[:top]
+    return [(src, dest, b, m) for (src, dest), (b, m) in ranked]
+
+
+def locality_breakdown(log: Sequence[MessageTrace]) -> Dict[str, Dict]:
+    """Messages/bytes/mean-transfer per locality class."""
+    out: Dict[str, Dict] = {}
+    for t in log:
+        d = out.setdefault(str(t.locality),
+                           {"messages": 0, "bytes": 0, "transfer_time": 0.0})
+        d["messages"] += 1
+        d["bytes"] += t.nbytes
+        d["transfer_time"] += t.transfer_time
+    for d in out.values():
+        d["mean_transfer"] = d["transfer_time"] / d["messages"]
+    return out
+
+
+#: strategy tag -> phase name (see repro.core.base tag constants)
+_PHASE_NAMES = {
+    1: "direct",          # TAG_P2P (standard)
+    2: "on-node direct",  # TAG_LOCAL
+    3: "gather",          # TAG_GATHER (3-Step step 1)
+    4: "inter-node",      # TAG_INTER
+    5: "redistribute",    # TAG_REDIST
+    6: "distribute",      # TAG_DIST (Split local_Scomm)
+}
+
+
+def phase_breakdown(log: Sequence[MessageTrace]) -> Dict[str, Dict]:
+    """Per-strategy-phase traffic summary, keyed by phase name.
+
+    Phases are identified by the message tags the strategies use
+    (gather / inter-node / redistribute / distribute / direct); each
+    entry reports message count, bytes, the phase's first transfer
+    start and last delivery (its span in the exchange timeline).
+    """
+    out: Dict[str, Dict] = {}
+    for t in log:
+        name = _PHASE_NAMES.get(t.tag, f"tag {t.tag}")
+        d = out.setdefault(name, {
+            "messages": 0, "bytes": 0,
+            "first_start": t.t_start, "last_delivery": t.delivery,
+        })
+        d["messages"] += 1
+        d["bytes"] += t.nbytes
+        d["first_start"] = min(d["first_start"], t.t_start)
+        d["last_delivery"] = max(d["last_delivery"], t.delivery)
+    for d in out.values():
+        d["span"] = d["last_delivery"] - d["first_start"]
+    return out
+
+
+def render_phase_breakdown(breakdown: Dict[str, Dict]) -> str:
+    """ASCII table of a :func:`phase_breakdown` result."""
+    lines = [f"{'phase':>16s} {'msgs':>6s} {'KiB':>9s} "
+             f"{'starts':>11s} {'ends':>11s} {'span':>11s}"]
+    for name, d in sorted(breakdown.items(),
+                          key=lambda kv: kv[1]["first_start"]):
+        lines.append(
+            f"{name:>16s} {d['messages']:>6d} {d['bytes'] / 1024:>9.1f} "
+            f"{d['first_start']:>11.3e} {d['last_delivery']:>11.3e} "
+            f"{d['span']:>11.3e}")
+    return "\n".join(lines)
+
+
+def render_timeline(log: Sequence[MessageTrace], width: int = 72,
+                    max_ranks: int = 16) -> str:
+    """ASCII Gantt of sending activity per rank.
+
+    Each row is one sending rank; ``#`` marks intervals where a message
+    of that rank occupies its send pipe/transfer, ``.`` marks idle
+    virtual time.  Only the ``max_ranks`` busiest ranks are drawn.
+    """
+    if not log:
+        return "(empty trace)"
+    if width < 10:
+        raise ValueError(f"width must be >= 10, got {width}")
+    t_end = max(t.delivery for t in log)
+    t_begin = min(t.t_send for t in log)
+    span = max(t_end - t_begin, 1e-30)
+    by_rank: Dict[int, List[MessageTrace]] = {}
+    for t in log:
+        by_rank.setdefault(t.src, []).append(t)
+    ranked = sorted(by_rank, key=lambda r: -sum(t.nbytes for t in by_rank[r]))
+    lines = [f"send-side timeline  [{t_begin:.3e} s .. {t_end:.3e} s]"]
+    for rank in sorted(ranked[:max_ranks]):
+        cells = ["."] * width
+        for t in by_rank[rank]:
+            lo = int((t.t_start - t_begin) / span * (width - 1))
+            hi = int((t.delivery - t_begin) / span * (width - 1))
+            for i in range(lo, hi + 1):
+                cells[i] = "#"
+        lines.append(f"rank {rank:>4d} |{''.join(cells)}|")
+    if len(ranked) > max_ranks:
+        lines.append(f"(+ {len(ranked) - max_ranks} more sending ranks)")
+    return "\n".join(lines)

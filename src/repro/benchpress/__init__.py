@@ -1,0 +1,44 @@
+"""Microbenchmarks on the simulated machine (BenchPress analog).
+
+The paper collects its model constants with BenchPress — ping-pong and
+node-pong timings, 1000 iterations, least-squares fitted.  This package
+reruns the same experiment designs against the simulator:
+
+* :mod:`~repro.benchpress.pingpong` — two-process round trips per
+  locality and transport kind (Table 2 / Figure 2.5);
+* :mod:`~repro.benchpress.nodepong` — node-to-node volume split over
+  ppn processes (Figure 2.6) and injection-rate saturation (Table 4);
+* :mod:`~repro.benchpress.memcpy` — H2D/D2H copies split over NP
+  processes (Table 3 / Figure 3.1);
+* :mod:`~repro.benchpress.fitting` — the linear least-squares
+  ``(alpha, beta)`` fits.
+
+Because the simulator charges the configured constants, the fits must
+recover Tables 2-4 (up to protocol-boundary effects and seeded noise) —
+closing the loop between machine description and "measured" values.
+"""
+
+from repro.benchpress.fitting import LinearFit, fit_alpha_beta
+from repro.benchpress.pingpong import (
+    pingpong_sweep,
+    pingpong_time,
+    fit_comm_table,
+    pick_pair,
+)
+from repro.benchpress.nodepong import nodepong_time, nodepong_sweep, fit_injection_rate
+from repro.benchpress.memcpy import memcpy_time, memcpy_sweep, fit_copy_table
+
+__all__ = [
+    "LinearFit",
+    "fit_alpha_beta",
+    "pingpong_sweep",
+    "pingpong_time",
+    "fit_comm_table",
+    "pick_pair",
+    "nodepong_time",
+    "nodepong_sweep",
+    "fit_injection_rate",
+    "memcpy_time",
+    "memcpy_sweep",
+    "fit_copy_table",
+]

@@ -1,0 +1,50 @@
+"""Least-squares parameter fitting (alpha + beta * s).
+
+The paper derives every Table 2/3 entry as "a linear least-squares fit
+to the collected data"; :func:`fit_alpha_beta` is that fit, with the
+fit quality reported so tests can assert recovery of the configured
+constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """Fitted postal parameters with goodness of fit."""
+
+    alpha: float   # intercept [s]
+    beta: float    # slope [s/byte]
+    r_squared: float
+    n_points: int
+
+    def time(self, nbytes: float) -> float:
+        return self.alpha + self.beta * nbytes
+
+
+def fit_alpha_beta(sizes: Sequence[float], times: Sequence[float]) -> LinearFit:
+    """Fit ``time = alpha + beta * size`` by ordinary least squares.
+
+    Requires at least two distinct sizes.  A degenerate all-equal-time
+    fit yields ``beta = 0`` with ``r_squared = 1``.
+    """
+    sizes = np.asarray(sizes, dtype=np.float64)
+    times = np.asarray(times, dtype=np.float64)
+    if sizes.shape != times.shape or sizes.ndim != 1:
+        raise ValueError("sizes and times must be 1-D arrays of equal length")
+    if len(sizes) < 2:
+        raise ValueError("need at least two points to fit")
+    if np.ptp(sizes) == 0:
+        raise ValueError("need at least two distinct sizes")
+    beta, alpha = np.polyfit(sizes, times, deg=1)
+    predicted = alpha + beta * sizes
+    ss_res = float(np.sum((times - predicted) ** 2))
+    ss_tot = float(np.sum((times - times.mean()) ** 2))
+    r2 = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return LinearFit(alpha=float(alpha), beta=float(beta),
+                     r_squared=r2, n_points=len(sizes))

@@ -1,0 +1,70 @@
+"""``cudaMemcpyAsync`` microbenchmarks (Table 3 / Figure 3.1).
+
+Copies a total volume between host and one GPU with the copy split over
+``NP`` concurrent processes (duplicate device pointers).  The reported
+time is the wall clock of the slowest team member — exactly what
+Figure 3.1 plots and what Table 3's fits are taken against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.benchpress.fitting import LinearFit, fit_alpha_beta
+from repro.machine.locality import CopyDirection
+from repro.mpi.buffers import DeviceBuffer
+from repro.mpi.job import SimJob
+
+
+def memcpy_time(job: SimJob, direction: CopyDirection, total_bytes: int,
+                nproc: int = 1, gpu: int = 0) -> float:
+    """Wall time to move ``total_bytes`` in ``direction`` with ``nproc``
+    concurrent copy processes on GPU ``gpu``'s host team."""
+    if total_bytes < 0:
+        raise ValueError(f"total_bytes must be >= 0, got {total_bytes}")
+    if nproc < 1:
+        raise ValueError(f"nproc must be >= 1, got {nproc}")
+    layout = job.layout
+    node = gpu // layout.machine.gpus_per_node
+    team = layout.host_team(node, gpu % layout.machine.gpus_per_node, nproc)
+    share = int(np.ceil(total_bytes / len(team)))
+
+    def program(ctx):
+        if ctx.rank in team:
+            if direction is CopyDirection.D2H:
+                ev, _ = ctx.copy.d2h(DeviceBuffer(gpu, share),
+                                     nproc=len(team), team_bytes=total_bytes)
+            else:
+                ev, _ = ctx.copy.h2d(share, gpu=gpu, nproc=len(team),
+                                     team_bytes=total_bytes)
+            yield ev
+        return ctx.now
+
+    return job.run(program).elapsed
+
+
+def memcpy_sweep(job: SimJob, direction: CopyDirection,
+                 sizes: Sequence[int],
+                 nproc_values: Sequence[int]) -> Dict[int, np.ndarray]:
+    """Figure 3.1 data for one direction: ``{NP: times over sizes}``."""
+    return {
+        int(np_): np.array([memcpy_time(job, direction, int(s), nproc=int(np_))
+                            for s in sizes])
+        for np_ in nproc_values
+    }
+
+
+def fit_copy_table(job: SimJob, sizes: Sequence[int] = ()
+                   ) -> Dict[Tuple[CopyDirection, int], LinearFit]:
+    """Regenerate Table 3: (alpha, beta) per (direction, NP in {1, 4})."""
+    if not sizes:
+        sizes = [1 << k for k in range(10, 21, 2)]
+    out: Dict[Tuple[CopyDirection, int], LinearFit] = {}
+    for direction in CopyDirection:
+        for nproc in job.layout.machine.copy_params.measured_counts(direction):
+            times = [memcpy_time(job, direction, int(s), nproc=nproc)
+                     for s in sizes]
+            out[(direction, nproc)] = fit_alpha_beta(sizes, times)
+    return out

@@ -1,0 +1,69 @@
+"""Node-pong microbenchmarks (Figure 2.6 / Table 4).
+
+Node-pong sends a total volume ``s`` from node 0 to node 1 split evenly
+across ``ppn`` process pairs; the reported time is when the last byte
+lands.  Sweeping ``ppn`` reproduces Figure 2.6 (splitting large volumes
+over more cores wins); driving the NIC to saturation and fitting the
+aggregate slope recovers the injection rate ``R_N`` of Table 4.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.benchpress.fitting import LinearFit, fit_alpha_beta
+from repro.mpi.job import SimJob
+
+_TAG = 98
+
+
+def nodepong_time(job: SimJob, total_bytes: int, ppn_active: int) -> float:
+    """Time to move ``total_bytes`` node 0 -> node 1 over ``ppn_active`` pairs."""
+    if job.layout.num_nodes < 2:
+        raise ValueError("node-pong needs at least two nodes")
+    if not 1 <= ppn_active <= job.layout.ppn:
+        raise ValueError(
+            f"ppn_active must be in [1, {job.layout.ppn}], got {ppn_active}"
+        )
+    if total_bytes < 0:
+        raise ValueError(f"total_bytes must be >= 0, got {total_bytes}")
+    share = total_bytes // ppn_active
+    remainder = total_bytes - share * ppn_active
+    ppn = job.layout.ppn
+
+    def program(ctx):
+        lr = ctx.local_rank
+        if ctx.node == 0 and lr < ppn_active:
+            nbytes = share + (remainder if lr == 0 else 0)
+            yield ctx.comm.send(nbytes, dest=ppn + lr, tag=_TAG)
+        elif ctx.node == 1 and lr < ppn_active:
+            yield ctx.comm.recv(source=lr, tag=_TAG)
+        return ctx.now
+
+    return job.run(program).elapsed
+
+
+def nodepong_sweep(job: SimJob, sizes: Sequence[int],
+                   ppn_values: Sequence[int]) -> Dict[int, np.ndarray]:
+    """Figure 2.6 data: ``{ppn: times aligned with sizes}``."""
+    return {
+        int(p): np.array([nodepong_time(job, int(s), int(p)) for s in sizes])
+        for p in ppn_values
+    }
+
+
+def fit_injection_rate(job: SimJob, sizes: Sequence[int] = (),
+                       ppn_active: int = 0) -> LinearFit:
+    """Recover ``R_N`` (Table 4): fit time vs total volume at saturation.
+
+    With enough active processes the per-process rate no longer binds
+    and the slope of time over total injected bytes is ``R_N^{-1}``.
+    The returned fit's ``beta`` is therefore the paper's Table-4 value.
+    """
+    ppn_active = ppn_active or job.layout.ppn
+    if not sizes:
+        sizes = [1 << 22, 1 << 23, 1 << 24, 1 << 25]
+    times = [nodepong_time(job, int(s), ppn_active) for s in sizes]
+    return fit_alpha_beta(sizes, times)

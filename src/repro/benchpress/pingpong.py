@@ -1,0 +1,120 @@
+"""Ping-pong microbenchmarks (Table 2 / Figure 2.5).
+
+A classic two-process round trip: A sends ``s`` bytes to B, B echoes
+them back; the one-way time is half the round trip, averaged over
+iterations.  Pairs are picked per locality (same socket / same node /
+separate nodes) and per transport kind (CPU host buffers vs GPU device
+buffers), mirroring the paper's measurement design.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.benchpress.fitting import LinearFit, fit_alpha_beta
+from repro.machine.locality import Locality, Protocol, TransportKind
+from repro.machine.topology import MachineSpec
+from repro.mpi.buffers import DeviceBuffer
+from repro.mpi.job import SimJob
+
+_TAG = 99
+
+
+def pick_pair(job: SimJob, locality: Locality,
+              kind: TransportKind) -> Tuple[int, int]:
+    """Two ranks realizing ``locality`` for ``kind`` endpoints.
+
+    GPU endpoints must both be GPU owners; CPU endpoints may be any
+    ranks.  Raises when the job shape cannot realize the locality
+    (e.g. off-node with one node).
+    """
+    layout = job.layout
+    candidates = (layout.gpu_owner_ranks() if kind is TransportKind.GPU
+                  else list(range(layout.size)))
+    a = candidates[0]
+    for b in candidates[1:]:
+        if layout.locality(a, b) is locality:
+            return a, b
+    raise ValueError(
+        f"job {layout!r} cannot realize {locality} for {kind} endpoints"
+    )
+
+
+def pingpong_time(job: SimJob, rank_a: int, rank_b: int, nbytes: int,
+                  kind: TransportKind = TransportKind.CPU,
+                  iterations: int = 1) -> float:
+    """Average one-way time for ``nbytes`` between two ranks."""
+    if iterations < 1:
+        raise ValueError(f"iterations must be >= 1, got {iterations}")
+    if nbytes < 0:
+        raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+    layout = job.layout
+
+    def payload_for(rank: int):
+        if kind is TransportKind.GPU:
+            gpu = layout.global_gpu_of(rank)
+            if gpu is None:
+                raise ValueError(f"rank {rank} owns no GPU")
+            return DeviceBuffer(gpu, nbytes)
+        return nbytes
+
+    def program(ctx):
+        if ctx.rank == rank_a:
+            for _ in range(iterations):
+                yield ctx.comm.send(payload_for(rank_a), dest=rank_b, tag=_TAG)
+                yield ctx.comm.recv(source=rank_b, tag=_TAG)
+        elif ctx.rank == rank_b:
+            for _ in range(iterations):
+                yield ctx.comm.recv(source=rank_a, tag=_TAG)
+                yield ctx.comm.send(payload_for(rank_b), dest=rank_a, tag=_TAG)
+        return ctx.now
+
+    result = job.run(program)
+    return result.elapsed / (2.0 * iterations)
+
+
+def pingpong_sweep(job: SimJob, locality: Locality, sizes: Sequence[int],
+                   kind: TransportKind = TransportKind.CPU,
+                   iterations: int = 1) -> np.ndarray:
+    """One-way times over a size sweep at fixed locality."""
+    a, b = pick_pair(job, locality, kind)
+    return np.array([
+        pingpong_time(job, a, b, int(s), kind=kind, iterations=iterations)
+        for s in sizes
+    ])
+
+
+def protocol_sizes(machine: MachineSpec, kind: TransportKind,
+                   protocol: Protocol, n_points: int = 8) -> List[int]:
+    """A size grid lying strictly inside one protocol's regime."""
+    th = machine.comm_params.thresholds
+    if kind is TransportKind.GPU:
+        if protocol is Protocol.SHORT:
+            raise ValueError("GPU transport has no short protocol")
+        lo, hi = ((1, th.gpu_eager_limit) if protocol is Protocol.EAGER
+                  else (th.gpu_eager_limit + 1, 1 << 20))
+    else:
+        if protocol is Protocol.SHORT:
+            lo, hi = 1, th.short_limit
+        elif protocol is Protocol.EAGER:
+            lo, hi = th.short_limit + 1, th.eager_limit
+        else:
+            lo, hi = th.eager_limit + 1, 1 << 20
+    grid = np.unique(np.linspace(lo, hi, n_points).astype(np.int64))
+    return [int(s) for s in grid]
+
+
+def fit_comm_table(job: SimJob, iterations: int = 1,
+                   n_points: int = 8) -> Dict[Tuple[TransportKind, Protocol,
+                                                    Locality], LinearFit]:
+    """Regenerate Table 2: fit (alpha, beta) for every measured path."""
+    machine = job.layout.machine
+    out: Dict[Tuple[TransportKind, Protocol, Locality], LinearFit] = {}
+    for kind, protocol, locality in machine.comm_params.required_keys():
+        sizes = protocol_sizes(machine, kind, protocol, n_points=n_points)
+        times = pingpong_sweep(job, locality, sizes, kind=kind,
+                               iterations=iterations)
+        out[(kind, protocol, locality)] = fit_alpha_beta(sizes, times)
+    return out

@@ -1,0 +1,210 @@
+"""Strategy base class, the exchange runner, and correctness checking.
+
+Every strategy is a :class:`CommunicationStrategy` with two halves:
+
+``plan(pattern, layout)``
+    Central, untimed setup (the analog of Algorithm 1 — in practice this
+    is amortized over many exchanges, and the paper benchmarks the
+    communication itself), producing per-rank plans with exact message
+    lists and receive counts.
+
+``program(ctx, plan, data)``
+    The SPMD generator performing ONE exchange in virtual time; owner
+    ranks return ``(elapsed, {src_gpu: assembled array})``.
+
+:func:`run_exchange` executes a strategy on a pattern and reports the
+paper's statistic — the maximum per-rank communication time — together
+with every delivered payload; :func:`verify_exchange` asserts bit-exact
+delivery against the pattern's ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.pattern import CommPattern
+from repro.core.records import Record, assemble
+from repro.machine.topology import JobLayout
+from repro.mpi.job import JobResult, RankContext, SimJob
+from repro.mpi.transport import TransportStats
+
+# Tag space shared by all strategies (phases never interleave ambiguously
+# because receive counts per phase are exact).
+TAG_P2P = 1       # standard direct messages
+TAG_LOCAL = 2     # on-node direct messages (node-aware strategies)
+TAG_GATHER = 3    # 3-step on-node gather
+TAG_INTER = 4     # inter-node phase
+TAG_REDIST = 5    # on-node redistribution of received inter-node data
+TAG_DIST = 6      # split: distributing send data to assigned sender procs
+TAG_SGATHER = 7   # hierarchical 3-step: intra-socket gather
+TAG_SREDIST = 8   # hierarchical 3-step: cross-socket redistribution
+
+
+class CommunicationStrategy:
+    """Base class for the Table-5 strategies."""
+
+    #: display name, e.g. ``"3-Step"``
+    name: str = "abstract"
+    #: ``"staged"`` or ``"device-aware"``
+    data_path: str = "staged"
+    #: whether the strategy uses helper (non-GPU-owner) ranks
+    uses_helpers: bool = False
+
+    @property
+    def label(self) -> str:
+        return f"{self.name} ({self.data_path})"
+
+    @property
+    def staged(self) -> bool:
+        return self.data_path == "staged"
+
+    def plan(self, pattern: CommPattern, layout: JobLayout) -> Any:
+        raise NotImplementedError
+
+    def program(self, ctx: RankContext, plan: Any,
+                data: Sequence[np.ndarray]) -> Generator:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__}>"
+
+
+@dataclass
+class ExchangeResult:
+    """Outcome of one simulated exchange."""
+
+    strategy: str
+    #: max over ranks of per-rank communication time (paper's statistic)
+    comm_time: float
+    #: per-rank communication times
+    rank_times: List[float]
+    #: delivered data: ``received[dest_gpu][src_gpu] = array``
+    received: Dict[int, Dict[int, np.ndarray]]
+    stats: TransportStats
+
+    @property
+    def total_messages(self) -> int:
+        return self.stats.messages
+
+
+def default_data(pattern: CommPattern, layout: JobLayout,
+                 seed: int = 0) -> List[np.ndarray]:
+    """Deterministic per-GPU vectors sized to cover the pattern's indices."""
+    rng = np.random.default_rng(seed)
+    data = []
+    for gpu in range(layout.num_gpus):
+        max_idx = -1
+        for idx in pattern.sends_of(gpu).values():
+            if len(idx):
+                max_idx = max(max_idx, int(idx.max()))
+        n = max_idx + 1
+        data.append(rng.standard_normal(n) if n > 0 else np.empty(0))
+    return data
+
+
+def run_exchange(job: SimJob, strategy: CommunicationStrategy,
+                 pattern: CommPattern,
+                 data: Optional[Sequence[np.ndarray]] = None,
+                 plan: Any = None) -> ExchangeResult:
+    """Execute one exchange of ``pattern`` under ``strategy``.
+
+    ``data`` defaults to deterministic random vectors; pass ``plan`` to
+    reuse a previously computed setup (e.g. across noise repetitions).
+    """
+    if pattern.num_gpus > job.layout.num_gpus:
+        raise ValueError(
+            f"pattern needs {pattern.num_gpus} GPUs; job has "
+            f"{job.layout.num_gpus}"
+        )
+    if data is None:
+        data = default_data(pattern, job.layout)
+    if plan is None:
+        plan = strategy.plan(pattern, job.layout)
+
+    def rank_program(ctx: RankContext):
+        result = yield from strategy.program(ctx, plan, data)
+        return result
+
+    job_result: JobResult = job.run(rank_program)
+    rank_times: List[float] = []
+    received: Dict[int, Dict[int, np.ndarray]] = {}
+    for rank, value in enumerate(job_result.values):
+        if value is None:
+            rank_times.append(0.0)
+            continue
+        elapsed, delivered = value
+        rank_times.append(elapsed)
+        if delivered is not None:
+            gpu = job.layout.global_gpu_of(rank)
+            received[gpu] = delivered
+    return ExchangeResult(
+        strategy=strategy.label,
+        comm_time=max(rank_times) if rank_times else 0.0,
+        rank_times=rank_times,
+        received=received,
+        stats=job_result.stats,
+    )
+
+
+def expected_delivery(pattern: CommPattern, data: Sequence[np.ndarray]
+                      ) -> Dict[int, Dict[int, np.ndarray]]:
+    """Ground truth: what every destination GPU must end up holding."""
+    out: Dict[int, Dict[int, np.ndarray]] = {}
+    for dest in range(pattern.num_gpus):
+        recvs = pattern.recvs_of(dest)
+        if recvs:
+            out[dest] = {src: data[src][idx] for src, idx in recvs.items()}
+    return out
+
+
+def verify_exchange(result: ExchangeResult, pattern: CommPattern,
+                    data: Sequence[np.ndarray]) -> None:
+    """Raise ``AssertionError`` unless delivery is bit-exact."""
+    expected = expected_delivery(pattern, data)
+    for dest, by_src in expected.items():
+        got = result.received.get(dest)
+        assert got is not None, (
+            f"{result.strategy}: gpu {dest} received nothing "
+            f"(expected from {sorted(by_src)})"
+        )
+        assert set(got) == set(by_src), (
+            f"{result.strategy}: gpu {dest} sources {sorted(got)} != "
+            f"expected {sorted(by_src)}"
+        )
+        for src, arr in by_src.items():
+            assert np.array_equal(got[src], arr), (
+                f"{result.strategy}: corrupt payload gpu {src} -> gpu {dest}"
+            )
+    for dest, by_src in result.received.items():
+        extra = set(by_src) - set(expected.get(dest, {}))
+        assert not extra, (
+            f"{result.strategy}: gpu {dest} received unexpected data "
+            f"from {sorted(extra)}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Shared program helpers
+# ---------------------------------------------------------------------------
+def build_records(gpu: int, data: Sequence[np.ndarray],
+                  dests: Dict[int, np.ndarray]) -> Dict[int, Record]:
+    """Materialize one whole-message :class:`Record` per destination GPU."""
+    return {
+        dest: Record(gpu, dest, 0, data[gpu][idx])
+        for dest, idx in dests.items()
+    }
+
+
+def flatten_messages(messages) -> List[Record]:
+    """Concatenate record lists from delivered messages (unwraps device
+    buffers)."""
+    out: List[Record] = []
+    for msg in messages:
+        payload = msg.data
+        if hasattr(payload, "gpu") and hasattr(payload, "data"):
+            payload = payload.data  # DeviceBuffer
+        out.extend(payload)
+    return out

@@ -1,0 +1,407 @@
+"""Hierarchical 3-Step: the full node hierarchy (paper Section 2.3.1).
+
+The paper notes that 3-Step "can be extended to include further
+breakdown of data exchanges to include intra-socket data communication
+before the intra-node communication phase", and that this full-
+hierarchy variant is what delivers optimal GPU-to-GPU performance in
+Hidayetoglu et al. [13] — on machines like Lassen/Summit the on-socket
+GPU interconnect (alpha ~1.9e-6) is an order of magnitude faster than
+the cross-socket path (alpha ~2.0e-5), so concentrating cross-socket
+traffic into one message per socket pays off.
+
+Five phases (gather and redistribution are both hierarchical):
+
+1. **Socket gather** — contributors send their deduplicated unions to
+   their socket's *leader* for the destination node.
+2. **Node gather** — socket leaders forward one combined buffer to the
+   node's paired sender.
+3. **Inter-node** — one buffer per node pair (as plain 3-Step).
+4. **Socket scatter** — the paired receiver keeps its own socket's
+   records and sends one combined message per other socket to that
+   socket's *redistribution leader*.
+5. **Final redistribute** — leaders (and the paired receiver on its own
+   socket) deliver per-GPU records to their owners.
+
+On-node (same node) messages still go direct.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.base import (
+    TAG_GATHER,
+    TAG_INTER,
+    TAG_LOCAL,
+    TAG_REDIST,
+    TAG_SGATHER,
+    TAG_SREDIST,
+    CommunicationStrategy,
+    flatten_messages,
+)
+from repro.core.pattern import CommPattern
+from repro.core.records import (
+    NodeRecord,
+    Record,
+    assemble,
+    expand_node_record,
+    group_by,
+    node_records_nbytes,
+    records_nbytes,
+)
+from repro.core.three_step import pair_receiver, pair_sender
+from repro.machine.topology import JobLayout
+from repro.mpi.buffers import DeviceBuffer
+from repro.mpi.job import RankContext
+
+
+def socket_leader(layout: JobLayout, node: int, socket: int,
+                  dest_node: int) -> int:
+    """The owner rank on (node, socket) leading the gather for a
+    destination node — round-robin over the socket's GPUs."""
+    gps = layout.machine.gpus_per_socket
+    local_gpu = socket * gps + dest_node % gps
+    return layout.owner_of_gpu(node, local_gpu)
+
+
+def redist_leader(layout: JobLayout, receiver: int, socket: int) -> int:
+    """The rank on ``socket`` of the receiver's node that fans out the
+    receiver's cross-socket records (index-matched to the receiver)."""
+    gps = layout.machine.gpus_per_socket
+    rgpu = layout.gpu_of(receiver)
+    local_gpu = socket * gps + (rgpu % gps)
+    return layout.owner_of_gpu(layout.node_of(receiver), local_gpu)
+
+
+@dataclass
+class _RankPlan:
+    gpu: int = -1
+    local_sends: List[Tuple[int, int, np.ndarray]] = field(default_factory=list)
+    n_local_recv: int = 0
+    #: contributor -> socket leader: (leader_rank, dest_node, union idx)
+    sgather_sends: List[Tuple[int, int, np.ndarray]] = field(default_factory=list)
+    #: unions this rank keeps because it leads its socket for dest_node
+    leader_own: Dict[int, List[np.ndarray]] = field(default_factory=dict)
+    #: as socket leader: dest_node -> (#TAG_SGATHER msgs, pair sender rank)
+    lead: Dict[int, Tuple[int, int]] = field(default_factory=dict)
+    #: as pair sender: dest_node -> (recv rank, # TAG_GATHER leader msgs)
+    forward: Dict[int, Tuple[int, int]] = field(default_factory=dict)
+    n_inter_recv: int = 0
+    #: as pair receiver: sockets to fan out to (socket -> RL rank)
+    scatter_to: Dict[int, int] = field(default_factory=dict)
+    #: as redistribution leader: # TAG_SREDIST msgs expected
+    n_sredist_recv: int = 0
+    n_redist_recv: int = 0
+    send_bytes: int = 0
+    recv_bytes: int = 0
+    expected: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def idle(self) -> bool:
+        return not (self.local_sends or self.n_local_recv
+                    or self.sgather_sends or self.leader_own or self.lead
+                    or self.forward or self.n_inter_recv or self.scatter_to
+                    or self.n_sredist_recv or self.n_redist_recv
+                    or self.expected)
+
+
+@dataclass
+class _Plan:
+    by_rank: Dict[int, _RankPlan]
+    positions: Dict[Tuple[int, int], Dict[int, np.ndarray]]
+    itemsize: int
+
+
+def _build_plan(pattern: CommPattern, layout: JobLayout) -> _Plan:
+    node_of = pattern.node_of_gpu(layout)
+    gps = layout.machine.gpus_per_socket
+    by_rank: Dict[int, _RankPlan] = {}
+    dedup = pattern.node_dedup(layout)
+    positions = {key: pos for key, (_u, pos) in dedup.items()}
+
+    def rank_plan(rank: int, gpu: int = -1) -> _RankPlan:
+        rp = by_rank.setdefault(rank, _RankPlan())
+        if gpu >= 0:
+            rp.gpu = gpu
+        return rp
+
+    for gpu in range(pattern.num_gpus):
+        if pattern.sends_of(gpu) or pattern.recvs_of(gpu):
+            rank_plan(layout.owner_of_global_gpu(gpu), gpu)
+
+    # Local direct messages.
+    for gpu in range(pattern.num_gpus):
+        src_rank = layout.owner_of_global_gpu(gpu)
+        rp = rank_plan(src_rank, gpu)
+        for dest, idx in sorted(pattern.sends_of(gpu).items()):
+            if node_of[dest] == node_of[gpu]:
+                dest_rank = layout.owner_of_global_gpu(dest)
+                rp.local_sends.append((dest_rank, dest, idx))
+                rank_plan(dest_rank, dest).n_local_recv += 1
+                rp.send_bytes += len(idx) * pattern.itemsize
+
+    # Socket-level gather structure.
+    #   contributors[(node, socket, dest_node)] = {contributor ranks}
+    contributors: Dict[Tuple[int, int, int], Set[int]] = {}
+    for (src_gpu, dest_node), (union, _pos) in sorted(dedup.items()):
+        src_rank = layout.owner_of_global_gpu(src_gpu)
+        src_node = node_of[src_gpu]
+        socket = layout.socket_of(src_rank)
+        rp = rank_plan(src_rank, src_gpu)
+        rp.send_bytes += len(union) * pattern.itemsize
+        leader = socket_leader(layout, src_node, socket, dest_node)
+        if leader == src_rank:
+            rp.leader_own.setdefault(dest_node, []).append(union)
+        else:
+            rp.sgather_sends.append((leader, dest_node, union))
+        contributors.setdefault((src_node, socket, dest_node),
+                                set()).add(src_rank)
+
+    # Leader duties and pair-sender expectations.
+    #   node_dests[(node, dest_node)] = {sockets with contributors}
+    node_dests: Dict[Tuple[int, int], Set[int]] = {}
+    for (node, socket, dest_node), who in sorted(contributors.items()):
+        leader = socket_leader(layout, node, socket, dest_node)
+        sender = pair_sender(layout, node, dest_node)
+        n_msgs = len(who - {leader})
+        rank_plan(leader).lead[dest_node] = (n_msgs, sender)
+        node_dests.setdefault((node, dest_node), set()).add(socket)
+
+    for (node, dest_node), sockets in sorted(node_dests.items()):
+        sender = pair_sender(layout, node, dest_node)
+        receiver = pair_receiver(layout, node, dest_node)
+        sender_socket = layout.socket_of(sender)
+        # Leaders on other sockets forward one TAG_GATHER message each;
+        # if the sender's own socket has contributors, its leader IS a
+        # separate rank only when round-robin picked someone else.
+        n_leader_msgs = 0
+        for socket in sockets:
+            leader = socket_leader(layout, node, socket, dest_node)
+            if leader != sender:
+                n_leader_msgs += 1
+        rank_plan(sender).forward[dest_node] = (receiver, n_leader_msgs)
+        rank_plan(receiver).n_inter_recv += 1
+
+    # Receive side: scatter duties and final expectations.
+    #   recv_sockets[(origin_node, dest_node)] = {sockets receiving data}
+    for gpu in range(pattern.num_gpus):
+        recvs = pattern.expected_recv_lengths(gpu)
+        if not recvs:
+            continue
+        rank = layout.owner_of_global_gpu(gpu)
+        rp = rank_plan(rank, gpu)
+        rp.expected = recvs
+        rp.recv_bytes = sum(recvs.values()) * pattern.itemsize
+
+    # For every (origin node k, dest node l): receiver R(k,l) scatters.
+    pair_traffic: Dict[Tuple[int, int], Set[int]] = {}
+    for (src_gpu, dest_node), (_u, pos) in dedup.items():
+        for dest_gpu in pos:
+            pair_traffic.setdefault((node_of[src_gpu], dest_node),
+                                    set()).add(dest_gpu)
+    # Final redistribution senders per dest gpu.  A rank can address the
+    # same owner in two roles (paired receiver for one origin AND
+    # redistribution leader for another receiver) and sends one message
+    # per role, so count (rank, role) pairs.
+    redist_senders: Dict[int, Set[Tuple[int, str]]] = {}
+    for (origin, dest_node), dest_gpus in sorted(pair_traffic.items()):
+        receiver = pair_receiver(layout, origin, dest_node)
+        r_socket = layout.socket_of(receiver)
+        rrp = rank_plan(receiver)
+        for dest_gpu in dest_gpus:
+            owner = layout.owner_of_global_gpu(dest_gpu)
+            socket = layout.socket_of(owner)
+            if socket == r_socket:
+                redist_senders.setdefault(dest_gpu, set()).add(
+                    (receiver, "recv"))
+            else:
+                rl = redist_leader(layout, receiver, socket)
+                if socket not in rrp.scatter_to:
+                    rrp.scatter_to[socket] = rl
+                    rank_plan(rl).n_sredist_recv += 1
+                redist_senders.setdefault(dest_gpu, set()).add((rl, "lead"))
+
+    for dest_gpu, senders in redist_senders.items():
+        owner = layout.owner_of_global_gpu(dest_gpu)
+        n = sum(1 for rank, _role in senders if rank != owner)
+        rank_plan(owner, dest_gpu).n_redist_recv = n
+
+    by_rank = {r: p for r, p in by_rank.items() if not p.idle}
+    return _Plan(by_rank=by_rank, positions=positions,
+                 itemsize=pattern.itemsize)
+
+
+class _HierarchicalBase(CommunicationStrategy):
+    name = "3-Step H"
+
+    def plan(self, pattern: CommPattern, layout: JobLayout) -> _Plan:
+        return _build_plan(pattern, layout)
+
+    def _wrap(self, ctx: RankContext, obj, nbytes: int):
+        if self.staged:
+            return obj
+        gpu = ctx.global_gpu
+        if gpu is None:
+            raise RuntimeError(
+                f"device-aware hierarchical 3-Step requires GPU owners "
+                f"(rank {ctx.rank} owns none)"
+            )
+        return DeviceBuffer(gpu, obj, nbytes=nbytes)
+
+    def program(self, ctx: RankContext, plan: _Plan,
+                data: Sequence[np.ndarray]) -> Generator:
+        rp = plan.by_rank.get(ctx.rank)
+        if rp is None:
+            return 0.0, None
+            yield  # pragma: no cover
+        t0 = ctx.now
+
+        if self.staged and rp.send_bytes:
+            ev, _ = ctx.copy.d2h(DeviceBuffer(rp.gpu, rp.send_bytes))
+            yield ev
+
+        local_reqs = [ctx.comm.irecv(tag=TAG_LOCAL)
+                      for _ in range(rp.n_local_recv)]
+        n_sgather = sum(n for n, _s in rp.lead.values())
+        sgather_reqs = [ctx.comm.irecv(tag=TAG_SGATHER)
+                        for _ in range(n_sgather)]
+        n_gather = sum(n for _r, n in rp.forward.values())
+        gather_reqs = [ctx.comm.irecv(tag=TAG_GATHER)
+                       for _ in range(n_gather)]
+        inter_reqs = [ctx.comm.irecv(tag=TAG_INTER)
+                      for _ in range(rp.n_inter_recv)]
+        sredist_reqs = [ctx.comm.irecv(tag=TAG_SREDIST)
+                        for _ in range(rp.n_sredist_recv)]
+        redist_reqs = [ctx.comm.irecv(tag=TAG_REDIST)
+                       for _ in range(rp.n_redist_recv)]
+        send_reqs = []
+
+        # Phase 0: on-node direct messages.
+        for dest_rank, dest_gpu, idx in rp.local_sends:
+            recs = [Record(rp.gpu, dest_gpu, 0, data[rp.gpu][idx])]
+            nbytes = records_nbytes(recs)
+            send_reqs.append(ctx.comm.isend(self._wrap(ctx, recs, nbytes),
+                                            dest=dest_rank, tag=TAG_LOCAL,
+                                            nbytes=nbytes))
+
+        # Phase 1: intra-socket gather to the socket leaders.
+        for leader, dest_node, union in rp.sgather_sends:
+            nrec = NodeRecord(rp.gpu, dest_node, 0, data[rp.gpu][union])
+            send_reqs.append(
+                ctx.comm.isend(self._wrap(ctx, [nrec], nrec.nbytes),
+                               dest=leader, tag=TAG_SGATHER,
+                               nbytes=nrec.nbytes))
+
+        # Phase 2: socket leaders forward to the paired sender.
+        leader_buckets: Dict[int, List[NodeRecord]] = {
+            node: [NodeRecord(rp.gpu, node, 0, data[rp.gpu][u])
+                   for u in unions]
+            for node, unions in rp.leader_own.items()
+        }
+        if rp.lead:
+            msgs = yield ctx.comm.waitall(sgather_reqs)
+            for nrec in flatten_messages(msgs):
+                leader_buckets.setdefault(nrec.dest_node, []).append(nrec)
+            for dest_node, (_n, sender) in sorted(rp.lead.items()):
+                recs = leader_buckets.get(dest_node, [])
+                if sender == ctx.rank:
+                    continue  # kept; consumed by the forward phase below
+                nbytes = node_records_nbytes(recs)
+                send_reqs.append(
+                    ctx.comm.isend(self._wrap(ctx, recs, nbytes),
+                                   dest=sender, tag=TAG_GATHER,
+                                   nbytes=nbytes))
+
+        # Phase 3: paired sender ships one buffer per destination node.
+        if rp.forward:
+            buckets: Dict[int, List[NodeRecord]] = {}
+            for dest_node in rp.forward:
+                if dest_node in rp.lead and rp.lead[dest_node][1] == ctx.rank:
+                    buckets[dest_node] = leader_buckets.get(dest_node, [])
+            msgs = yield ctx.comm.waitall(gather_reqs)
+            for nrec in flatten_messages(msgs):
+                buckets.setdefault(nrec.dest_node, []).append(nrec)
+            for dest_node, (recv_rank, _n) in sorted(rp.forward.items()):
+                recs = buckets.get(dest_node, [])
+                nbytes = node_records_nbytes(recs)
+                send_reqs.append(
+                    ctx.comm.isend(self._wrap(ctx, recs, nbytes),
+                                   dest=recv_rank, tag=TAG_INTER,
+                                   nbytes=nbytes))
+
+        # Phase 4: paired receiver expands and scatters per socket.
+        kept: List[Record] = []
+        if rp.n_inter_recv:
+            msgs = yield ctx.comm.waitall(inter_reqs)
+            expanded: List[Record] = []
+            for nrec in flatten_messages(msgs):
+                pos = plan.positions[(nrec.src_gpu, nrec.dest_node)]
+                expanded.extend(expand_node_record(nrec, pos))
+            my_socket = ctx.socket
+            per_socket: Dict[int, List[Record]] = {}
+            for dest_gpu, recs in sorted(group_by(expanded,
+                                                  "dest_gpu").items()):
+                owner = ctx.layout.owner_of_global_gpu(dest_gpu)
+                socket = ctx.layout.socket_of(owner)
+                if socket == my_socket:
+                    if owner == ctx.rank:
+                        kept.extend(recs)
+                    else:
+                        nbytes = records_nbytes(recs)
+                        send_reqs.append(ctx.comm.isend(
+                            self._wrap(ctx, recs, nbytes), dest=owner,
+                            tag=TAG_REDIST, nbytes=nbytes))
+                else:
+                    per_socket.setdefault(socket, []).extend(recs)
+            for socket, recs in sorted(per_socket.items()):
+                rl = rp.scatter_to[socket]
+                nbytes = records_nbytes(recs)
+                send_reqs.append(ctx.comm.isend(
+                    self._wrap(ctx, recs, nbytes), dest=rl,
+                    tag=TAG_SREDIST, nbytes=nbytes))
+
+        # Phase 5: redistribution leaders deliver to final owners.
+        if rp.n_sredist_recv:
+            msgs = yield ctx.comm.waitall(sredist_reqs)
+            incoming = flatten_messages(msgs)
+            for dest_gpu, recs in sorted(group_by(incoming,
+                                                  "dest_gpu").items()):
+                owner = ctx.layout.owner_of_global_gpu(dest_gpu)
+                if owner == ctx.rank:
+                    kept.extend(recs)
+                else:
+                    nbytes = records_nbytes(recs)
+                    send_reqs.append(ctx.comm.isend(
+                        self._wrap(ctx, recs, nbytes), dest=owner,
+                        tag=TAG_REDIST, nbytes=nbytes))
+
+        local_msgs = yield ctx.comm.waitall(local_reqs)
+        redist_msgs = yield ctx.comm.waitall(redist_reqs)
+        yield ctx.comm.waitall(send_reqs)
+
+        if self.staged and rp.recv_bytes:
+            ev, _ = ctx.copy.h2d(rp.recv_bytes, gpu=rp.gpu)
+            yield ev
+
+        elapsed = ctx.now - t0
+        delivered = None
+        if rp.expected:
+            records = (kept + flatten_messages(local_msgs)
+                       + flatten_messages(redist_msgs))
+            delivered = assemble(records, rp.expected, rp.gpu)
+        return elapsed, delivered
+
+
+class ThreeStepHierarchicalStaged(_HierarchicalBase):
+    """Hierarchical 3-Step staged through host processes."""
+
+    data_path = "staged"
+
+
+class ThreeStepHierarchicalDevice(_HierarchicalBase):
+    """Hierarchical 3-Step fully GPU-to-GPU — the [13] configuration."""
+
+    data_path = "device-aware"

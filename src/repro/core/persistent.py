@@ -1,0 +1,162 @@
+"""Persistent node-aware exchanges — the library-facing workflow.
+
+Iterative solvers perform the *same* irregular exchange thousands of
+times (one per SpMV); node-aware communication packages therefore split
+setup from communication (the paper's Algorithm 1 vs Algorithm 2).
+:class:`NodeAwareExchanger` is that API: construct once from a pattern
+(paying setup), then call :meth:`exchange` per iteration.
+
+:func:`measure` reproduces the paper's measurement protocol — repeat an
+exchange under seeded timing noise and report the max-over-ranks of the
+per-rank mean — and :class:`ExchangeStatistics` carries the summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.base import (
+    CommunicationStrategy,
+    ExchangeResult,
+    default_data,
+    run_exchange,
+    verify_exchange,
+)
+from repro.core.pattern import CommPattern
+from repro.core.selector import select_strategy
+from repro.mpi.job import SimJob
+
+
+@dataclass
+class ExchangeStatistics:
+    """Timing summary over repeated exchanges (the paper's statistic).
+
+    ``max_avg_time`` is the maximum over ranks of each rank's mean
+    communication time — exactly what the paper reports ("the maximum
+    average time required for communication by any single process").
+    """
+
+    strategy: str
+    reps: int
+    max_avg_time: float
+    mean_time: float        # mean over reps of the per-exchange max
+    min_time: float
+    max_time: float
+    times: np.ndarray       # per-rep exchange times (max over ranks)
+
+    @classmethod
+    def from_runs(cls, strategy: str,
+                  results: Sequence[ExchangeResult]) -> "ExchangeStatistics":
+        if not results:
+            raise ValueError("need at least one exchange result")
+        times = np.array([r.comm_time for r in results])
+        per_rank = np.array([r.rank_times for r in results])
+        rank_means = per_rank.mean(axis=0)
+        return cls(
+            strategy=strategy,
+            reps=len(results),
+            max_avg_time=float(rank_means.max()),
+            mean_time=float(times.mean()),
+            min_time=float(times.min()),
+            max_time=float(times.max()),
+            times=times,
+        )
+
+
+class NodeAwareExchanger:
+    """A persistent exchange: pattern + strategy + precomputed plan.
+
+    Parameters
+    ----------
+    job:
+        The simulated job to execute on.
+    pattern:
+        The irregular exchange to perform.
+    strategy:
+        A :class:`CommunicationStrategy`, or ``None`` to let the
+        Table-6 models choose (the paper's intended workflow).
+    """
+
+    def __init__(self, job: SimJob, pattern: CommPattern,
+                 strategy: Optional[CommunicationStrategy] = None) -> None:
+        if pattern.num_gpus > job.layout.num_gpus:
+            raise ValueError(
+                f"pattern spans {pattern.num_gpus} GPUs; job has "
+                f"{job.layout.num_gpus}"
+            )
+        self.job = job
+        self.pattern = pattern
+        self.predicted: Dict[str, float] = {}
+        if strategy is None:
+            strategy, self.predicted = select_strategy(pattern, job.layout)
+        self.strategy = strategy
+        # Algorithm-1-style setup, paid once.
+        self.plan = strategy.plan(pattern, job.layout)
+        self._exchanges = 0
+
+    @property
+    def exchanges_performed(self) -> int:
+        return self._exchanges
+
+    def exchange(self, data: Optional[Sequence[np.ndarray]] = None,
+                 verify: bool = False) -> ExchangeResult:
+        """Perform one exchange (Algorithm 2), reusing the setup."""
+        if data is None:
+            data = default_data(self.pattern, self.job.layout,
+                                seed=self._exchanges)
+        result = run_exchange(self.job, self.strategy, self.pattern,
+                              data=data, plan=self.plan)
+        if verify:
+            verify_exchange(result, self.pattern, data)
+        self._exchanges += 1
+        return result
+
+    def measure(self, reps: int = 10,
+                data: Optional[Sequence[np.ndarray]] = None
+                ) -> ExchangeStatistics:
+        """The paper's protocol: repeat and report max-of-rank-means.
+
+        With the job's noise disabled every repetition is identical, so
+        a single run is performed and replicated; with noise enabled
+        each repetition draws fresh jitter.
+        """
+        if reps < 1:
+            raise ValueError(f"reps must be >= 1, got {reps}")
+        if data is None:
+            data = default_data(self.pattern, self.job.layout)
+        if self.job.noise_sigma == 0.0:
+            result = run_exchange(self.job, self.strategy, self.pattern,
+                                  data=data, plan=self.plan)
+            self._exchanges += 1
+            return ExchangeStatistics.from_runs(self.strategy.label,
+                                                [result] * reps)
+        results: List[ExchangeResult] = []
+        for _ in range(reps):
+            results.append(run_exchange(self.job, self.strategy,
+                                        self.pattern, data=data,
+                                        plan=self.plan))
+            self._exchanges += 1
+        return ExchangeStatistics.from_runs(self.strategy.label, results)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"NodeAwareExchanger({self.strategy.label}, "
+                f"{self.pattern!r}, exchanges={self._exchanges})")
+
+
+def compare_strategies(job: SimJob, pattern: CommPattern,
+                       strategies: Optional[Sequence[CommunicationStrategy]]
+                       = None, reps: int = 1
+                       ) -> Dict[str, ExchangeStatistics]:
+    """Measure every strategy on one pattern (a Figure-5.1 data point)."""
+    from repro.core.selector import all_strategies
+
+    if strategies is None:
+        strategies = all_strategies()
+    out: Dict[str, ExchangeStatistics] = {}
+    for strategy in strategies:
+        ex = NodeAwareExchanger(job, pattern, strategy)
+        out[strategy.label] = ex.measure(reps=reps)
+    return out

@@ -1,0 +1,224 @@
+"""Message records: the unit of data every strategy routes.
+
+A :class:`Record` is one contiguous piece of a GPU-to-GPU message:
+
+``(src_gpu, dest_gpu, offset, values)``
+
+where ``offset`` is the element position of ``values`` within the full
+``src_gpu -> dest_gpu`` message.  Whole messages are single records at
+offset 0; the Split strategies slice records at element boundaries to
+respect the message cap, and receivers reassemble with
+:func:`assemble` using the offsets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Record:
+    """One contiguous slice of a GPU-to-GPU message."""
+
+    src_gpu: int
+    dest_gpu: int
+    offset: int
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.offset < 0:
+            raise ValueError(f"offset must be >= 0, got {self.offset}")
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.values.nbytes)
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+    def split_at(self, n_elems: int) -> Tuple["Record", "Record"]:
+        """Split into a head of ``n_elems`` elements and the remainder."""
+        if not 0 < n_elems < self.n:
+            raise ValueError(
+                f"split point {n_elems} outside (0, {self.n})"
+            )
+        head = Record(self.src_gpu, self.dest_gpu, self.offset,
+                      self.values[:n_elems])
+        tail = Record(self.src_gpu, self.dest_gpu, self.offset + n_elems,
+                      self.values[n_elems:])
+        return head, tail
+
+
+def records_nbytes(records: Iterable[Record]) -> int:
+    """Total payload bytes across records (the wire size we charge)."""
+    return sum(r.nbytes for r in records)
+
+
+def chunk_records(records: Sequence[Record], cap_bytes: int,
+                  itemsize: int = 8) -> List[List[Record]]:
+    """Greedily pack records into chunks of at most ``cap_bytes`` each.
+
+    Records larger than the remaining chunk space are split at element
+    boundaries (Algorithm 1 line 17).  Every produced chunk except
+    possibly the last is exactly ``cap_bytes`` when the input exceeds
+    the cap; order is preserved.
+    """
+    if cap_bytes < itemsize:
+        raise ValueError(
+            f"cap_bytes={cap_bytes} below element size {itemsize}"
+        )
+    cap_elems = cap_bytes // itemsize
+    chunks: List[List[Record]] = []
+    current: List[Record] = []
+    room = cap_elems
+    queue = list(records)
+    i = 0
+    while i < len(queue):
+        rec = queue[i]
+        if rec.n == 0:
+            i += 1
+            continue
+        if rec.n <= room:
+            current.append(rec)
+            room -= rec.n
+            i += 1
+        else:
+            if room > 0:
+                head, tail = rec.split_at(room)
+                current.append(head)
+                queue[i] = tail
+            chunks.append(current)
+            current = []
+            room = cap_elems
+    if current:
+        chunks.append(current)
+    return chunks
+
+
+def assemble(records: Iterable[Record],
+             expected_lengths: Dict[int, int],
+             dest_gpu: int,
+             dtype=np.float64) -> Dict[int, np.ndarray]:
+    """Reassemble full per-source messages from (possibly split) records.
+
+    Parameters
+    ----------
+    records:
+        All records delivered to ``dest_gpu``.
+    expected_lengths:
+        ``{src_gpu: total element count}`` the destination expects.
+    dest_gpu:
+        Sanity-checked against each record's ``dest_gpu``.
+
+    Returns
+    -------
+    ``{src_gpu: full message array}``.  Raises if records overlap,
+    leave gaps, or address the wrong destination.
+    """
+    out: Dict[int, np.ndarray] = {}
+    filled: Dict[int, np.ndarray] = {}
+    for src, length in expected_lengths.items():
+        out[src] = np.empty(length, dtype=dtype)
+        filled[src] = np.zeros(length, dtype=bool)
+    for rec in records:
+        if rec.dest_gpu != dest_gpu:
+            raise ValueError(
+                f"record for gpu {rec.dest_gpu} delivered to gpu {dest_gpu}"
+            )
+        if rec.src_gpu not in out:
+            raise ValueError(
+                f"unexpected source gpu {rec.src_gpu} at gpu {dest_gpu}"
+            )
+        sl = slice(rec.offset, rec.offset + rec.n)
+        if sl.stop > len(out[rec.src_gpu]):
+            raise ValueError(
+                f"record [{sl.start}:{sl.stop}) overruns message of "
+                f"{len(out[rec.src_gpu])} elements from gpu {rec.src_gpu}"
+            )
+        if filled[rec.src_gpu][sl].any():
+            raise ValueError(
+                f"overlapping records from gpu {rec.src_gpu} at gpu {dest_gpu}"
+            )
+        out[rec.src_gpu][sl] = rec.values
+        filled[rec.src_gpu][sl] = True
+    for src, mask in filled.items():
+        if not mask.all():
+            raise ValueError(
+                f"gpu {dest_gpu} missing data from gpu {src}: "
+                f"{int((~mask).sum())} of {len(mask)} elements"
+            )
+    return out
+
+
+@dataclass(frozen=True)
+class NodeRecord:
+    """One contiguous slice of a deduplicated GPU-to-*node* message.
+
+    Node-aware strategies eliminate the data redundancy of standard
+    communication (paper Figure 2.2) by sending, per (source GPU,
+    destination node), the *union* of the entries any GPU on that node
+    needs — exactly once.  ``values`` is a slice of that union stream
+    starting at element ``offset``; :func:`expand_node_record` fans a
+    slice back out into per-destination-GPU :class:`Record` pieces using
+    the union position maps computed at plan time.
+    """
+
+    src_gpu: int
+    dest_node: int
+    offset: int
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.offset < 0:
+            raise ValueError(f"offset must be >= 0, got {self.offset}")
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.values.nbytes)
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+
+def expand_node_record(rec: NodeRecord,
+                       positions: Dict[int, np.ndarray]) -> List[Record]:
+    """Fan a union-stream slice out into per-destination records.
+
+    ``positions[dest_gpu]`` holds the (sorted) positions of that GPU's
+    needed entries within the full union stream.  For the slice
+    ``[offset, offset + n)`` each destination's overlapping positions
+    become one :class:`Record` whose offset is the destination-local
+    element index of the first overlapping entry — so reassembly via
+    :func:`assemble` works even when the union stream was split
+    arbitrarily (Split's message cap).
+    """
+    lo, hi = rec.offset, rec.offset + rec.n
+    out: List[Record] = []
+    for dest_gpu, pos in positions.items():
+        k0 = int(np.searchsorted(pos, lo, side="left"))
+        k1 = int(np.searchsorted(pos, hi, side="left"))
+        if k0 == k1:
+            continue
+        vals = rec.values[pos[k0:k1] - lo]
+        out.append(Record(rec.src_gpu, dest_gpu, k0, vals))
+    return out
+
+
+def node_records_nbytes(records: Iterable[NodeRecord]) -> int:
+    """Total payload bytes across node records."""
+    return sum(r.nbytes for r in records)
+
+
+def group_by(records: Iterable[Record], key: str) -> Dict[int, List[Record]]:
+    """Group records by ``"src_gpu"`` or ``"dest_gpu"`` (order-stable)."""
+    if key not in ("src_gpu", "dest_gpu"):
+        raise ValueError(f"key must be 'src_gpu' or 'dest_gpu', got {key!r}")
+    out: Dict[int, List[Record]] = {}
+    for rec in records:
+        out.setdefault(getattr(rec, key), []).append(rec)
+    return out

@@ -1,0 +1,95 @@
+"""Model-guided strategy selection.
+
+:func:`select_strategy` evaluates the Table-6 analytic models on a
+pattern's summary and returns the strategy implementation predicted
+fastest — the paper's intended workflow for choosing a communication
+scheme per workload and machine.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.base import CommunicationStrategy
+from repro.core.pattern import CommPattern
+from repro.core.split import SplitDD, SplitMD
+from repro.core.standard import StandardDevice, StandardStaged
+from repro.core.three_step import ThreeStepDevice, ThreeStepStaged
+from repro.core.two_step import TwoStepDevice, TwoStepStaged
+from repro.machine.topology import JobLayout
+from repro.models.strategies import (
+    SplitDDModel,
+    SplitMDModel,
+    StandardDeviceModel,
+    StandardStagedModel,
+    StrategyModel,
+    ThreeStepDeviceModel,
+    ThreeStepStagedModel,
+    TwoStepDeviceModel,
+    TwoStepStagedModel,
+)
+
+#: label -> (implementation factory, model class)
+_REGISTRY = {
+    "Standard (staged)": (StandardStaged, StandardStagedModel),
+    "Standard (device-aware)": (StandardDevice, StandardDeviceModel),
+    "3-Step (staged)": (ThreeStepStaged, ThreeStepStagedModel),
+    "3-Step (device-aware)": (ThreeStepDevice, ThreeStepDeviceModel),
+    "2-Step (staged)": (TwoStepStaged, TwoStepStagedModel),
+    "2-Step (device-aware)": (TwoStepDevice, TwoStepDeviceModel),
+    "Split + MD (staged)": (SplitMD, SplitMDModel),
+    "Split + DD (staged)": (SplitDD, SplitDDModel),
+}
+
+
+def all_strategies() -> List[CommunicationStrategy]:
+    """One instance of every Table-5 strategy implementation."""
+    return [factory() for factory, _model in _REGISTRY.values()]
+
+
+def strategy_by_name(label: str) -> CommunicationStrategy:
+    """Instantiate a strategy by its display label.
+
+    Accepts either the full label (``"3-Step (staged)"``) or the bare
+    name when unambiguous is not required (must include the data path).
+    """
+    try:
+        factory, _model = _REGISTRY[label]
+    except KeyError:
+        raise KeyError(
+            f"unknown strategy {label!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return factory()
+
+
+def predict_times(pattern: CommPattern, layout: JobLayout,
+                  ppn: Optional[int] = None,
+                  message_cap: Optional[int] = None) -> Dict[str, float]:
+    """Modelled time per strategy label for this pattern on this layout."""
+    summary = pattern.summarize(layout)
+    out: Dict[str, float] = {}
+    for label, (_factory, model_cls) in _REGISTRY.items():
+        model: StrategyModel = model_cls(
+            layout.machine, ppn=ppn if ppn is not None else layout.ppn,
+            message_cap=message_cap)
+        out[label] = model.time(summary)
+    return out
+
+
+def select_strategy(pattern: CommPattern, layout: JobLayout,
+                    ppn: Optional[int] = None,
+                    message_cap: Optional[int] = None,
+                    staged_only: bool = False
+                    ) -> Tuple[CommunicationStrategy, Dict[str, float]]:
+    """Pick the model-predicted fastest strategy for ``pattern``.
+
+    Returns ``(strategy instance, {label: predicted time})``.  Set
+    ``staged_only=True`` on systems without device-aware MPI support.
+    """
+    times = predict_times(pattern, layout, ppn=ppn, message_cap=message_cap)
+    candidates = {
+        label: t for label, t in times.items()
+        if not (staged_only and "device" in label)
+    }
+    best = min(candidates, key=lambda k: candidates[k])
+    return strategy_by_name(best), times

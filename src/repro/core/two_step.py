@@ -1,0 +1,236 @@
+"""2-Step node-aware communication (paper Section 2.3.2, Figure 2.4).
+
+Every process is paired with the process of the *same local index* on
+every other node (P0 -> P4, P1 -> P5, ... in Figure 2.4):
+
+1. **Inter-node** — each process sends, per destination node, one
+   message holding the deduplicated union of its data needed by *any*
+   process on that node, directly to its pair there (no on-node
+   gather).
+2. **Redistribute** — the receiving pairs expand the unions and forward
+   records to their final destination GPUs on-node.
+
+This removes the data redundancy of standard communication but keeps
+multiple messages per node pair (one per active source process).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.base import (
+    TAG_INTER,
+    TAG_LOCAL,
+    TAG_REDIST,
+    CommunicationStrategy,
+    flatten_messages,
+)
+from repro.core.pattern import CommPattern
+from repro.core.records import (
+    NodeRecord,
+    Record,
+    assemble,
+    expand_node_record,
+    group_by,
+    records_nbytes,
+)
+from repro.machine.topology import JobLayout
+from repro.mpi.buffers import DeviceBuffer
+from repro.mpi.job import RankContext
+
+
+def pair_rank(layout: JobLayout, dest_node: int, local_gpu: int) -> int:
+    """The rank on ``dest_node`` paired with local GPU index ``local_gpu``."""
+    return layout.owner_of_gpu(dest_node, local_gpu)
+
+
+@dataclass
+class _RankPlan:
+    gpu: int = -1
+    local_gpu: int = -1
+    local_sends: List[Tuple[int, int, np.ndarray]] = field(default_factory=list)
+    n_local_recv: int = 0
+    #: dest_node -> (pair rank there, union index array)
+    inter_sends: Dict[int, Tuple[int, np.ndarray]] = field(default_factory=dict)
+    n_inter_recv: int = 0
+    n_redist_recv: int = 0
+    send_bytes: int = 0
+    recv_bytes: int = 0
+    expected: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def idle(self) -> bool:
+        return (not self.local_sends and not self.inter_sends
+                and self.n_local_recv == 0 and self.n_inter_recv == 0
+                and self.n_redist_recv == 0 and not self.expected)
+
+
+@dataclass
+class _Plan:
+    by_rank: Dict[int, _RankPlan]
+    positions: Dict[Tuple[int, int], Dict[int, np.ndarray]]
+    itemsize: int
+
+
+def _build_plan(pattern: CommPattern, layout: JobLayout) -> _Plan:
+    node_of = pattern.node_of_gpu(layout)
+    gpn = layout.machine.gpus_per_node
+    by_rank: Dict[int, _RankPlan] = {}
+    dedup = pattern.node_dedup(layout)
+    positions = {key: pos for key, (_u, pos) in dedup.items()}
+
+    def rank_plan(rank: int, gpu: int = -1) -> _RankPlan:
+        rp = by_rank.setdefault(rank, _RankPlan())
+        if gpu >= 0:
+            rp.gpu = gpu
+            rp.local_gpu = gpu % gpn
+        return rp
+
+    for gpu in range(pattern.num_gpus):
+        if pattern.sends_of(gpu) or pattern.recvs_of(gpu):
+            rank_plan(layout.owner_of_global_gpu(gpu), gpu)
+
+    # Local direct messages.
+    for gpu in range(pattern.num_gpus):
+        src_rank = layout.owner_of_global_gpu(gpu)
+        src_node = node_of[gpu]
+        rp = rank_plan(src_rank, gpu)
+        for dest, idx in sorted(pattern.sends_of(gpu).items()):
+            if node_of[dest] == src_node:
+                dest_rank = layout.owner_of_global_gpu(dest)
+                rp.local_sends.append((dest_rank, dest, idx))
+                rank_plan(dest_rank, dest).n_local_recv += 1
+                rp.send_bytes += len(idx) * pattern.itemsize
+
+    # Deduplicated inter-node messages straight to the pairs.
+    for (src_gpu, dest_node), (union, _pos) in sorted(dedup.items()):
+        src_rank = layout.owner_of_global_gpu(src_gpu)
+        rp = rank_plan(src_rank, src_gpu)
+        receiver = pair_rank(layout, dest_node, src_gpu % gpn)
+        rp.inter_sends[dest_node] = (receiver, union)
+        rp.send_bytes += len(union) * pattern.itemsize
+        rank_plan(receiver).n_inter_recv += 1
+
+    # Redistribution receive counts + expected lengths.
+    for gpu in range(pattern.num_gpus):
+        recvs = pattern.expected_recv_lengths(gpu)
+        if not recvs:
+            continue
+        rank = layout.owner_of_global_gpu(gpu)
+        rp = rank_plan(rank, gpu)
+        rp.expected = recvs
+        rp.recv_bytes = sum(recvs.values()) * pattern.itemsize
+        my_node = node_of[gpu]
+        pair_receivers: Set[int] = set()
+        for src in recvs:
+            if node_of[src] != my_node:
+                pair_receivers.add(pair_rank(layout, my_node, src % gpn))
+        rp.n_redist_recv = len(pair_receivers - {rank})
+
+    by_rank = {r: p for r, p in by_rank.items() if not p.idle}
+    return _Plan(by_rank=by_rank, positions=positions,
+                 itemsize=pattern.itemsize)
+
+
+class _TwoStepBase(CommunicationStrategy):
+    name = "2-Step"
+
+    def plan(self, pattern: CommPattern, layout: JobLayout) -> _Plan:
+        return _build_plan(pattern, layout)
+
+    def _wrap(self, ctx: RankContext, obj, nbytes: int):
+        if self.staged:
+            return obj
+        gpu = ctx.global_gpu
+        if gpu is None:
+            raise RuntimeError(
+                f"device-aware 2-Step requires GPU owner ranks "
+                f"(rank {ctx.rank} owns none)"
+            )
+        return DeviceBuffer(gpu, obj, nbytes=nbytes)
+
+    def program(self, ctx: RankContext, plan: _Plan,
+                data: Sequence[np.ndarray]) -> Generator:
+        rp = plan.by_rank.get(ctx.rank)
+        if rp is None:
+            return 0.0, None
+            yield  # pragma: no cover
+        t0 = ctx.now
+
+        if self.staged and rp.send_bytes:
+            ev, _ = ctx.copy.d2h(DeviceBuffer(rp.gpu, rp.send_bytes))
+            yield ev
+
+        local_reqs = [ctx.comm.irecv(tag=TAG_LOCAL)
+                      for _ in range(rp.n_local_recv)]
+        inter_reqs = [ctx.comm.irecv(tag=TAG_INTER)
+                      for _ in range(rp.n_inter_recv)]
+        redist_reqs = [ctx.comm.irecv(tag=TAG_REDIST)
+                       for _ in range(rp.n_redist_recv)]
+        send_reqs = []
+
+        # On-node direct messages.
+        for dest_rank, dest_gpu, idx in rp.local_sends:
+            recs = [Record(rp.gpu, dest_gpu, 0, data[rp.gpu][idx])]
+            nbytes = records_nbytes(recs)
+            send_reqs.append(ctx.comm.isend(self._wrap(ctx, recs, nbytes),
+                                            dest=dest_rank, tag=TAG_LOCAL,
+                                            nbytes=nbytes))
+
+        # Step 1: one deduplicated message per destination node.
+        for dest_node, (receiver, union) in sorted(rp.inter_sends.items()):
+            nrec = NodeRecord(rp.gpu, dest_node, 0, data[rp.gpu][union])
+            send_reqs.append(
+                ctx.comm.isend(self._wrap(ctx, [nrec], nrec.nbytes),
+                               dest=receiver, tag=TAG_INTER,
+                               nbytes=nrec.nbytes))
+
+        # Step 2: expand and redistribute on-node.
+        kept: List[Record] = []
+        if rp.n_inter_recv:
+            msgs = yield ctx.comm.waitall(inter_reqs)
+            expanded: List[Record] = []
+            for nrec in flatten_messages(msgs):
+                pos = plan.positions[(nrec.src_gpu, nrec.dest_node)]
+                expanded.extend(expand_node_record(nrec, pos))
+            for dest_gpu, recs in sorted(group_by(expanded, "dest_gpu").items()):
+                dest_rank = ctx.layout.owner_of_global_gpu(dest_gpu)
+                if dest_rank == ctx.rank:
+                    kept.extend(recs)
+                else:
+                    nbytes = records_nbytes(recs)
+                    send_reqs.append(
+                        ctx.comm.isend(self._wrap(ctx, recs, nbytes),
+                                       dest=dest_rank, tag=TAG_REDIST,
+                                       nbytes=nbytes))
+
+        local_msgs = yield ctx.comm.waitall(local_reqs)
+        redist_msgs = yield ctx.comm.waitall(redist_reqs)
+        yield ctx.comm.waitall(send_reqs)
+
+        if self.staged and rp.recv_bytes:
+            ev, _ = ctx.copy.h2d(rp.recv_bytes, gpu=rp.gpu)
+            yield ev
+
+        elapsed = ctx.now - t0
+        delivered = None
+        if rp.expected:
+            records = (kept + flatten_messages(local_msgs)
+                       + flatten_messages(redist_msgs))
+            delivered = assemble(records, rp.expected, rp.gpu)
+        return elapsed, delivered
+
+
+class TwoStepStaged(_TwoStepBase):
+    """2-Step with all hops staged through host processes."""
+
+    data_path = "staged"
+
+
+class TwoStepDevice(_TwoStepBase):
+    """2-Step with every hop GPU-to-GPU (device-aware)."""
+
+    data_path = "device-aware"

@@ -1,0 +1,57 @@
+"""Machine topology and measured-parameter substrate.
+
+This package describes heterogeneous compute nodes — sockets, CPU cores,
+GPUs, NICs and the links between them — and carries the measured
+communication constants from the paper (Tables 2, 3 and 4 for Lassen).
+
+Presets
+-------
+:func:`lassen`          the paper's primary platform (2 sockets x 2 GPUs)
+:func:`summit`          Summit-like (2 sockets x 3 GPUs)
+:func:`frontier_like`   single-socket, 4 GPUs, Slingshot-class network
+:func:`delta_like`      dual 64-core Milan, 4-8 GPUs
+
+All presets other than Lassen scale the Lassen constants according to the
+architectural differences described in the paper's Sections 2.1 and 6 —
+they exist to support the "future architectures" discussion, not to claim
+measured accuracy for those machines.
+"""
+
+from repro.machine.locality import Locality, Protocol, TransportKind, CopyDirection
+from repro.machine.params import (
+    LinkParams,
+    CommParams,
+    CopyParams,
+    NicParams,
+    ProtocolThresholds,
+)
+from repro.machine.topology import MachineSpec, ProcessPlacement, JobLayout
+from repro.machine.presets import (
+    PRESETS,
+    bluewaters_like,
+    delta_like,
+    frontier_like,
+    lassen,
+    summit,
+)
+
+__all__ = [
+    "Locality",
+    "Protocol",
+    "TransportKind",
+    "CopyDirection",
+    "LinkParams",
+    "CommParams",
+    "CopyParams",
+    "NicParams",
+    "ProtocolThresholds",
+    "MachineSpec",
+    "ProcessPlacement",
+    "JobLayout",
+    "lassen",
+    "summit",
+    "frontier_like",
+    "delta_like",
+    "bluewaters_like",
+    "PRESETS",
+]

@@ -1,0 +1,76 @@
+"""Enumerations describing where data moves and how.
+
+The paper separates every measured parameter along three axes:
+
+* **locality** — where the two endpoints sit relative to one another
+  (same socket / same node but different socket / different nodes);
+* **transport kind** — whether the endpoints are CPU host processes or
+  GPU device buffers (device-aware transfers);
+* **protocol** — the MPI messaging protocol chosen by message size
+  (short / eager / rendezvous; GPU paths have no short protocol on
+  Lassen).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Locality(enum.Enum):
+    """Relative placement of two communicating endpoints."""
+
+    ON_SOCKET = "on-socket"
+    ON_NODE = "on-node"      # same node, different sockets
+    OFF_NODE = "off-node"    # different nodes (network traversal)
+
+    @property
+    def crosses_network(self) -> bool:
+        return self is Locality.OFF_NODE
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class TransportKind(enum.Enum):
+    """Endpoint memory domain for a transfer."""
+
+    CPU = "cpu"
+    GPU = "gpu"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class Protocol(enum.Enum):
+    """MPI point-to-point messaging protocol.
+
+    ``SHORT``
+        Payload fits in the message envelope; delivered immediately.
+    ``EAGER``
+        Receiver buffer space is assumed pre-allocated; sender does not
+        wait for the receiver.
+    ``RENDEZVOUS``
+        Receiver must allocate/post before data flows; sender and
+        receiver synchronize.
+    """
+
+    SHORT = "short"
+    EAGER = "eager"
+    RENDEZVOUS = "rendezvous"
+
+    @property
+    def is_synchronous(self) -> bool:
+        return self is Protocol.RENDEZVOUS
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class CopyDirection(enum.Enum):
+    """Direction of a host<->device copy (``cudaMemcpyAsync``)."""
+
+    H2D = "host-to-device"
+    D2H = "device-to-host"
+
+    def __str__(self) -> str:
+        return "H2D" if self is CopyDirection.H2D else "D2H"

@@ -1,0 +1,204 @@
+"""Machine presets.
+
+:func:`lassen` carries the paper's measured constants verbatim
+(Tables 2, 3, 4).  The other presets are architectural extrapolations
+used only by the Section-6 "future machines" discussion and the
+projection example; their constants derive from Lassen's by the scalings
+noted inline.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.machine.locality import CopyDirection, Locality, Protocol, TransportKind
+from repro.machine.params import (
+    CommParams,
+    CopyParams,
+    LinkParams,
+    NicParams,
+    ProtocolThresholds,
+)
+from repro.machine.topology import MachineSpec
+
+_CPU = TransportKind.CPU
+_GPU = TransportKind.GPU
+_SHORT = Protocol.SHORT
+_EAGER = Protocol.EAGER
+_REND = Protocol.RENDEZVOUS
+_OS = Locality.ON_SOCKET
+_ON = Locality.ON_NODE
+_OFF = Locality.OFF_NODE
+
+
+def _lassen_comm_table() -> Dict:
+    """Paper Table 2 (Lassen, Spectrum MPI), verbatim."""
+    return {
+        # --- inter-CPU ---------------------------------------------------
+        (_CPU, _SHORT, _OS): LinkParams(3.67e-07, 1.32e-10),
+        (_CPU, _SHORT, _ON): LinkParams(9.25e-07, 1.19e-09),
+        (_CPU, _SHORT, _OFF): LinkParams(1.89e-06, 6.88e-10),
+        (_CPU, _EAGER, _OS): LinkParams(4.61e-07, 7.12e-11),
+        (_CPU, _EAGER, _ON): LinkParams(1.17e-06, 2.18e-10),
+        (_CPU, _EAGER, _OFF): LinkParams(2.44e-06, 3.79e-10),
+        (_CPU, _REND, _OS): LinkParams(3.15e-06, 3.40e-11),
+        (_CPU, _REND, _ON): LinkParams(6.77e-06, 1.49e-10),
+        (_CPU, _REND, _OFF): LinkParams(7.76e-06, 7.97e-11),
+        # --- inter-GPU (device-aware; no short protocol) ------------------
+        (_GPU, _EAGER, _OS): LinkParams(1.87e-06, 5.79e-11),
+        (_GPU, _EAGER, _ON): LinkParams(2.02e-05, 2.15e-10),
+        (_GPU, _EAGER, _OFF): LinkParams(8.95e-06, 1.72e-10),
+        (_GPU, _REND, _OS): LinkParams(1.82e-05, 1.46e-11),
+        (_GPU, _REND, _ON): LinkParams(1.93e-05, 2.39e-11),
+        (_GPU, _REND, _OFF): LinkParams(1.10e-05, 1.72e-10),
+    }
+
+
+def _lassen_copy_table() -> Dict:
+    """Paper Table 3 (cudaMemcpyAsync on Lassen), verbatim."""
+    return {
+        (CopyDirection.H2D, 1): LinkParams(1.30e-05, 1.85e-11),
+        (CopyDirection.D2H, 1): LinkParams(1.27e-05, 1.96e-11),
+        (CopyDirection.H2D, 4): LinkParams(1.52e-05, 5.52e-10),
+        (CopyDirection.D2H, 4): LinkParams(1.47e-05, 1.50e-10),
+    }
+
+
+#: Rendezvous switchover on Lassen's Spectrum MPI; this is also the
+#: message cap the Split strategy uses by default (paper Section 2.3.3,
+#: following reference [16]).
+LASSEN_RENDEZVOUS_THRESHOLD = 8192
+LASSEN_SHORT_THRESHOLD = 512
+
+
+def lassen() -> MachineSpec:
+    """LLNL Lassen: 2 sockets x (1 Power9 + 2 V100), 20 cores/CPU, EDR IB.
+
+    All constants are the paper's measured values (Tables 2-4).
+    """
+    thresholds = ProtocolThresholds(
+        short_limit=LASSEN_SHORT_THRESHOLD,
+        eager_limit=LASSEN_RENDEZVOUS_THRESHOLD,
+        gpu_eager_limit=LASSEN_RENDEZVOUS_THRESHOLD,
+    )
+    return MachineSpec(
+        name="lassen",
+        sockets_per_node=2,
+        cores_per_socket=20,
+        gpus_per_socket=2,
+        comm_params=CommParams(_lassen_comm_table(), thresholds),
+        copy_params=CopyParams(_lassen_copy_table()),
+        nic=NicParams(rn_inv=4.19e-11),  # Table 4: R_N^{-1}
+    )
+
+
+def summit() -> MachineSpec:
+    """Summit-like: 2 sockets x (1 Power9 + 3 V100), 21 cores/CPU.
+
+    The paper notes Lassen and Summit show similar Spectrum MPI
+    performance, so Summit reuses Lassen's constants with the wider GPU
+    count.
+    """
+    base = lassen()
+    return MachineSpec(
+        name="summit",
+        sockets_per_node=2,
+        cores_per_socket=21,
+        gpus_per_socket=3,
+        comm_params=base.comm_params,
+        copy_params=base.copy_params,
+        nic=base.nic,
+    )
+
+
+def _scaled_comm(scale_alpha: float, scale_beta_off: float) -> CommParams:
+    """Lassen's table with off-node bandwidth scaled (faster networks)."""
+    table = {}
+    for key, link in _lassen_comm_table().items():
+        _kind, _protocol, loc = key
+        if loc is _OFF:
+            table[key] = LinkParams(link.alpha * scale_alpha,
+                                    link.beta * scale_beta_off)
+        else:
+            table[key] = LinkParams(link.alpha, link.beta)
+    thresholds = ProtocolThresholds(
+        short_limit=LASSEN_SHORT_THRESHOLD,
+        eager_limit=LASSEN_RENDEZVOUS_THRESHOLD,
+        gpu_eager_limit=LASSEN_RENDEZVOUS_THRESHOLD,
+    )
+    return CommParams(table, thresholds)
+
+
+def frontier_like() -> MachineSpec:
+    """Frontier/El Capitan-like: 1 socket, 64 cores, 4 GPUs, Slingshot.
+
+    Off-node bandwidth is scaled 2x (Slingshot-11 vs EDR) and the NIC
+    injection rate 4x (4 NICs per node); latencies kept at Lassen's —
+    conservative for the Section-6 projection.
+    """
+    return MachineSpec(
+        name="frontier-like",
+        sockets_per_node=1,
+        cores_per_socket=64,
+        gpus_per_socket=4,
+        comm_params=_scaled_comm(scale_alpha=1.0, scale_beta_off=0.5),
+        copy_params=CopyParams(_lassen_copy_table()),
+        nic=NicParams(rn_inv=4.19e-11 / 4.0, nics_per_node=4),
+    )
+
+
+def delta_like() -> MachineSpec:
+    """Delta-like: 2 sockets x 64-core Milan, 4 GPUs/node, 2x HDR-class."""
+    return MachineSpec(
+        name="delta-like",
+        sockets_per_node=2,
+        cores_per_socket=64,
+        gpus_per_socket=2,
+        comm_params=_scaled_comm(scale_alpha=1.0, scale_beta_off=0.5),
+        copy_params=CopyParams(_lassen_copy_table()),
+        nic=NicParams(rn_inv=4.19e-11 / 2.0, nics_per_node=1),
+    )
+
+
+def bluewaters_like() -> MachineSpec:
+    """A 'traditional network' node (paper Section 2.3.3).
+
+    The paper contrasts Lassen with older systems like the retired
+    BlueWaters, where inter-node communication was *uniformly* more
+    expensive than intra-node — the regime in which 3-Step/2-Step
+    node-aware communication shows its most drastic wins and no
+    Figure-2.5 crossover exists.  Modelled as a CPU-only (GPU rows kept
+    for API uniformity but irrelevant), slower-NIC node: off-node
+    latencies 3x and off-node bytes 6x Lassen's, on-node constants
+    unchanged.
+    """
+    table = {}
+    for key, link in _lassen_comm_table().items():
+        _kind, _protocol, loc = key
+        if loc is _OFF:
+            table[key] = LinkParams(link.alpha * 3.0, link.beta * 6.0)
+        else:
+            table[key] = LinkParams(link.alpha, link.beta)
+    thresholds = ProtocolThresholds(
+        short_limit=LASSEN_SHORT_THRESHOLD,
+        eager_limit=LASSEN_RENDEZVOUS_THRESHOLD,
+        gpu_eager_limit=LASSEN_RENDEZVOUS_THRESHOLD,
+    )
+    return MachineSpec(
+        name="bluewaters-like",
+        sockets_per_node=2,
+        cores_per_socket=16,
+        gpus_per_socket=1,
+        comm_params=CommParams(table, thresholds),
+        copy_params=CopyParams(_lassen_copy_table()),
+        nic=NicParams(rn_inv=4.19e-11 * 4.0),
+    )
+
+
+PRESETS: Dict[str, Callable[[], MachineSpec]] = {
+    "lassen": lassen,
+    "summit": summit,
+    "frontier-like": frontier_like,
+    "delta-like": delta_like,
+    "bluewaters-like": bluewaters_like,
+}

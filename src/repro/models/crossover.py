@@ -1,0 +1,72 @@
+"""Crossover finding: at what size does one strategy overtake another?
+
+The paper's regime discussion (Section 4.6) revolves around crossover
+points — message sizes where the optimal strategy flips.  This module
+locates them precisely by bisection over the analytic models, giving
+tuning code a concrete switch threshold per (machine, scenario).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.machine.topology import MachineSpec
+from repro.models.scenarios import Scenario, scenario_summary
+from repro.models.strategies import StrategyModel
+
+
+def _diff(machine: MachineSpec, scenario: Scenario, a: StrategyModel,
+          b: StrategyModel, size: float) -> float:
+    summary = scenario_summary(machine, scenario, size)
+    return (a.time(summary, dup_fraction=scenario.dup_fraction)
+            - b.time(summary, dup_fraction=scenario.dup_fraction))
+
+
+def crossover_size(machine: MachineSpec, scenario: Scenario,
+                   model_a: StrategyModel, model_b: StrategyModel,
+                   lo: float = 1.0, hi: float = 1 << 22,
+                   tol: float = 0.01) -> Optional[float]:
+    """Smallest message size in ``[lo, hi]`` where the winner flips.
+
+    Returns ``None`` when one model dominates over the whole interval.
+    ``tol`` is the relative bisection tolerance on the returned size.
+    Because modelled times are piecewise affine in size, each sign
+    change is isolated by scanning a log grid and then bisected.
+    """
+    if lo <= 0 or hi <= lo:
+        raise ValueError(f"need 0 < lo < hi, got lo={lo!r}, hi={hi!r}")
+    if tol <= 0:
+        raise ValueError(f"tol must be positive, got {tol!r}")
+    import numpy as np
+
+    grid = np.logspace(np.log10(lo), np.log10(hi), 64)
+    values = [_diff(machine, scenario, model_a, model_b, s) for s in grid]
+    for i in range(len(grid) - 1):
+        if values[i] * values[i + 1] < 0:
+            a, b = float(grid[i]), float(grid[i + 1])
+            while (b - a) / b > tol:
+                mid = (a + b) / 2
+                if (_diff(machine, scenario, model_a, model_b, mid)
+                        * values[i] > 0):
+                    a = mid
+                else:
+                    b = mid
+            return (a + b) / 2
+    return None
+
+
+def crossover_table(machine: MachineSpec, scenario: Scenario,
+                    models: List[StrategyModel],
+                    lo: float = 1.0, hi: float = 1 << 22
+                    ) -> List[Tuple[str, str, float]]:
+    """All pairwise first-crossovers: ``[(label_a, label_b, size)]``."""
+    from repro.models.strategies import model_label
+
+    out: List[Tuple[str, str, float]] = []
+    for i, a in enumerate(models):
+        for b in models[i + 1:]:
+            size = crossover_size(machine, scenario, a, b, lo=lo, hi=hi)
+            if size is not None:
+                out.append((model_label(a), model_label(b), size))
+    out.sort(key=lambda t: t[2])
+    return out

@@ -1,0 +1,76 @@
+"""The postal model (eq. 2.1) and the max-rate model (eq. 2.2).
+
+Postal:
+    ``T = alpha + beta * s``
+
+Max-rate (Gropp, Olson, Samfass [8]):
+    ``T = alpha * m + max(ppn * s / R_N, s / R_b)``
+
+where ``m`` is the max number of messages sent by a single process,
+``s`` the max bytes sent by a single process, ``ppn`` the number of
+actively communicating processes per node, ``R_N`` the NIC injection
+rate and ``R_b`` a process's transport rate.  When ``ppn * R_b < R_N``
+the max-rate model reduces to the postal model (injection is never the
+bottleneck).
+"""
+
+from __future__ import annotations
+
+from repro.machine.params import LinkParams
+
+
+def postal_time(alpha: float, beta: float, nbytes: float,
+                messages: int = 1) -> float:
+    """Postal-model time for ``messages`` messages totalling ``nbytes``.
+
+    ``T = alpha * messages + beta * nbytes`` — the multi-message form
+    used throughout Section 4 (eq. 2.1 is the ``messages == 1`` case).
+    """
+    if nbytes < 0:
+        raise ValueError(f"nbytes must be >= 0, got {nbytes!r}")
+    if messages < 0:
+        raise ValueError(f"messages must be >= 0, got {messages!r}")
+    return alpha * messages + beta * nbytes
+
+
+def max_rate_time(alpha: float, m: int, s: float, ppn: int,
+                  rn: float, rb: float) -> float:
+    """Max-rate model (eq. 2.2).
+
+    Parameters
+    ----------
+    alpha:
+        Per-message latency [s].
+    m:
+        Max messages sent by a single process on the node.
+    s:
+        Max bytes sent by a single process on the node.
+    ppn:
+        Actively communicating processes per node.
+    rn:
+        NIC injection rate ``R_N`` [bytes/s].
+    rb:
+        Per-process transport rate ``R_b`` [bytes/s].
+    """
+    if m < 0 or s < 0:
+        raise ValueError(f"m and s must be >= 0, got m={m!r}, s={s!r}")
+    if ppn < 1:
+        raise ValueError(f"ppn must be >= 1, got {ppn!r}")
+    if rn <= 0 or rb <= 0:
+        raise ValueError("rates must be positive")
+    return alpha * m + max(ppn * s / rn, s / rb)
+
+
+def max_rate_from_link(link: LinkParams, m: int, s: float, ppn: int,
+                       rn: float) -> float:
+    """Max-rate model with ``alpha``/``R_b`` taken from a fitted link.
+
+    ``R_b = 1 / beta`` (per-process transport rate implied by the
+    postal fit), so the second operand of the max is ``s * beta``.
+    """
+    rb = float("inf") if link.beta == 0 else 1.0 / link.beta
+    if rb == float("inf"):
+        if m < 0 or s < 0:
+            raise ValueError("m and s must be >= 0")
+        return link.alpha * m + ppn * s / rn
+    return max_rate_time(link.alpha, m, s, ppn, rn, rb)

@@ -1,0 +1,100 @@
+"""Regime maps: which strategy wins where.
+
+Produces the paper's Figure-4.3 content as a 2-D winner map over
+(message size x destination-node count), with an ASCII renderer for
+terminal inspection — the at-a-glance summary of when to switch
+strategies on a given machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.machine.topology import MachineSpec
+from repro.models.scenarios import Scenario, best_strategy
+
+#: short codes for compact map rendering
+_CODES = {
+    "Standard (staged)": "St/S",
+    "Standard (device-aware)": "St/D",
+    "3-Step (staged)": "3S/S",
+    "3-Step (device-aware)": "3S/D",
+    "2-Step (staged)": "2S/S",
+    "2-Step (device-aware)": "2S/D",
+    "2-Step 1 (staged)": "21/S",
+    "2-Step 1 (device-aware)": "21/D",
+    "Split + MD (staged)": "MD/S",
+    "Split + DD (staged)": "DD/S",
+}
+
+
+@dataclass
+class RegimeMap:
+    """Winner per (node count, message size) grid cell."""
+
+    machine: str
+    num_messages: int
+    dup_fraction: float
+    node_counts: List[int]
+    sizes: List[float]
+    winners: List[List[str]]  # [node_idx][size_idx] full labels
+
+    def code(self, node_idx: int, size_idx: int) -> str:
+        return _CODES.get(self.winners[node_idx][size_idx], "????")
+
+    def distinct_winners(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for row in self.winners:
+            for label in row:
+                seen.setdefault(label)
+        return list(seen)
+
+
+def compute_regime_map(machine: MachineSpec,
+                       sizes: Optional[Sequence[float]] = None,
+                       node_counts: Sequence[int] = (2, 4, 8, 16, 32),
+                       num_messages: int = 256,
+                       dup_fraction: float = 0.0,
+                       exclude_best_case: bool = True) -> RegimeMap:
+    """Evaluate the Table-6 models over a (nodes x size) grid."""
+    if sizes is None:
+        sizes = list(np.logspace(1, 6, 11))
+    winners: List[List[str]] = []
+    for nodes in node_counts:
+        sc = Scenario(num_dest_nodes=int(nodes),
+                      num_messages=max(num_messages, int(nodes)),
+                      dup_fraction=dup_fraction)
+        winners.append([
+            best_strategy(machine, sc, float(s),
+                          exclude_best_case=exclude_best_case)
+            for s in sizes
+        ])
+    return RegimeMap(
+        machine=machine.name,
+        num_messages=num_messages,
+        dup_fraction=dup_fraction,
+        node_counts=[int(n) for n in node_counts],
+        sizes=[float(s) for s in sizes],
+        winners=winners,
+    )
+
+
+def render_regime_map(rm: RegimeMap) -> str:
+    """ASCII winner map (rows: node counts, columns: message sizes)."""
+    header = (f"Regime map — {rm.machine}, {rm.num_messages} messages"
+              + (f", {rm.dup_fraction:.0%} duplicate data removed"
+                 if rm.dup_fraction else ""))
+    lines = [header]
+    size_row = "nodes\\size " + " ".join(
+        f"{s:>7.0f}" if s < 1e5 else f"{s:>7.0e}" for s in rm.sizes)
+    lines.append(size_row)
+    for i, nodes in enumerate(rm.node_counts):
+        cells = " ".join(f"{rm.code(i, j):>7s}" for j in range(len(rm.sizes)))
+        lines.append(f"{nodes:>10d} {cells}")
+    legend = ", ".join(f"{code}={label}" for label, code in _CODES.items()
+                       if label in rm.distinct_winners())
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)

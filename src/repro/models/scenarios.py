@@ -1,0 +1,127 @@
+"""Section 4.6 scenario generation (Figure 4.3).
+
+A *scenario* is the paper's synthetic workload: a single node sends
+``num_messages`` inter-node messages (32 or 256), distributed evenly
+across its on-node GPUs, to ``num_dest_nodes`` destination nodes (4 or
+16); the per-message size sweeps the x-axis.  The bottom rows of
+Figure 4.3 repeat the sweep with 25 % of the data flagged duplicate
+(removed by the node-aware strategies, retained by standard).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.machine.topology import MachineSpec
+from repro.models.pattern_summary import PatternSummary
+from repro.models.strategies import (
+    StrategyModel,
+    all_strategy_models,
+    model_label,
+)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One Figure-4.3 panel configuration."""
+
+    num_dest_nodes: int    # 4 or 16 in the paper
+    num_messages: int      # 32 or 256 in the paper
+    dup_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.num_dest_nodes < 1:
+            raise ValueError("num_dest_nodes must be >= 1")
+        if self.num_messages < self.num_dest_nodes:
+            raise ValueError(
+                "need at least one message per destination node "
+                f"({self.num_messages} msgs < {self.num_dest_nodes} nodes)"
+            )
+        if not 0.0 <= self.dup_fraction < 1.0:
+            raise ValueError("dup_fraction must be in [0, 1)")
+
+    @property
+    def label(self) -> str:
+        dup = f", {self.dup_fraction:.0%} dup" if self.dup_fraction else ""
+        return (f"{self.num_messages} msgs -> {self.num_dest_nodes} nodes"
+                f"{dup}")
+
+
+#: The four panels of Figure 4.3 (dup variants are derived per sweep).
+PAPER_SCENARIOS = (
+    Scenario(num_dest_nodes=4, num_messages=32),
+    Scenario(num_dest_nodes=4, num_messages=256),
+    Scenario(num_dest_nodes=16, num_messages=32),
+    Scenario(num_dest_nodes=16, num_messages=256),
+)
+
+
+def scenario_summary(machine: MachineSpec, scenario: Scenario,
+                     msg_size: float) -> PatternSummary:
+    """Table-7 quantities for one scenario at one message size.
+
+    Messages are distributed evenly over destination nodes and over the
+    sending node's GPUs, as in the paper's construction.
+    """
+    if msg_size < 0:
+        raise ValueError(f"msg_size must be >= 0, got {msg_size!r}")
+    gpn = max(machine.gpus_per_node, 1)
+    n = scenario.num_dest_nodes
+    m = scenario.num_messages
+    per_pair = m / n
+    per_proc = m / gpn
+    return PatternSummary(
+        num_dest_nodes=n,
+        messages_per_node_pair=int(np.ceil(per_pair)),
+        bytes_per_node_pair=per_pair * msg_size,
+        node_bytes=m * msg_size,
+        proc_bytes=per_proc * msg_size,
+        proc_messages=int(np.ceil(per_proc)),
+        proc_dest_nodes=min(n, int(np.ceil(per_proc)) if per_proc else 0),
+        active_gpus=gpn,  # messages spread evenly across on-node GPUs
+    )
+
+
+def sweep_scenario(machine: MachineSpec, scenario: Scenario,
+                   sizes: Sequence[float],
+                   models: Optional[List[StrategyModel]] = None,
+                   ) -> Dict[str, np.ndarray]:
+    """Modelled time per strategy over a message-size sweep.
+
+    Returns ``{strategy label: times}`` with one entry per model, each a
+    float array aligned with ``sizes``.
+    """
+    if models is None:
+        models = all_strategy_models(machine)
+    out: Dict[str, np.ndarray] = {}
+    for model in models:
+        times = np.empty(len(sizes))
+        for i, size in enumerate(sizes):
+            summary = scenario_summary(machine, scenario, size)
+            times[i] = model.time(summary, dup_fraction=scenario.dup_fraction)
+        out[model_label(model)] = times
+    return out
+
+
+def best_strategy(machine: MachineSpec, scenario: Scenario, msg_size: float,
+                  models: Optional[List[StrategyModel]] = None,
+                  exclude_best_case: bool = True) -> str:
+    """Label of the minimum-time strategy at one point.
+
+    ``exclude_best_case`` drops the 2-Step 1 idealizations, matching how
+    the paper circles its minima.
+    """
+    if models is None:
+        models = all_strategy_models(machine)
+    best_label, best_time = "", float("inf")
+    for model in models:
+        if exclude_best_case and model.name == "2-Step 1":
+            continue
+        summary = scenario_summary(machine, scenario, msg_size)
+        t = model.time(summary, dup_fraction=scenario.dup_fraction)
+        if t < best_time:
+            best_label, best_time = model_label(model), t
+    return best_label

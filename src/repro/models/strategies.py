@@ -1,0 +1,370 @@
+"""Full strategy performance models — paper Table 6.
+
+Each model consumes a :class:`PatternSummary` of the *standard*
+communication pattern and applies its own strategy-specific
+transformation (aggregation for 3-Step, pairing for 2-Step, message-cap
+splitting for Split) to derive the Table-7 quantities entering the
+sub-model terms.  The composition rules follow Table 6:
+
+=============  =========================================================
+Standard       max-rate (staged) / postal (device-aware)
+3-Step         T_off(m_nn, s_nn) + 2 T_on(s_nn) [+ T_copy(s_p, s_nn)]
+2-Step         T_off(m_pn, s_p) + T_on(s_p) [+ T_copy(s_p, s_nn)]
+Split + MD     T_off(m_pn, s_n/ppn) + 2 T_on_split(s_n, 1) + T_copy(...)
+Split + DD     T_off(m_pn, s_n/ppn) + 2 T_on_split(s_n, 4) + T_copy(...)
+=============  =========================================================
+
+Duplicate-data removal (``dup_fraction``) shrinks the byte quantities of
+the node-aware strategies only — standard communication retains the
+redundant payload (Section 2.3 / Figure 4.3 bottom rows).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+from repro.machine.locality import TransportKind
+from repro.machine.topology import MachineSpec
+from repro.models.pattern_summary import PatternSummary
+from repro.models.submodels import (
+    t_copy,
+    t_off,
+    t_off_device_aware,
+    t_on,
+    t_on_hierarchical,
+    t_on_split,
+)
+
+STAGED = "staged"
+DEVICE = "device-aware"
+
+
+class StrategyModel:
+    """Base class: one (strategy, data path) combination of Table 5.
+
+    Parameters
+    ----------
+    machine:
+        Architecture whose constants drive the model.
+    ppn:
+        On-node processes available to the Split strategies (defaults
+        to every core, 40 on Lassen).
+    message_cap:
+        Split message cap (defaults to the machine's rendezvous
+        switchover, following the paper / reference [16]).
+    """
+
+    name: str = "abstract"
+    data_path: str = STAGED
+    node_aware: bool = True
+
+    def __init__(self, machine: MachineSpec, ppn: Optional[int] = None,
+                 message_cap: Optional[int] = None) -> None:
+        self.machine = machine
+        self.ppn = machine.cores_per_node if ppn is None else int(ppn)
+        if self.ppn < 1:
+            raise ValueError(f"ppn must be >= 1, got {self.ppn}")
+        if self.ppn > machine.cores_per_node:
+            raise ValueError(
+                f"ppn={self.ppn} exceeds {machine.name} cores "
+                f"({machine.cores_per_node})"
+            )
+        default_cap = machine.comm_params.thresholds.eager_limit
+        self.message_cap = default_cap if message_cap is None else int(message_cap)
+        if self.message_cap < 1:
+            raise ValueError(f"message_cap must be >= 1, got {self.message_cap}")
+
+    # -- public API --------------------------------------------------------------
+    def time(self, summary: PatternSummary, dup_fraction: float = 0.0) -> float:
+        """Modelled communication time for one exchange."""
+        if summary.is_empty:
+            return 0.0
+        if self.node_aware and dup_fraction > 0.0:
+            summary = summary.with_duplicate_removal(dup_fraction)
+        return self._time(summary)
+
+    def _time(self, summary: PatternSummary) -> float:  # pragma: no cover
+        raise NotImplementedError
+
+    # -- shared helpers -----------------------------------------------------------
+    @property
+    def gpn(self) -> int:
+        """GPUs per node = paired host processes for 3-Step / 2-Step."""
+        return max(self.machine.gpus_per_node, 1)
+
+    def _dests_per_proc(self, summary: PatternSummary) -> int:
+        """Destination nodes handled per paired process (round-robin)."""
+        return math.ceil(summary.num_dest_nodes / self.gpn)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} on {self.machine.name}>"
+
+
+# ---------------------------------------------------------------------------
+# Standard
+# ---------------------------------------------------------------------------
+class StandardStagedModel(StrategyModel):
+    """Standard staged-through-host: the max-rate model (Table 6 row 1).
+
+    Table 6 writes standard staged communication as the bare max-rate
+    model; a staged implementation also pays the D2H/H2D copies, so
+    ``include_copies`` defaults to ``True`` for apples-to-apples
+    comparisons against the other staged strategies (pass ``False`` for
+    the literal Table-6 form).
+    """
+
+    name = "Standard"
+    data_path = STAGED
+    node_aware = False
+
+    def __init__(self, machine: MachineSpec, ppn: Optional[int] = None,
+                 message_cap: Optional[int] = None,
+                 include_copies: bool = True) -> None:
+        super().__init__(machine, ppn, message_cap)
+        self.include_copies = include_copies
+
+    def _time(self, summary: PatternSummary) -> float:
+        msg_size = summary.proc_bytes / max(summary.proc_messages, 1)
+        total = t_off(self.machine, summary.proc_messages, summary.proc_bytes,
+                      summary.node_bytes, msg_size=msg_size)
+        if self.include_copies:
+            total += t_copy(self.machine, summary.proc_bytes,
+                            summary.proc_bytes)
+        return total
+
+
+class StandardDeviceModel(StrategyModel):
+    """Standard device-aware: the postal model on GPU rows (Table 6 row 2)."""
+
+    name = "Standard"
+    data_path = DEVICE
+    node_aware = False
+
+    def _time(self, summary: PatternSummary) -> float:
+        msg_size = summary.proc_bytes / max(summary.proc_messages, 1)
+        return t_off_device_aware(self.machine, summary.proc_messages,
+                                  summary.proc_bytes, msg_size=msg_size)
+
+
+# ---------------------------------------------------------------------------
+# 3-Step
+# ---------------------------------------------------------------------------
+class ThreeStepStagedModel(StrategyModel):
+    """3-Step staged: gather on-node, one buffer per node pair, redistribute."""
+
+    name = "3-Step"
+    data_path = STAGED
+
+    def _time(self, summary: PatternSummary) -> float:
+        m = self._dests_per_proc(summary)
+        s_nn = summary.bytes_per_node_pair
+        s_off = m * s_nn
+        return (
+            t_off(self.machine, m, s_off, summary.node_bytes, msg_size=s_nn)
+            + 2.0 * t_on(self.machine, s_nn, TransportKind.CPU)
+            + t_copy(self.machine, summary.proc_bytes, s_nn)
+        )
+
+
+class ThreeStepDeviceModel(StrategyModel):
+    """3-Step device-aware: gather and send GPU-to-GPU (no copies)."""
+
+    name = "3-Step"
+    data_path = DEVICE
+
+    def _time(self, summary: PatternSummary) -> float:
+        m = self._dests_per_proc(summary)
+        s_nn = summary.bytes_per_node_pair
+        return (
+            t_off_device_aware(self.machine, m, m * s_nn, msg_size=s_nn)
+            + 2.0 * t_on(self.machine, s_nn, TransportKind.GPU)
+        )
+
+
+class ThreeStepHierarchicalStagedModel(StrategyModel):
+    """Hierarchical 3-Step (extension), staged: socket-level gathers."""
+
+    name = "3-Step H"
+    data_path = STAGED
+
+    def _time(self, summary: PatternSummary) -> float:
+        m = self._dests_per_proc(summary)
+        s_nn = summary.bytes_per_node_pair
+        return (
+            t_off(self.machine, m, m * s_nn, summary.node_bytes, msg_size=s_nn)
+            + 2.0 * t_on_hierarchical(self.machine, s_nn, TransportKind.CPU)
+            + t_copy(self.machine, summary.proc_bytes, s_nn)
+        )
+
+
+class ThreeStepHierarchicalDeviceModel(StrategyModel):
+    """Hierarchical 3-Step (extension), device-aware — ref [13]'s path."""
+
+    name = "3-Step H"
+    data_path = DEVICE
+
+    def _time(self, summary: PatternSummary) -> float:
+        m = self._dests_per_proc(summary)
+        s_nn = summary.bytes_per_node_pair
+        return (
+            t_off_device_aware(self.machine, m, m * s_nn, msg_size=s_nn)
+            + 2.0 * t_on_hierarchical(self.machine, s_nn, TransportKind.GPU)
+        )
+
+
+# ---------------------------------------------------------------------------
+# 2-Step
+# ---------------------------------------------------------------------------
+class TwoStepStagedModel(StrategyModel):
+    """2-Step All, staged: every GPU sends to its pair on every dest node."""
+
+    name = "2-Step"
+    data_path = STAGED
+
+    def _time(self, summary: PatternSummary) -> float:
+        m = summary.num_dest_nodes
+        msg = summary.bytes_per_node_pair / self.gpn
+        s_off = m * msg
+        return (
+            t_off(self.machine, m, s_off, summary.node_bytes, msg_size=msg)
+            + t_on(self.machine, summary.proc_bytes, TransportKind.CPU)
+            + t_copy(self.machine, summary.proc_bytes,
+                     summary.bytes_per_node_pair)
+        )
+
+
+class TwoStepDeviceModel(StrategyModel):
+    """2-Step All, device-aware."""
+
+    name = "2-Step"
+    data_path = DEVICE
+
+    def _time(self, summary: PatternSummary) -> float:
+        m = summary.num_dest_nodes
+        msg = summary.bytes_per_node_pair / self.gpn
+        return (
+            t_off_device_aware(self.machine, m, m * msg, msg_size=msg)
+            + t_on(self.machine, summary.proc_bytes, TransportKind.GPU)
+        )
+
+
+class TwoStepBestCaseStagedModel(StrategyModel):
+    """2-Step 1, staged: all data to a node already sits on one GPU.
+
+    The paper's best-case scenario — no gather step; the single active
+    GPU per node pair sends the full pair volume directly.
+    """
+
+    name = "2-Step 1"
+    data_path = STAGED
+
+    def _time(self, summary: PatternSummary) -> float:
+        m = self._dests_per_proc(summary)
+        s_nn = summary.bytes_per_node_pair
+        return (
+            t_off(self.machine, m, m * s_nn, summary.node_bytes, msg_size=s_nn)
+            + t_on(self.machine, s_nn, TransportKind.CPU)
+            + t_copy(self.machine, summary.proc_bytes, s_nn)
+        )
+
+
+class TwoStepBestCaseDeviceModel(StrategyModel):
+    """2-Step 1, device-aware — the paper's overall large-size winner."""
+
+    name = "2-Step 1"
+    data_path = DEVICE
+
+    def _time(self, summary: PatternSummary) -> float:
+        m = self._dests_per_proc(summary)
+        s_nn = summary.bytes_per_node_pair
+        return (
+            t_off_device_aware(self.machine, m, m * s_nn, msg_size=s_nn)
+            + t_on(self.machine, s_nn, TransportKind.GPU)
+        )
+
+
+# ---------------------------------------------------------------------------
+# Split
+# ---------------------------------------------------------------------------
+class _SplitModelBase(StrategyModel):
+    """Shared Split machinery: Algorithm-1 message-cap resolution."""
+
+    ppg: int = 1  # host processes per GPU (1 = MD, 4 = DD)
+
+    def split_counts(self, summary: PatternSummary):
+        """(total inter-node messages, individual message size).
+
+        Implements Algorithm 1 lines 12–17: if the largest node-pair
+        volume fits under the cap, one conglomerated message per node
+        pair; otherwise the cap is raised so the node's total volume
+        spreads over at most ``ppn`` messages, and each pair's volume is
+        split to that cap.
+        """
+        cap = float(self.message_cap)
+        s_nn = summary.bytes_per_node_pair
+        n_dest = summary.num_dest_nodes
+        if s_nn <= cap:
+            return n_dest, s_nn
+        if summary.node_bytes / cap > self.ppn:
+            cap = math.ceil(summary.node_bytes / self.ppn)
+        per_pair = max(1, math.ceil(s_nn / cap))
+        return n_dest * per_pair, min(cap, s_nn)
+
+    def _time(self, summary: PatternSummary) -> float:
+        total_msgs, msg_size = self.split_counts(summary)
+        m = math.ceil(total_msgs / self.ppn)
+        s_proc = summary.node_bytes / self.ppn
+        return (
+            t_off(self.machine, m, s_proc, summary.node_bytes,
+                  msg_size=msg_size)
+            + 2.0 * t_on_split(self.machine, summary.node_bytes, self.ppg,
+                               ppn=self.ppn, active_gpus=summary.active_gpus)
+            + t_copy(self.machine, summary.proc_bytes,
+                     summary.bytes_per_node_pair, nproc=self.ppg)
+        )
+
+
+class SplitMDModel(_SplitModelBase):
+    """Split + MD: one host process copies, on-node messages distribute."""
+
+    name = "Split + MD"
+    data_path = STAGED
+    ppg = 1
+
+
+class SplitDDModel(_SplitModelBase):
+    """Split + DD: four duplicate-device-pointer processes copy directly."""
+
+    name = "Split + DD"
+    data_path = STAGED
+    ppg = 4
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+def all_strategy_models(machine: MachineSpec, ppn: Optional[int] = None,
+                        message_cap: Optional[int] = None,
+                        include_best_case: bool = True
+                        ) -> List[StrategyModel]:
+    """The Table-5 model set (optionally with the 2-Step 1 best cases)."""
+    models: List[StrategyModel] = [
+        StandardStagedModel(machine, ppn, message_cap),
+        StandardDeviceModel(machine, ppn, message_cap),
+        ThreeStepStagedModel(machine, ppn, message_cap),
+        ThreeStepDeviceModel(machine, ppn, message_cap),
+        TwoStepStagedModel(machine, ppn, message_cap),
+        TwoStepDeviceModel(machine, ppn, message_cap),
+        SplitMDModel(machine, ppn, message_cap),
+        SplitDDModel(machine, ppn, message_cap),
+    ]
+    if include_best_case:
+        models.insert(6, TwoStepBestCaseStagedModel(machine, ppn, message_cap))
+        models.insert(7, TwoStepBestCaseDeviceModel(machine, ppn, message_cap))
+    return models
+
+
+def model_label(model: StrategyModel) -> str:
+    """Display label, e.g. ``"3-Step (device-aware)"``."""
+    return f"{model.name} ({model.data_path})"

@@ -1,0 +1,411 @@
+"""Communicators: matching, point-to-point calls, collectives, split.
+
+Matching semantics follow MPI: receives match sends on ``(source, tag)``
+with ``ANY_SOURCE`` / ``ANY_TAG`` wildcards, and messages between one
+(sender, receiver, tag) triple never overtake each other (FIFO per send
+order).
+
+All ranks interact through :class:`CommHandle` objects — a rank-bound
+view of the shared :class:`Communicator`.  Destination/source ranks in
+the API are *communicator-local*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.machine.locality import TransportKind
+from repro.mpi.buffers import DeviceBuffer, Payload, is_device, payload_nbytes
+from repro.mpi.request import Request, waitall
+from repro.mpi.transport import Transport
+from repro.sim.events import AllOf, Event
+
+ANY_SOURCE = -1
+ANY_TAG = -1
+
+#: Reserved tag space for collectives; user tags must stay below this.
+_COLL_TAG_BASE = 1 << 30
+
+
+@dataclass(frozen=True)
+class Message:
+    """A delivered message: payload plus envelope."""
+
+    source: int
+    tag: int
+    data: Any
+
+    @property
+    def nbytes(self) -> int:
+        return payload_nbytes(self.data)
+
+
+class _SendOp:
+    __slots__ = ("src", "tag", "payload", "nbytes", "kind", "t_send",
+                 "event", "timing")
+
+    def __init__(self, src: int, tag: int, payload: Payload, nbytes: int,
+                 kind: TransportKind, t_send: float, event: Event) -> None:
+        self.src = src
+        self.tag = tag
+        self.payload = payload
+        self.nbytes = nbytes
+        self.kind = kind
+        self.t_send = t_send
+        self.event = event
+        self.timing = None  # resolved eagerly for eager/short, at match for rdv
+
+
+class _RecvOp:
+    __slots__ = ("source", "tag", "t_post", "event")
+
+    def __init__(self, source: int, tag: int, t_post: float, event: Event) -> None:
+        self.source = source
+        self.tag = tag
+        self.t_post = t_post
+        self.event = event
+
+    def matches(self, send: _SendOp) -> bool:
+        if self.source != ANY_SOURCE and self.source != send.src:
+            return False
+        if self.tag != ANY_TAG and self.tag != send.tag:
+            return False
+        return True
+
+
+class _Matcher:
+    """Per-destination matching queues (posted recvs + unexpected sends)."""
+
+    __slots__ = ("comm", "dest", "sends", "recvs")
+
+    def __init__(self, comm: "Communicator", dest: int) -> None:
+        self.comm = comm
+        self.dest = dest
+        self.sends: List[_SendOp] = []
+        self.recvs: List[_RecvOp] = []
+
+    def post_send(self, op: _SendOp) -> None:
+        for i, recv in enumerate(self.recvs):
+            if recv.matches(op):
+                del self.recvs[i]
+                self.comm._complete(self.dest, op, recv, scanned=i)
+                return
+        self.sends.append(op)
+
+    def post_recv(self, op: _RecvOp) -> None:
+        for i, send in enumerate(self.sends):
+            if op.matches(send):
+                del self.sends[i]
+                self.comm._complete(self.dest, send, op, scanned=i)
+                return
+        self.recvs.append(op)
+
+
+class Communicator:
+    """A group of ranks able to exchange messages.
+
+    Constructed by :class:`repro.mpi.job.SimJob` (world) or by
+    :meth:`CommHandle.split` (subcommunicators).
+    """
+
+    def __init__(self, transport: Transport, world_ranks: Sequence[int],
+                 name: str = "comm") -> None:
+        self.transport = transport
+        self.sim = transport.sim
+        self.layout = transport.layout
+        self.world_ranks: Tuple[int, ...] = tuple(world_ranks)
+        if len(set(self.world_ranks)) != len(self.world_ranks):
+            raise ValueError(f"duplicate ranks in communicator {name!r}")
+        self.name = name
+        self.size = len(self.world_ranks)
+        self._local_of: Dict[int, int] = {
+            w: i for i, w in enumerate(self.world_ranks)
+        }
+        self._matchers = [_Matcher(self, d) for d in range(self.size)]
+        self._handles: Dict[int, CommHandle] = {}
+        # split coordination: seq -> {local_rank: (color, key, event)}
+        self._split_calls: Dict[int, Dict[int, Tuple[Optional[int], int, Event]]] = {}
+        self._split_count: Dict[int, int] = {}
+
+    # -- handles ----------------------------------------------------------------
+    def handle(self, world_rank: int) -> "CommHandle":
+        """Rank-bound view for ``world_rank`` (must be a member)."""
+        if world_rank not in self._local_of:
+            raise ValueError(
+                f"world rank {world_rank} is not in communicator {self.name!r}"
+            )
+        if world_rank not in self._handles:
+            self._handles[world_rank] = CommHandle(self, world_rank)
+        return self._handles[world_rank]
+
+    def local_rank(self, world_rank: int) -> int:
+        return self._local_of[world_rank]
+
+    def contains(self, world_rank: int) -> bool:
+        return world_rank in self._local_of
+
+    # -- p2p core ----------------------------------------------------------------
+    def _isend(self, src_local: int, payload: Payload, dest: int, tag: int,
+               nbytes: Optional[int]) -> Request:
+        if not 0 <= dest < self.size:
+            raise ValueError(
+                f"dest {dest} out of range for {self.name!r} (size {self.size})"
+            )
+        if tag < 0 or tag >= (_COLL_TAG_BASE << 1):
+            raise ValueError(f"invalid tag {tag}")
+        size = payload_nbytes(payload, nbytes)
+        kind = TransportKind.GPU if is_device(payload) else TransportKind.CPU
+        event = self.sim.event(name=f"send[{src_local}->{dest} tag={tag}]")
+        op = _SendOp(src_local, tag, payload, size, kind, self.sim.now, event)
+        protocol = self.transport.protocol_for(kind, size)
+        if not protocol.is_synchronous:
+            # Eager/short: transfer starts now; resolve timing immediately.
+            op.timing = self.transport.resolve(
+                self.world_ranks[src_local], self.world_ranks[dest],
+                size, kind, t_send=op.t_send, t_match=op.t_send, tag=tag)
+            event.succeed(None, delay=op.timing.send_complete - self.sim.now)
+        self._matchers[dest].post_send(op)
+        return Request(self.sim, "send", event)
+
+    def _irecv(self, dest_local: int, source: int, tag: int) -> Request:
+        if source != ANY_SOURCE and not 0 <= source < self.size:
+            raise ValueError(f"source {source} out of range for {self.name!r}")
+        event = self.sim.event(name=f"recv[{dest_local}<-{source} tag={tag}]")
+        op = _RecvOp(source, tag, self.sim.now, event)
+        self._matchers[dest_local].post_recv(op)
+        return Request(self.sim, "recv", event)
+
+    def _complete(self, dest_local: int, send: _SendOp, recv: _RecvOp,
+                  scanned: int = 0) -> None:
+        """A send/recv pair has matched: schedule both completions.
+
+        ``scanned`` is the number of queue entries inspected before the
+        match — with a nonzero transport ``queue_search_cost`` it delays
+        the receiver (paper Section 2.2, ref [11]).
+        """
+        now = self.sim.now
+        if send.timing is None:
+            # Rendezvous: handshake point is the match time.
+            t_match = max(send.t_send, recv.t_post, now)
+            send.timing = self.transport.resolve(
+                self.world_ranks[send.src], self.world_ranks[dest_local],
+                send.nbytes, send.kind, t_send=send.t_send, t_match=t_match,
+                tag=send.tag)
+            send.event.succeed(None, delay=send.timing.send_complete - now)
+        payload = send.payload
+        if isinstance(payload, DeviceBuffer):
+            dest_gpu = self.layout.global_gpu_of(self.world_ranks[dest_local])
+            if dest_gpu is None:
+                raise RuntimeError(
+                    f"device-aware message to non-GPU-owner rank "
+                    f"{self.world_ranks[dest_local]} (local {dest_local} in "
+                    f"{self.name!r})"
+                )
+            payload = payload.to_gpu(dest_gpu)
+        msg = Message(source=send.src, tag=send.tag, data=payload)
+        done = max(send.timing.delivery, recv.t_post)
+        done += scanned * self.transport.queue_search_cost
+        recv.event.succeed(msg, delay=max(0.0, done - now))
+
+    # -- split coordination ------------------------------------------------------
+    def _split(self, local: int, color: Optional[int], key: int) -> Event:
+        seq = self._split_count.get(local, 0)
+        self._split_count[local] = seq + 1
+        calls = self._split_calls.setdefault(seq, {})
+        if local in calls:
+            raise RuntimeError(f"rank {local} double-called split #{seq}")
+        event = self.sim.event(name=f"split[{local}]#{seq}")
+        calls[local] = (color, key, event)
+        if len(calls) == self.size:
+            self._finish_split(seq)
+        return event
+
+    def _finish_split(self, seq: int) -> None:
+        calls = self._split_calls.pop(seq)
+        groups: Dict[int, List[Tuple[int, int]]] = {}
+        for local, (color, key, _ev) in calls.items():
+            if color is not None:
+                groups.setdefault(color, []).append((key, local))
+        handles: Dict[int, Optional[CommHandle]] = {}
+        for color, members in sorted(groups.items()):
+            members.sort()  # by (key, parent local rank)
+            world = [self.world_ranks[local] for _key, local in members]
+            sub = Communicator(
+                self.transport, world, name=f"{self.name}/split{seq}.{color}")
+            for w in world:
+                handles[self._local_of[w]] = sub.handle(w)
+        for local, (color, _key, event) in calls.items():
+            event.succeed(handles.get(local) if color is not None else None)
+
+
+class CommHandle:
+    """Rank-bound view of a :class:`Communicator` — the SPMD API."""
+
+    def __init__(self, comm: Communicator, world_rank: int) -> None:
+        self.comm = comm
+        self.world_rank = world_rank
+        self.rank = comm.local_rank(world_rank)
+        self._coll_seq = 0
+
+    @property
+    def size(self) -> int:
+        return self.comm.size
+
+    @property
+    def sim(self):
+        return self.comm.sim
+
+    # -- point-to-point ---------------------------------------------------------
+    def isend(self, payload: Payload, dest: int, tag: int = 0,
+              nbytes: Optional[int] = None) -> Request:
+        """Nonblocking send of ``payload`` to comm-local rank ``dest``."""
+        return self.comm._isend(self.rank, payload, dest, tag, nbytes)
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        """Nonblocking receive; completion value is a :class:`Message`."""
+        return self.comm._irecv(self.rank, source, tag)
+
+    def send(self, payload: Payload, dest: int, tag: int = 0,
+             nbytes: Optional[int] = None) -> Event:
+        """Blocking send: ``yield`` the returned event."""
+        return self.isend(payload, dest, tag, nbytes).wait()
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Event:
+        """Blocking receive: ``yield`` evaluates to a :class:`Message`."""
+        return self.irecv(source, tag).wait()
+
+    def waitall(self, requests: Iterable[Request]) -> AllOf:
+        """Event firing when every request completes (``MPI_Waitall``)."""
+        return waitall(self.sim, requests)
+
+    # -- communicator management --------------------------------------------------
+    def split(self, color: Optional[int], key: Optional[int] = None) -> Event:
+        """Collective split; ``yield`` evaluates to the new handle.
+
+        Every member of the communicator must call ``split`` the same
+        number of times.  ``color=None`` (MPI_UNDEFINED) yields ``None``.
+        Ranks in the new communicator are ordered by ``(key, old rank)``;
+        ``key`` defaults to the caller's current rank.
+        """
+        return self.comm._split(self.rank,
+                                color if color is None else int(color),
+                                self.rank if key is None else int(key))
+
+    # -- collectives (generators: use ``yield from``) ------------------------------
+    def _next_tags(self, rounds: int) -> int:
+        base = _COLL_TAG_BASE + (self._coll_seq % (1 << 16)) * 64
+        self._coll_seq += 1
+        if rounds > 64:
+            raise ValueError("collective needs too many tag rounds")
+        return base
+
+    def barrier(self):
+        """Dissemination barrier.  ``yield from comm.barrier()``."""
+        base = self._next_tags(1)
+        size, rank = self.size, self.rank
+        step, rnd = 1, 0
+        while step < size:
+            dest = (rank + step) % size
+            src = (rank - step) % size
+            req = self.irecv(source=src, tag=base + rnd)
+            self.isend(0, dest=dest, tag=base + rnd)
+            yield req.wait()
+            step <<= 1
+            rnd += 1
+        return None
+
+    def bcast(self, value: Any = None, root: int = 0):
+        """Binomial-tree broadcast; evaluates to the root's value."""
+        base = self._next_tags(1)
+        size = self.size
+        vrank = (self.rank - root) % size
+        if vrank != 0:
+            # Parent: virtual rank with its highest set bit cleared.
+            parent = vrank ^ (1 << (vrank.bit_length() - 1))
+            msg = yield self.recv(source=(parent + root) % size, tag=base)
+            value = msg.data
+        # Children: vrank + 2^k for 2^k beyond vrank's highest set bit.
+        step = 1 << vrank.bit_length()
+        while vrank + step < size:
+            self.isend(value, dest=(vrank + step + root) % size, tag=base)
+            step <<= 1
+        return value
+
+    def gather(self, value: Any, root: int = 0):
+        """Flat gather; evaluates to the list at root, ``None`` elsewhere."""
+        base = self._next_tags(1)
+        if self.rank == root:
+            out: List[Any] = [None] * self.size
+            out[root] = value
+            reqs = [self.irecv(source=src, tag=base)
+                    for src in range(self.size) if src != root]
+            msgs = yield self.waitall(reqs)
+            for msg in msgs:
+                out[msg.source] = msg.data
+            return out
+        yield self.send(value, dest=root, tag=base)
+        return None
+
+    def allgather(self, value: Any):
+        """Gather-to-root then broadcast; evaluates to the full list."""
+        gathered = yield from self.gather(value, root=0)
+        result = yield from self.bcast(gathered, root=0)
+        return result
+
+    def gatherv(self, payload: Payload, root: int = 0,
+                nbytes: Optional[int] = None):
+        """Variable-size gather of buffer payloads; evaluates to the
+        per-rank payload list at root (``None`` elsewhere)."""
+        base = self._next_tags(1)
+        if self.rank == root:
+            out: List[Any] = [None] * self.size
+            out[root] = payload
+            reqs = [self.irecv(source=src, tag=base)
+                    for src in range(self.size) if src != root]
+            msgs = yield self.waitall(reqs)
+            for msg in msgs:
+                out[msg.source] = msg.data
+            return out
+        yield self.send(payload, dest=root, tag=base, nbytes=nbytes)
+        return None
+
+    def alltoallv(self, payloads: Dict[int, Payload]):
+        """Irregular all-to-all: send ``payloads[dest]`` to each dest.
+
+        Evaluates to ``{source: payload}`` of everything received.  All
+        ranks must call it; ranks with nothing to send pass ``{}``.
+        Send counts are exchanged first (an allgather), then point-to-
+        point transfers complete the exchange — the standard-
+        communication baseline expressed as a collective.
+        """
+        base = self._next_tags(2)
+        for dest in payloads:
+            if not 0 <= dest < self.size:
+                raise ValueError(f"alltoallv dest {dest} out of range")
+            if dest == self.rank:
+                raise ValueError("alltoallv payload addressed to self")
+        # Round 0: everyone learns who sends to whom (metadata).
+        sends_to = yield from self.allgather(sorted(payloads))
+        n_recv = sum(1 for src, dests in enumerate(sends_to)
+                     if src != self.rank and self.rank in dests)
+        reqs = [self.irecv(tag=base + 1) for _ in range(n_recv)]
+        for dest, payload in sorted(payloads.items()):
+            self.isend(payload, dest=dest, tag=base + 1)
+        msgs = yield self.waitall(reqs)
+        return {msg.source: msg.data for msg in msgs}
+
+    def reduce(self, value: Any, op=None, root: int = 0):
+        """Gather + fold at root (simple flat reduction)."""
+        import functools
+        gathered = yield from self.gather(value, root=root)
+        if gathered is None:
+            return None
+        if op is None:
+            op = lambda a, b: a + b
+        return functools.reduce(op, gathered)
+
+    def allreduce(self, value: Any, op=None):
+        reduced = yield from self.reduce(value, op=op, root=0)
+        result = yield from self.bcast(reduced, root=0)
+        return result

@@ -1,0 +1,211 @@
+"""SPMD job launcher: run one generator program on every rank.
+
+:class:`SimJob` wires together the DES kernel, the machine layout, the
+transport and the world communicator, then runs a *program* — a callable
+``program(ctx, *args) -> generator`` — as one process per rank:
+
+>>> job = SimJob(lassen(), num_nodes=2, ppn=4)
+>>> def program(ctx):
+...     if ctx.rank == 0:
+...         yield ctx.comm.send(1024, dest=ctx.size - 1)
+...     elif ctx.rank == ctx.size - 1:
+...         msg = yield ctx.comm.recv(source=0)
+...     return ctx.now
+>>> result = job.run(program)
+>>> result.elapsed > 0
+True
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Generator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.machine.topology import JobLayout, MachineSpec, ProcessPlacement
+from repro.mpi.communicator import CommHandle, Communicator
+from repro.mpi.device import CopyEngine
+from repro.mpi.transport import Transport, TransportStats
+from repro.sim.engine import Simulator
+from repro.sim.noise import NoiseModel, make_noise
+
+
+class RankContext:
+    """Everything one rank's program can see.
+
+    Attributes
+    ----------
+    rank, size:
+        World rank and job size.
+    comm:
+        World :class:`CommHandle`.
+    placement:
+        Hardware placement (node / socket / core / owned GPU).
+    copy:
+        The job's :class:`CopyEngine` for H2D/D2H transfers.
+    """
+
+    def __init__(self, job: "SimJob", rank: int) -> None:
+        self.job = job
+        self.rank = rank
+        self.size = job.layout.size
+        self.comm: CommHandle = job.world.handle(rank)
+        self.placement: ProcessPlacement = job.layout.placement(rank)
+        self.copy: CopyEngine = job.copy_engine
+
+    # -- placement sugar -----------------------------------------------------
+    @property
+    def node(self) -> int:
+        return self.placement.node
+
+    @property
+    def socket(self) -> int:
+        return self.placement.socket
+
+    @property
+    def local_rank(self) -> int:
+        return self.placement.local_rank
+
+    @property
+    def gpu(self) -> Optional[int]:
+        """On-node GPU index owned by this rank (None for helpers)."""
+        return self.placement.gpu
+
+    @property
+    def global_gpu(self) -> Optional[int]:
+        return self.job.layout.global_gpu_of(self.rank)
+
+    @property
+    def is_gpu_owner(self) -> bool:
+        return self.placement.gpu is not None
+
+    @property
+    def layout(self) -> JobLayout:
+        return self.job.layout
+
+    @property
+    def machine(self) -> MachineSpec:
+        return self.job.layout.machine
+
+    @property
+    def now(self) -> float:
+        """Current virtual time (seconds)."""
+        return self.job.sim.now
+
+    def timeout(self, delay: float):
+        """Locally advance this rank's time (compute phases, sleeps)."""
+        return self.job.sim.timeout(delay)
+
+
+@dataclass
+class JobResult:
+    """Outcome of one :meth:`SimJob.run`.
+
+    ``elapsed`` is the job's virtual makespan; ``values`` the per-rank
+    program return values; ``rank_times`` the virtual time at which each
+    rank's program finished.
+    """
+
+    elapsed: float
+    values: List[Any]
+    rank_times: List[float]
+    stats: TransportStats
+
+    @property
+    def max_rank_time(self) -> float:
+        return max(self.rank_times) if self.rank_times else 0.0
+
+    def value_of(self, rank: int) -> Any:
+        return self.values[rank]
+
+
+class SimJob:
+    """One simulated MPI job: machine x nodes x ppn (+ noise).
+
+    Parameters
+    ----------
+    machine:
+        Node architecture (see :mod:`repro.machine.presets`).
+    num_nodes, ppn:
+        Job shape.
+    noise_sigma, seed:
+        Lognormal timing-jitter scale (0 = exact costs) and RNG seed.
+    """
+
+    def __init__(self, machine: MachineSpec, num_nodes: int, ppn: int,
+                 noise_sigma: float = 0.0, seed: int = 0,
+                 overhead_fraction: Optional[float] = None,
+                 queue_search_cost: float = 0.0,
+                 trace: bool = False) -> None:
+        self.layout = JobLayout(machine, num_nodes, ppn)
+        self.noise_sigma = noise_sigma
+        self.seed = seed
+        self.overhead_fraction = overhead_fraction
+        self.queue_search_cost = queue_search_cost
+        self.trace = trace
+        self._run_count = 0
+        self.sim: Simulator = None  # type: ignore[assignment]
+        self.transport: Transport = None  # type: ignore[assignment]
+        self.world: Communicator = None  # type: ignore[assignment]
+        self.copy_engine: CopyEngine = None  # type: ignore[assignment]
+        self._fresh()
+
+    def _fresh(self) -> None:
+        """(Re)build simulator state for an independent run.
+
+        Each run draws fresh (but seeded) noise streams, so repeated
+        runs model independent measurements while two jobs constructed
+        with the same seed replay identical run sequences.
+        """
+        self.sim = Simulator()
+        noise = make_noise(self.noise_sigma, self.seed)
+        run = self._run_count
+        self._run_count += 1
+        self.transport = Transport(self.sim, self.layout,
+                                   noise=noise.fork(2 * run),
+                                   overhead_fraction=self.overhead_fraction,
+                                   queue_search_cost=self.queue_search_cost,
+                                   trace=self.trace)
+        self.world = Communicator(
+            self.transport, range(self.layout.size), name="world")
+        self.copy_engine = CopyEngine(
+            self.sim, self.layout.machine.copy_params,
+            noise=noise.fork(2 * run + 1))
+
+    # -- running programs ----------------------------------------------------
+    def run(self, program: Callable[..., Generator], *args: Any,
+            reuse_state: bool = False, until: Optional[float] = None,
+            **kwargs: Any) -> JobResult:
+        """Run ``program(ctx, *args, **kwargs)`` on every rank.
+
+        Each invocation starts from a fresh simulator (time 0, empty NIC
+        queues) unless ``reuse_state=True``.
+        """
+        if not reuse_state:
+            self._fresh()
+        size = self.layout.size
+        contexts = [RankContext(self, r) for r in range(size)]
+        finish_times = [0.0] * size
+
+        def wrap(ctx: RankContext) -> Generator:
+            value = yield from program(ctx, *args, **kwargs)
+            finish_times[ctx.rank] = self.sim.now
+            return value
+
+        procs = [self.sim.process(wrap(ctx), label=f"rank{ctx.rank}")
+                 for ctx in contexts]
+        self.sim.run(until=until)
+        return JobResult(
+            elapsed=self.sim.now,
+            values=[p.value if p.processed else None for p in procs],
+            rank_times=finish_times,
+            stats=self.transport.stats,
+        )
+
+    def run_repeated(self, program: Callable[..., Generator], reps: int,
+                     *args: Any, **kwargs: Any) -> List[JobResult]:
+        """Independent repetitions (fresh state each) — benchmark helper."""
+        if reps < 1:
+            raise ValueError(f"reps must be >= 1, got {reps}")
+        return [self.run(program, *args, **kwargs) for _ in range(reps)]

@@ -1,0 +1,68 @@
+"""Nonblocking-operation handles (``MPI_Request`` analog)."""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Iterable, List, TYPE_CHECKING
+
+from repro.sim.events import AllOf, Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+
+
+class RequestState(enum.Enum):
+    ACTIVE = "active"
+    COMPLETE = "complete"
+
+
+class Request:
+    """Handle for a pending nonblocking send or receive.
+
+    ``yield req.wait()`` suspends the calling rank until completion and
+    evaluates to the received message payload (receives) or ``None``
+    (sends).
+    """
+
+    __slots__ = ("sim", "kind", "_event")
+
+    def __init__(self, sim: "Simulator", kind: str, event: Event) -> None:
+        self.sim = sim
+        self.kind = kind  # "send" | "recv"
+        self._event = event
+
+    @property
+    def state(self) -> RequestState:
+        return (RequestState.COMPLETE if self._event.processed
+                else RequestState.ACTIVE)
+
+    @property
+    def complete(self) -> bool:
+        return self._event.processed
+
+    def test(self) -> bool:
+        """Nonblocking completion probe (``MPI_Test`` analog)."""
+        return self.complete
+
+    @property
+    def value(self) -> Any:
+        """Payload of a completed receive (``None`` for sends)."""
+        if not self.complete:
+            raise RuntimeError("request not complete; yield wait() first")
+        return self._event.value
+
+    def wait(self) -> Event:
+        """Event firing at completion; value is the payload (recvs)."""
+        return self._event
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Request {self.kind} {self.state.value}>"
+
+
+def waitall(sim: "Simulator", requests: Iterable[Request]) -> AllOf:
+    """Event firing when all ``requests`` complete (``MPI_Waitall``).
+
+    Value is the list of per-request values in request order.
+    """
+    reqs: List[Request] = list(requests)
+    return AllOf(sim, [r.wait() for r in reqs])

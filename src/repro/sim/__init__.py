@@ -1,0 +1,52 @@
+"""Discrete-event simulation (DES) kernel.
+
+This package provides the simulation substrate on which the simulated MPI
+runtime (:mod:`repro.mpi`) executes.  It is a small, deterministic,
+generator-coroutine event loop in the style of SimPy:
+
+* :class:`~repro.sim.engine.Simulator` owns a virtual clock and an event
+  heap ordered by ``(time, sequence)`` so same-time events fire in a
+  deterministic FIFO order.
+* Processes are plain Python generators that ``yield`` :class:`Event`
+  objects; the engine resumes them with the event's value when it fires.
+* :class:`~repro.sim.resources.BandwidthResource` models a FIFO byte
+  server (used for NIC injection limits, producing max-rate behaviour
+  through contention rather than through a hard-coded formula).
+
+Example
+-------
+>>> from repro.sim import Simulator
+>>> sim = Simulator()
+>>> def hello(sim, log):
+...     yield sim.timeout(1.5)
+...     log.append(sim.now)
+>>> log = []
+>>> _ = sim.process(hello(sim, log))
+>>> sim.run()
+1.5
+>>> log
+[1.5]
+"""
+
+from repro.sim.engine import Simulator, Process, SimulationError, DeadlockError
+from repro.sim.events import Event, Timeout, AllOf, AnyOf, EventState
+from repro.sim.resources import BandwidthResource, Resource, TokenBucket
+from repro.sim.noise import NoiseModel, NoNoise, LognormalNoise
+
+__all__ = [
+    "Simulator",
+    "Process",
+    "SimulationError",
+    "DeadlockError",
+    "Event",
+    "Timeout",
+    "AllOf",
+    "AnyOf",
+    "EventState",
+    "BandwidthResource",
+    "Resource",
+    "TokenBucket",
+    "NoiseModel",
+    "NoNoise",
+    "LognormalNoise",
+]

@@ -1,0 +1,217 @@
+"""The simulation engine: virtual clock, event heap, process scheduling.
+
+Determinism
+-----------
+Events scheduled for the same virtual time fire in scheduling order
+(monotone sequence numbers break ties), so a simulation with a fixed seed
+is bit-reproducible across runs and platforms.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Generator, Iterable, List, Optional, Tuple
+
+from repro.sim.events import AllOf, AnyOf, Event, EventState, Timeout, ensure_event
+
+
+class SimulationError(RuntimeError):
+    """Raised for structural errors in a simulation."""
+
+
+class DeadlockError(SimulationError):
+    """Raised when processes remain but no events are scheduled."""
+
+
+class Interrupt(Exception):
+    """Raised inside a process that has been interrupted."""
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Process(Event):
+    """A running generator coroutine.
+
+    A :class:`Process` is itself an :class:`Event` that fires when the
+    generator returns; its value is the generator's return value.  This
+    lets processes wait on each other by yielding the process object.
+    """
+
+    __slots__ = ("generator", "_waiting_on", "label")
+
+    def __init__(self, sim: "Simulator", generator: Generator,
+                 label: str = "") -> None:
+        if not hasattr(generator, "send"):
+            raise TypeError(
+                f"Process requires a generator, got {type(generator).__name__}"
+            )
+        super().__init__(sim, name=label or getattr(generator, "__name__", "process"))
+        self.generator = generator
+        self.label = self.name
+        self._waiting_on: Optional[Event] = None
+        # Kick-start at the current time via an immediate event.
+        start = Event(sim, name=f"start:{self.name}")
+        start.callbacks.append(self._resume)
+        start.succeed(None)
+        sim._live_processes += 1
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.processed
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            raise RuntimeError(f"cannot interrupt finished process {self.label!r}")
+        ev = Event(self.sim, name=f"interrupt:{self.label}")
+        ev.callbacks.append(lambda _ev: self._throw(Interrupt(cause)))
+        ev.succeed(None)
+
+    # -- engine internals ---------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        if self.processed:
+            return
+        self._waiting_on = None
+        try:
+            if event.ok:
+                target = self.generator.send(event.value)
+            else:
+                target = self.generator.throw(event.value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        except BaseException as exc:
+            self.sim._live_processes -= 1
+            self._state = EventState.PENDING  # allow fail()
+            self.fail(exc)
+            self.sim._crashed.append((self, exc))
+            return
+        self._wait_on(target)
+
+    def _throw(self, exc: BaseException) -> None:
+        if self.processed:
+            return
+        waiting = self._waiting_on
+        if waiting is not None and self._resume in waiting.callbacks:
+            waiting.callbacks.remove(self._resume)
+        self._waiting_on = None
+        try:
+            target = self.generator.throw(exc)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        except BaseException as err:
+            self.sim._live_processes -= 1
+            self._state = EventState.PENDING
+            self.fail(err)
+            self.sim._crashed.append((self, err))
+            return
+        self._wait_on(target)
+
+    def _wait_on(self, target: Any) -> None:
+        event = ensure_event(self.sim, target)
+        self._waiting_on = event
+        if event.processed:
+            # Already fired: resume at the current time via a fresh event
+            # so the engine (not recursion) drives the resumption.
+            relay = Event(self.sim, name=f"relay:{self.name}")
+            relay.callbacks.append(self._resume)
+            if event.ok:
+                relay.succeed(event.value)
+            else:
+                relay.fail(event.value)
+        else:
+            event.callbacks.append(self._resume)
+
+    def _finish(self, value: Any) -> None:
+        self.sim._live_processes -= 1
+        self.succeed(value)
+
+
+class Simulator:
+    """Owner of the virtual clock and the pending-event heap."""
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._heap: List[Tuple[float, int, Event]] = []
+        self._seq = count()
+        self._live_processes = 0
+        self._crashed: List[Tuple[Process, BaseException]] = []
+
+    # -- clock ----------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    # -- scheduling -------------------------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay!r})")
+        heapq.heappush(self._heap, (self._now + delay, next(self._seq), event))
+
+    # -- factories ---------------------------------------------------------------
+    def event(self, name: str = "") -> Event:
+        """Create a fresh pending event."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event firing ``delay`` seconds from now."""
+        return Timeout(self, delay, value=value)
+
+    def timeout_until(self, when: float, value: Any = None) -> Timeout:
+        """An event firing at absolute virtual time ``when`` (>= now)."""
+        if when < self._now - 1e-18:
+            raise ValueError(
+                f"timeout_until({when!r}) is in the past (now={self._now!r})"
+            )
+        return Timeout(self, max(0.0, when - self._now), value=value)
+
+    def process(self, generator: Generator, label: str = "") -> Process:
+        """Register ``generator`` as a process starting at the current time."""
+        return Process(self, generator, label=label)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, list(events))
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, list(events))
+
+    # -- main loop -----------------------------------------------------------------
+    def step(self) -> None:
+        """Fire the next scheduled event."""
+        when, _seq, event = heapq.heappop(self._heap)
+        self._now = when
+        event._process_callbacks()
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the heap drains or virtual time passes ``until``.
+
+        Returns the final virtual time.  Raises :class:`DeadlockError` if
+        live processes remain with nothing scheduled, and re-raises the
+        first exception of any crashed process.
+        """
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                self._now = until
+                break
+            self.step()
+            if self._crashed:
+                proc, exc = self._crashed[0]
+                raise SimulationError(
+                    f"process {proc.label!r} crashed at t={self._now:g}: {exc!r}"
+                ) from exc
+        else:
+            if self._live_processes > 0 and until is None:
+                raise DeadlockError(
+                    f"{self._live_processes} process(es) blocked forever at "
+                    f"t={self._now:g} with no scheduled events"
+                )
+        return self._now
+
+    def peek(self) -> float:
+        """Time of the next scheduled event (``inf`` if none)."""
+        return self._heap[0][0] if self._heap else float("inf")

@@ -1,0 +1,186 @@
+"""Shared-resource models for the DES kernel.
+
+Three resource kinds are provided:
+
+:class:`Resource`
+    A counting semaphore with FIFO queuing — used for exclusive access to
+    e.g. a GPU copy engine.
+:class:`BandwidthResource`
+    A FIFO *byte server*: transfers of ``n`` bytes occupy the server for
+    ``n / rate`` seconds, back to back.  Used for the per-node NIC, so
+    that concurrent off-node senders share injection bandwidth and the
+    aggregate drains at exactly ``rate`` bytes/second — the phenomenon
+    the max-rate model (paper eq. 2.2) captures analytically.
+:class:`TokenBucket`
+    A rate limiter admitting ``rate`` tokens/second with a burst bucket,
+    used by tests to model paced injection.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, TYPE_CHECKING
+
+from repro.sim.events import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+
+
+class Resource:
+    """Counting semaphore with FIFO waiters.
+
+    ``acquire()`` returns an event that fires when a slot is granted;
+    the holder must call ``release()`` exactly once per grant.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    @property
+    def available(self) -> int:
+        return self.capacity - self._in_use
+
+    def acquire(self) -> Event:
+        ev = self.sim.event(name="Resource.acquire")
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            ev.succeed(self)
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise RuntimeError("release() without matching acquire()")
+        if self._waiters:
+            # Hand the slot directly to the next waiter.
+            self._waiters.popleft().succeed(self)
+        else:
+            self._in_use -= 1
+
+
+class BandwidthResource:
+    """A FIFO byte server of fixed ``rate`` bytes/second.
+
+    ``transfer(nbytes)`` reserves the server for ``nbytes / rate`` seconds
+    starting when the server frees up, and returns the event firing at the
+    transfer's completion time.  Zero-byte transfers complete at the
+    current front of the queue without consuming server time.
+
+    The server conserves throughput: the sum of bytes completed over any
+    busy interval equals ``rate * interval``, which is what makes
+    max-rate injection behaviour emerge from contention.
+    """
+
+    def __init__(self, sim: "Simulator", rate: float, name: str = "") -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate!r}")
+        self.sim = sim
+        self.rate = float(rate)
+        self.name = name
+        self._available_at: float = 0.0
+        self._bytes_served: float = 0.0
+        self._transfers: int = 0
+
+    @property
+    def available_at(self) -> float:
+        """Virtual time at which the server next becomes idle."""
+        return max(self._available_at, self.sim.now)
+
+    @property
+    def bytes_served(self) -> float:
+        return self._bytes_served
+
+    @property
+    def transfers(self) -> int:
+        return self._transfers
+
+    def busy_until(self, nbytes: float, start: Optional[float] = None) -> float:
+        """Completion time a transfer of ``nbytes`` would get, w/o booking."""
+        begin = max(self.available_at, self.sim.now if start is None else start)
+        return begin + nbytes / self.rate
+
+    def transfer(self, nbytes: float, start: Optional[float] = None) -> Event:
+        """Book a transfer and return the event firing at its completion.
+
+        Parameters
+        ----------
+        nbytes:
+            Payload size; must be >= 0.
+        start:
+            Earliest virtual time the payload is ready to enter the
+            server (default: now).  The transfer begins at
+            ``max(start, server free)``.
+        """
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes!r}")
+        begin = max(self.available_at, self.sim.now if start is None else start)
+        finish = begin + nbytes / self.rate
+        self._available_at = finish
+        self._bytes_served += nbytes
+        self._transfers += 1
+        return self.sim.timeout_until(finish)
+
+    def completion_time(self, nbytes: float, start: Optional[float] = None) -> float:
+        """Book a transfer and return its completion *time* (no event)."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes!r}")
+        begin = max(self.available_at, self.sim.now if start is None else start)
+        finish = begin + nbytes / self.rate
+        self._available_at = finish
+        self._bytes_served += nbytes
+        self._transfers += 1
+        return finish
+
+    def reset(self) -> None:
+        """Forget queue state and counters (used between benchmark reps)."""
+        self._available_at = 0.0
+        self._bytes_served = 0.0
+        self._transfers = 0
+
+
+class TokenBucket:
+    """Token-bucket rate limiter (tokens/second with burst capacity)."""
+
+    def __init__(self, sim: "Simulator", rate: float, burst: float) -> None:
+        if rate <= 0 or burst <= 0:
+            raise ValueError("rate and burst must be positive")
+        self.sim = sim
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._stamp = 0.0
+
+    def _refill(self) -> None:
+        now = self.sim.now
+        self._tokens = min(self.burst, self._tokens + (now - self._stamp) * self.rate)
+        self._stamp = now
+
+    @property
+    def tokens(self) -> float:
+        self._refill()
+        return self._tokens
+
+    def take(self, amount: float) -> Event:
+        """Event firing once ``amount`` tokens have been consumed."""
+        if amount < 0:
+            raise ValueError("amount must be >= 0")
+        self._refill()
+        if amount <= self._tokens:
+            self._tokens -= amount
+            return self.sim.timeout(0.0)
+        deficit = amount - self._tokens
+        self._tokens = 0.0
+        wait = deficit / self.rate
+        self._stamp = self.sim.now + wait
+        return self.sim.timeout(wait)

@@ -1,0 +1,67 @@
+"""Distributed sparse-matrix substrate (paper Section 2.4).
+
+Provides the workload that exercises the communication strategies:
+
+* :class:`~repro.sparse.distributed.DistributedCSR` — a CSR matrix
+  partitioned row-wise across GPUs with the on-GPU / off-GPU column
+  split of Figure 2.8, exposing the induced irregular P2P
+  :class:`~repro.core.pattern.CommPattern`;
+* :func:`~repro.sparse.spmv.distributed_spmv` — a full distributed
+  SpMV whose halo exchange runs through any strategy, verified against
+  the serial product;
+* :mod:`~repro.sparse.generators` — synthetic matrix classes (banded
+  FEM, 3-D stencils, arrowhead) and
+* :mod:`~repro.sparse.suite` — reduced-scale structural analogs of the
+  paper's six SuiteSparse test matrices.
+"""
+
+from repro.sparse.partition import RowPartition
+from repro.sparse.distributed import DistributedCSR
+from repro.sparse.spmv import (
+    ComputeModel,
+    SpMVResult,
+    SpMVTiming,
+    distributed_spmv,
+    serial_spmv,
+    spmv_time_breakdown,
+)
+from repro.sparse.generators import (
+    banded_fem,
+    stencil27,
+    stencil5,
+    arrowhead_fem,
+    random_sparse,
+)
+from repro.sparse.suite import SUITE, SuiteMatrix, build_suite_matrix
+from repro.sparse.cg import CGResult, conjugate_gradient
+from repro.sparse.reorder import (
+    ReorderReport,
+    bandwidth,
+    compare_reordering,
+    rcm_reorder,
+)
+
+__all__ = [
+    "RowPartition",
+    "DistributedCSR",
+    "SpMVResult",
+    "SpMVTiming",
+    "ComputeModel",
+    "spmv_time_breakdown",
+    "distributed_spmv",
+    "serial_spmv",
+    "banded_fem",
+    "stencil27",
+    "stencil5",
+    "arrowhead_fem",
+    "random_sparse",
+    "SUITE",
+    "SuiteMatrix",
+    "build_suite_matrix",
+    "CGResult",
+    "conjugate_gradient",
+    "ReorderReport",
+    "bandwidth",
+    "compare_reordering",
+    "rcm_reorder",
+]

@@ -1,0 +1,96 @@
+"""Row-wise block partitioning of matrices and vectors.
+
+The paper partitions ``A``, ``v`` and ``w`` row-wise with contiguous
+rows per GPU (Section 2.4.1 / Figure 2.8).  :class:`RowPartition`
+captures that split and answers ownership queries.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+
+class RowPartition:
+    """Contiguous row blocks over ``num_parts`` owners.
+
+    Rows are dealt as evenly as possible: the first ``n % p`` parts get
+    one extra row, matching the usual block distribution.
+    """
+
+    def __init__(self, n: int, num_parts: int) -> None:
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
+        if num_parts < 1:
+            raise ValueError(f"num_parts must be >= 1, got {num_parts}")
+        if num_parts > n > 0:
+            raise ValueError(
+                f"cannot split {n} rows into {num_parts} non-empty parts"
+            )
+        self.n = n
+        self.num_parts = num_parts
+        base, extra = divmod(n, num_parts)
+        counts = [base + (1 if p < extra else 0) for p in range(num_parts)]
+        self._starts = np.zeros(num_parts + 1, dtype=np.int64)
+        np.cumsum(counts, out=self._starts[1:])
+
+    def range_of(self, part: int) -> Tuple[int, int]:
+        """Half-open global row range ``[start, stop)`` of one part."""
+        if not 0 <= part < self.num_parts:
+            raise ValueError(f"part {part} out of range")
+        return int(self._starts[part]), int(self._starts[part + 1])
+
+    def size_of(self, part: int) -> int:
+        start, stop = self.range_of(part)
+        return stop - start
+
+    def owner_of(self, row: int) -> int:
+        """Part owning a global row index."""
+        if not 0 <= row < self.n:
+            raise ValueError(f"row {row} out of range [0, {self.n})")
+        return int(np.searchsorted(self._starts, row, side="right") - 1)
+
+    def owners_of(self, rows: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`owner_of`."""
+        rows = np.asarray(rows)
+        if len(rows) and (rows.min() < 0 or rows.max() >= self.n):
+            raise ValueError("row indices out of range")
+        return np.searchsorted(self._starts, rows, side="right") - 1
+
+    def to_local(self, part: int, rows: np.ndarray) -> np.ndarray:
+        """Global rows -> part-local indices (rows must belong to part)."""
+        start, stop = self.range_of(part)
+        rows = np.asarray(rows)
+        if len(rows) and (rows.min() < start or rows.max() >= stop):
+            raise ValueError(f"rows outside part {part}'s range")
+        return rows - start
+
+    def split_vector(self, v: np.ndarray) -> List[np.ndarray]:
+        """Slice a global vector into per-part blocks (views)."""
+        if len(v) != self.n:
+            raise ValueError(f"vector length {len(v)} != {self.n}")
+        return [v[self._starts[p]:self._starts[p + 1]]
+                for p in range(self.num_parts)]
+
+    def join_vector(self, parts: List[np.ndarray]) -> np.ndarray:
+        """Concatenate per-part blocks back into a global vector."""
+        if len(parts) != self.num_parts:
+            raise ValueError(
+                f"expected {self.num_parts} blocks, got {len(parts)}"
+            )
+        for p, block in enumerate(parts):
+            if len(block) != self.size_of(p):
+                raise ValueError(
+                    f"block {p} has {len(block)} rows, expected "
+                    f"{self.size_of(p)}"
+                )
+        return np.concatenate(parts) if parts else np.empty(0)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RowPartition):
+            return NotImplemented
+        return (self.n == other.n and self.num_parts == other.num_parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RowPartition(n={self.n}, parts={self.num_parts})"

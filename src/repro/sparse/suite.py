@@ -1,0 +1,149 @@
+"""Reduced-scale analogs of the paper's SuiteSparse test matrices.
+
+Figure 5.1 benchmarks six large SuiteSparse matrices.  The collection
+cannot be shipped offline, so each entry here is a *structural analog*:
+a generated matrix of ~1/20 the paper's dimension whose row partition
+induces the same communication-pattern class (see DESIGN.md's
+substitution table).  Paper-side metadata is retained for reporting.
+
+=============  ==========  ==========  ==================================
+name           paper rows  paper nnz   structure class
+=============  ==========  ==========  ==================================
+audikw_1          943,695   77.65 M    3-D FEM + dense arrow rows
+Serena          1,391,349   64.13 M    wide-band gas-reservoir FEM
+ldoor             952,203   42.49 M    narrow-band structural shell
+thermal2        1,228,045    8.58 M    low-degree thermal FEM (many
+                                       small messages)
+bone010           986,703   47.85 M    micro-FE, moderate band
+Geo_1438        1,437,960   60.24 M    wide-band geomechanical FEM
+=============  ==========  ==========  ==================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+import scipy.sparse as sp
+
+from repro.sparse.generators import arrowhead_fem, banded_fem, stencil5
+
+
+@dataclass(frozen=True)
+class SuiteMatrix:
+    """Metadata + builder for one test matrix analog."""
+
+    name: str
+    paper_rows: int
+    paper_nnz: int
+    description: str
+    default_n: int
+    builder: Callable[[int], sp.csr_matrix]
+
+    def build(self, n: int = 0) -> sp.csr_matrix:
+        """Construct the analog at ``n`` rows (0 = default scale)."""
+        n = n or self.default_n
+        if n < 64:
+            raise ValueError(f"{self.name}: n={n} too small to be meaningful")
+        return self.builder(n)
+
+
+def _audikw(n: int) -> sp.csr_matrix:
+    # Dense arrow over the first block + moderately wide band: every
+    # partition needs the arrow owner's entries (heavy duplicate data —
+    # each node's GPUs all want the same block) and its band
+    # neighbours' halos -> high on-node AND inter-node message counts.
+    return arrowhead_fem(n, bandwidth=max(8, n // 16), nnz_per_row=40,
+                         arrow_width=max(32, n // 40), seed=11)
+
+
+def _with_long_range(base: sp.csr_matrix, n: int, extra: int,
+                     seed: int) -> sp.csr_matrix:
+    """Add symmetric random long-range couplings (multi-body contacts,
+    constraint equations) so partitions at scale talk to many nodes."""
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    rows = rng.integers(0, n, size=extra)
+    cols = rng.integers(0, n, size=extra)
+    coupling = sp.coo_matrix((np.ones(extra), (rows, cols)), shape=(n, n))
+    out = (base + coupling + coupling.T).tocsr()
+    out.sum_duplicates()
+    out.data[:] = np.arange(1, out.nnz + 1, dtype=np.float64) % 97 + 1.0
+    return out
+
+
+def _serena(n: int) -> sp.csr_matrix:
+    # Wide-band FEM with sparse far couplings (faults/wells in the
+    # reservoir couple distant regions) -> moderate volumes, many nodes.
+    base = banded_fem(n, bandwidth=max(8, n // 16), nnz_per_row=20, seed=23)
+    return _with_long_range(base, n, extra=n // 6, seed=24)
+
+
+def _ldoor(n: int) -> sp.csr_matrix:
+    # Narrow band, high local density, plus shell-contact couplings:
+    # many small messages to many nodes (node-aware territory).
+    base = banded_fem(n, bandwidth=max(4, n // 96), nnz_per_row=20, seed=31)
+    return _with_long_range(base, n, extra=n // 4, seed=32)
+
+
+def _thermal2(n: int) -> sp.csr_matrix:
+    # Low-degree unstructured diffusion: a 2-D stencil plus sparse random
+    # long-range couplings -> many distinct small messages, the paper's
+    # high-inter-node-message-volume case.
+    import numpy as np
+
+    side = max(8, int(round(n ** 0.5)))
+    a = stencil5(side, side).tocoo()
+    m = side * side
+    rng = np.random.default_rng(47)
+    extra = m // 12
+    rows = rng.integers(0, m, size=extra)
+    cols = rng.integers(0, m, size=extra)
+    long_range = sp.coo_matrix((np.ones(extra), (rows, cols)), shape=(m, m))
+    out = (a + long_range + long_range.T).tocsr()
+    out.data[:] = 1.0
+    out.setdiag(4.0)
+    return out.tocsr()
+
+
+def _bone010(n: int) -> sp.csr_matrix:
+    return banded_fem(n, bandwidth=max(6, n // 48), nnz_per_row=24, seed=59)
+
+
+def _geo1438(n: int) -> sp.csr_matrix:
+    return banded_fem(n, bandwidth=max(10, n // 12), nnz_per_row=18, seed=67)
+
+
+SUITE: Dict[str, SuiteMatrix] = {
+    "audikw_1": SuiteMatrix(
+        "audikw_1", 943_695, 77_651_847,
+        "3-D FEM with dense arrow rows (model-validation matrix)",
+        48_000, _audikw),
+    "Serena": SuiteMatrix(
+        "Serena", 1_391_349, 64_131_971,
+        "wide-band gas-reservoir FEM", 64_000, _serena),
+    "ldoor": SuiteMatrix(
+        "ldoor", 952_203, 42_493_817,
+        "narrow-band structural shell", 48_000, _ldoor),
+    "thermal2": SuiteMatrix(
+        "thermal2", 1_228_045, 8_580_313,
+        "low-degree thermal FEM, many small messages", 57_600, _thermal2),
+    "bone010": SuiteMatrix(
+        "bone010", 986_703, 47_851_783,
+        "micro-FE bone model, moderate band", 48_000, _bone010),
+    "Geo_1438": SuiteMatrix(
+        "Geo_1438", 1_437_960, 60_236_322,
+        "wide-band geomechanical FEM", 64_000, _geo1438),
+}
+
+
+def build_suite_matrix(name: str, n: int = 0) -> sp.csr_matrix:
+    """Build one analog by name (0 = default reduced scale)."""
+    try:
+        entry = SUITE[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown suite matrix {name!r}; available: {sorted(SUITE)}"
+        ) from None
+    return entry.build(n)

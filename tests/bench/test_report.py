@@ -1,0 +1,34 @@
+"""Experiment-record generator smoke test (small scale)."""
+
+import pytest
+
+from repro.bench.report import generate
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    return generate(matrix_n=3000, gpu_counts=(8,))
+
+
+class TestReport:
+    def test_contains_every_artifact_section(self, report_text):
+        for heading in (
+            "Table 2", "Table 3", "Table 4",
+            "Figure 2.5", "Figure 2.6", "Figure 3.1",
+            "Figure 4.2", "Figure 4.3", "Figure 5.1",
+            "regime map",
+        ):
+            assert heading in report_text, heading
+
+    def test_mentions_all_suite_matrices(self, report_text):
+        from repro.sparse.suite import SUITE
+
+        for name in SUITE:
+            assert name in report_text
+
+    def test_reports_winners(self, report_text):
+        assert "Winners at the largest GPU count" in report_text
+
+    def test_paper_reference_values_included(self, report_text):
+        assert "4.190e-11" in report_text  # Table 4 R_N^-1
+        assert "(paper" in report_text

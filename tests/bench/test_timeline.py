@@ -1,0 +1,142 @@
+"""Message tracing and timeline analysis."""
+
+import numpy as np
+import pytest
+
+from repro.bench.timeline import (
+    busiest_links,
+    locality_breakdown,
+    render_timeline,
+    summarize_trace,
+)
+from repro.core import CommPattern, SplitMD, StandardStaged, run_exchange
+from repro.machine import lassen
+from repro.mpi import SimJob
+
+
+@pytest.fixture
+def traced_run():
+    job = SimJob(lassen(), num_nodes=2, ppn=8, trace=True)
+    pattern = CommPattern.random(8, 200, 4, 50, seed=2)
+    result = run_exchange(job, StandardStaged(), pattern)
+    return job, pattern, result
+
+
+class TestTracing:
+    def test_disabled_by_default(self):
+        job = SimJob(lassen(), num_nodes=2, ppn=4)
+
+        def program(ctx):
+            if ctx.rank == 0:
+                yield ctx.comm.send(64, dest=4)
+            elif ctx.rank == 4:
+                yield ctx.comm.recv(source=0)
+            return None
+
+        job.run(program)
+        assert job.transport.trace_log == []
+
+    def test_trace_matches_stats(self, traced_run):
+        job, pattern, result = traced_run
+        log = job.transport.trace_log
+        assert len(log) == result.stats.messages
+        assert sum(t.nbytes for t in log) == result.stats.bytes_sent
+
+    def test_trace_times_ordered(self, traced_run):
+        job, _pattern, _result = traced_run
+        for t in job.transport.trace_log:
+            assert t.t_send <= t.t_start <= t.delivery
+            assert t.send_complete <= t.delivery + 1e-18
+            assert t.pipe_wait >= 0
+            assert t.transfer_time > 0
+
+
+class TestAnalysis:
+    def test_summarize_trace(self, traced_run):
+        job, pattern, _result = traced_run
+        summary = summarize_trace(job.transport.trace_log)
+        total_msgs = sum(a.messages for a in summary.values())
+        assert total_msgs == len(job.transport.trace_log)
+        for a in summary.values():
+            assert a.span >= 0 and a.busy_time > 0
+
+    def test_busiest_links(self, traced_run):
+        job, _p, _r = traced_run
+        links = busiest_links(job.transport.trace_log, top=3)
+        assert 1 <= len(links) <= 3
+        sizes = [b for _s, _d, b, _m in links]
+        assert sizes == sorted(sizes, reverse=True)
+        with pytest.raises(ValueError):
+            busiest_links(job.transport.trace_log, top=0)
+
+    def test_locality_breakdown(self, traced_run):
+        job, _p, result = traced_run
+        breakdown = locality_breakdown(job.transport.trace_log)
+        total = sum(d["messages"] for d in breakdown.values())
+        assert total == result.stats.messages
+        for d in breakdown.values():
+            assert d["mean_transfer"] > 0
+
+
+class TestPhaseBreakdown:
+    def test_three_step_phases_in_algorithm_order(self):
+        from repro.bench.timeline import phase_breakdown, render_phase_breakdown
+        from repro.core import ThreeStepStaged
+
+        job = SimJob(lassen(), num_nodes=3, ppn=8, trace=True)
+        sends = {s: {d: np.arange(64) for d in range(12) if d != s}
+                 for s in range(12)}
+        run_exchange(job, ThreeStepStaged(), CommPattern(12, sends))
+        phases = phase_breakdown(job.transport.trace_log)
+        assert {"gather", "inter-node", "redistribute"} <= set(phases)
+        # Algorithm order: gather starts before inter-node before redist.
+        assert (phases["gather"]["first_start"]
+                <= phases["inter-node"]["first_start"]
+                <= phases["redistribute"]["first_start"])
+        text = render_phase_breakdown(phases)
+        assert "gather" in text and "span" in text
+
+    def test_split_has_distribute_phase(self):
+        from repro.bench.timeline import phase_breakdown
+
+        job = SimJob(lassen(), num_nodes=2, ppn=40, trace=True)
+        pattern = CommPattern(8, {0: {4: np.arange(40_000)}})
+        run_exchange(job, SplitMD(), pattern)
+        phases = phase_breakdown(job.transport.trace_log)
+        assert "distribute" in phases
+        assert phases["distribute"]["messages"] > 1
+
+    def test_standard_is_single_phase(self):
+        from repro.bench.timeline import phase_breakdown
+
+        job = SimJob(lassen(), num_nodes=2, ppn=8, trace=True)
+        pattern = CommPattern.random(8, 100, 3, 10, seed=1)
+        run_exchange(job, StandardStaged(), pattern)
+        phases = phase_breakdown(job.transport.trace_log)
+        assert set(phases) == {"direct"}
+
+
+class TestRender:
+    def test_render_timeline(self, traced_run):
+        job, _p, _r = traced_run
+        text = render_timeline(job.transport.trace_log, width=40)
+        assert "timeline" in text
+        assert "#" in text
+        assert "rank" in text
+
+    def test_empty_log(self):
+        assert render_timeline([]) == "(empty trace)"
+
+    def test_width_validation(self, traced_run):
+        job, _p, _r = traced_run
+        with pytest.raises(ValueError):
+            render_timeline(job.transport.trace_log, width=3)
+
+    def test_max_ranks_truncation(self):
+        job = SimJob(lassen(), num_nodes=2, ppn=40, trace=True)
+        pattern = CommPattern(8, {
+            g: {(g + 4) % 8: np.arange(50_000)} for g in range(8)
+        })
+        run_exchange(job, SplitMD(), pattern)
+        text = render_timeline(job.transport.trace_log, max_ranks=4)
+        assert "more sending ranks" in text

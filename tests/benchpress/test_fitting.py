@@ -1,0 +1,44 @@
+"""Least-squares fitting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.benchpress import LinearFit, fit_alpha_beta
+
+
+class TestFit:
+    def test_exact_recovery(self):
+        sizes = np.array([10.0, 100.0, 1000.0, 10000.0])
+        times = 2e-6 + 3e-10 * sizes
+        fit = fit_alpha_beta(sizes, times)
+        assert fit.alpha == pytest.approx(2e-6)
+        assert fit.beta == pytest.approx(3e-10)
+        assert fit.r_squared == pytest.approx(1.0)
+        assert fit.n_points == 4
+
+    def test_predict(self):
+        fit = LinearFit(alpha=1.0, beta=2.0, r_squared=1.0, n_points=2)
+        assert fit.time(3.0) == 7.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_alpha_beta([1.0], [1.0])
+        with pytest.raises(ValueError):
+            fit_alpha_beta([1.0, 1.0], [1.0, 2.0])  # degenerate sizes
+        with pytest.raises(ValueError):
+            fit_alpha_beta([1.0, 2.0], [1.0])  # mismatched lengths
+
+    def test_constant_times_fit(self):
+        fit = fit_alpha_beta([1.0, 2.0, 3.0], [5.0, 5.0, 5.0])
+        assert fit.beta == pytest.approx(0.0, abs=1e-12)
+        assert fit.r_squared == 1.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(alpha=st.floats(min_value=1e-7, max_value=1e-4),
+           beta=st.floats(min_value=1e-12, max_value=1e-8))
+    def test_recovery_property(self, alpha, beta):
+        sizes = np.logspace(1, 6, 12)
+        fit = fit_alpha_beta(sizes, alpha + beta * sizes)
+        assert fit.alpha == pytest.approx(alpha, rel=1e-6, abs=1e-12)
+        assert fit.beta == pytest.approx(beta, rel=1e-6)

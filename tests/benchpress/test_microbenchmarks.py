@@ -1,0 +1,183 @@
+"""Microbenchmarks recover the configured machine constants (Tables 2-4)."""
+
+import numpy as np
+import pytest
+
+from repro.benchpress import (
+    fit_comm_table,
+    fit_copy_table,
+    fit_injection_rate,
+    memcpy_sweep,
+    memcpy_time,
+    nodepong_sweep,
+    nodepong_time,
+    pick_pair,
+    pingpong_sweep,
+    pingpong_time,
+)
+from repro.machine import lassen
+from repro.machine.locality import CopyDirection, Locality, TransportKind
+from repro.mpi import SimJob
+
+M = lassen()
+
+
+@pytest.fixture(scope="module")
+def job():
+    return SimJob(M, num_nodes=2, ppn=40)
+
+
+class TestPingPong:
+    def test_pick_pair_localities(self, job):
+        for loc in Locality:
+            a, b = pick_pair(job, loc, TransportKind.CPU)
+            assert job.layout.locality(a, b) is loc
+            g1, g2 = pick_pair(job, loc, TransportKind.GPU)
+            assert job.layout.locality(g1, g2) is loc
+            assert job.layout.gpu_of(g1) is not None
+
+    def test_pick_pair_impossible(self):
+        single = SimJob(M, num_nodes=1, ppn=4)
+        with pytest.raises(ValueError):
+            pick_pair(single, Locality.OFF_NODE, TransportKind.CPU)
+
+    def test_one_way_time_matches_postal(self, job):
+        a, b = pick_pair(job, Locality.OFF_NODE, TransportKind.CPU)
+        for nbytes in (64, 4096, 65536):
+            t = pingpong_time(job, a, b, nbytes)
+            _p, link = M.comm_params.for_message(
+                TransportKind.CPU, Locality.OFF_NODE, nbytes)
+            assert t == pytest.approx(link.time(nbytes))
+
+    def test_iterations_average(self, job):
+        a, b = pick_pair(job, Locality.ON_SOCKET, TransportKind.CPU)
+        t1 = pingpong_time(job, a, b, 1024, iterations=1)
+        t5 = pingpong_time(job, a, b, 1024, iterations=5)
+        assert t1 == pytest.approx(t5)
+
+    def test_fig2_5_ordering_small_messages(self, job):
+        """Latency ordering: on-socket < on-node < off-node (Fig 2.5)."""
+        sizes = [64]
+        ts = {loc: pingpong_sweep(job, loc, sizes)[0]
+              for loc in Locality}
+        assert (ts[Locality.ON_SOCKET] < ts[Locality.ON_NODE]
+                < ts[Locality.OFF_NODE])
+
+    def test_fig2_5_crossover_large_messages(self, job):
+        """Off-node rendezvous beta beats on-node beta at large sizes —
+        the paper's observation that the network outruns intra-node
+        transfers for big messages on Lassen."""
+        t_on = pingpong_sweep(job, Locality.ON_NODE, [1 << 20])[0]
+        t_off = pingpong_sweep(job, Locality.OFF_NODE, [1 << 20])[0]
+        assert t_off < t_on
+
+    def test_table2_recovery(self, job):
+        fits = fit_comm_table(job)
+        for key, fit in fits.items():
+            true = M.comm_params.table[key]
+            assert fit.alpha == pytest.approx(true.alpha, rel=1e-6), key
+            assert fit.beta == pytest.approx(true.beta, rel=1e-6), key
+            assert fit.r_squared > 0.999999
+
+    def test_validation(self, job):
+        a, b = pick_pair(job, Locality.ON_SOCKET, TransportKind.CPU)
+        with pytest.raises(ValueError):
+            pingpong_time(job, a, b, -1)
+        with pytest.raises(ValueError):
+            pingpong_time(job, a, b, 10, iterations=0)
+
+
+class TestNodePong:
+    def test_splitting_helps_large_volumes(self, job):
+        """Figure 2.6: splitting a large volume across processes wins."""
+        s = 1 << 22
+        t1 = nodepong_time(job, s, 1)
+        t8 = nodepong_time(job, s, 8)
+        assert t8 < t1
+
+    def test_aggregate_never_beats_injection_limit(self, job):
+        s = 1 << 24
+        t40 = nodepong_time(job, s, 40)
+        assert t40 >= s * M.nic.rn_inv
+
+    def test_sweep_shape(self, job):
+        sweep = nodepong_sweep(job, [1 << 12, 1 << 20], [1, 4])
+        assert set(sweep) == {1, 4}
+        assert all(len(v) == 2 for v in sweep.values())
+
+    def test_table4_recovery(self, job):
+        fit = fit_injection_rate(job)
+        assert fit.beta == pytest.approx(M.nic.rn_inv, rel=1e-3)
+
+    def test_validation(self, job):
+        with pytest.raises(ValueError):
+            nodepong_time(job, 100, 0)
+        with pytest.raises(ValueError):
+            nodepong_time(job, -1, 1)
+        single = SimJob(M, num_nodes=1, ppn=4)
+        with pytest.raises(ValueError):
+            nodepong_time(single, 100, 1)
+
+
+class TestMemcpy:
+    def test_single_proc_times(self, job):
+        s = 1 << 20
+        for direction in CopyDirection:
+            t = memcpy_time(job, direction, s, nproc=1)
+            link = M.copy_params.table[(direction, 1)]
+            assert t == pytest.approx(link.time(s))
+
+    def test_four_proc_fit_semantics(self, job):
+        """NP=4 charges the 4-proc fit against the total volume."""
+        s = 1 << 20
+        t = memcpy_time(job, CopyDirection.H2D, s, nproc=4)
+        link = M.copy_params.table[(CopyDirection.H2D, 4)]
+        assert t == pytest.approx(link.time(s), rel=1e-5)
+
+    def test_fig3_1_np2_halves_nothing_beyond_params(self, job):
+        """NP=2 uses 1-proc parameters (no 2-proc row measured)."""
+        s = 1 << 20
+        t2 = memcpy_time(job, CopyDirection.D2H, s, nproc=2)
+        link = M.copy_params.table[(CopyDirection.D2H, 1)]
+        assert t2 == pytest.approx(link.time(s), rel=1e-5)
+
+    def test_no_benefit_beyond_four(self, job):
+        """Paper: no observed benefit splitting copies past NP=4."""
+        s = 1 << 22
+        t4 = memcpy_time(job, CopyDirection.H2D, s, nproc=4)
+        t8 = memcpy_time(job, CopyDirection.H2D, s, nproc=8)
+        assert t8 >= t4 * 0.999
+
+    def test_table3_recovery(self, job):
+        fits = fit_copy_table(job)
+        for key, fit in fits.items():
+            true = M.copy_params.table[key]
+            assert fit.alpha == pytest.approx(true.alpha, rel=1e-4), key
+            assert fit.beta == pytest.approx(true.beta, rel=1e-4), key
+
+    def test_sweep_shape(self, job):
+        sweep = memcpy_sweep(job, CopyDirection.D2H, [1 << 12, 1 << 16],
+                             [1, 4])
+        assert set(sweep) == {1, 4}
+
+    def test_validation(self, job):
+        with pytest.raises(ValueError):
+            memcpy_time(job, CopyDirection.D2H, -1)
+        with pytest.raises(ValueError):
+            memcpy_time(job, CopyDirection.D2H, 10, nproc=0)
+
+
+class TestNoisyRecovery:
+    def test_table2_recovery_under_noise(self):
+        """With seeded jitter and averaging, fits still land near truth."""
+        job = SimJob(M, num_nodes=2, ppn=40, noise_sigma=0.05, seed=13)
+        from repro.benchpress.pingpong import protocol_sizes
+        from repro.benchpress import fit_alpha_beta, pingpong_sweep
+        from repro.machine.locality import Protocol
+
+        sizes = protocol_sizes(M, TransportKind.CPU, Protocol.RENDEZVOUS)
+        times = pingpong_sweep(job, Locality.OFF_NODE, sizes, iterations=50)
+        fit = fit_alpha_beta(sizes, times)
+        true = M.comm_params.table[(TransportKind.CPU, Protocol.RENDEZVOUS,
+                                    Locality.OFF_NODE)]
+        assert fit.beta == pytest.approx(true.beta, rel=0.1)

@@ -1,0 +1,45 @@
+"""Shared fixtures: machines and job shapes used across the suite."""
+
+import pytest
+
+from repro.machine import lassen, summit, frontier_like, delta_like
+from repro.mpi import SimJob
+
+
+@pytest.fixture(scope="session")
+def machine():
+    """The paper's primary platform."""
+    return lassen()
+
+
+@pytest.fixture(scope="session")
+def all_machines():
+    return [lassen(), summit(), frontier_like(), delta_like()]
+
+
+@pytest.fixture
+def job2x4(machine):
+    """Two Lassen nodes, one rank per GPU (owners only)."""
+    return SimJob(machine, num_nodes=2, ppn=4)
+
+
+@pytest.fixture
+def job2x8(machine):
+    """Two Lassen nodes, owners + one helper per GPU."""
+    return SimJob(machine, num_nodes=2, ppn=8)
+
+
+@pytest.fixture
+def job3x8(machine):
+    return SimJob(machine, num_nodes=3, ppn=8)
+
+
+@pytest.fixture
+def job2x40(machine):
+    """Two full Lassen nodes (the microbenchmark shape)."""
+    return SimJob(machine, num_nodes=2, ppn=40)
+
+
+@pytest.fixture
+def job4x40(machine):
+    return SimJob(machine, num_nodes=4, ppn=40)

@@ -1,0 +1,139 @@
+"""Strategy correctness and model sanity on every machine preset.
+
+The paper's models "naturally extend to architectures with single
+socket nodes" (Section 6); these tests run the full strategy set on
+Summit-like (3 GPUs/socket), Frontier-like (single socket) and
+Delta-like (128-core) nodes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CommPattern,
+    all_strategies,
+    run_exchange,
+    verify_exchange,
+)
+from repro.core.base import default_data
+from repro.machine import delta_like, frontier_like, lassen, summit
+from repro.machine.locality import Locality, TransportKind
+from repro.models.strategies import all_strategy_models
+from repro.models.submodels import t_on, t_on_split
+from repro.mpi import SimJob
+
+MACHINES = [lassen(), summit(), frontier_like(), delta_like()]
+
+
+def mesh_pattern(num_gpus, elems=64):
+    sends = {}
+    for g in range(num_gpus):
+        dests = {(g + d) % num_gpus for d in (1, 2, num_gpus // 2)} - {g}
+        sends[g] = {d: np.arange(elems + g) for d in sorted(dests)}
+    return CommPattern(num_gpus, sends)
+
+
+@pytest.mark.parametrize("machine", MACHINES, ids=lambda m: m.name)
+class TestAllMachines:
+    def test_every_strategy_delivers(self, machine):
+        gpn = machine.gpus_per_node
+        ppn = min(machine.max_ppn, max(2 * gpn, gpn + 4))
+        job = SimJob(machine, num_nodes=3, ppn=ppn)
+        pattern = mesh_pattern(3 * gpn)
+        data = default_data(pattern, job.layout)
+        for strategy in all_strategies():
+            res = run_exchange(job, strategy, pattern, data)
+            verify_exchange(res, pattern, data)
+            assert res.comm_time > 0, (machine.name, strategy.label)
+
+    def test_models_positive_and_finite(self, machine):
+        job_layout_gpus = 3 * machine.gpus_per_node
+        pattern = mesh_pattern(job_layout_gpus)
+        from repro.machine.topology import JobLayout
+
+        layout = JobLayout(machine, 3, machine.max_ppn)
+        summary = pattern.summarize(layout)
+        for model in all_strategy_models(machine):
+            t = model.time(summary)
+            assert np.isfinite(t) and t > 0
+
+    def test_split_full_ppn(self, machine):
+        """Split with every core active on each preset."""
+        from repro.core import SplitMD
+
+        gpn = machine.gpus_per_node
+        job = SimJob(machine, num_nodes=2, ppn=machine.max_ppn)
+        sends = {g: {(g + gpn) % (2 * gpn): np.arange(20_000)}
+                 for g in range(2 * gpn)}
+        pattern = CommPattern(2 * gpn, sends)
+        data = default_data(pattern, job.layout)
+        res = run_exchange(job, SplitMD(), pattern, data)
+        verify_exchange(res, pattern, data)
+        active = sum(1 for t in res.rank_times if t > 0)
+        assert active > 2 * gpn  # helpers participated
+
+
+class TestSingleSocketDegeneration:
+    """Frontier-like nodes have one socket: no on-node message class."""
+
+    def test_t_on_has_no_cross_socket_term(self):
+        f = frontier_like()
+        s = 1000.0
+        from repro.machine.locality import Protocol
+
+        os_link = f.comm_params.table[(TransportKind.CPU, Protocol.EAGER,
+                                       Locality.ON_SOCKET)]
+        # gps-1 = 3 on-socket messages, zero on-node messages
+        assert t_on(f, s) == pytest.approx(3 * os_link.time(s))
+
+    def test_t_on_split_stays_on_socket(self):
+        f = frontier_like()
+        total, ppn = 64_000.0, 64
+        s_msg = total / ppn
+        from repro.machine.locality import Protocol
+
+        os_link = f.comm_params.table[(TransportKind.CPU, Protocol.EAGER,
+                                       Locality.ON_SOCKET)]
+        expected = (64 - 1) * os_link.time(s_msg)
+        assert t_on_split(f, total, ppg=1, ppn=ppn) == pytest.approx(expected)
+
+    def test_locality_never_on_node(self):
+        job = SimJob(frontier_like(), num_nodes=2, ppn=16)
+        lay = job.layout
+        for a in range(16):
+            for b in range(16):
+                assert lay.locality(a, b) is not Locality.ON_NODE
+
+    def test_exchange_uses_no_on_node_messages(self):
+        job = SimJob(frontier_like(), num_nodes=2, ppn=8)
+        pattern = mesh_pattern(8)
+        res = run_exchange(job, all_strategies()[2], pattern)  # 3-Step
+        assert Locality.ON_NODE not in res.stats.by_locality
+
+
+class TestSummitPairing:
+    """Summit has 6 GPUs/node: pairing must wrap correctly."""
+
+    def test_three_step_pairing_covers_nodes(self):
+        from repro.core.three_step import pair_receiver, pair_sender
+        from repro.machine.topology import JobLayout
+
+        lay = JobLayout(summit(), num_nodes=8, ppn=12)
+        for k in range(8):
+            for l in range(8):
+                if k == l:
+                    continue
+                s = pair_sender(lay, k, l)
+                r = pair_receiver(lay, k, l)
+                assert lay.node_of(s) == k and lay.node_of(r) == l
+                assert lay.gpu_of(s) is not None
+
+    def test_dense_exchange_on_summit(self):
+        job = SimJob(summit(), num_nodes=2, ppn=12)
+        sends = {g: {d: np.arange(128) for d in range(12) if d != g}
+                 for g in range(12)}
+        pattern = CommPattern(12, sends)
+        data = default_data(pattern, job.layout)
+        for strategy in all_strategies():
+            res = run_exchange(job, strategy, pattern, data)
+            verify_exchange(res, pattern, data)

@@ -1,0 +1,127 @@
+"""Hierarchical 3-Step: correctness, structure, and the [13] speedup."""
+
+import numpy as np
+import pytest
+
+from repro.core import CommPattern, run_exchange, verify_exchange
+from repro.core.base import default_data
+from repro.core.hierarchical import (
+    ThreeStepHierarchicalDevice,
+    ThreeStepHierarchicalStaged,
+    redist_leader,
+    socket_leader,
+)
+from repro.core.three_step import ThreeStepDevice
+from repro.machine import JobLayout, lassen, summit
+from repro.machine.locality import Locality
+from repro.mpi import SimJob
+
+STRATEGIES = [ThreeStepHierarchicalStaged(), ThreeStepHierarchicalDevice()]
+
+
+@pytest.fixture
+def job():
+    return SimJob(lassen(), num_nodes=3, ppn=8)
+
+
+class TestLeaders:
+    def test_socket_leader_on_right_socket(self):
+        lay = JobLayout(lassen(), num_nodes=2, ppn=8)
+        for socket in (0, 1):
+            for dest_node in (0, 1):
+                leader = socket_leader(lay, 0, socket, dest_node)
+                assert lay.socket_of(leader) == socket
+                assert lay.node_of(leader) == 0
+                assert lay.gpu_of(leader) is not None
+
+    def test_pair_sender_is_own_socket_leader(self):
+        from repro.core.three_step import pair_sender
+
+        lay = JobLayout(lassen(), num_nodes=4, ppn=8)
+        for k in range(4):
+            for l in range(4):
+                if k == l:
+                    continue
+                s = pair_sender(lay, k, l)
+                assert socket_leader(lay, k, lay.socket_of(s), l) == s
+
+    def test_redist_leader_on_target_socket(self):
+        lay = JobLayout(lassen(), num_nodes=2, ppn=8)
+        receiver = lay.owner_of_gpu(1, 0)  # socket 0
+        rl = redist_leader(lay, receiver, 1)
+        assert lay.socket_of(rl) == 1 and lay.node_of(rl) == 1
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES, ids=lambda s: s.label)
+class TestCorrectness:
+    def test_random_pattern(self, job, strategy):
+        pattern = CommPattern.random(12, 300, 5, 40, seed=21)
+        data = default_data(pattern, job.layout)
+        res = run_exchange(job, strategy, pattern, data)
+        verify_exchange(res, pattern, data)
+
+    def test_dense_duplicated_pattern(self, job, strategy):
+        sends = {s: {d: np.arange(128) for d in range(12) if d != s}
+                 for s in range(12)}
+        pattern = CommPattern(12, sends)
+        data = default_data(pattern, job.layout)
+        res = run_exchange(job, strategy, pattern, data)
+        verify_exchange(res, pattern, data)
+
+    def test_cross_socket_destinations(self, job, strategy):
+        """Records landing on both sockets of the destination node."""
+        pattern = CommPattern(12, {
+            0: {4: np.arange(50), 6: np.arange(50), 7: np.arange(10, 60)},
+            1: {6: np.arange(30)},
+            5: {0: np.arange(20), 2: np.arange(20)},
+        })
+        data = default_data(pattern, job.layout)
+        res = run_exchange(job, strategy, pattern, data)
+        verify_exchange(res, pattern, data)
+
+    def test_on_summit_three_gps(self, strategy):
+        job = SimJob(summit(), num_nodes=2, ppn=12)
+        sends = {s: {d: np.arange(64) for d in range(12) if d != s}
+                 for s in range(12)}
+        pattern = CommPattern(12, sends)
+        data = default_data(pattern, job.layout)
+        res = run_exchange(job, strategy, pattern, data)
+        verify_exchange(res, pattern, data)
+
+    def test_empty_pattern(self, job, strategy):
+        res = run_exchange(job, strategy, CommPattern(12, {}))
+        assert res.comm_time == 0.0
+
+
+class TestHierarchyStructure:
+    def test_single_inter_message_per_node_pair(self, job):
+        sends = {s: {d: np.arange(64) for d in range(12) if d != s}
+                 for s in range(12)}
+        pattern = CommPattern(12, sends)
+        res = run_exchange(job, ThreeStepHierarchicalStaged(), pattern)
+        # inter-node phase: one message per ordered node pair = 6
+        assert res.stats.by_locality[Locality.OFF_NODE] == 6
+
+    def test_fewer_cross_socket_messages_than_plain(self, job):
+        """The hierarchy concentrates cross-socket traffic."""
+        from repro.core import ThreeStepStaged
+
+        sends = {s: {d: np.arange(64) for d in range(12) if d != s}
+                 for s in range(12)}
+        pattern = CommPattern(12, sends)
+        plain = run_exchange(job, ThreeStepStaged(), pattern)
+        hier = run_exchange(job, ThreeStepHierarchicalStaged(), pattern)
+        assert (hier.stats.by_locality.get(Locality.ON_NODE, 0)
+                <= plain.stats.by_locality.get(Locality.ON_NODE, 0))
+
+    def test_device_hierarchy_beats_plain_on_cross_socket_heavy(self):
+        """[13]'s observation: with Lassen's slow cross-socket GPU link,
+        the hierarchical variant outruns plain device-aware 3-Step on
+        gather-heavy patterns."""
+        job = SimJob(lassen(), num_nodes=4, ppn=8)
+        sends = {s: {d: np.arange(256) for d in range(16) if d != s}
+                 for s in range(16)}
+        pattern = CommPattern(16, sends)
+        plain = run_exchange(job, ThreeStepDevice(), pattern)
+        hier = run_exchange(job, ThreeStepHierarchicalDevice(), pattern)
+        assert hier.comm_time < plain.comm_time

@@ -1,0 +1,87 @@
+"""Pattern statistics and the scenario pattern builder."""
+
+import numpy as np
+import pytest
+
+from repro.core.pattern import CommPattern, PatternStats
+from repro.machine import JobLayout, lassen
+from repro.models.scenarios import Scenario, scenario_summary
+
+
+@pytest.fixture(scope="module")
+def layout():
+    return JobLayout(lassen(), num_nodes=5, ppn=40)
+
+
+class TestStats:
+    def test_locality_breakdown(self, layout):
+        pattern = CommPattern(20, {
+            0: {1: np.arange(10),     # on-socket (gpu0 -> gpu1)
+                2: np.arange(20),     # on-node   (gpu0 -> gpu2)
+                4: np.arange(30)},    # off-node  (node 1)
+        })
+        st = pattern.stats(layout)
+        assert st.messages == 3
+        assert st.on_socket_messages == 1
+        assert st.on_node_messages == 1
+        assert st.off_node_messages == 1
+        assert st.on_node_bytes == 240
+        assert st.off_node_bytes == 240
+        assert st.off_node_fraction == pytest.approx(0.5)
+        assert st.min_message_bytes == 80
+        assert st.max_message_bytes == 240
+        assert st.median_message_bytes == pytest.approx(160.0)
+
+    def test_empty_pattern_stats(self, layout):
+        st = CommPattern(20, {}).stats(layout)
+        assert st.messages == 0 and st.off_node_fraction == 0.0
+
+
+class TestScenarioBuilder:
+    @pytest.mark.parametrize("nodes,msgs", [(4, 32), (4, 64)])
+    def test_matches_analytic_summary(self, layout, nodes, msgs):
+        """The concrete pattern reproduces scenario_summary exactly
+        (whenever messages need not merge into shared GPU pairs)."""
+        elems = 128
+        pattern = CommPattern.scenario(layout, nodes, msgs, elems)
+        got = pattern.summarize(layout)
+        ref = scenario_summary(lassen(), Scenario(nodes, msgs), elems * 8)
+        assert got.num_dest_nodes == ref.num_dest_nodes
+        assert got.messages_per_node_pair == ref.messages_per_node_pair
+        assert got.bytes_per_node_pair == pytest.approx(ref.bytes_per_node_pair)
+        assert got.node_bytes == pytest.approx(ref.node_bytes)
+        assert got.proc_bytes == pytest.approx(ref.proc_bytes)
+        assert got.proc_messages == ref.proc_messages
+        assert got.active_gpus == ref.active_gpus
+
+    def test_all_messages_off_node(self, layout):
+        pattern = CommPattern.scenario(layout, 4, 32, 16)
+        st = pattern.stats(layout)
+        assert st.off_node_fraction == 1.0
+        assert st.messages == 32
+
+    def test_merging_preserves_bytes(self, layout):
+        """Beyond one message per GPU pair, volumes merge losslessly."""
+        many = CommPattern.scenario(layout, 4, 256, 128)
+        st = many.stats(layout)
+        assert st.total_bytes == 256 * 128 * 8
+        assert st.messages < 256  # merged
+
+    def test_validation(self, layout):
+        with pytest.raises(ValueError, match="nodes"):
+            CommPattern.scenario(layout, 5, 32, 16)  # needs 6 nodes
+        with pytest.raises(ValueError, match="divide"):
+            CommPattern.scenario(layout, 4, 33, 16)
+        with pytest.raises(ValueError, match="msg_elems"):
+            CommPattern.scenario(layout, 4, 32, 0)
+
+    def test_runnable_end_to_end(self, layout):
+        from repro.core import SplitMD, run_exchange, verify_exchange
+        from repro.core.base import default_data
+        from repro.mpi import SimJob
+
+        job = SimJob(lassen(), num_nodes=5, ppn=40)
+        pattern = CommPattern.scenario(job.layout, 4, 32, 64)
+        data = default_data(pattern, job.layout)
+        res = run_exchange(job, SplitMD(), pattern, data)
+        verify_exchange(res, pattern, data)

@@ -1,0 +1,121 @@
+"""Plan-level unit tests on hand-built patterns.
+
+These pin the exact message inventories the 3-Step and 2-Step setups
+produce — counts that the generator programs rely on for deadlock-free
+receive posting.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import CommPattern, ThreeStepStaged, TwoStepStaged
+from repro.core.three_step import pair_receiver, pair_sender
+from repro.core.two_step import pair_rank
+from repro.machine import JobLayout, lassen
+
+
+@pytest.fixture(scope="module")
+def layout():
+    return JobLayout(lassen(), num_nodes=3, ppn=8)
+
+
+class TestThreeStepPlan:
+    def test_gather_vs_own_contribution(self, layout):
+        # gpus 0..3 on node 0 all send to node 1 (gpus 4..7)
+        pattern = CommPattern(12, {
+            g: {4 + g: np.arange(10)} for g in range(4)
+        })
+        plan = ThreeStepStaged().plan(pattern, layout)
+        sender = pair_sender(layout, 0, 1)
+        sp = plan.by_rank[sender]
+        # the paired sender contributes its own union without a message
+        assert 1 in sp.own_contrib
+        assert sp.forward[1][1] == 3  # three gather messages expected
+        # the three other owners each have one gather send to the pair
+        gather_senders = [r for r, rp in plan.by_rank.items()
+                          if any(node == 1 for _p, node, _u
+                                 in rp.gather_sends)]
+        assert len(gather_senders) == 3
+        assert sender not in gather_senders
+
+    def test_inter_recv_counts(self, layout):
+        # node 0 and node 2 both send to node 1
+        pattern = CommPattern(12, {
+            0: {5: np.arange(4)},
+            8: {6: np.arange(4)},
+        })
+        plan = ThreeStepStaged().plan(pattern, layout)
+        r01 = pair_receiver(layout, 0, 1)
+        r21 = pair_receiver(layout, 2, 1)
+        assert plan.by_rank[r01].n_inter_recv >= 1
+        if r01 == r21:
+            assert plan.by_rank[r01].n_inter_recv == 2
+        else:
+            assert plan.by_rank[r21].n_inter_recv == 1
+
+    def test_redist_skipped_when_pair_is_destination(self, layout):
+        # single message whose final owner IS the paired receiver
+        dest_rank = pair_receiver(layout, 0, 1)
+        dest_gpu = layout.global_gpu_of(dest_rank)
+        pattern = CommPattern(12, {0: {dest_gpu: np.arange(4)}})
+        plan = ThreeStepStaged().plan(pattern, layout)
+        assert plan.by_rank[dest_rank].n_redist_recv == 0
+
+    def test_send_bytes_deduplicated(self, layout):
+        # gpu 0 sends the SAME indices to two gpus on node 1
+        pattern = CommPattern(12, {0: {4: np.arange(100),
+                                       5: np.arange(100)}})
+        plan = ThreeStepStaged().plan(pattern, layout)
+        rank0 = layout.owner_of_global_gpu(0)
+        # D2H covers the union once: 100 elements, not 200
+        assert plan.by_rank[rank0].send_bytes == 100 * 8
+
+    def test_positions_cover_all_pairs(self, layout):
+        pattern = CommPattern.random(12, 100, 4, 20, seed=3)
+        plan = ThreeStepStaged().plan(pattern, layout)
+        node_of = pattern.node_of_gpu(layout)
+        for src, dests in ((g, pattern.sends_of(g)) for g in range(12)):
+            for dest in dests:
+                if node_of[src] != node_of[dest]:
+                    assert (src, node_of[dest]) in plan.positions
+
+
+class TestTwoStepPlan:
+    def test_one_inter_send_per_dest_node(self, layout):
+        pattern = CommPattern(12, {0: {4: np.arange(5), 5: np.arange(5),
+                                       8: np.arange(5)}})
+        plan = TwoStepStaged().plan(pattern, layout)
+        rank0 = layout.owner_of_global_gpu(0)
+        rp = plan.by_rank[rank0]
+        assert set(rp.inter_sends) == {1, 2}
+        # both go to the same-local-index pair on each node
+        for node, (receiver, _u) in rp.inter_sends.items():
+            assert receiver == pair_rank(layout, node, 0)
+
+    def test_inter_recv_counts_by_local_index(self, layout):
+        # gpus 0 (local 0) and 5 (local 1) both target node 2
+        pattern = CommPattern(12, {0: {8: np.arange(3)},
+                                   5: {9: np.arange(3)}})
+        plan = TwoStepStaged().plan(pattern, layout)
+        assert plan.by_rank[pair_rank(layout, 2, 0)].n_inter_recv == 1
+        assert plan.by_rank[pair_rank(layout, 2, 1)].n_inter_recv == 1
+
+    def test_redist_counts_distinct_pairs(self, layout):
+        # gpu 8 receives from gpus 0 (local 0) and 1 (local 1) on node 0:
+        # two distinct pair receivers on node 2
+        pattern = CommPattern(12, {0: {8: np.arange(3)},
+                                   1: {8: np.arange(3)}})
+        plan = TwoStepStaged().plan(pattern, layout)
+        rank8 = layout.owner_of_global_gpu(8)
+        pairs = {pair_rank(layout, 2, 0), pair_rank(layout, 2, 1)}
+        expected = len(pairs - {rank8})
+        assert plan.by_rank[rank8].n_redist_recv == expected
+
+    def test_union_is_deduplicated(self, layout):
+        pattern = CommPattern(12, {0: {4: np.arange(50),
+                                       6: np.arange(25, 75)}})
+        plan = TwoStepStaged().plan(pattern, layout)
+        rank0 = layout.owner_of_global_gpu(0)
+        _receiver, union = plan.by_rank[rank0].inter_sends[1]
+        assert len(union) == 75  # union of [0,50) and [25,75)
+        assert np.array_equal(union, np.arange(75))

@@ -1,0 +1,137 @@
+"""Strategy-specific structural behaviour: message counts, dedup volumes,
+pairing, and the staged/device data paths."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CommPattern,
+    StandardDevice,
+    StandardStaged,
+    ThreeStepDevice,
+    ThreeStepStaged,
+    TwoStepDevice,
+    TwoStepStaged,
+    run_exchange,
+)
+from repro.core.base import default_data
+from repro.core.three_step import pair_receiver, pair_sender
+from repro.core.two_step import pair_rank
+from repro.machine import JobLayout, lassen
+from repro.machine.locality import Locality, TransportKind
+from repro.mpi import SimJob
+
+
+@pytest.fixture
+def job():
+    return SimJob(lassen(), num_nodes=3, ppn=8)
+
+
+def dense_pattern(num_gpus=12, elems=100):
+    """Every GPU sends the same block to every other GPU (max duplication)."""
+    sends = {
+        s: {d: np.arange(elems) for d in range(num_gpus) if d != s}
+        for s in range(num_gpus)
+    }
+    return CommPattern(num_gpus, sends)
+
+
+class TestPairing:
+    def test_pair_sender_round_robin(self):
+        lay = JobLayout(lassen(), num_nodes=4, ppn=8)
+        senders = {pair_sender(lay, 0, l) for l in (1, 2, 3)}
+        # three destination nodes map to three distinct owners
+        assert len(senders) == 3
+        for r in senders:
+            assert lay.node_of(r) == 0 and lay.gpu_of(r) is not None
+
+    def test_pair_receiver_on_dest_node(self):
+        lay = JobLayout(lassen(), num_nodes=4, ppn=8)
+        r = pair_receiver(lay, 2, 1)
+        assert lay.node_of(r) == 1 and lay.gpu_of(r) == 2 % 4
+
+    def test_two_step_pair_same_local_index(self):
+        lay = JobLayout(lassen(), num_nodes=2, ppn=8)
+        for g in range(4):
+            r = pair_rank(lay, 1, g)
+            assert lay.node_of(r) == 1 and lay.gpu_of(r) == g
+
+
+class TestMessageCounts:
+    def test_standard_message_count_is_pattern_count(self, job):
+        pattern = dense_pattern()
+        res = run_exchange(job, StandardStaged(), pattern)
+        assert res.stats.messages == pattern.total_messages  # 12*11
+        assert res.stats.by_locality[Locality.OFF_NODE] == 12 * 8
+
+    def test_three_step_one_inter_message_per_node_pair(self, job):
+        pattern = dense_pattern()
+        res = run_exchange(job, ThreeStepStaged(), pattern)
+        # 3 nodes -> 6 ordered node pairs, one inter-node msg each
+        assert res.stats.by_locality[Locality.OFF_NODE] == 6
+
+    def test_two_step_one_inter_message_per_proc_node(self, job):
+        pattern = dense_pattern()
+        res = run_exchange(job, TwoStepStaged(), pattern)
+        # every of 12 GPUs sends one message to each of 2 other nodes
+        assert res.stats.by_locality[Locality.OFF_NODE] == 24
+
+    def test_dedup_shrinks_off_node_bytes(self, job):
+        pattern = dense_pattern(elems=100)
+        std = run_exchange(job, StandardStaged(), pattern)
+        three = run_exchange(job, ThreeStepStaged(), pattern)
+        two = run_exchange(job, TwoStepStaged(), pattern)
+        # standard: each src sends 100 elems to each of 8 off-node GPUs;
+        # node-aware: 100 elems once per (src gpu, dest node) -> 4x less
+        assert std.stats.off_node_bytes == 12 * 8 * 800
+        assert three.stats.off_node_bytes == 12 * 2 * 800
+        assert two.stats.off_node_bytes == 12 * 2 * 800
+
+
+class TestDataPaths:
+    def test_device_strategies_send_gpu_kind(self, job):
+        from repro.machine.locality import Protocol
+
+        pattern = dense_pattern(elems=10)
+        res = run_exchange(job, ThreeStepDevice(), pattern)
+        # GPU transport has no short protocol: everything eager/rendezvous
+        assert Protocol.SHORT not in res.stats.by_protocol
+
+    def test_staged_strategies_copy_through_host(self, job):
+        pattern = dense_pattern(elems=10)
+        run_exchange(job, ThreeStepStaged(), pattern)
+        assert job.copy_engine.copies > 0
+        d2h = job.copy_engine.d2h_bytes
+        run_exchange(job, ThreeStepDevice(), pattern)
+        assert job.copy_engine.copies == 0  # fresh job state, no copies
+
+    def test_device_standard_no_copies(self, job):
+        pattern = dense_pattern(elems=10)
+        run_exchange(job, StandardDevice(), pattern)
+        assert job.copy_engine.copies == 0
+
+
+class TestTimingRegimes:
+    def test_node_aware_beats_standard_on_many_small_messages(self):
+        """High message count, heavy duplication: the paper's win case."""
+        job = SimJob(lassen(), num_nodes=4, ppn=40)
+        pattern = dense_pattern(num_gpus=16, elems=64)
+        std = run_exchange(job, StandardStaged(), pattern)
+        three = run_exchange(job, ThreeStepStaged(), pattern)
+        assert three.comm_time < std.comm_time
+
+    def test_device_aware_node_aware_beats_device_standard(self):
+        """At high message counts the message-count reduction of the
+        node-aware schemes beats device-aware standard (paper Fig 5.1)."""
+        job = SimJob(lassen(), num_nodes=8, ppn=40)
+        pattern = dense_pattern(num_gpus=32, elems=64)
+        std = run_exchange(job, StandardDevice(), pattern)
+        three = run_exchange(job, ThreeStepDevice(), pattern)
+        two = run_exchange(job, TwoStepDevice(), pattern)
+        assert three.comm_time < std.comm_time
+        assert two.comm_time < std.comm_time
+
+    def test_rank_times_max_is_comm_time(self, job):
+        pattern = dense_pattern(elems=16)
+        res = run_exchange(job, TwoStepStaged(), pattern)
+        assert res.comm_time == max(res.rank_times)

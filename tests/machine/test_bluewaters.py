@@ -1,0 +1,64 @@
+"""The 'traditional network' regime (paper Section 2.3.3).
+
+On BlueWaters-class interconnects, inter-node communication is
+uniformly more expensive than intra-node, so (a) Figure 2.5's crossover
+does not exist and (b) 3-Step's message aggregation wins drastically —
+exactly the paper's framing of why Split was needed only on modern
+networks like Lassen's.
+"""
+
+import numpy as np
+import pytest
+
+from repro.benchpress import pingpong_sweep
+from repro.core import CommPattern, StandardStaged, ThreeStepStaged, run_exchange
+from repro.machine import bluewaters_like, lassen
+from repro.machine.locality import Locality
+from repro.mpi import SimJob
+
+
+@pytest.fixture(scope="module")
+def bw():
+    return bluewaters_like()
+
+
+class TestNoCrossover:
+    def test_off_node_always_slower(self, bw):
+        """Unlike Lassen (Fig 2.5), the network never beats on-node."""
+        job = SimJob(bw, num_nodes=2, ppn=bw.max_ppn)
+        sizes = [1 << k for k in range(0, 21, 4)]
+        on = pingpong_sweep(job, Locality.ON_NODE, sizes)
+        off = pingpong_sweep(job, Locality.OFF_NODE, sizes)
+        assert (off > on).all()
+
+    def test_lassen_does_cross_over(self):
+        """Contrast: Lassen's network overtakes on-node at volume."""
+        job = SimJob(lassen(), num_nodes=2, ppn=40)
+        on = pingpong_sweep(job, Locality.ON_NODE, [1 << 20])
+        off = pingpong_sweep(job, Locality.OFF_NODE, [1 << 20])
+        assert off[0] < on[0]
+
+
+class TestNodeAwareDominance:
+    def test_three_step_wins_drastically(self, bw):
+        """High-message-count exchange: the paper's 'drastic difference'
+        on traditional networks."""
+        job = SimJob(bw, num_nodes=4, ppn=8)
+        gpn = bw.gpus_per_node
+        num_gpus = 4 * gpn
+        sends = {s: {d: np.arange(128) for d in range(num_gpus) if d != s}
+                 for s in range(num_gpus)}
+        pattern = CommPattern(num_gpus, sends)
+        std = run_exchange(job, StandardStaged(), pattern)
+        three = run_exchange(job, ThreeStepStaged(), pattern)
+        assert three.comm_time < std.comm_time
+        # More drastic than the same pattern on Lassen.
+        job_l = SimJob(lassen(), num_nodes=4, ppn=8)
+        sends_l = {s: {d: np.arange(128) for d in range(16) if d != s}
+                   for s in range(16)}
+        pattern_l = CommPattern(16, sends_l)
+        std_l = run_exchange(job_l, StandardStaged(), pattern_l)
+        three_l = run_exchange(job_l, ThreeStepStaged(), pattern_l)
+        gain_bw = std.comm_time / three.comm_time
+        gain_lassen = std_l.comm_time / three_l.comm_time
+        assert gain_bw > gain_lassen

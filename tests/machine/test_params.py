@@ -1,0 +1,137 @@
+"""Parameter-table semantics: LinkParams, CommParams, CopyParams, NicParams."""
+
+import pytest
+
+from repro.machine import (
+    CommParams,
+    CopyParams,
+    LinkParams,
+    NicParams,
+    ProtocolThresholds,
+)
+from repro.machine.locality import CopyDirection, Locality, Protocol, TransportKind
+from repro.machine.presets import _lassen_comm_table, _lassen_copy_table
+
+
+class TestLinkParams:
+    def test_time_is_affine(self):
+        link = LinkParams(alpha=1e-6, beta=1e-9)
+        assert link.time(0) == pytest.approx(1e-6)
+        assert link.time(1000) == pytest.approx(1e-6 + 1e-6)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LinkParams(-1e-6, 0)
+        with pytest.raises(ValueError):
+            LinkParams(0, -1e-9)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            LinkParams(1e-6, 1e-9).time(-1)
+
+    def test_bandwidth(self):
+        assert LinkParams(0, 1e-9).bandwidth == pytest.approx(1e9)
+        assert LinkParams(1e-6, 0).bandwidth == float("inf")
+
+
+class TestProtocolThresholds:
+    def test_defaults_valid(self):
+        th = ProtocolThresholds()
+        assert th.short_limit <= th.eager_limit
+
+    def test_invalid_ordering_rejected(self):
+        with pytest.raises(ValueError):
+            ProtocolThresholds(short_limit=100, eager_limit=50)
+
+    @pytest.mark.parametrize("nbytes,expected", [
+        (0, Protocol.SHORT),
+        (512, Protocol.SHORT),
+        (513, Protocol.EAGER),
+        (8192, Protocol.EAGER),
+        (8193, Protocol.RENDEZVOUS),
+    ])
+    def test_cpu_selection(self, nbytes, expected):
+        th = ProtocolThresholds(short_limit=512, eager_limit=8192)
+        assert th.select(TransportKind.CPU, nbytes) is expected
+
+    def test_gpu_never_short(self):
+        th = ProtocolThresholds()
+        assert th.select(TransportKind.GPU, 1) is Protocol.EAGER
+        assert th.select(TransportKind.GPU, 10**6) is Protocol.RENDEZVOUS
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            ProtocolThresholds().select(TransportKind.CPU, -1)
+
+
+class TestCommParams:
+    def test_missing_entry_rejected(self):
+        table = _lassen_comm_table()
+        del table[(TransportKind.CPU, Protocol.SHORT, Locality.ON_SOCKET)]
+        with pytest.raises(ValueError, match="missing"):
+            CommParams(table)
+
+    def test_gpu_short_rejected(self):
+        table = _lassen_comm_table()
+        table[(TransportKind.GPU, Protocol.SHORT, Locality.ON_SOCKET)] = \
+            LinkParams(1e-6, 1e-10)
+        with pytest.raises(ValueError, match="short"):
+            CommParams(table)
+
+    def test_for_message_selects_protocol_by_size(self):
+        params = CommParams(_lassen_comm_table())
+        p, link = params.for_message(TransportKind.CPU, Locality.OFF_NODE, 100)
+        assert p is Protocol.SHORT and link.alpha == pytest.approx(1.89e-6)
+        p, link = params.for_message(TransportKind.CPU, Locality.OFF_NODE,
+                                     100_000)
+        assert p is Protocol.RENDEZVOUS and link.alpha == pytest.approx(7.76e-6)
+
+    def test_unknown_key_raises_keyerror(self):
+        params = CommParams(_lassen_comm_table())
+        with pytest.raises(KeyError):
+            params.link(TransportKind.GPU, Protocol.SHORT, Locality.ON_NODE)
+
+
+class TestCopyParams:
+    def test_requires_single_proc_entries(self):
+        table = _lassen_copy_table()
+        del table[(CopyDirection.H2D, 1)]
+        with pytest.raises(ValueError):
+            CopyParams(table)
+
+    def test_lookup_resolves_to_largest_measured(self):
+        cp = CopyParams(_lassen_copy_table())
+        assert cp.link(CopyDirection.D2H, 1).alpha == pytest.approx(1.27e-5)
+        # NP=2,3 fall back to the 1-proc row; NP>=4 uses the 4-proc row.
+        assert cp.link(CopyDirection.D2H, 3).alpha == pytest.approx(1.27e-5)
+        assert cp.link(CopyDirection.D2H, 4).alpha == pytest.approx(1.47e-5)
+        assert cp.link(CopyDirection.D2H, 8).alpha == pytest.approx(1.47e-5)
+
+    def test_time_applies_to_total_volume(self):
+        # Table-3 fits are against total moved bytes (Figure 3.1).
+        cp = CopyParams(_lassen_copy_table())
+        total = 1 << 20
+        t4 = cp.time(CopyDirection.H2D, total, nproc=4)
+        assert t4 == pytest.approx(1.52e-5 + 5.52e-10 * total)
+
+    def test_invalid_nproc(self):
+        cp = CopyParams(_lassen_copy_table())
+        with pytest.raises(ValueError):
+            cp.link(CopyDirection.H2D, 0)
+
+
+class TestNicParams:
+    def test_rate_inversion(self):
+        nic = NicParams(rn_inv=4.19e-11)
+        assert nic.injection_rate == pytest.approx(1.0 / 4.19e-11)
+        assert nic.gpu_injection_rate == float("inf")
+
+    def test_finite_gpu_rate(self):
+        nic = NicParams(rn_inv=1e-11, gpu_rn_inv=2e-11)
+        assert nic.gpu_injection_rate == pytest.approx(5e10)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NicParams(rn_inv=0)
+        with pytest.raises(ValueError):
+            NicParams(rn_inv=1e-11, nics_per_node=0)

@@ -1,0 +1,85 @@
+"""Preset machines carry the paper's constants (Tables 2-4) verbatim."""
+
+import pytest
+
+from repro.machine import PRESETS, delta_like, frontier_like, lassen, summit
+from repro.machine.locality import CopyDirection, Locality, Protocol, TransportKind
+
+_CPU, _GPU = TransportKind.CPU, TransportKind.GPU
+_S, _E, _R = Protocol.SHORT, Protocol.EAGER, Protocol.RENDEZVOUS
+_OS, _ON, _OFF = Locality.ON_SOCKET, Locality.ON_NODE, Locality.OFF_NODE
+
+
+class TestLassenTable2:
+    """Every (alpha, beta) from the paper's Table 2, spot-checked in full."""
+
+    @pytest.mark.parametrize("key,alpha,beta", [
+        ((_CPU, _S, _OS), 3.67e-07, 1.32e-10),
+        ((_CPU, _S, _ON), 9.25e-07, 1.19e-09),
+        ((_CPU, _S, _OFF), 1.89e-06, 6.88e-10),
+        ((_CPU, _E, _OS), 4.61e-07, 7.12e-11),
+        ((_CPU, _E, _ON), 1.17e-06, 2.18e-10),
+        ((_CPU, _E, _OFF), 2.44e-06, 3.79e-10),
+        ((_CPU, _R, _OS), 3.15e-06, 3.40e-11),
+        ((_CPU, _R, _ON), 6.77e-06, 1.49e-10),
+        ((_CPU, _R, _OFF), 7.76e-06, 7.97e-11),
+        ((_GPU, _E, _OS), 1.87e-06, 5.79e-11),
+        ((_GPU, _E, _ON), 2.02e-05, 2.15e-10),
+        ((_GPU, _E, _OFF), 8.95e-06, 1.72e-10),
+        ((_GPU, _R, _OS), 1.82e-05, 1.46e-11),
+        ((_GPU, _R, _ON), 1.93e-05, 2.39e-11),
+        ((_GPU, _R, _OFF), 1.10e-05, 1.72e-10),
+    ])
+    def test_entry(self, key, alpha, beta):
+        link = lassen().comm_params.table[key]
+        assert link.alpha == pytest.approx(alpha)
+        assert link.beta == pytest.approx(beta)
+
+
+class TestLassenTables34:
+    @pytest.mark.parametrize("key,alpha,beta", [
+        ((CopyDirection.H2D, 1), 1.30e-05, 1.85e-11),
+        ((CopyDirection.D2H, 1), 1.27e-05, 1.96e-11),
+        ((CopyDirection.H2D, 4), 1.52e-05, 5.52e-10),
+        ((CopyDirection.D2H, 4), 1.47e-05, 1.50e-10),
+    ])
+    def test_table3(self, key, alpha, beta):
+        link = lassen().copy_params.table[key]
+        assert link.alpha == pytest.approx(alpha)
+        assert link.beta == pytest.approx(beta)
+
+    def test_table4(self):
+        assert lassen().nic.rn_inv == pytest.approx(4.19e-11)
+
+
+class TestOtherPresets:
+    def test_registry_complete(self):
+        assert set(PRESETS) == {"lassen", "summit", "frontier-like",
+                                "delta-like", "bluewaters-like"}
+        for factory in PRESETS.values():
+            m = factory()
+            assert m.max_ppn >= m.gpus_per_node
+
+    def test_summit_shares_lassen_constants(self):
+        s, l = summit(), lassen()
+        assert s.gpus_per_socket == 3 and s.gpus_per_node == 6
+        assert s.comm_params.table == l.comm_params.table
+
+    def test_frontier_single_socket_four_gpus(self):
+        f = frontier_like()
+        assert f.sockets_per_node == 1 and f.gpus_per_node == 4
+        assert f.cores_per_node == 64
+        # Faster network: higher injection rate, lower off-node beta.
+        assert f.nic.injection_rate > lassen().nic.injection_rate
+        key = (_CPU, _R, _OFF)
+        assert (f.comm_params.table[key].beta
+                < lassen().comm_params.table[key].beta)
+
+    def test_frontier_on_node_params_unchanged(self):
+        f = frontier_like()
+        key = (_CPU, _E, _OS)
+        assert f.comm_params.table[key] == lassen().comm_params.table[key]
+
+    def test_delta_core_counts(self):
+        d = delta_like()
+        assert d.cores_per_node == 128 and d.gpus_per_node == 4

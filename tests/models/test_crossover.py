@@ -1,0 +1,67 @@
+"""Crossover-size bisection."""
+
+import pytest
+
+from repro.machine import lassen
+from repro.models.crossover import crossover_size, crossover_table
+from repro.models.scenarios import Scenario, scenario_summary
+from repro.models.strategies import (
+    SplitMDModel,
+    StandardDeviceModel,
+    StandardStagedModel,
+    ThreeStepStagedModel,
+    all_strategy_models,
+)
+
+M = lassen()
+SC = Scenario(num_dest_nodes=16, num_messages=256)
+
+
+class TestCrossoverSize:
+    def test_finds_split_vs_standard_da_flip(self):
+        """Split+MD wins small sizes, standard DA wins huge ones — a
+        crossover must exist and actually separate the winners."""
+        split, std = SplitMDModel(M), StandardDeviceModel(M)
+        size = crossover_size(M, SC, split, std)
+        assert size is not None
+        below = scenario_summary(M, SC, size / 2)
+        above = scenario_summary(M, SC, size * 2)
+        assert split.time(below) < std.time(below)
+        assert split.time(above) > std.time(above)
+
+    def test_none_when_dominated(self):
+        """Two copies of the same model never cross."""
+        a, b = SplitMDModel(M), SplitMDModel(M)
+        assert crossover_size(M, SC, a, b) is None
+
+    def test_validation(self):
+        a, b = SplitMDModel(M), StandardStagedModel(M)
+        with pytest.raises(ValueError):
+            crossover_size(M, SC, a, b, lo=0)
+        with pytest.raises(ValueError):
+            crossover_size(M, SC, a, b, lo=10, hi=5)
+        with pytest.raises(ValueError):
+            crossover_size(M, SC, a, b, tol=0)
+
+    def test_tolerance_tightens_result(self):
+        split, std = SplitMDModel(M), StandardDeviceModel(M)
+        loose = crossover_size(M, SC, split, std, tol=0.2)
+        tight = crossover_size(M, SC, split, std, tol=0.001)
+        assert loose is not None and tight is not None
+        assert abs(loose - tight) / tight < 0.3
+
+
+class TestCrossoverTable:
+    def test_table_sorted_and_consistent(self):
+        models = [StandardStagedModel(M), StandardDeviceModel(M),
+                  ThreeStepStagedModel(M), SplitMDModel(M)]
+        table = crossover_table(M, SC, models)
+        sizes = [s for _a, _b, s in table]
+        assert sizes == sorted(sizes)
+        for _a, _b, s in table:
+            assert 1.0 <= s <= (1 << 22)
+
+    def test_full_model_set_produces_crossovers(self):
+        table = crossover_table(M, SC, all_strategy_models(
+            M, include_best_case=False))
+        assert len(table) >= 5  # the regime map is rich on Lassen

@@ -1,0 +1,92 @@
+"""Hierarchical 3-Step model: formula checks and simulation agreement."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CommPattern,
+    ThreeStepDevice,
+    ThreeStepHierarchicalDevice,
+    run_exchange,
+)
+from repro.machine import lassen
+from repro.machine.locality import Locality, Protocol, TransportKind
+from repro.models import PatternSummary, t_on, t_on_hierarchical
+from repro.models.strategies import (
+    ThreeStepDeviceModel,
+    ThreeStepHierarchicalDeviceModel,
+    ThreeStepHierarchicalStagedModel,
+)
+from repro.mpi import SimJob
+
+M = lassen()
+
+
+def link(kind, protocol, loc):
+    return M.comm_params.table[(kind, protocol, loc)]
+
+
+class TestTerm:
+    def test_hand_computed_gpu(self):
+        s = 1000.0  # eager on both paths
+        os = link(TransportKind.GPU, Protocol.EAGER, Locality.ON_SOCKET)
+        on = link(TransportKind.GPU, Protocol.EAGER, Locality.ON_NODE)
+        # (gps-1)=1 on-socket msg of s + (sockets-1)=1 on-node of 2s
+        expected = os.time(s) + on.time(2 * s)
+        assert t_on_hierarchical(M, s, TransportKind.GPU) == pytest.approx(
+            expected)
+
+    def test_beats_plain_t_on_in_latency_regime(self):
+        """Small s: one cross-socket alpha instead of gps of them."""
+        s = 256.0
+        assert (t_on_hierarchical(M, s, TransportKind.GPU)
+                < t_on(M, s, TransportKind.GPU))
+
+    def test_converges_toward_plain_in_bandwidth_regime(self):
+        """Large s: same cross-socket bytes, the alpha advantage fades."""
+        small_ratio = (t_on_hierarchical(M, 256.0, TransportKind.GPU)
+                       / t_on(M, 256.0, TransportKind.GPU))
+        big_ratio = (t_on_hierarchical(M, float(1 << 22), TransportKind.GPU)
+                     / t_on(M, float(1 << 22), TransportKind.GPU))
+        assert small_ratio < big_ratio < 1.0 + 1e-12
+        assert big_ratio == pytest.approx(1.0, rel=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            t_on_hierarchical(M, -1.0)
+
+
+class TestModelVsSimulation:
+    def make_summary(self, elems):
+        s_nn = 4 * elems * 8.0  # 4 GPUs/node contribute per pair
+        return PatternSummary(
+            num_dest_nodes=3, messages_per_node_pair=16,
+            bytes_per_node_pair=s_nn, node_bytes=3 * s_nn,
+            proc_bytes=3 * elems * 8.0, proc_messages=12,
+            proc_dest_nodes=3, active_gpus=4)
+
+    def test_model_predicts_latency_regime_win(self):
+        s = self.make_summary(64)
+        hier = ThreeStepHierarchicalDeviceModel(M).time(s)
+        plain = ThreeStepDeviceModel(M).time(s)
+        assert hier < plain
+
+    def test_model_ordering_matches_simulation(self):
+        """At small messages both the model and the DES put the
+        hierarchy ahead of plain 3-Step on the device path."""
+        job = SimJob(lassen(), num_nodes=4, ppn=8)
+        sends = {g: {d: np.arange(64) for d in range(16) if d != g}
+                 for g in range(16)}
+        pattern = CommPattern(16, sends)
+        measured_plain = run_exchange(job, ThreeStepDevice(),
+                                      pattern).comm_time
+        measured_hier = run_exchange(job, ThreeStepHierarchicalDevice(),
+                                     pattern).comm_time
+        summary = pattern.summarize(job.layout)
+        model_plain = ThreeStepDeviceModel(M).time(summary)
+        model_hier = ThreeStepHierarchicalDeviceModel(M).time(summary)
+        assert (measured_hier < measured_plain) == (model_hier < model_plain)
+
+    def test_staged_variant_positive(self):
+        s = self.make_summary(256)
+        assert ThreeStepHierarchicalStagedModel(M).time(s) > 0

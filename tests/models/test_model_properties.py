@@ -1,0 +1,87 @@
+"""Property-based invariants of the strategy models (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.machine import lassen
+from repro.models import PatternSummary, all_strategy_models
+from repro.models.strategies import model_label
+
+M = lassen()
+MODELS = all_strategy_models(M)
+
+
+@st.composite
+def summaries(draw):
+    n_dest = draw(st.integers(min_value=1, max_value=64))
+    mpp = draw(st.integers(min_value=1, max_value=64))
+    bpp = draw(st.floats(min_value=8.0, max_value=1e7))
+    node_factor = draw(st.floats(min_value=1.0, max_value=float(n_dest)))
+    node_bytes = bpp * node_factor
+    proc_bytes = draw(st.floats(min_value=8.0, max_value=node_bytes))
+    proc_msgs = draw(st.integers(min_value=1, max_value=mpp * n_dest))
+    active = draw(st.integers(min_value=1, max_value=4))
+    return PatternSummary(
+        num_dest_nodes=n_dest,
+        messages_per_node_pair=mpp,
+        bytes_per_node_pair=bpp,
+        node_bytes=node_bytes,
+        proc_bytes=proc_bytes,
+        proc_messages=proc_msgs,
+        proc_dest_nodes=min(n_dest, proc_msgs),
+        active_gpus=active,
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(summary=summaries())
+def test_models_finite_positive(summary):
+    for model in MODELS:
+        t = model.time(summary)
+        assert np.isfinite(t) and t > 0, model_label(model)
+
+
+@settings(max_examples=60, deadline=None)
+@given(summary=summaries(),
+       scale=st.floats(min_value=1.5, max_value=20.0))
+def test_models_monotone_in_volume(summary, scale):
+    """Scaling every byte quantity up never reduces modelled time."""
+    import dataclasses
+
+    bigger = dataclasses.replace(
+        summary,
+        bytes_per_node_pair=summary.bytes_per_node_pair * scale,
+        node_bytes=summary.node_bytes * scale,
+        proc_bytes=summary.proc_bytes * scale,
+    )
+    for model in MODELS:
+        t_small = model.time(summary)
+        t_big = model.time(bigger)
+        # Protocol switchovers can only increase alpha with size on
+        # this machine, so monotonicity must hold exactly.
+        assert t_big >= t_small - 1e-18, model_label(model)
+
+
+@settings(max_examples=60, deadline=None)
+@given(summary=summaries(),
+       dup=st.floats(min_value=0.01, max_value=0.9))
+def test_dup_removal_never_hurts_node_aware(summary, dup):
+    for model in MODELS:
+        if not model.node_aware:
+            continue
+        assert (model.time(summary, dup_fraction=dup)
+                <= model.time(summary) + 1e-18), model_label(model)
+
+
+@settings(max_examples=40, deadline=None)
+@given(summary=summaries())
+def test_split_counts_cover_volume(summary):
+    """Algorithm-1 chunking: messages x cap covers the pair volume."""
+    from repro.models.strategies import SplitMDModel
+
+    model = SplitMDModel(M)
+    total_msgs, msg_size = model.split_counts(summary)
+    per_pair = total_msgs / summary.num_dest_nodes
+    assert per_pair * msg_size >= summary.bytes_per_node_pair - 1e-9
+    assert total_msgs >= summary.num_dest_nodes

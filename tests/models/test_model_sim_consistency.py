@@ -1,0 +1,128 @@
+"""Cross-validation: analytic terms vs the simulator on primitive flows.
+
+For elementary communication phases (one copy, one off-node burst, one
+on-node gather) the analytic sub-models and the DES must agree exactly —
+they are two descriptions of the same constants.  Composite strategies
+then differ only through pipelining/overlap, which the models bound
+from above.
+"""
+
+import numpy as np
+import pytest
+
+from repro.machine import lassen
+from repro.machine.locality import TransportKind
+from repro.models.submodels import t_copy, t_off, t_off_device_aware, t_on
+from repro.mpi import DeviceBuffer, SimJob
+
+M = lassen()
+
+
+@pytest.fixture
+def job():
+    return SimJob(M, num_nodes=2, ppn=40)
+
+
+class TestCopyConsistency:
+    @pytest.mark.parametrize("s_send,s_recv", [(1 << 12, 1 << 10),
+                                               (1 << 20, 1 << 18)])
+    def test_t_copy_equals_simulated_copies(self, job, s_send, s_recv):
+        def program(ctx):
+            if ctx.rank == 0:
+                ev, _ = ctx.copy.d2h(DeviceBuffer(0, s_send))
+                yield ev
+                ev, _ = ctx.copy.h2d(s_recv, gpu=0)
+                yield ev
+            return ctx.now
+
+        elapsed = job.run(program).values[0]
+        assert elapsed == pytest.approx(t_copy(M, s_send, s_recv))
+
+
+class TestOffNodeConsistency:
+    def test_single_message_matches_postal_part(self, job):
+        """m=1: T_off with one active process equals the simulated send."""
+        s = 1 << 20
+
+        def program(ctx):
+            if ctx.rank == 0:
+                yield ctx.comm.send(s, dest=40, tag=1)
+            elif ctx.rank == 40:
+                yield ctx.comm.recv(source=0, tag=1)
+                return ctx.now
+            return None
+
+        elapsed = job.run(program).values[40]
+        assert elapsed == pytest.approx(t_off(M, 1, s, s, msg_size=s))
+
+    def test_device_aware_single_message(self, job):
+        s = 1 << 20
+
+        def program(ctx):
+            if ctx.rank == 0:
+                yield ctx.comm.send(DeviceBuffer(0, s), dest=40, tag=1)
+            elif ctx.rank == 40:
+                yield ctx.comm.recv(source=0, tag=1)
+                return ctx.now
+            return None
+
+        elapsed = job.run(program).values[40]
+        assert elapsed == pytest.approx(
+            t_off_device_aware(M, 1, s, msg_size=s))
+
+    def test_saturated_node_matches_injection_term(self, job):
+        """All 40 processes sending: max completion ~= s_node / R_N."""
+        share = 1 << 18
+        total = 40 * share
+
+        def program(ctx):
+            if ctx.node == 0:
+                yield ctx.comm.send(share, dest=40 + ctx.local_rank, tag=1)
+            else:
+                yield ctx.comm.recv(source=ctx.local_rank, tag=1)
+                return ctx.now
+            return None
+
+        res = job.run(program)
+        elapsed = max(t for t in res.values[40:] if t is not None)
+        model = t_off(M, 1, share, total, msg_size=share)
+        assert elapsed == pytest.approx(model, rel=0.02)
+
+
+class TestOnNodeConsistency:
+    def test_t_on_bounds_simulated_gather(self, job):
+        """Eq (4.1)'s serial gather bounds the simulated one (which
+        overlaps sends through distinct sender pipes)."""
+        s = 1 << 14
+
+        def program(ctx):
+            # GPUs 1,2,3 each send s bytes to GPU 0's owner
+            if ctx.rank in (1, 2, 3):
+                yield ctx.comm.send(s, dest=0, tag=1)
+            elif ctx.rank == 0:
+                for _ in range(3):
+                    yield ctx.comm.recv(tag=1)
+                return ctx.now
+            return None
+
+        elapsed = job.run(program).values[0]
+        model = t_on(M, s, TransportKind.CPU)
+        assert elapsed <= model * 1.001
+        assert elapsed >= model * 0.25  # same order
+
+    def test_gpu_t_on_bound(self, job):
+        s = 1 << 14
+
+        def program(ctx):
+            if ctx.rank in (1, 2, 3):
+                payload = DeviceBuffer(ctx.global_gpu, s)
+                yield ctx.comm.send(payload, dest=0, tag=1)
+            elif ctx.rank == 0:
+                for _ in range(3):
+                    yield ctx.comm.recv(tag=1)
+                return ctx.now
+            return None
+
+        elapsed = job.run(program).values[0]
+        model = t_on(M, s, TransportKind.GPU)
+        assert elapsed <= model * 1.001

@@ -1,0 +1,67 @@
+"""PatternSummary validation and semantics."""
+
+import pytest
+
+from repro.models import PatternSummary
+
+
+def make(**kw):
+    base = dict(num_dest_nodes=4, messages_per_node_pair=2,
+                bytes_per_node_pair=100.0, node_bytes=400.0,
+                proc_bytes=100.0, proc_messages=2, proc_dest_nodes=2)
+    base.update(kw)
+    return PatternSummary(**base)
+
+
+class TestValidation:
+    def test_valid_roundtrip(self):
+        s = make()
+        assert not s.is_empty
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            make(num_dest_nodes=-1)
+        with pytest.raises(ValueError):
+            make(messages_per_node_pair=-1)
+        with pytest.raises(ValueError):
+            make(node_bytes=-1.0)
+
+    def test_proc_cannot_reach_more_nodes_than_node(self):
+        with pytest.raises(ValueError):
+            make(proc_dest_nodes=5)
+
+    def test_active_gpus_positive(self):
+        with pytest.raises(ValueError):
+            make(active_gpus=0)
+
+
+class TestEmptiness:
+    def test_zero_destinations_is_empty(self):
+        s = make(num_dest_nodes=0, proc_dest_nodes=0)
+        assert s.is_empty
+
+    def test_zero_bytes_is_empty(self):
+        s = make(node_bytes=0.0)
+        assert s.is_empty
+
+
+class TestDuplicateRemoval:
+    def test_bounds(self):
+        s = make()
+        with pytest.raises(ValueError):
+            s.with_duplicate_removal(-0.1)
+        with pytest.raises(ValueError):
+            s.with_duplicate_removal(1.0)
+
+    def test_zero_fraction_is_identity(self):
+        s = make()
+        assert s.with_duplicate_removal(0.0) == s
+
+    def test_scales_only_bytes(self):
+        s = make().with_duplicate_removal(0.5)
+        assert s.bytes_per_node_pair == pytest.approx(50.0)
+        assert s.node_bytes == pytest.approx(200.0)
+        assert s.proc_bytes == pytest.approx(50.0)
+        assert s.messages_per_node_pair == 2
+        assert s.proc_messages == 2
+        assert s.num_dest_nodes == 4

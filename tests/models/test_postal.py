@@ -1,0 +1,56 @@
+"""Postal (2.1) and max-rate (2.2) model formulas."""
+
+import pytest
+
+from repro.machine.params import LinkParams
+from repro.models.postal import max_rate_from_link, max_rate_time, postal_time
+
+
+class TestPostal:
+    def test_single_message(self):
+        assert postal_time(1e-6, 1e-9, 1000) == pytest.approx(1e-6 + 1e-6)
+
+    def test_multi_message_form(self):
+        # alpha charged per message, beta on the total
+        assert postal_time(1e-6, 1e-9, 5000, messages=5) == pytest.approx(
+            5e-6 + 5e-6)
+
+    def test_zero_messages(self):
+        assert postal_time(1e-6, 1e-9, 0, messages=0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            postal_time(1e-6, 1e-9, -1)
+        with pytest.raises(ValueError):
+            postal_time(1e-6, 1e-9, 1, messages=-1)
+
+
+class TestMaxRate:
+    def test_injection_bound_binds_when_saturated(self):
+        # ppn * s / R_N > s / R_b
+        t = max_rate_time(alpha=0.0, m=0, s=100.0, ppn=10, rn=1000.0, rb=500.0)
+        assert t == pytest.approx(10 * 100 / 1000.0)
+
+    def test_reduces_to_postal_when_unsaturated(self):
+        """ppn * R_b < R_N => postal model (paper Section 2.2)."""
+        alpha, s, rb, rn = 1e-6, 100.0, 10.0, 1e6
+        t = max_rate_time(alpha, m=3, s=s, ppn=2, rn=rn, rb=rb)
+        assert t == pytest.approx(alpha * 3 + s / rb)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            max_rate_time(1e-6, -1, 0, 1, 1, 1)
+        with pytest.raises(ValueError):
+            max_rate_time(1e-6, 0, 0, 0, 1, 1)
+        with pytest.raises(ValueError):
+            max_rate_time(1e-6, 0, 0, 1, 0, 1)
+
+    def test_from_link_uses_beta_as_inverse_rate(self):
+        link = LinkParams(alpha=2e-6, beta=1e-10)
+        t = max_rate_from_link(link, m=4, s=1e6, ppn=1, rn=1e12)
+        assert t == pytest.approx(4 * 2e-6 + 1e6 * 1e-10)
+
+    def test_from_link_zero_beta(self):
+        link = LinkParams(alpha=1e-6, beta=0.0)
+        t = max_rate_from_link(link, m=1, s=1e6, ppn=2, rn=1e9)
+        assert t == pytest.approx(1e-6 + 2 * 1e6 / 1e9)

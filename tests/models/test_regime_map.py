@@ -1,0 +1,73 @@
+"""Regime-map computation and rendering."""
+
+import pytest
+
+from repro.machine import frontier_like, lassen
+from repro.models.regime_map import (
+    _CODES,
+    RegimeMap,
+    compute_regime_map,
+    render_regime_map,
+)
+
+
+@pytest.fixture(scope="module")
+def rm():
+    return compute_regime_map(lassen(), sizes=[100.0, 10_000.0, 1e6],
+                              node_counts=(4, 16))
+
+
+class TestCompute:
+    def test_grid_shape(self, rm):
+        assert len(rm.winners) == 2
+        assert all(len(row) == 3 for row in rm.winners)
+        assert rm.machine == "lassen"
+
+    def test_all_winners_are_known_strategies(self, rm):
+        for row in rm.winners:
+            for label in row:
+                assert label in _CODES
+
+    def test_paper_corners(self, rm):
+        # very large messages, few nodes: standard device-aware
+        assert rm.winners[0][2] == "Standard (device-aware)"
+        # mid sizes, many nodes: a staged node-aware strategy
+        assert "staged" in rm.winners[1][1]
+        assert "Standard" not in rm.winners[1][1]
+
+    def test_best_case_excluded_by_default(self, rm):
+        assert all("2-Step 1" not in label
+                   for row in rm.winners for label in row)
+
+    def test_dup_fraction_changes_map(self):
+        plain = compute_regime_map(lassen(), sizes=[4096.0, 16384.0],
+                                   node_counts=(16,))
+        dup = compute_regime_map(lassen(), sizes=[4096.0, 16384.0],
+                                 node_counts=(16,), dup_fraction=0.25)
+        assert plain.winners != dup.winners
+
+    def test_message_count_floor(self):
+        """Node counts above num_messages are clamped to one msg/node."""
+        rm = compute_regime_map(lassen(), sizes=[1000.0],
+                                node_counts=(512,), num_messages=256)
+        assert len(rm.winners) == 1
+
+    def test_other_machines(self):
+        rm = compute_regime_map(frontier_like(), sizes=[1000.0],
+                                node_counts=(4,))
+        assert rm.machine == "frontier-like"
+
+
+class TestRender:
+    def test_render_contains_grid_and_legend(self, rm):
+        text = render_regime_map(rm)
+        assert "Regime map — lassen" in text
+        assert "legend:" in text
+        assert "nodes\\size" in text
+        # row labels present
+        assert "\n         4 " in text or " 4 " in text
+
+    def test_distinct_winners_subset_of_legend(self, rm):
+        text = render_regime_map(rm)
+        for label in rm.distinct_winners():
+            assert _CODES[label] in text

@@ -1,0 +1,174 @@
+"""Table-6 strategy models: composition, duplicate removal, registry."""
+
+import pytest
+
+from repro.machine import lassen
+from repro.models import (
+    PatternSummary,
+    SplitDDModel,
+    SplitMDModel,
+    StandardDeviceModel,
+    StandardStagedModel,
+    ThreeStepDeviceModel,
+    ThreeStepStagedModel,
+    TwoStepDeviceModel,
+    TwoStepStagedModel,
+    all_strategy_models,
+    t_copy,
+    t_off,
+    t_off_device_aware,
+    t_on,
+)
+from repro.machine.locality import TransportKind
+from repro.models.strategies import model_label
+
+M = lassen()
+
+
+def summary(**overrides):
+    base = dict(
+        num_dest_nodes=4,
+        messages_per_node_pair=8,
+        bytes_per_node_pair=32768.0,
+        node_bytes=131072.0,
+        proc_bytes=32768.0,
+        proc_messages=8,
+        proc_dest_nodes=4,
+        active_gpus=4,
+    )
+    base.update(overrides)
+    return PatternSummary(**base)
+
+
+class TestComposition:
+    def test_three_step_staged_is_sum_of_terms(self):
+        s = summary()
+        model = ThreeStepStagedModel(M)
+        m = 1  # ceil(4 dest nodes / 4 gpus)
+        expected = (
+            t_off(M, m, s.bytes_per_node_pair, s.node_bytes,
+                  msg_size=s.bytes_per_node_pair)
+            + 2 * t_on(M, s.bytes_per_node_pair)
+            + t_copy(M, s.proc_bytes, s.bytes_per_node_pair)
+        )
+        assert model.time(s) == pytest.approx(expected)
+
+    def test_three_step_device_has_no_copy_term(self):
+        s = summary()
+        model = ThreeStepDeviceModel(M)
+        expected = (
+            t_off_device_aware(M, 1, s.bytes_per_node_pair,
+                               msg_size=s.bytes_per_node_pair)
+            + 2 * t_on(M, s.bytes_per_node_pair, TransportKind.GPU)
+        )
+        assert model.time(s) == pytest.approx(expected)
+
+    def test_two_step_has_single_on_node_term(self):
+        s = summary()
+        staged = TwoStepStagedModel(M).time(s)
+        msg = s.bytes_per_node_pair / 4
+        expected = (
+            t_off(M, 4, 4 * msg, s.node_bytes, msg_size=msg)
+            + t_on(M, s.proc_bytes)
+            + t_copy(M, s.proc_bytes, s.bytes_per_node_pair)
+        )
+        assert staged == pytest.approx(expected)
+
+    def test_standard_staged_literal_table6_form(self):
+        s = summary()
+        bare = StandardStagedModel(M, include_copies=False).time(s)
+        with_copies = StandardStagedModel(M).time(s)
+        assert with_copies == pytest.approx(
+            bare + t_copy(M, s.proc_bytes, s.proc_bytes))
+
+    def test_empty_pattern_is_free(self):
+        s = PatternSummary(0, 0, 0.0, 0.0, 0.0, 0, 0)
+        for model in all_strategy_models(M):
+            assert model.time(s) == 0.0
+
+
+class TestSplitModels:
+    def test_cap_conglomerates_small_volumes(self):
+        s = summary(bytes_per_node_pair=4096.0, node_bytes=16384.0)
+        model = SplitMDModel(M)  # default cap 8192
+        total, msg = model.split_counts(s)
+        assert total == 4 and msg == pytest.approx(4096.0)
+
+    def test_cap_splits_large_volumes(self):
+        s = summary(bytes_per_node_pair=32768.0, node_bytes=131072.0)
+        model = SplitMDModel(M)
+        total, msg = model.split_counts(s)
+        # 131072/8192 = 16 <= ppn=40, so the cap stays 8192:
+        assert msg == pytest.approx(8192.0)
+        assert total == 4 * 4
+
+    def test_cap_raised_when_exceeding_ppn(self):
+        """Algorithm 1 lines 14-17."""
+        s = summary(bytes_per_node_pair=2**20, node_bytes=4 * 2**20)
+        model = SplitMDModel(M, ppn=40)
+        total, msg = model.split_counts(s)
+        import math
+        cap = math.ceil(4 * 2**20 / 40)
+        assert msg == pytest.approx(cap)
+        assert total == 4 * math.ceil(2**20 / cap)
+
+    def test_dd_vs_md_tradeoff(self):
+        """DD saves on-node latency but pays contended copies: it wins
+        at small volumes and loses at large ones (Figure 4.3).  With
+        data spread over every GPU the distribution fan-out is small,
+        so the copy penalty decides and MD wins at volume."""
+        md, dd = SplitMDModel(M), SplitDDModel(M)
+        small = summary(bytes_per_node_pair=256.0, node_bytes=1024.0,
+                        proc_bytes=256.0, active_gpus=1)
+        large = summary(bytes_per_node_pair=2**18, node_bytes=2**20,
+                        proc_bytes=2**18, active_gpus=4)
+        assert dd.time(small) < md.time(small)
+        assert md.time(large) < dd.time(large)
+
+    def test_custom_cap_validation(self):
+        with pytest.raises(ValueError):
+            SplitMDModel(M, message_cap=0)
+        with pytest.raises(ValueError):
+            SplitMDModel(M, ppn=0)
+        with pytest.raises(ValueError):
+            SplitMDModel(M, ppn=41)
+
+
+class TestDuplicateRemoval:
+    def test_node_aware_byte_terms_shrink(self):
+        s = summary()
+        model = ThreeStepStagedModel(M)
+        assert model.time(s, dup_fraction=0.25) < model.time(s)
+
+    def test_standard_ignores_dup_fraction(self):
+        s = summary()
+        for model in (StandardStagedModel(M), StandardDeviceModel(M)):
+            assert model.time(s, dup_fraction=0.25) == model.time(s)
+
+    def test_with_duplicate_removal_validation(self):
+        s = summary()
+        with pytest.raises(ValueError):
+            s.with_duplicate_removal(1.0)
+        shrunk = s.with_duplicate_removal(0.25)
+        assert shrunk.node_bytes == pytest.approx(s.node_bytes * 0.75)
+        assert shrunk.proc_messages == s.proc_messages  # counts unchanged
+
+
+class TestRegistry:
+    def test_all_models_count_and_labels(self):
+        models = all_strategy_models(M)
+        labels = [model_label(m) for m in models]
+        assert len(models) == 10
+        assert "2-Step 1 (staged)" in labels
+        assert "Split + MD (staged)" in labels
+        trimmed = all_strategy_models(M, include_best_case=False)
+        assert len(trimmed) == 8
+
+    def test_models_work_on_all_presets(self):
+        from repro.machine import PRESETS
+
+        s = summary()
+        for factory in PRESETS.values():
+            machine = factory()
+            for model in all_strategy_models(machine):
+                assert model.time(s) > 0.0

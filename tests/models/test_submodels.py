@@ -1,0 +1,152 @@
+"""Hand-computed checks of the composable terms (paper eqs. 4.1-4.5)."""
+
+import pytest
+
+from repro.machine import lassen
+from repro.machine.locality import CopyDirection, Locality, Protocol, TransportKind
+from repro.models.submodels import t_copy, t_off, t_off_device_aware, t_on, t_on_split
+
+M = lassen()
+
+
+def link(kind, protocol, loc):
+    return M.comm_params.table[(kind, protocol, loc)]
+
+
+class TestTOn:
+    def test_eq_4_1_cpu(self):
+        """(gps-1) on-socket + gps on-node messages of size s."""
+        s = 1000.0  # eager
+        os = link(TransportKind.CPU, Protocol.EAGER, Locality.ON_SOCKET)
+        on = link(TransportKind.CPU, Protocol.EAGER, Locality.ON_NODE)
+        expected = (2 - 1) * os.time(s) + 2 * on.time(s)
+        assert t_on(M, s) == pytest.approx(expected)
+
+    def test_gpu_rows_for_device_aware(self):
+        s = 100_000.0  # rendezvous
+        os = link(TransportKind.GPU, Protocol.RENDEZVOUS, Locality.ON_SOCKET)
+        on = link(TransportKind.GPU, Protocol.RENDEZVOUS, Locality.ON_NODE)
+        expected = os.time(s) + 2 * on.time(s)
+        assert t_on(M, s, TransportKind.GPU) == pytest.approx(expected)
+
+    def test_protocol_switches_with_size(self):
+        small = t_on(M, 100.0)   # short regime
+        os = link(TransportKind.CPU, Protocol.SHORT, Locality.ON_SOCKET)
+        on = link(TransportKind.CPU, Protocol.SHORT, Locality.ON_NODE)
+        assert small == pytest.approx(os.time(100.0) + 2 * on.time(100.0))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            t_on(M, -1.0)
+
+
+class TestTOnSplit:
+    def test_worst_case_md_counts_match_paper(self):
+        """ppg=1 on Lassen: 19 on-socket + 20 on-node messages."""
+        s_total, ppn = 40_000.0, 40
+        s_msg = s_total / ppn  # 1000 B -> eager
+        os = link(TransportKind.CPU, Protocol.EAGER, Locality.ON_SOCKET)
+        on = link(TransportKind.CPU, Protocol.EAGER, Locality.ON_NODE)
+        expected = 19 * os.time(s_msg) + 20 * on.time(s_msg)
+        assert t_on_split(M, s_total, ppg=1, ppn=ppn) == pytest.approx(expected)
+
+    def test_worst_case_dd_counts(self):
+        """ppg=4: 4 on-socket + 5 on-node messages."""
+        s_total, ppn = 40_000.0, 40
+        s_msg = s_total / ppn
+        os = link(TransportKind.CPU, Protocol.EAGER, Locality.ON_SOCKET)
+        on = link(TransportKind.CPU, Protocol.EAGER, Locality.ON_NODE)
+        expected = 4 * os.time(s_msg) + 5 * on.time(s_msg)
+        assert t_on_split(M, s_total, ppg=4, ppn=ppn) == pytest.approx(expected)
+
+    def test_all_gpus_active_stays_on_socket(self):
+        """With a distributor on every socket, no on-node messages."""
+        s_total, ppn = 40_000.0, 40
+        s_msg = s_total / ppn
+        os = link(TransportKind.CPU, Protocol.EAGER, Locality.ON_SOCKET)
+        expected = (20 / 2 - 1) * os.time(s_msg)
+        assert t_on_split(M, s_total, ppg=1, ppn=ppn,
+                          active_gpus=4) == pytest.approx(expected)
+
+    def test_active_gpus_reduces_cost(self):
+        worst = t_on_split(M, 80_000.0, ppg=1, ppn=40, active_gpus=1)
+        spread = t_on_split(M, 80_000.0, ppg=1, ppn=40, active_gpus=4)
+        assert spread < worst
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            t_on_split(M, -1.0, 1)
+        with pytest.raises(ValueError):
+            t_on_split(M, 1.0, 0)
+        with pytest.raises(ValueError):
+            t_on_split(M, 1.0, ppg=21)
+
+
+class TestTOff:
+    def test_eq_4_3_injection_bound(self):
+        """alpha*m + s_node/R_N when the NIC binds."""
+        m, s_proc, s_node = 2, 1 << 20, 40 * (1 << 20)
+        rend = link(TransportKind.CPU, Protocol.RENDEZVOUS, Locality.OFF_NODE)
+        expected = rend.alpha * m + s_node * M.nic.rn_inv
+        assert t_off(M, m, s_proc, s_node,
+                     msg_size=s_proc / m) == pytest.approx(expected)
+
+    def test_eq_4_3_process_bound(self):
+        """alpha*m + s_proc*beta when the process rate binds."""
+        m, s_proc = 4, 1 << 20
+        s_node = s_proc  # single active process
+        rend = link(TransportKind.CPU, Protocol.RENDEZVOUS, Locality.OFF_NODE)
+        expected = rend.alpha * m + s_proc * rend.beta
+        assert t_off(M, m, s_proc, s_node,
+                     msg_size=s_proc / m) == pytest.approx(expected)
+
+    def test_protocol_by_individual_message_size(self):
+        # 10 messages of 800 B each: eager alpha, not rendezvous
+        eager = link(TransportKind.CPU, Protocol.EAGER, Locality.OFF_NODE)
+        t = t_off(M, 10, 8000, 8000)
+        assert t == pytest.approx(eager.alpha * 10
+                                  + max(8000 * M.nic.rn_inv,
+                                        8000 * eager.beta))
+
+
+class TestTOffDeviceAware:
+    def test_eq_4_4_postal_form(self):
+        gpu_rend = link(TransportKind.GPU, Protocol.RENDEZVOUS,
+                        Locality.OFF_NODE)
+        t = t_off_device_aware(M, 3, 3 * (1 << 20), msg_size=1 << 20)
+        assert t == pytest.approx(gpu_rend.alpha * 3
+                                  + 3 * (1 << 20) * gpu_rend.beta)
+
+    def test_no_injection_limit_on_lassen(self):
+        """Table 4 excludes a GPU limit; huge volumes stay postal."""
+        gpu_rend = link(TransportKind.GPU, Protocol.RENDEZVOUS,
+                        Locality.OFF_NODE)
+        s = 1 << 30
+        assert t_off_device_aware(M, 1, s) == pytest.approx(
+            gpu_rend.alpha + s * gpu_rend.beta)
+
+
+class TestTCopy:
+    def test_eq_4_5_single_proc(self):
+        d2h = M.copy_params.table[(CopyDirection.D2H, 1)]
+        h2d = M.copy_params.table[(CopyDirection.H2D, 1)]
+        s_send, s_recv = 1 << 16, 1 << 14
+        assert t_copy(M, s_send, s_recv) == pytest.approx(
+            d2h.time(s_send) + h2d.time(s_recv))
+
+    def test_four_proc_uses_concurrent_fits_on_totals(self):
+        d2h = M.copy_params.table[(CopyDirection.D2H, 4)]
+        h2d = M.copy_params.table[(CopyDirection.H2D, 4)]
+        s = 1 << 18
+        assert t_copy(M, s, s, nproc=4) == pytest.approx(
+            d2h.time(s) + h2d.time(s))
+
+    def test_dd_copies_slower_than_md_at_volume(self):
+        """Duplicate-device-pointer contention: Table 3's 4-proc betas
+        exceed the 1-proc ones, so DD copies lose at large volumes."""
+        s = 1 << 20
+        assert t_copy(M, s, s, nproc=4) > t_copy(M, s, s, nproc=1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            t_copy(M, -1, 0)

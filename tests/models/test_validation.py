@@ -1,0 +1,69 @@
+"""Model-validation utilities."""
+
+import numpy as np
+import pytest
+
+from repro.core import CommPattern
+from repro.machine import lassen
+from repro.models.validation import (
+    ValidationEntry,
+    check_validation,
+    render_validation,
+    validate_models,
+)
+from repro.mpi import SimJob
+
+
+@pytest.fixture(scope="module")
+def entries():
+    job = SimJob(lassen(), num_nodes=4, ppn=8)
+    sends = {s: {d: np.arange(128) for d in range(16) if d != s}
+             for s in range(16)}
+    pattern = CommPattern(16, sends)
+    return validate_models(job, pattern)
+
+
+class TestValidate:
+    def test_covers_all_strategies(self, entries):
+        assert len(entries) == 8
+        for e in entries.values():
+            assert e.measured > 0 and e.modelled > 0
+
+    def test_node_aware_flags(self, entries):
+        assert not entries["Standard (staged)"].node_aware
+        assert entries["3-Step (staged)"].node_aware
+        assert entries["Split + MD (staged)"].node_aware
+
+    def test_paper_criterion_holds_on_dense_pattern(self, entries):
+        assert check_validation(entries) == []
+
+    def test_ratio_of_zero_measurement(self):
+        e = ValidationEntry("x", measured=0.0, modelled=1.0, node_aware=True)
+        assert e.ratio == float("inf")
+
+
+class TestCheck:
+    def test_flags_out_of_band_node_aware(self):
+        entries = {
+            "good": ValidationEntry("good", 1.0, 2.0, True),
+            "wild": ValidationEntry("wild", 1.0, 50.0, True),
+            "under": ValidationEntry("under", 1.0, 0.01, True),
+            "std": ValidationEntry("std", 1.0, 50.0, False),  # allowed
+        }
+        bad = check_validation(entries)
+        assert set(bad) == {"wild", "under"}
+
+    def test_band_validation(self, entries):
+        with pytest.raises(ValueError):
+            check_validation(entries, node_aware_band=0.5)
+        with pytest.raises(ValueError):
+            check_validation(entries, lower_band=0.0)
+
+
+def test_render(entries):
+    text = render_validation(entries)
+    assert "ratio" in text
+    assert "Split + MD (staged)" in text
+    # sorted by measured time: first data row is the fastest strategy
+    fastest = min(entries.values(), key=lambda e: e.measured).label
+    assert text.splitlines()[1].startswith(fastest)

@@ -1,0 +1,76 @@
+"""Payload sizing and DeviceBuffer semantics."""
+
+import numpy as np
+import pytest
+
+from repro.mpi.buffers import DeviceBuffer, is_device, payload_data, payload_nbytes
+
+
+class TestPayloadNbytes:
+    def test_ndarray(self):
+        arr = np.zeros(100, dtype=np.float64)
+        assert payload_nbytes(arr) == 800
+
+    def test_int_is_size_only(self):
+        assert payload_nbytes(4096) == 4096
+
+    def test_explicit_override_wins(self):
+        assert payload_nbytes(np.zeros(10), nbytes=123) == 123
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            payload_nbytes(-1)
+        with pytest.raises(ValueError):
+            payload_nbytes(np.zeros(1), nbytes=-5)
+
+    def test_generic_objects_use_pickled_size(self):
+        n = payload_nbytes({"a": 1})
+        assert n > 0
+
+    def test_payload_data(self):
+        arr = np.arange(3.0)
+        assert payload_data(arr) is arr
+        assert payload_data(100) is None
+        buf = DeviceBuffer(0, arr)
+        assert payload_data(buf) is arr
+
+
+class TestDeviceBuffer:
+    def test_array_buffer(self):
+        arr = np.arange(10, dtype=np.float64)
+        buf = DeviceBuffer(2, arr)
+        assert buf.gpu == 2 and buf.nbytes == 80 and len(buf) == 10
+        assert not buf.is_size_only
+
+    def test_size_only(self):
+        buf = DeviceBuffer(0, 4096)
+        assert buf.is_size_only and buf.nbytes == 4096
+        with pytest.raises(TypeError):
+            len(buf)
+
+    def test_structured_payload_needs_nbytes(self):
+        with pytest.raises(TypeError):
+            DeviceBuffer(0, ["records"])
+        buf = DeviceBuffer(0, ["records"], nbytes=64)
+        assert buf.nbytes == 64 and buf.data == ["records"]
+
+    def test_negative_gpu_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceBuffer(-1, 10)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            DeviceBuffer(0, -10)
+
+    def test_to_gpu_rebinds_preserving_contents(self):
+        arr = np.arange(4.0)
+        assert DeviceBuffer(0, arr).to_gpu(3).gpu == 3
+        assert np.array_equal(DeviceBuffer(0, arr).to_gpu(3).data, arr)
+        assert DeviceBuffer(0, 128).to_gpu(1).nbytes == 128
+        structured = DeviceBuffer(0, ("x", [1]), nbytes=99).to_gpu(2)
+        assert structured.data == ("x", [1]) and structured.nbytes == 99
+
+    def test_is_device(self):
+        assert is_device(DeviceBuffer(0, 1))
+        assert not is_device(np.zeros(1))
+        assert not is_device(100)

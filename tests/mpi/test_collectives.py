@@ -1,0 +1,194 @@
+"""Collectives built on point-to-point: barrier, bcast, gather, reduce, split."""
+
+import numpy as np
+import pytest
+
+from repro.machine import lassen
+from repro.mpi import SimJob
+
+
+@pytest.fixture
+def job():
+    return SimJob(lassen(), num_nodes=2, ppn=4)
+
+
+@pytest.fixture
+def job_odd():
+    """Non-power-of-two size exercises tree edge cases."""
+    return SimJob(lassen(), num_nodes=3, ppn=5)
+
+
+class TestBarrier:
+    def test_all_leave_after_last_enters(self, job):
+        delays = {0: 0.0, 3: 2e-3}
+
+        def program(ctx):
+            yield ctx.timeout(delays.get(ctx.rank, 1e-4))
+            yield from ctx.comm.barrier()
+            return ctx.now
+
+        res = job.run(program)
+        assert min(res.values) >= 2e-3
+
+    def test_barrier_odd_size(self, job_odd):
+        def program(ctx):
+            yield from ctx.comm.barrier()
+            yield from ctx.comm.barrier()
+            return ctx.now
+
+        res = job_odd.run(program)
+        assert all(v > 0 for v in res.values)
+
+
+class TestBcast:
+    @pytest.mark.parametrize("root", [0, 3, 7])
+    def test_all_receive_root_value(self, job, root):
+        def program(ctx):
+            payload = {"n": 42} if ctx.rank == root else None
+            v = yield from ctx.comm.bcast(payload, root=root)
+            return v
+
+        res = job.run(program)
+        assert all(v == {"n": 42} for v in res.values)
+
+    def test_bcast_odd_size(self, job_odd):
+        def program(ctx):
+            v = yield from ctx.comm.bcast("x" if ctx.rank == 2 else None,
+                                          root=2)
+            return v
+
+        res = job_odd.run(program)
+        assert all(v == "x" for v in res.values)
+
+
+class TestGatherReduce:
+    def test_gather_collects_in_rank_order(self, job):
+        def program(ctx):
+            out = yield from ctx.comm.gather(ctx.rank * 10, root=1)
+            return out
+
+        res = job.run(program)
+        assert res.values[1] == [r * 10 for r in range(8)]
+        assert all(res.values[r] is None for r in range(8) if r != 1)
+
+    def test_allgather(self, job):
+        def program(ctx):
+            out = yield from ctx.comm.allgather(ctx.rank)
+            return out
+
+        res = job.run(program)
+        assert all(v == list(range(8)) for v in res.values)
+
+    def test_allreduce_sum_and_max(self, job):
+        def program(ctx):
+            total = yield from ctx.comm.allreduce(ctx.rank)
+            biggest = yield from ctx.comm.allreduce(ctx.rank, op=max)
+            return total, biggest
+
+        res = job.run(program)
+        assert all(v == (28, 7) for v in res.values)
+
+
+class TestGathervAlltoallv:
+    def test_gatherv_variable_sizes(self, job):
+        def program(ctx):
+            payload = np.arange(float(ctx.rank + 1))
+            out = yield from ctx.comm.gatherv(payload, root=2)
+            return out
+
+        res = job.run(program)
+        gathered = res.values[2]
+        assert [len(a) for a in gathered] == list(range(1, 9))
+        assert all(res.values[r] is None for r in range(8) if r != 2)
+
+    def test_alltoallv_roundtrip(self, job):
+        def program(ctx):
+            payloads = {
+                d: np.array([float(ctx.rank * 100 + d)])
+                for d in range(ctx.size) if d != ctx.rank
+            }
+            received = yield from ctx.comm.alltoallv(payloads)
+            return received
+
+        res = job.run(program)
+        for rank, received in enumerate(res.values):
+            assert set(received) == set(range(8)) - {rank}
+            for src, arr in received.items():
+                assert arr[0] == src * 100 + rank
+
+    def test_alltoallv_sparse_senders(self, job):
+        def program(ctx):
+            payloads = {1: np.ones(4)} if ctx.rank == 0 else {}
+            received = yield from ctx.comm.alltoallv(payloads)
+            return sorted(received)
+
+        res = job.run(program)
+        assert res.values[1] == [0]
+        assert all(v == [] for r, v in enumerate(res.values) if r != 1)
+
+    def test_alltoallv_validation(self, job):
+        def program(ctx):
+            payloads = {ctx.rank: np.ones(1)}  # self-send
+            yield from ctx.comm.alltoallv(payloads)
+            return None
+
+        with pytest.raises(Exception, match="self"):
+            job.run(program)
+
+
+class TestSplit:
+    def test_split_by_node(self, job):
+        def program(ctx):
+            sub = yield ctx.comm.split(color=ctx.node)
+            local_sum = yield from sub.allreduce(ctx.rank)
+            return (sub.size, sub.rank, local_sum)
+
+        res = job.run(program)
+        for rank, (size, local, s) in enumerate(res.values):
+            assert size == 4
+            assert local == rank % 4
+            node = rank // 4
+            assert s == sum(range(node * 4, node * 4 + 4))
+
+    def test_split_undefined_color(self, job):
+        def program(ctx):
+            sub = yield ctx.comm.split(
+                color=None if ctx.rank % 2 else 0)
+            return None if sub is None else sub.size
+
+        res = job.run(program)
+        assert [res.values[r] for r in range(4)] == [4, None, 4, None]
+
+    def test_split_key_reorders(self, job):
+        def program(ctx):
+            sub = yield ctx.comm.split(color=0, key=-ctx.rank)
+            return sub.rank
+
+        res = job.run(program)
+        # highest world rank gets local rank 0
+        assert res.values[7] == 0 and res.values[0] == 7
+
+    def test_subcommunicator_isolated_from_parent(self, job):
+        def program(ctx):
+            sub = yield ctx.comm.split(color=ctx.node)
+            result = None
+            if ctx.node == 0:
+                if sub.rank == 0:
+                    sub.isend(np.array([1.0]), dest=1, tag=3)
+                elif sub.rank == 1:
+                    msg = yield sub.recv(source=0, tag=3)
+                    result = msg.data[0]
+            yield from ctx.comm.barrier()
+            return result
+
+        res = job.run(program)
+        assert res.values[1] == 1.0
+
+    def test_double_split(self, job):
+        def program(ctx):
+            a = yield ctx.comm.split(color=ctx.node)
+            b = yield ctx.comm.split(color=ctx.rank % 2)
+            return (a.size, b.size)
+
+        res = job.run(program)
+        assert all(v == (4, 4) for v in res.values)

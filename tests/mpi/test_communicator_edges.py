@@ -1,0 +1,119 @@
+"""Communicator edge cases and error paths."""
+
+import numpy as np
+import pytest
+
+from repro.machine import lassen
+from repro.mpi import SimJob
+from repro.mpi.communicator import _COLL_TAG_BASE, Communicator
+
+
+@pytest.fixture
+def job():
+    return SimJob(lassen(), num_nodes=2, ppn=4)
+
+
+class TestValidation:
+    def test_negative_tag_rejected(self, job):
+        def program(ctx):
+            if ctx.rank == 0:
+                ctx.comm.isend(1, dest=1, tag=-5)
+            return None
+            yield
+
+        with pytest.raises(Exception, match="invalid tag"):
+            job.run(program)
+
+    def test_out_of_range_source_rejected(self, job):
+        def program(ctx):
+            if ctx.rank == 0:
+                ctx.comm.irecv(source=99)
+            return None
+            yield
+
+        with pytest.raises(Exception, match="source"):
+            job.run(program)
+
+    def test_duplicate_ranks_rejected(self, job):
+        with pytest.raises(ValueError, match="duplicate"):
+            Communicator(job.transport, [0, 0, 1], name="bad")
+
+    def test_handle_requires_membership(self, job):
+        sub = Communicator(job.transport, [0, 1, 2], name="sub")
+        with pytest.raises(ValueError, match="not in communicator"):
+            sub.handle(5)
+
+    def test_contains_and_local_rank(self, job):
+        sub = Communicator(job.transport, [3, 1, 5], name="sub")
+        assert sub.contains(5) and not sub.contains(0)
+        assert sub.local_rank(3) == 0 and sub.local_rank(5) == 2
+
+
+class TestSubCommunicators:
+    def test_local_ranks_relabelled(self, job):
+        def program(ctx):
+            sub = yield ctx.comm.split(color=ctx.rank % 2)
+            # even world ranks -> sub ranks 0..3 in world order
+            return (ctx.rank, sub.rank)
+
+        res = job.run(program)
+        for world, local in res.values:
+            assert local == world // 2
+
+    def test_messages_between_subcomm_use_local_ranks(self, job):
+        def program(ctx):
+            sub = yield ctx.comm.split(color=ctx.node)
+            payload = np.array([float(ctx.rank)])
+            if sub.rank == 0:
+                sub.isend(payload, dest=3, tag=1)
+            received = None
+            if sub.rank == 3:
+                msg = yield sub.recv(source=0, tag=1)
+                received = msg.data[0]
+            yield from ctx.comm.barrier()
+            return received
+
+        res = job.run(program)
+        assert res.values[3] == 0.0   # node 0's sub rank 0 is world 0
+        assert res.values[7] == 4.0   # node 1's sub rank 0 is world 4
+
+    def test_collective_tags_stay_reserved(self, job):
+        """User tags just below the collective base don't collide."""
+        def program(ctx):
+            user_tag = _COLL_TAG_BASE - 1
+            if ctx.rank == 0:
+                ctx.comm.isend(7, dest=1, tag=user_tag)
+            yield from ctx.comm.barrier()
+            if ctx.rank == 1:
+                msg = yield ctx.comm.recv(source=0, tag=user_tag)
+                return msg.data
+            return None
+
+        res = job.run(program)
+        assert res.values[1] == 7
+
+
+class TestRequests:
+    def test_send_request_value_is_none(self, job):
+        def program(ctx):
+            if ctx.rank == 0:
+                req = ctx.comm.isend(64, dest=1, tag=1)
+                yield req.wait()
+                return req.value
+            elif ctx.rank == 1:
+                yield ctx.comm.recv(source=0, tag=1)
+            return "recv"
+
+        res = job.run(program)
+        assert res.values[0] is None
+
+    def test_message_nbytes_property(self, job):
+        def program(ctx):
+            if ctx.rank == 0:
+                yield ctx.comm.send(np.zeros(16), dest=1, tag=1)
+            elif ctx.rank == 1:
+                msg = yield ctx.comm.recv(source=0, tag=1)
+                return msg.nbytes
+            return None
+
+        assert job.run(program).values[1] == 128

@@ -1,0 +1,138 @@
+"""CopyEngine (cudaMemcpyAsync analog) timing and semantics."""
+
+import numpy as np
+import pytest
+
+from repro.machine import lassen
+from repro.machine.locality import CopyDirection
+from repro.mpi import DeviceBuffer, SimJob
+
+M = lassen()
+H2D1 = M.copy_params.table[(CopyDirection.H2D, 1)]
+D2H1 = M.copy_params.table[(CopyDirection.D2H, 1)]
+H2D4 = M.copy_params.table[(CopyDirection.H2D, 4)]
+D2H4 = M.copy_params.table[(CopyDirection.D2H, 4)]
+
+
+@pytest.fixture
+def job():
+    return SimJob(lassen(), num_nodes=1, ppn=40)
+
+
+def run_rank0(job, body):
+    def program(ctx):
+        if ctx.rank == 0:
+            result = yield from body(ctx)
+            return result
+        return None
+
+    return job.run(program).values[0]
+
+
+class TestSingleProcessCopies:
+    def test_d2h_time(self, job):
+        n = 1 << 20
+
+        def body(ctx):
+            ev, host = ctx.copy.d2h(DeviceBuffer(0, n))
+            yield ev
+            return ctx.now, host
+
+        t, host = run_rank0(job, body)
+        assert t == pytest.approx(D2H1.time(n))
+        assert host == n  # size-only payload round-trips the byte count
+
+    def test_h2d_time_and_binding(self, job):
+        arr = np.arange(1000, dtype=np.float64)
+
+        def body(ctx):
+            ev, buf = ctx.copy.h2d(arr, gpu=2)
+            yield ev
+            return ctx.now, buf
+
+        t, buf = run_rank0(job, body)
+        assert t == pytest.approx(H2D1.time(arr.nbytes))
+        assert buf.gpu == 2 and np.array_equal(buf.data, arr)
+
+    def test_d2h_preserves_array(self, job):
+        arr = np.arange(16.0)
+
+        def body(ctx):
+            ev, host = ctx.copy.d2h(DeviceBuffer(1, arr))
+            yield ev
+            return host
+
+        host = run_rank0(job, body)
+        assert np.array_equal(host, arr)
+
+    def test_d2h_requires_device_buffer(self, job):
+        def body(ctx):
+            ctx.copy.d2h(np.zeros(4))
+            return None
+            yield
+
+        with pytest.raises(Exception, match="DeviceBuffer"):
+            run_rank0(job, body)
+
+
+class TestTeamCopies:
+    def test_team_cost_uses_total_volume(self, job):
+        """4-proc copies charge the 4-proc fit against the TEAM total."""
+        total = 1 << 20
+        share = total // 4
+
+        def body(ctx):
+            ev, _ = ctx.copy.d2h(DeviceBuffer(0, share), nproc=4,
+                                 team_bytes=total)
+            yield ev
+            return ctx.now
+
+        t = run_rank0(job, body)
+        assert t == pytest.approx(D2H4.time(total))
+
+    def test_team_default_total_is_share_times_nproc(self, job):
+        share = 1 << 18
+
+        def body(ctx):
+            ev, _ = ctx.copy.h2d(share, gpu=0, nproc=4)
+            yield ev
+            return ctx.now
+
+        t = run_rank0(job, body)
+        assert t == pytest.approx(H2D4.time(share * 4))
+
+    def test_nproc2_falls_back_to_single_proc_params(self, job):
+        total = 1 << 20
+
+        def body(ctx):
+            ev, _ = ctx.copy.d2h(DeviceBuffer(0, total // 2), nproc=2,
+                                 team_bytes=total)
+            yield ev
+            return ctx.now
+
+        t = run_rank0(job, body)
+        assert t == pytest.approx(D2H1.time(total))
+
+    def test_team_bytes_smaller_than_share_rejected(self, job):
+        def body(ctx):
+            ctx.copy.d2h(DeviceBuffer(0, 100), nproc=4, team_bytes=50)
+            return None
+            yield
+
+        with pytest.raises(Exception, match="team_bytes"):
+            run_rank0(job, body)
+
+
+class TestAccounting:
+    def test_byte_counters(self, job):
+        def body(ctx):
+            ev, _ = ctx.copy.d2h(DeviceBuffer(0, 100))
+            yield ev
+            ev, _ = ctx.copy.h2d(200, gpu=0)
+            yield ev
+            return None
+
+        run_rank0(job, body)
+        assert job.copy_engine.d2h_bytes == 100
+        assert job.copy_engine.h2d_bytes == 200
+        assert job.copy_engine.copies == 2

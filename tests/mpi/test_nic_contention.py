@@ -1,0 +1,108 @@
+"""Max-rate behaviour emerges from NIC contention (paper eq. 2.2)."""
+
+import pytest
+
+from repro.machine import lassen
+from repro.machine.locality import Locality, Protocol, TransportKind
+from repro.mpi import DeviceBuffer, SimJob
+
+M = lassen()
+RN = M.nic.injection_rate
+REND_OFF = M.comm_params.table[(TransportKind.CPU, Protocol.RENDEZVOUS,
+                                Locality.OFF_NODE)]
+
+
+def run_concurrent_senders(job, n_senders, nbytes, device=False):
+    def program(ctx):
+        if ctx.node == 0 and ctx.local_rank < n_senders:
+            payload = DeviceBuffer(ctx.global_gpu, nbytes) if device else nbytes
+            yield ctx.comm.send(payload, dest=job.layout.ppn + ctx.local_rank,
+                                tag=1)
+        elif ctx.node == 1 and ctx.local_rank < n_senders:
+            yield ctx.comm.recv(source=ctx.local_rank, tag=1)
+            return ctx.now
+        return None
+
+    res = job.run(program)
+    return max(t for t in res.values[job.layout.ppn:] if t is not None)
+
+
+class TestInjectionLimit:
+    def test_aggregate_drains_at_rn(self):
+        """Many concurrent large sends complete at ~ total/R_N."""
+        job = SimJob(lassen(), num_nodes=2, ppn=40)
+        n, s = 40, 1 << 20
+        t = run_concurrent_senders(job, n, s)
+        expected_floor = n * s / RN
+        assert t >= expected_floor
+        assert t <= expected_floor * 1.05 + 1e-3
+
+    def test_single_sender_below_injection_limit(self):
+        """One sender is limited by its own beta, not R_N."""
+        job = SimJob(lassen(), num_nodes=2, ppn=40)
+        s = 1 << 20
+        t = run_concurrent_senders(job, 1, s)
+        assert t == pytest.approx(REND_OFF.time(s))
+
+    def test_max_rate_reduces_to_postal_when_unsaturated(self):
+        """ppn * R_b < R_N => postal-model behaviour (paper Section 2.2).
+
+        At eager sizes the per-process rate over one small message never
+        reaches the NIC limit with a single sender per node pair.
+        """
+        job = SimJob(lassen(), num_nodes=2, ppn=40)
+        s = 2048
+        t = run_concurrent_senders(job, 2, s)
+        eager = M.comm_params.table[(TransportKind.CPU, Protocol.EAGER,
+                                     Locality.OFF_NODE)]
+        assert t == pytest.approx(eager.time(s), rel=1e-6)
+
+    def test_gpu_injection_unbounded_on_lassen(self):
+        """Device-aware sends see no NIC queueing (Table 4 excludes GPU)."""
+        job = SimJob(lassen(), num_nodes=2, ppn=4)
+        s = 1 << 20
+        t = run_concurrent_senders(job, 4, s, device=True)
+        gpu_rend = M.comm_params.table[(TransportKind.GPU,
+                                        Protocol.RENDEZVOUS,
+                                        Locality.OFF_NODE)]
+        assert t == pytest.approx(gpu_rend.time(s), rel=1e-6)
+
+    def test_on_node_messages_skip_nic(self):
+        job = SimJob(lassen(), num_nodes=2, ppn=40)
+        s = 1 << 20
+
+        def program(ctx):
+            if ctx.rank == 0:
+                yield ctx.comm.send(s, dest=2, tag=1)  # on-node, socket 1
+            elif ctx.rank == 2:
+                yield ctx.comm.recv(source=0, tag=1)
+                return ctx.now
+            return None
+
+        res = job.run(program)
+        on_node = M.comm_params.table[(TransportKind.CPU,
+                                       Protocol.RENDEZVOUS,
+                                       Locality.ON_NODE)]
+        assert res.values[2] == pytest.approx(on_node.time(s))
+        assert job.transport.nic_of(0, TransportKind.CPU).transfers == 0
+
+    def test_nic_books_per_sending_node(self):
+        """Traffic from different nodes uses different NIC servers."""
+        job = SimJob(lassen(), num_nodes=4, ppn=4)
+        s = 1 << 20
+
+        def program(ctx):
+            ppn = 4
+            if ctx.node in (0, 1) and ctx.local_rank == 0:
+                yield ctx.comm.send(s, dest=(ctx.node + 2) * ppn, tag=1)
+            elif ctx.node in (2, 3) and ctx.local_rank == 0:
+                yield ctx.comm.recv(tag=1)
+                return ctx.now
+            return None
+
+        res = job.run(program)
+        t2 = res.values[8]
+        t3 = res.values[12]
+        # Both transfers proceed at full rate simultaneously.
+        assert t2 == pytest.approx(t3)
+        assert t2 == pytest.approx(REND_OFF.time(s))

@@ -1,0 +1,210 @@
+"""Protocol selection and message timing match the configured constants."""
+
+import pytest
+
+from repro.machine import lassen
+from repro.machine.locality import Locality, Protocol, TransportKind
+from repro.mpi import DeviceBuffer, SimJob
+
+
+@pytest.fixture
+def job():
+    return SimJob(lassen(), num_nodes=2, ppn=40)
+
+
+def one_way_time(job, a, b, payload, nbytes=None):
+    def program(ctx):
+        if ctx.rank == a:
+            yield ctx.comm.send(payload, dest=b, tag=1, nbytes=nbytes)
+        elif ctx.rank == b:
+            yield ctx.comm.recv(source=a, tag=1)
+        return ctx.now
+
+    return job.run(program).values[b]
+
+
+M = lassen()
+
+
+def expected(kind, loc, nbytes):
+    _p, link = M.comm_params.for_message(kind, loc, nbytes)
+    return link.time(nbytes)
+
+
+class TestCpuTiming:
+    @pytest.mark.parametrize("nbytes,protocol", [
+        (64, Protocol.SHORT),
+        (4096, Protocol.EAGER),
+        (65536, Protocol.RENDEZVOUS),
+    ])
+    def test_off_node(self, job, nbytes, protocol):
+        t = one_way_time(job, 0, 40, nbytes)
+        assert t == pytest.approx(expected(TransportKind.CPU,
+                                           Locality.OFF_NODE, nbytes))
+        assert M.comm_params.thresholds.select(TransportKind.CPU,
+                                               nbytes) is protocol
+
+    def test_on_socket(self, job):
+        # ranks 0, 1 own GPUs 0, 1 on socket 0
+        t = one_way_time(job, 0, 1, 1000)
+        assert t == pytest.approx(expected(TransportKind.CPU,
+                                           Locality.ON_SOCKET, 1000))
+
+    def test_on_node(self, job):
+        t = one_way_time(job, 0, 2, 1000)  # gpu0 socket0 -> gpu2 socket1
+        assert t == pytest.approx(expected(TransportKind.CPU,
+                                           Locality.ON_NODE, 1000))
+
+
+class TestGpuTiming:
+    def test_device_aware_off_node(self, job):
+        nbytes = 10**6
+        t = one_way_time(job, 0, 40, DeviceBuffer(0, nbytes))
+        assert t == pytest.approx(expected(TransportKind.GPU,
+                                           Locality.OFF_NODE, nbytes))
+
+    def test_device_aware_small_uses_eager_not_short(self, job):
+        nbytes = 64
+        t = one_way_time(job, 0, 1, DeviceBuffer(0, nbytes))
+        link = M.comm_params.table[(TransportKind.GPU, Protocol.EAGER,
+                                    Locality.ON_SOCKET)]
+        assert t == pytest.approx(link.time(nbytes))
+
+    def test_device_payload_rebinds_to_receiver_gpu(self, job):
+        def program(ctx):
+            if ctx.rank == 0:
+                yield ctx.comm.send(DeviceBuffer(0, 100), dest=41, tag=1)
+            elif ctx.rank == 41:  # gpu owner 1 on node 1 => global gpu 5
+                msg = yield ctx.comm.recv(source=0, tag=1)
+                return msg.data.gpu
+            return None
+
+        res = job.run(program)
+        assert res.values[41] == 5
+
+    def test_device_to_helper_rank_is_error(self, job):
+        def program(ctx):
+            if ctx.rank == 0:
+                yield ctx.comm.send(DeviceBuffer(0, 100), dest=10, tag=1)
+            elif ctx.rank == 10:  # helper: owns no GPU
+                yield ctx.comm.recv(source=0, tag=1)
+            return None
+
+        with pytest.raises(Exception, match="non-GPU-owner"):
+            job.run(program)
+
+
+class TestRendezvousSemantics:
+    def test_rendezvous_waits_for_receiver(self, job):
+        """Rendezvous transfer cannot start before the recv is posted."""
+        nbytes = 10**5  # rendezvous
+        delay = 5e-3
+
+        def program(ctx):
+            if ctx.rank == 0:
+                yield ctx.comm.send(nbytes, dest=40, tag=1)
+                return ctx.now
+            elif ctx.rank == 40:
+                yield ctx.timeout(delay)
+                yield ctx.comm.recv(source=0, tag=1)
+                return ctx.now
+            return None
+
+        res = job.run(program)
+        base = expected(TransportKind.CPU, Locality.OFF_NODE, nbytes)
+        assert res.values[40] == pytest.approx(delay + base)
+        # Sender also blocks until delivery (synchronous protocol).
+        assert res.values[0] == pytest.approx(delay + base)
+
+    def test_eager_sender_does_not_wait_for_receiver(self, job):
+        nbytes = 1024  # eager
+        delay = 5e-3
+
+        def program(ctx):
+            if ctx.rank == 0:
+                yield ctx.comm.send(nbytes, dest=40, tag=1)
+                return ctx.now
+            elif ctx.rank == 40:
+                yield ctx.timeout(delay)
+                yield ctx.comm.recv(source=0, tag=1)
+                return ctx.now
+            return None
+
+        res = job.run(program)
+        assert res.values[0] < 1e-4      # sender long done
+        assert res.values[40] == pytest.approx(delay)  # data already there
+
+
+class TestSendPipeSerialization:
+    def test_m_messages_serialize_overhead_and_bytes(self, job):
+        """m nonblocking sends pay m * (o*alpha + beta*s) of serialized
+        pipe time plus one full latency for the last delivery."""
+        m_msgs, nbytes = 10, 4096  # eager off-node
+
+        def program(ctx):
+            if ctx.rank == 0:
+                reqs = [ctx.comm.isend(nbytes, dest=40 + k, tag=1)
+                        for k in range(m_msgs)]
+                yield ctx.comm.waitall(reqs)
+            elif 40 <= ctx.rank < 40 + m_msgs:
+                msg = yield ctx.comm.recv(source=0, tag=1)
+                return ctx.now
+            return None
+
+        res = job.run(program)
+        link = M.comm_params.table[(TransportKind.CPU, Protocol.EAGER,
+                                    Locality.OFF_NODE)]
+        o = job.transport.overhead_fraction
+        occupancy = o * link.alpha + link.beta * nbytes
+        expected = (m_msgs - 1) * occupancy + link.time(nbytes)
+        last = max(res.values[40:40 + m_msgs])
+        assert last == pytest.approx(expected, rel=1e-6)
+
+    def test_overhead_fraction_one_recovers_full_serialization(self):
+        from repro.mpi import SimJob
+        from repro.machine import lassen
+
+        job = SimJob(lassen(), num_nodes=2, ppn=40, overhead_fraction=1.0)
+        m_msgs, nbytes = 5, 4096
+
+        def program(ctx):
+            if ctx.rank == 0:
+                reqs = [ctx.comm.isend(nbytes, dest=40 + k, tag=1)
+                        for k in range(m_msgs)]
+                yield ctx.comm.waitall(reqs)
+            elif 40 <= ctx.rank < 40 + m_msgs:
+                yield ctx.comm.recv(source=0, tag=1)
+                return ctx.now
+            return None
+
+        res = job.run(program)
+        link = M.comm_params.table[(TransportKind.CPU, Protocol.EAGER,
+                                    Locality.OFF_NODE)]
+        last = max(res.values[40:40 + m_msgs])
+        assert last == pytest.approx(m_msgs * link.time(nbytes), rel=1e-6)
+
+    def test_invalid_overhead_fraction_rejected(self):
+        from repro.mpi import SimJob
+        from repro.machine import lassen
+
+        with pytest.raises(ValueError):
+            SimJob(lassen(), num_nodes=1, ppn=4, overhead_fraction=1.5)
+
+    def test_distinct_senders_do_not_serialize(self, job):
+        nbytes = 4096
+
+        def program(ctx):
+            if ctx.rank in (0, 1, 2, 3):
+                yield ctx.comm.send(nbytes, dest=40 + ctx.rank, tag=1)
+            elif 40 <= ctx.rank < 44:
+                yield ctx.comm.recv(source=ctx.rank - 40, tag=1)
+                return ctx.now
+            return None
+
+        res = job.run(program)
+        link = M.comm_params.table[(TransportKind.CPU, Protocol.EAGER,
+                                    Locality.OFF_NODE)]
+        # All four one-message senders finish in single-message time
+        # (NIC has headroom at this size).
+        for r in range(40, 44):
+            assert res.values[r] == pytest.approx(link.time(nbytes), rel=1e-6)

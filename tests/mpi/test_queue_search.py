@@ -1,0 +1,66 @@
+"""Queue-search cost refinement (paper Section 2.2, ref [11])."""
+
+import pytest
+
+from repro.machine import lassen
+from repro.mpi import SimJob
+from repro.mpi.transport import Transport
+from repro.sim import Simulator
+from repro.machine.topology import JobLayout
+
+
+def job_with_cost(cost):
+    job = SimJob(lassen(), num_nodes=1, ppn=8)
+    job.transport.queue_search_cost = cost
+    return job
+
+
+class TestQueueSearch:
+    def test_negative_cost_rejected(self):
+        layout = JobLayout(lassen(), 1, 4)
+        with pytest.raises(ValueError):
+            Transport(Simulator(), layout, queue_search_cost=-1.0)
+
+    def test_disabled_by_default(self):
+        job = SimJob(lassen(), num_nodes=1, ppn=4)
+        assert job.transport.queue_search_cost == 0.0
+
+    def _run(self, cost, n_unexpected):
+        """Rank 1 receives the LAST of several queued unexpected sends."""
+        job = SimJob(lassen(), num_nodes=1, ppn=8)
+
+        def program(ctx):
+            if ctx.rank == 0:
+                for tag in range(1, n_unexpected + 2):
+                    ctx.comm.isend(64, dest=1, tag=tag)
+                yield ctx.timeout(0)
+            elif ctx.rank == 1:
+                ctx.job.transport.queue_search_cost = cost
+                yield ctx.timeout(1e-3)  # let sends queue as unexpected
+                # match the deepest entry first: scans n_unexpected others
+                msg = yield ctx.comm.recv(source=0, tag=n_unexpected + 1)
+                deep_done = ctx.now
+                # now drain the rest (each at the queue head: no scan)
+                for tag in range(1, n_unexpected + 1):
+                    yield ctx.comm.recv(source=0, tag=tag)
+                return deep_done
+            return None
+
+        return job.run(program).values[1]
+
+    def test_deep_match_pays_per_scanned_entry(self):
+        cost = 1e-6
+        base = self._run(0.0, 6)
+        slow = self._run(cost, 6)
+        assert slow == pytest.approx(base + 6 * cost)
+
+    def test_head_match_is_free(self):
+        base = self._run(0.0, 0)
+        with_cost = self._run(1e-6, 0)
+        assert with_cost == pytest.approx(base)
+
+    def test_cost_scales_with_depth(self):
+        cost = 1e-6
+        shallow = self._run(cost, 2) - self._run(0.0, 2)
+        deep = self._run(cost, 8) - self._run(0.0, 8)
+        assert deep == pytest.approx(4 * shallow)

@@ -1,0 +1,183 @@
+"""Simulator loop, process semantics, determinism, error handling."""
+
+import pytest
+
+from repro.sim import DeadlockError, Simulator
+from repro.sim.engine import Interrupt, Process, SimulationError
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestProcesses:
+    def test_process_return_value(self, sim):
+        def proc(sim):
+            yield sim.timeout(1.0)
+            return "done"
+
+        p = sim.process(proc(sim))
+        sim.run()
+        assert p.processed and p.value == "done"
+
+    def test_requires_generator(self, sim):
+        with pytest.raises(TypeError):
+            sim.process(lambda: None)
+
+    def test_process_waits_on_process(self, sim):
+        def child(sim):
+            yield sim.timeout(2.0)
+            return 21
+
+        def parent(sim):
+            c = sim.process(child(sim))
+            v = yield c
+            return v * 2
+
+        p = sim.process(parent(sim))
+        sim.run()
+        assert p.value == 42 and sim.now == 2.0
+
+    def test_yield_already_processed_event_resumes_at_current_time(self, sim):
+        done = sim.timeout(1.0, value="early")
+
+        def proc(sim):
+            yield sim.timeout(5.0)
+            v = yield done  # fired long ago
+            return (sim.now, v)
+
+        p = sim.process(proc(sim))
+        sim.run()
+        assert p.value == (5.0, "early")
+
+    def test_crash_propagates_from_run(self, sim):
+        def proc(sim):
+            yield sim.timeout(1.0)
+            raise ValueError("inner")
+
+        sim.process(proc(sim))
+        with pytest.raises(SimulationError, match="inner"):
+            sim.run()
+
+    def test_failed_event_raises_inside_process(self, sim):
+        ev = sim.event()
+        ev.fail(KeyError("missing"), delay=1.0)
+
+        def proc(sim, ev, log):
+            try:
+                yield ev
+            except KeyError:
+                log.append(sim.now)
+            return "recovered"
+
+        log = []
+        p = sim.process(proc(sim, ev, log))
+        sim.run()
+        assert log == [1.0] and p.value == "recovered"
+
+    def test_interrupt(self, sim):
+        def sleeper(sim, log):
+            try:
+                yield sim.timeout(100.0)
+            except Interrupt as i:
+                log.append((sim.now, i.cause))
+            return "woke"
+
+        def interrupter(sim, target):
+            yield sim.timeout(2.0)
+            target.interrupt("wake up")
+
+        log = []
+        p = sim.process(sleeper(sim, log))
+        sim.process(interrupter(sim, p))
+        sim.run()
+        assert log == [(2.0, "wake up")] and p.value == "woke"
+
+    def test_interrupt_finished_process_raises(self, sim):
+        def quick(sim):
+            yield sim.timeout(0.0)
+
+        p = sim.process(quick(sim))
+        sim.run()
+        with pytest.raises(RuntimeError):
+            p.interrupt()
+
+
+class TestEngine:
+    def test_deadlock_detected(self, sim):
+        def stuck(sim):
+            yield sim.event()  # never fires
+
+        sim.process(stuck(sim))
+        with pytest.raises(DeadlockError):
+            sim.run()
+
+    def test_run_until_stops_clock(self, sim):
+        sim.timeout(10.0)
+        final = sim.run(until=3.0)
+        assert final == 3.0 and sim.now == 3.0
+
+    def test_same_time_events_fire_in_schedule_order(self, sim):
+        order = []
+        for i in range(5):
+            t = sim.timeout(1.0, value=i)
+            t.callbacks.append(lambda ev: order.append(ev.value))
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_determinism_across_runs(self):
+        def build():
+            sim = Simulator()
+            trace = []
+
+            def worker(sim, wid):
+                for k in range(3):
+                    yield sim.timeout(0.5 * ((wid + k) % 3))
+                    trace.append((sim.now, wid, k))
+
+            for w in range(4):
+                sim.process(worker(sim, w))
+            sim.run()
+            return trace
+
+        assert build() == build()
+
+    def test_timeout_until(self, sim):
+        def proc(sim):
+            yield sim.timeout(2.0)
+            yield sim.timeout_until(5.0)
+            return sim.now
+
+        p = sim.process(proc(sim))
+        sim.run()
+        assert p.value == 5.0
+
+    def test_timeout_until_past_raises(self, sim):
+        def proc(sim):
+            yield sim.timeout(2.0)
+            sim.timeout_until(1.0)
+
+        sim.process(proc(sim))
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_peek_empty_is_inf(self, sim):
+        assert sim.peek() == float("inf")
+
+    def test_negative_delay_rejected(self, sim):
+        ev = sim.event()
+        with pytest.raises(ValueError):
+            ev.succeed(delay=-1.0)
+
+    def test_all_of_any_of_helpers(self, sim):
+        def proc(sim):
+            vals = yield sim.all_of([sim.timeout(1.0, value=1),
+                                     sim.timeout(2.0, value=2)])
+            first = yield sim.any_of([sim.timeout(1.0, value="a"),
+                                      sim.timeout(9.0, value="b")])
+            return vals, first, sim.now
+
+        p = sim.process(proc(sim))
+        sim.run(until=5.0)
+        assert p.value == ([1, 2], ["a"], 3.0)

@@ -1,0 +1,51 @@
+"""Noise-model statistics and determinism."""
+
+import numpy as np
+import pytest
+
+from repro.sim import LognormalNoise, NoNoise
+from repro.sim.noise import make_noise
+
+
+class TestNoNoise:
+    def test_identity(self):
+        n = NoNoise()
+        assert n.factor() == 1.0
+        assert n.perturb(3.5) == 3.5
+        assert n.fork(7) is n
+
+
+class TestLognormal:
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            LognormalNoise(sigma=-0.1)
+
+    def test_zero_sigma_is_exact(self):
+        n = LognormalNoise(sigma=0.0, seed=1)
+        assert all(n.factor() == 1.0 for _ in range(10))
+
+    def test_unit_mean(self):
+        n = LognormalNoise(sigma=0.2, seed=3)
+        factors = np.array([n.factor() for _ in range(20000)])
+        assert factors.mean() == pytest.approx(1.0, rel=0.02)
+        assert (factors > 0).all()
+
+    def test_seeded_reproducibility(self):
+        a = LognormalNoise(sigma=0.1, seed=42)
+        b = LognormalNoise(sigma=0.1, seed=42)
+        assert [a.factor() for _ in range(5)] == [b.factor() for _ in range(5)]
+
+    def test_forks_are_independent_and_deterministic(self):
+        root = LognormalNoise(sigma=0.1, seed=9)
+        f1 = root.fork(1)
+        f2 = root.fork(2)
+        f1_again = LognormalNoise(sigma=0.1, seed=9).fork(1)
+        s1 = [f1.factor() for _ in range(5)]
+        s2 = [f2.factor() for _ in range(5)]
+        assert s1 != s2
+        assert s1 == [f1_again.factor() for _ in range(5)]
+
+
+def test_make_noise_dispatch():
+    assert isinstance(make_noise(0.0), NoNoise)
+    assert isinstance(make_noise(0.1, seed=5), LognormalNoise)

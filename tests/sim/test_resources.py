@@ -1,0 +1,136 @@
+"""Resource, BandwidthResource and TokenBucket behaviour."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import BandwidthResource, Resource, Simulator, TokenBucket
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestResource:
+    def test_capacity_validation(self, sim):
+        with pytest.raises(ValueError):
+            Resource(sim, capacity=0)
+
+    def test_acquire_release_counts(self, sim):
+        res = Resource(sim, capacity=2)
+        a = res.acquire()
+        b = res.acquire()
+        assert a.triggered and b.triggered
+        assert res.in_use == 2 and res.available == 0
+        c = res.acquire()
+        assert c.pending  # queued
+        res.release()
+        sim.run()
+        assert c.processed
+
+    def test_release_without_acquire_raises(self, sim):
+        res = Resource(sim)
+        with pytest.raises(RuntimeError):
+            res.release()
+
+    def test_fifo_grant_order(self, sim):
+        res = Resource(sim, capacity=1)
+        got = []
+
+        def worker(sim, res, wid, hold):
+            grant = res.acquire()
+            yield grant
+            got.append(wid)
+            yield sim.timeout(hold)
+            res.release()
+
+        for w in range(3):
+            sim.process(worker(sim, res, w, 1.0))
+        sim.run()
+        assert got == [0, 1, 2]
+
+
+class TestBandwidthResource:
+    def test_rate_validation(self, sim):
+        with pytest.raises(ValueError):
+            BandwidthResource(sim, rate=0.0)
+
+    def test_single_transfer_time(self, sim):
+        nic = BandwidthResource(sim, rate=1e9)
+        ev = nic.transfer(1e6)
+        sim.run()
+        assert ev.processed and sim.now == pytest.approx(1e-3)
+
+    def test_serialization(self, sim):
+        nic = BandwidthResource(sim, rate=100.0)
+        t1 = nic.completion_time(100)   # 1 s
+        t2 = nic.completion_time(100)   # queued behind
+        assert t1 == pytest.approx(1.0)
+        assert t2 == pytest.approx(2.0)
+
+    def test_negative_bytes_rejected(self, sim):
+        nic = BandwidthResource(sim, rate=1.0)
+        with pytest.raises(ValueError):
+            nic.transfer(-1)
+
+    def test_start_parameter_defers_entry(self, sim):
+        nic = BandwidthResource(sim, rate=100.0)
+        t = nic.completion_time(100, start=5.0)
+        assert t == pytest.approx(6.0)
+
+    def test_counters(self, sim):
+        nic = BandwidthResource(sim, rate=10.0)
+        nic.transfer(5)
+        nic.transfer(15)
+        assert nic.bytes_served == 20 and nic.transfers == 2
+        nic.reset()
+        assert nic.bytes_served == 0 and nic.transfers == 0
+
+    @settings(max_examples=50, deadline=None)
+    @given(sizes=st.lists(st.integers(min_value=0, max_value=10**7),
+                          min_size=1, max_size=20),
+           rate=st.floats(min_value=1.0, max_value=1e12))
+    def test_throughput_conservation(self, sizes, rate):
+        """Busy-interval throughput equals the configured rate exactly."""
+        sim = Simulator()
+        nic = BandwidthResource(sim, rate=rate)
+        finish = 0.0
+        for s in sizes:
+            finish = nic.completion_time(s)
+        assert finish == pytest.approx(sum(sizes) / rate, rel=1e-9)
+
+
+class TestTokenBucket:
+    def test_validation(self, sim):
+        with pytest.raises(ValueError):
+            TokenBucket(sim, rate=0, burst=1)
+        with pytest.raises(ValueError):
+            TokenBucket(sim, rate=1, burst=0)
+
+    def test_burst_is_instant(self, sim):
+        tb = TokenBucket(sim, rate=10.0, burst=100.0)
+
+        def proc(sim, tb):
+            yield tb.take(100.0)
+            return sim.now
+
+        p = sim.process(proc(sim, tb))
+        sim.run()
+        assert p.value == 0.0
+
+    def test_refill_paces_requests(self, sim):
+        tb = TokenBucket(sim, rate=10.0, burst=10.0)
+
+        def proc(sim, tb):
+            yield tb.take(10.0)   # instant, drains bucket
+            yield tb.take(20.0)   # waits 2 s at 10 tok/s
+            return sim.now
+
+        p = sim.process(proc(sim, tb))
+        sim.run()
+        assert p.value == pytest.approx(2.0)
+
+    def test_negative_take_rejected(self, sim):
+        tb = TokenBucket(sim, rate=1.0, burst=1.0)
+        with pytest.raises(ValueError):
+            tb.take(-1.0)

@@ -1,0 +1,92 @@
+"""Conjugate gradients with simulated halo exchanges."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core import SplitMD, StandardStaged, ThreeStepStaged, all_strategies
+from repro.machine import lassen
+from repro.mpi import SimJob
+from repro.sparse import DistributedCSR, conjugate_gradient
+
+
+def laplacian(n):
+    return sp.diags([-1.0, 4.0, -1.0], [-1, 0, 1], shape=(n, n)).tocsr()
+
+
+@pytest.fixture(scope="module")
+def setup():
+    job = SimJob(lassen(), num_nodes=2, ppn=8)
+    dist = DistributedCSR(laplacian(800), 8)
+    return job, dist
+
+
+class TestConvergence:
+    def test_solves_spd_system(self, setup):
+        job, dist = setup
+        res = conjugate_gradient(job, dist, SplitMD(), tol=1e-10,
+                                 maxiter=1000)
+        assert res.converged
+        err = np.linalg.norm(dist.matrix @ res.x - np.ones(dist.n))
+        assert err < 1e-6
+        assert res.halo_comm_time > 0
+        assert res.reduction_time > 0
+
+    def test_custom_rhs_and_guess(self, setup):
+        job, dist = setup
+        rng = np.random.default_rng(1)
+        b = rng.standard_normal(dist.n)
+        res = conjugate_gradient(job, dist, StandardStaged(), b=b,
+                                 x0=np.ones(dist.n), tol=1e-10, maxiter=1000)
+        assert res.converged
+        assert np.linalg.norm(dist.matrix @ res.x - b) < 1e-6 * np.linalg.norm(b)
+
+    def test_solution_independent_of_strategy(self, setup):
+        """Communication routing must not change the mathematics."""
+        job, dist = setup
+        results = [conjugate_gradient(job, dist, s, tol=1e-12, maxiter=1000)
+                   for s in (StandardStaged(), ThreeStepStaged(), SplitMD())]
+        iters = {r.iterations for r in results}
+        assert len(iters) == 1  # identical iteration counts
+        for r in results[1:]:
+            assert np.allclose(r.x, results[0].x, atol=1e-8)
+
+    def test_maxiter_caps_without_convergence(self, setup):
+        job, dist = setup
+        res = conjugate_gradient(job, dist, SplitMD(), tol=1e-16, maxiter=3)
+        assert not res.converged and res.iterations == 3
+
+    def test_validation(self, setup):
+        job, dist = setup
+        with pytest.raises(ValueError):
+            conjugate_gradient(job, dist, b=np.ones(3))
+        with pytest.raises(ValueError):
+            conjugate_gradient(job, dist, tol=0)
+        with pytest.raises(ValueError):
+            conjugate_gradient(job, dist, maxiter=0)
+
+
+class TestCommAccounting:
+    def test_comm_time_proportional_to_iterations(self, setup):
+        job, dist = setup
+        short = conjugate_gradient(job, dist, SplitMD(), tol=1e-16, maxiter=2)
+        longer = conjugate_gradient(job, dist, SplitMD(), tol=1e-16, maxiter=8)
+        # matvecs: maxiter + 1 (initial residual)
+        ratio = longer.halo_comm_time / short.halo_comm_time
+        assert ratio == pytest.approx(9 / 3, rel=0.01)
+
+    def test_strategy_changes_comm_cost_not_solution(self, setup):
+        job, dist = setup
+        costs = {}
+        for s in (StandardStaged(), SplitMD()):
+            res = conjugate_gradient(job, dist, s, tol=1e-10, maxiter=1000)
+            costs[s.label] = res.total_comm_time
+        assert len(set(costs.values())) == 2  # strategies do differ
+
+    def test_single_node_job_has_no_reduction_cost(self):
+        job = SimJob(lassen(), num_nodes=1, ppn=8)
+        dist = DistributedCSR(laplacian(400), 4)
+        res = conjugate_gradient(job, dist, SplitMD(), tol=1e-10,
+                                 maxiter=500)
+        assert res.reduction_time == 0.0
+        assert res.converged

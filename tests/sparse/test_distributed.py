@@ -1,0 +1,115 @@
+"""DistributedCSR block splitting and pattern extraction vs scipy truth."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.sparse import DistributedCSR
+from repro.sparse.generators import banded_fem, stencil5
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return banded_fem(400, 40, 6, seed=1)
+
+
+class TestBlockSplit:
+    def test_requires_square(self):
+        with pytest.raises(ValueError):
+            DistributedCSR(sp.random(10, 12, density=0.5), 2)
+
+    def test_blocks_reconstruct_rows(self, matrix):
+        dist = DistributedCSR(matrix, 4)
+        for gpu in range(4):
+            r0, r1 = dist.partition.range_of(gpu)
+            diag = dist.diag_block(gpu)
+            offd = dist.offd_block(gpu)
+            full = sp.lil_matrix((r1 - r0, 400))
+            full[:, r0:r1] = diag
+            full = (full.tocsr() + offd)
+            assert (full != matrix[r0:r1]).nnz == 0
+
+    def test_diag_block_is_square_local(self, matrix):
+        dist = DistributedCSR(matrix, 4)
+        for gpu in range(4):
+            n_local = dist.partition.size_of(gpu)
+            assert dist.diag_block(gpu).shape == (n_local, n_local)
+
+    def test_needed_columns_match_offd_support(self, matrix):
+        dist = DistributedCSR(matrix, 4)
+        for gpu in range(4):
+            offd = dist.offd_block(gpu)
+            support = set(np.unique(offd.indices)) if offd.nnz else set()
+            needed = dist.needed_columns(gpu)
+            got = set()
+            for src, cols in needed.items():
+                got.update(cols.tolist())
+                # every column attributed to its true owner
+                assert all(dist.partition.owner_of(c) == src for c in cols)
+            assert got == support
+
+    def test_density(self, matrix):
+        dist = DistributedCSR(matrix, 4)
+        assert dist.density == pytest.approx(matrix.nnz / 400.0 ** 2)
+
+
+class TestCommPattern:
+    def test_pattern_indices_are_source_local(self, matrix):
+        dist = DistributedCSR(matrix, 4)
+        pattern = dist.comm_pattern()
+        for src in range(4):
+            n_local = dist.partition.size_of(src)
+            for dest, idx in pattern.sends_of(src).items():
+                assert dest != src
+                assert idx.min() >= 0 and idx.max() < n_local
+                assert np.all(np.diff(idx) > 0)
+
+    def test_pattern_matches_needed_columns(self, matrix):
+        dist = DistributedCSR(matrix, 4)
+        pattern = dist.comm_pattern()
+        for dest in range(4):
+            needed = dist.needed_columns(dest)
+            recvs = pattern.recvs_of(dest)
+            assert set(recvs) == set(needed)
+            for src in needed:
+                local = dist.partition.to_local(src, needed[src])
+                assert np.array_equal(recvs[src], local)
+
+    def test_stencil_pattern_is_neighbor_only(self):
+        a = stencil5(20, 20)
+        dist = DistributedCSR(a, 4)
+        pattern = dist.comm_pattern()
+        for src in range(4):
+            for dest in pattern.sends_of(src):
+                assert abs(dest - src) == 1  # banded: adjacent blocks only
+
+
+class TestLocalSpmv:
+    def test_local_spmv_with_ghosts_matches_global(self, matrix):
+        dist = DistributedCSR(matrix, 4)
+        rng = np.random.default_rng(0)
+        v = rng.standard_normal(400)
+        blocks = dist.local_vectors(v)
+        w_ref = matrix @ v
+        for gpu in range(4):
+            ghost = {src: v[cols]
+                     for src, cols in dist.needed_columns(gpu).items()}
+            w_local = dist.local_spmv(gpu, blocks[gpu], ghost)
+            r0, r1 = dist.partition.range_of(gpu)
+            assert np.allclose(w_local, w_ref[r0:r1])
+
+    def test_bad_ghost_rejected(self, matrix):
+        dist = DistributedCSR(matrix, 4)
+        blocks = dist.local_vectors(np.ones(400))
+        needed = dist.needed_columns(0)
+        if needed:
+            src = next(iter(needed))
+            ghost = {s: np.ones(len(c)) for s, c in needed.items()}
+            ghost[src] = np.ones(1)  # wrong length
+            with pytest.raises(ValueError):
+                dist.local_spmv(0, blocks[0], ghost)
+
+    def test_bad_vector_length_rejected(self, matrix):
+        dist = DistributedCSR(matrix, 4)
+        with pytest.raises(ValueError):
+            dist.local_spmv(0, np.ones(3), {})

@@ -1,0 +1,131 @@
+"""Synthetic matrix generators: structure, determinism, validation."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.sparse.generators import (
+    arrowhead_fem,
+    banded_fem,
+    random_sparse,
+    stencil27,
+    stencil5,
+)
+from repro.sparse.suite import SUITE, build_suite_matrix
+
+
+def _pattern_symmetric(a):
+    b = (abs(a) > 0).astype(int)
+    return (b != b.T).nnz == 0
+
+
+class TestBandedFem:
+    def test_shape_and_band(self):
+        a = banded_fem(200, 15, 5, seed=0)
+        assert a.shape == (200, 200)
+        coo = a.tocoo()
+        assert np.max(np.abs(coo.row - coo.col)) <= 15
+
+    def test_full_diagonal_and_symmetry(self):
+        a = banded_fem(150, 10, 4, seed=1)
+        assert (a.diagonal() != 0).all()
+        assert _pattern_symmetric(a)
+
+    def test_deterministic(self):
+        a = banded_fem(100, 8, 3, seed=5)
+        b = banded_fem(100, 8, 3, seed=5)
+        assert (a != b).nnz == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            banded_fem(0, 1, 1)
+        with pytest.raises(ValueError):
+            banded_fem(10, 10, 1)  # bandwidth >= n
+        with pytest.raises(ValueError):
+            banded_fem(10, 2, 0)
+
+
+class TestStencils:
+    def test_stencil5_structure(self):
+        a = stencil5(10, 10)
+        assert a.shape == (100, 100)
+        # interior rows have exactly 5 nonzeros
+        row = a[45].toarray().ravel()
+        assert (row != 0).sum() == 5
+
+    def test_stencil5_symmetric(self):
+        a = stencil5(8, 12)
+        assert (a != a.T).nnz == 0
+
+    def test_stencil27_degree(self):
+        a = stencil27(5)
+        assert a.shape == (125, 125)
+        mid = 2 * 25 + 2 * 5 + 2  # interior point
+        assert (a[mid].toarray() != 0).sum() == 27
+
+    def test_stencil_validation(self):
+        with pytest.raises(ValueError):
+            stencil5(0)
+        with pytest.raises(ValueError):
+            stencil27(1, 0, 1)
+
+
+class TestArrowhead:
+    def test_arrow_rows_are_dense_ish(self):
+        a = arrowhead_fem(300, 20, 4, arrow_width=30, seed=2)
+        # the arrow columns couple to far-away rows
+        coo = a.tocoo()
+        far = np.abs(coo.row - coo.col) > 100
+        assert far.sum() > 0
+        assert _pattern_symmetric(a)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            arrowhead_fem(100, 10, 3, arrow_width=0)
+        with pytest.raises(ValueError):
+            arrowhead_fem(100, 10, 3, arrow_width=100)
+
+
+class TestRandomSparse:
+    def test_density_validation(self):
+        with pytest.raises(ValueError):
+            random_sparse(10, 0.0)
+        with pytest.raises(ValueError):
+            random_sparse(10, 1.5)
+
+    def test_roughly_requested_density(self):
+        a = random_sparse(300, 0.01, seed=4)
+        assert 0.005 < a.nnz / 300 ** 2 < 0.05  # symmetrized + diagonal
+
+
+class TestSuite:
+    def test_all_entries_build(self):
+        for name in SUITE:
+            a = build_suite_matrix(name, 2000 if name != "thermal2" else 2025)
+            assert a.shape[0] >= 1900
+            assert a.nnz > a.shape[0]  # more than just the diagonal
+            assert sp.issparse(a)
+
+    def test_metadata_present(self):
+        for name, entry in SUITE.items():
+            assert entry.paper_rows > 900_000
+            assert entry.paper_nnz > 8_000_000
+            assert entry.description
+
+    def test_unknown_matrix(self):
+        with pytest.raises(KeyError, match="unknown suite matrix"):
+            build_suite_matrix("nope")
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            SUITE["ldoor"].build(10)
+
+    def test_thermal2_low_degree(self):
+        a = build_suite_matrix("thermal2", 4096)
+        avg_degree = a.nnz / a.shape[0]
+        assert avg_degree < 8  # the paper's low-degree thermal structure
+
+    def test_audikw_heavier_than_thermal(self):
+        audi = build_suite_matrix("audikw_1", 4000)
+        therm = build_suite_matrix("thermal2", 4096)
+        assert audi.nnz / audi.shape[0] > 3 * therm.nnz / therm.shape[0]

@@ -1,0 +1,76 @@
+"""SpMV comm/compute overlap modeling."""
+
+import numpy as np
+import pytest
+
+from repro.core import SplitMD, StandardStaged
+from repro.machine import lassen
+from repro.mpi import SimJob
+from repro.sparse import ComputeModel, DistributedCSR, spmv_time_breakdown
+from repro.sparse.generators import banded_fem
+
+
+@pytest.fixture(scope="module")
+def setup():
+    job = SimJob(lassen(), num_nodes=2, ppn=8)
+    matrix = banded_fem(2000, 150, 10, seed=4)
+    dist = DistributedCSR(matrix, 8)
+    return job, dist
+
+
+class TestComputeModel:
+    def test_kernel_time(self):
+        cm = ComputeModel(flop_rate=1e10, flops_per_nnz=2.0)
+        assert cm.time(5_000_000) == pytest.approx(1e-3)
+        assert cm.time(0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ComputeModel(flop_rate=0)
+        with pytest.raises(ValueError):
+            ComputeModel(flops_per_nnz=-1)
+        with pytest.raises(ValueError):
+            ComputeModel().time(-1)
+
+
+class TestBreakdown:
+    def test_overlap_never_slower(self, setup):
+        job, dist = setup
+        timing = spmv_time_breakdown(job, dist, SplitMD())
+        assert timing.total_overlapped <= timing.total_sequential
+        assert timing.overlap_speedup >= 1.0
+
+    def test_components_positive_and_consistent(self, setup):
+        job, dist = setup
+        timing = spmv_time_breakdown(job, dist, StandardStaged())
+        assert timing.comm_time > 0
+        assert timing.diag_time > 0
+        # sequential total bounded by the sum of the maxima
+        assert (timing.total_sequential
+                <= timing.comm_time + timing.diag_time + timing.offd_time
+                + 1e-15)
+
+    def test_overlap_hides_compute_when_comm_dominates(self, setup):
+        """Slow GPUs (high compute time) vs fast comm: overlap helps."""
+        job, dist = setup
+        slow = ComputeModel(flop_rate=1e8)  # ~1000x slower kernels
+        timing = spmv_time_breakdown(job, dist, SplitMD(), compute=slow)
+        # Compute dominates; overlap hides comm almost entirely.
+        assert timing.diag_time > timing.comm_time
+        assert timing.total_overlapped < timing.total_sequential
+
+    def test_communication_bound_regime(self, setup):
+        """Fast GPUs: total is communication-bound, overlap gains small."""
+        job, dist = setup
+        fast = ComputeModel(flop_rate=1e14)
+        timing = spmv_time_breakdown(job, dist, SplitMD(), compute=fast)
+        assert timing.comm_time > timing.diag_time
+        assert timing.total_overlapped == pytest.approx(
+            timing.total_sequential, rel=0.2)
+
+    def test_strategy_choice_affects_total(self, setup):
+        job, dist = setup
+        t_split = spmv_time_breakdown(job, dist, SplitMD())
+        t_std = spmv_time_breakdown(job, dist, StandardStaged())
+        assert t_split.strategy != t_std.strategy
+        assert t_split.total_overlapped != t_std.total_overlapped

@@ -1,0 +1,78 @@
+"""RowPartition invariants (unit + property-based)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sparse import RowPartition
+
+
+class TestBasics:
+    def test_even_split(self):
+        p = RowPartition(12, 4)
+        assert [p.range_of(i) for i in range(4)] == [
+            (0, 3), (3, 6), (6, 9), (9, 12)]
+
+    def test_remainder_goes_to_first_parts(self):
+        p = RowPartition(10, 4)
+        assert [p.size_of(i) for i in range(4)] == [3, 3, 2, 2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RowPartition(-1, 2)
+        with pytest.raises(ValueError):
+            RowPartition(5, 0)
+        with pytest.raises(ValueError):
+            RowPartition(2, 5)  # non-empty parts impossible
+        with pytest.raises(ValueError):
+            RowPartition(10, 3).range_of(3)
+
+    def test_owner_of(self):
+        p = RowPartition(10, 4)
+        assert [p.owner_of(r) for r in range(10)] == [
+            0, 0, 0, 1, 1, 1, 2, 2, 3, 3]
+        with pytest.raises(ValueError):
+            p.owner_of(10)
+
+    def test_owners_of_vectorized(self):
+        p = RowPartition(100, 7)
+        rows = np.arange(100)
+        owners = p.owners_of(rows)
+        assert all(owners[r] == p.owner_of(r) for r in range(100))
+
+    def test_to_local(self):
+        p = RowPartition(10, 2)
+        assert np.array_equal(p.to_local(1, np.array([5, 9])), [0, 4])
+        with pytest.raises(ValueError):
+            p.to_local(1, np.array([2]))
+
+    def test_vector_split_join_roundtrip(self):
+        p = RowPartition(11, 3)
+        v = np.arange(11.0)
+        assert np.array_equal(p.join_vector(p.split_vector(v)), v)
+        with pytest.raises(ValueError):
+            p.split_vector(np.zeros(5))
+        with pytest.raises(ValueError):
+            p.join_vector([np.zeros(2)] * 3)
+
+
+@settings(max_examples=100, deadline=None)
+@given(n=st.integers(min_value=1, max_value=5000),
+       parts=st.integers(min_value=1, max_value=64))
+def test_partition_invariants(n, parts):
+    if parts > n:
+        parts = n
+    p = RowPartition(n, parts)
+    # Ranges tile [0, n) exactly and sizes differ by at most 1.
+    sizes = [p.size_of(i) for i in range(parts)]
+    assert sum(sizes) == n
+    assert max(sizes) - min(sizes) <= 1
+    stops = [p.range_of(i)[1] for i in range(parts)]
+    starts = [p.range_of(i)[0] for i in range(parts)]
+    assert starts[0] == 0 and stops[-1] == n
+    assert starts[1:] == stops[:-1]
+    # Every row's owner contains it.
+    for row in {0, n // 2, n - 1}:
+        owner = p.owner_of(row)
+        lo, hi = p.range_of(owner)
+        assert lo <= row < hi

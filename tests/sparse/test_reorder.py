@@ -1,0 +1,68 @@
+"""RCM reordering: permutation correctness and communication impact."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core import SplitMD, StandardStaged
+from repro.machine import lassen
+from repro.mpi import SimJob
+from repro.sparse import DistributedCSR, distributed_spmv, serial_spmv
+from repro.sparse.generators import random_sparse
+from repro.sparse.reorder import bandwidth, compare_reordering, rcm_reorder
+
+
+@pytest.fixture(scope="module")
+def scattered():
+    """A matrix with scattered structure (bad initial ordering)."""
+    return random_sparse(600, 0.004, seed=8)
+
+
+class TestRcm:
+    def test_permutation_preserves_spectrum_proxy(self, scattered):
+        """P A P^T has the same entries (as multiset) and diagonal sum."""
+        reordered, perm = rcm_reorder(scattered)
+        assert reordered.nnz == scattered.nnz
+        assert reordered.diagonal().sum() == pytest.approx(
+            scattered.diagonal().sum())
+        assert sorted(np.unique(perm)) == list(range(600))
+
+    def test_bandwidth_reduced(self, scattered):
+        reordered, _ = rcm_reorder(scattered)
+        assert bandwidth(reordered) < bandwidth(scattered)
+
+    def test_spmv_equivalent_under_permutation(self, scattered):
+        """(P A P^T)(P v) == P (A v)."""
+        reordered, perm = rcm_reorder(scattered)
+        v = np.random.default_rng(0).standard_normal(600)
+        lhs = reordered @ v[perm]
+        rhs = (scattered @ v)[perm]
+        assert np.allclose(lhs, rhs)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            rcm_reorder(sp.random(5, 7, density=0.5))
+
+    def test_bandwidth_of_empty(self):
+        assert bandwidth(sp.csr_matrix((4, 4))) == 0
+
+
+class TestCommImpact:
+    def test_reordering_reduces_traffic_and_time(self, scattered):
+        job = SimJob(lassen(), num_nodes=4, ppn=8)
+        report = compare_reordering(job, scattered, num_gpus=16,
+                                    strategy=StandardStaged())
+        assert report.bandwidth_after < report.bandwidth_before
+        assert report.off_node_bytes_after < report.off_node_bytes_before
+        assert report.recv_nodes_after <= report.recv_nodes_before
+        assert report.comm_time_after < report.comm_time_before
+        assert report.comm_speedup > 1.0
+        assert 0 < report.volume_reduction < 1.0
+
+    def test_reordered_spmv_still_correct(self, scattered):
+        reordered, perm = rcm_reorder(scattered)
+        job = SimJob(lassen(), num_nodes=2, ppn=8)
+        dist = DistributedCSR(reordered, 8)
+        v = np.random.default_rng(1).standard_normal(600)
+        res = distributed_spmv(job, dist, SplitMD(), v)
+        assert np.allclose(res.w, serial_spmv(dist, v))

@@ -1,0 +1,90 @@
+"""End-to-end distributed SpMV correctness under every strategy."""
+
+import numpy as np
+import pytest
+
+from repro.core import all_strategies
+from repro.machine import lassen
+from repro.mpi import SimJob
+from repro.sparse import (
+    DistributedCSR,
+    build_suite_matrix,
+    distributed_spmv,
+    serial_spmv,
+)
+from repro.sparse.generators import arrowhead_fem, banded_fem, stencil5
+
+
+@pytest.fixture(scope="module")
+def job():
+    return SimJob(lassen(), num_nodes=2, ppn=8)
+
+
+@pytest.mark.parametrize("strategy", all_strategies(), ids=lambda s: s.label)
+class TestCorrectness:
+    def test_banded(self, job, strategy):
+        a = banded_fem(600, 60, 8, seed=2)
+        dist = DistributedCSR(a, 8)
+        v = np.random.default_rng(1).standard_normal(600)
+        res = distributed_spmv(job, dist, strategy, v)
+        assert np.allclose(res.w, serial_spmv(dist, v))
+        assert res.comm_time > 0 and res.strategy == strategy.label
+
+    def test_arrowhead_duplication(self, job, strategy):
+        a = arrowhead_fem(500, 50, 6, arrow_width=24, seed=3)
+        dist = DistributedCSR(a, 8)
+        v = np.random.default_rng(2).standard_normal(500)
+        res = distributed_spmv(job, dist, strategy, v)
+        assert np.allclose(res.w, serial_spmv(dist, v))
+
+    def test_stencil(self, job, strategy):
+        a = stencil5(24, 24)
+        dist = DistributedCSR(a, 8)
+        v = np.random.default_rng(3).standard_normal(a.shape[0])
+        res = distributed_spmv(job, dist, strategy, v)
+        assert np.allclose(res.w, serial_spmv(dist, v))
+
+
+class TestReuse:
+    def test_pattern_and_plan_amortization(self, job):
+        """Iterative-solver style: one setup, many products."""
+        from repro.core import ThreeStepStaged
+
+        a = banded_fem(600, 60, 8, seed=2)
+        dist = DistributedCSR(a, 8)
+        strategy = ThreeStepStaged()
+        pattern = dist.comm_pattern()
+        plan = strategy.plan(pattern, job.layout)
+        rng = np.random.default_rng(7)
+        for _ in range(3):
+            v = rng.standard_normal(600)
+            res = distributed_spmv(job, dist, strategy, v,
+                                   pattern=pattern, plan=plan)
+            assert np.allclose(res.w, serial_spmv(dist, v))
+
+    def test_gpu_count_exceeding_job_rejected(self, job):
+        a = banded_fem(600, 30, 4, seed=2)
+        dist = DistributedCSR(a, 16)  # job only has 8 GPUs
+        from repro.core import StandardStaged
+
+        with pytest.raises(ValueError):
+            distributed_spmv(job, dist, StandardStaged(), np.ones(600))
+
+    def test_bad_vector_rejected(self):
+        a = banded_fem(100, 10, 3, seed=1)
+        dist = DistributedCSR(a, 4)
+        with pytest.raises(ValueError):
+            serial_spmv(dist, np.ones(50))
+
+
+class TestSuiteMatrices:
+    @pytest.mark.parametrize("name", ["audikw_1", "thermal2", "ldoor"])
+    def test_suite_analog_spmv(self, job, name):
+        from repro.core import SplitMD
+
+        a = build_suite_matrix(name, 4000 if name != "thermal2" else 4096)
+        dist = DistributedCSR(a, 8)
+        v = np.random.default_rng(4).standard_normal(a.shape[0])
+        res = distributed_spmv(job, dist, SplitMD(), v)
+        assert np.allclose(res.w, serial_spmv(dist, v))
+        assert res.messages > 0

@@ -1,0 +1,52 @@
+"""Top-level package surface and CLI."""
+
+import pytest
+
+import repro
+from repro.__main__ import main
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_docstring_example_runs(self):
+        import doctest
+
+        results = doctest.testmod(repro, verbose=False)
+        assert results.failed == 0
+
+    def test_sim_docstring_example_runs(self):
+        import doctest
+
+        import repro.sim as sim_pkg
+
+        results = doctest.testmod(sim_pkg, verbose=False)
+        assert results.failed == 0
+
+
+class TestCli:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "lassen" in out and "Split + MD" in out
+
+    def test_predict(self, capsys):
+        assert main(["predict", "16", "256", "4096"]) == 0
+        out = capsys.readouterr().out
+        assert "best" in out and "Split + MD (staged)" in out
+
+    def test_predict_usage_error(self):
+        with pytest.raises(SystemExit):
+            main(["predict", "16"])
+
+    def test_help(self, capsys):
+        assert main([]) == 0
+        assert "Usage" in capsys.readouterr().out
+
+    def test_unknown_command(self):
+        assert main(["bogus"]) == 2
