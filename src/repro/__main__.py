@@ -6,6 +6,9 @@ Usage::
     python -m repro report [out.md]       # regenerate EXPERIMENTS body
     python -m repro predict N_NODES MSGS SIZE
                                           # model the Fig-4.3 scenario
+    python -m repro perf [--smoke] [-o OUT.json]
+                                          # wall-clock micro-suite ->
+                                          # BENCH_repro.json
 """
 
 from __future__ import annotations
@@ -69,6 +72,10 @@ def main(argv=None) -> int:
             print(text)
     elif cmd == "predict":
         _predict(rest)
+    elif cmd == "perf":
+        from repro.perf.suite import main as perf_main
+
+        return perf_main(rest)
     else:
         print(f"unknown command {cmd!r}; see --help", file=sys.stderr)
         return 2

@@ -19,9 +19,13 @@ from repro.mpi.job import SimJob
 
 
 def memcpy_time(job: SimJob, direction: CopyDirection, total_bytes: int,
-                nproc: int = 1, gpu: int = 0) -> float:
+                nproc: int = 1, gpu: int = 0, reset: bool = False) -> float:
     """Wall time to move ``total_bytes`` in ``direction`` with ``nproc``
-    concurrent copy processes on GPU ``gpu``'s host team."""
+    concurrent copy processes on GPU ``gpu``'s host team.
+
+    ``reset=True`` reuses the job's simulator/transport via
+    :meth:`SimJob.reset_state` (sweep fast path, bit-identical results).
+    """
     if total_bytes < 0:
         raise ValueError(f"total_bytes must be >= 0, got {total_bytes}")
     if nproc < 1:
@@ -42,7 +46,7 @@ def memcpy_time(job: SimJob, direction: CopyDirection, total_bytes: int,
             yield ev
         return ctx.now
 
-    return job.run(program).elapsed
+    return job.run(program, reset_state=reset).elapsed
 
 
 def memcpy_sweep(job: SimJob, direction: CopyDirection,
@@ -50,7 +54,8 @@ def memcpy_sweep(job: SimJob, direction: CopyDirection,
                  nproc_values: Sequence[int]) -> Dict[int, np.ndarray]:
     """Figure 3.1 data for one direction: ``{NP: times over sizes}``."""
     return {
-        int(np_): np.array([memcpy_time(job, direction, int(s), nproc=int(np_))
+        int(np_): np.array([memcpy_time(job, direction, int(s), nproc=int(np_),
+                                        reset=True)
                             for s in sizes])
         for np_ in nproc_values
     }
@@ -64,7 +69,8 @@ def fit_copy_table(job: SimJob, sizes: Sequence[int] = ()
     out: Dict[Tuple[CopyDirection, int], LinearFit] = {}
     for direction in CopyDirection:
         for nproc in job.layout.machine.copy_params.measured_counts(direction):
-            times = [memcpy_time(job, direction, int(s), nproc=nproc)
+            times = [memcpy_time(job, direction, int(s), nproc=nproc,
+                                 reset=True)
                      for s in sizes]
             out[(direction, nproc)] = fit_alpha_beta(sizes, times)
     return out

@@ -19,8 +19,13 @@ from repro.mpi.job import SimJob
 _TAG = 98
 
 
-def nodepong_time(job: SimJob, total_bytes: int, ppn_active: int) -> float:
-    """Time to move ``total_bytes`` node 0 -> node 1 over ``ppn_active`` pairs."""
+def nodepong_time(job: SimJob, total_bytes: int, ppn_active: int,
+                  reset: bool = False) -> float:
+    """Time to move ``total_bytes`` node 0 -> node 1 over ``ppn_active`` pairs.
+
+    ``reset=True`` reuses the job's simulator/transport via
+    :meth:`SimJob.reset_state` (sweep fast path, bit-identical results).
+    """
     if job.layout.num_nodes < 2:
         raise ValueError("node-pong needs at least two nodes")
     if not 1 <= ppn_active <= job.layout.ppn:
@@ -42,14 +47,15 @@ def nodepong_time(job: SimJob, total_bytes: int, ppn_active: int) -> float:
             yield ctx.comm.recv(source=lr, tag=_TAG)
         return ctx.now
 
-    return job.run(program).elapsed
+    return job.run(program, reset_state=reset).elapsed
 
 
 def nodepong_sweep(job: SimJob, sizes: Sequence[int],
                    ppn_values: Sequence[int]) -> Dict[int, np.ndarray]:
     """Figure 2.6 data: ``{ppn: times aligned with sizes}``."""
     return {
-        int(p): np.array([nodepong_time(job, int(s), int(p)) for s in sizes])
+        int(p): np.array([nodepong_time(job, int(s), int(p), reset=True)
+                          for s in sizes])
         for p in ppn_values
     }
 
@@ -65,5 +71,5 @@ def fit_injection_rate(job: SimJob, sizes: Sequence[int] = (),
     ppn_active = ppn_active or job.layout.ppn
     if not sizes:
         sizes = [1 << 22, 1 << 23, 1 << 24, 1 << 25]
-    times = [nodepong_time(job, int(s), ppn_active) for s in sizes]
+    times = [nodepong_time(job, int(s), ppn_active, reset=True) for s in sizes]
     return fit_alpha_beta(sizes, times)

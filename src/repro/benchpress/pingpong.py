@@ -44,8 +44,13 @@ def pick_pair(job: SimJob, locality: Locality,
 
 def pingpong_time(job: SimJob, rank_a: int, rank_b: int, nbytes: int,
                   kind: TransportKind = TransportKind.CPU,
-                  iterations: int = 1) -> float:
-    """Average one-way time for ``nbytes`` between two ranks."""
+                  iterations: int = 1, reset: bool = False) -> float:
+    """Average one-way time for ``nbytes`` between two ranks.
+
+    ``reset=True`` reuses the job's simulator/transport via
+    :meth:`SimJob.reset_state` instead of rebuilding them — sweep loops
+    use this; results are bit-identical either way.
+    """
     if iterations < 1:
         raise ValueError(f"iterations must be >= 1, got {iterations}")
     if nbytes < 0:
@@ -71,7 +76,7 @@ def pingpong_time(job: SimJob, rank_a: int, rank_b: int, nbytes: int,
                 yield ctx.comm.send(payload_for(rank_b), dest=rank_a, tag=_TAG)
         return ctx.now
 
-    result = job.run(program)
+    result = job.run(program, reset_state=reset)
     return result.elapsed / (2.0 * iterations)
 
 
@@ -81,7 +86,8 @@ def pingpong_sweep(job: SimJob, locality: Locality, sizes: Sequence[int],
     """One-way times over a size sweep at fixed locality."""
     a, b = pick_pair(job, locality, kind)
     return np.array([
-        pingpong_time(job, a, b, int(s), kind=kind, iterations=iterations)
+        pingpong_time(job, a, b, int(s), kind=kind, iterations=iterations,
+                      reset=True)
         for s in sizes
     ])
 

@@ -103,6 +103,11 @@ class JobLayout:
         machine has GPUs (each GPU needs its owner rank).
     """
 
+    #: jobs up to this many ranks precompute the size x size locality
+    #: table (1024 ranks -> 1M entries, ~8 MB of enum references);
+    #: larger jobs fall back to the branchy per-pair computation.
+    _LOCALITY_TABLE_MAX_SIZE = 1024
+
     def __init__(self, machine: MachineSpec, num_nodes: int, ppn: int) -> None:
         if num_nodes < 1:
             raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
@@ -126,6 +131,9 @@ class JobLayout:
         self._socket_of = [p.socket for p in self._placements]
         self._gpu_of = [p.gpu for p in self._placements]
         self._local_rank_of = [p.local_rank for p in self._placements]
+        self._locality_rows = (self._build_locality_table()
+                               if self.size <= self._LOCALITY_TABLE_MAX_SIZE
+                               else None)
 
     # -- construction -------------------------------------------------------
     def _local_placement(self) -> List[Tuple[int, int, Optional[int]]]:
@@ -167,6 +175,29 @@ class JobLayout:
                 )
         return placements
 
+    def _build_locality_table(self) -> List[List[Locality]]:
+        """Precompute ``locality(a, b)`` for every rank pair.
+
+        The locality of a pair only depends on the two local ranks (every
+        node is laid out identically) and on whether the nodes differ, so
+        the table is assembled from one ppn x ppn intra-node block.
+        """
+        ppn = self.ppn
+        sock = self._socket_of[:ppn]
+        on_socket, on_node, off_node = (
+            Locality.ON_SOCKET, Locality.ON_NODE, Locality.OFF_NODE)
+        block = [[on_socket if sock[a] == sock[b] else on_node
+                  for b in range(ppn)] for a in range(ppn)]
+        off_row = [off_node] * ppn
+        rows: List[List[Locality]] = []
+        for a in range(self.size):
+            node_a, lr_a = divmod(a, ppn)
+            row: List[Locality] = []
+            for node_b in range(self.num_nodes):
+                row.extend(block[lr_a] if node_b == node_a else off_row)
+            rows.append(row)
+        return rows
+
     # -- queries ----------------------------------------------------------------
     def placement(self, rank: int) -> ProcessPlacement:
         return self._placements[rank]
@@ -193,6 +224,9 @@ class JobLayout:
 
     def locality(self, rank_a: int, rank_b: int) -> Locality:
         """Relative placement of two ranks (drives all message costs)."""
+        rows = self._locality_rows
+        if rows is not None:
+            return rows[rank_a][rank_b]
         if self._node_of[rank_a] != self._node_of[rank_b]:
             return Locality.OFF_NODE
         if self._socket_of[rank_a] != self._socket_of[rank_b]:

@@ -14,7 +14,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.machine.topology import MachineSpec
-from repro.models.scenarios import Scenario, best_strategy
+from repro.models.scenarios import Scenario, best_strategy, best_strategy_sweep
 
 #: short codes for compact map rendering
 _CODES = {
@@ -67,11 +67,9 @@ def compute_regime_map(machine: MachineSpec,
         sc = Scenario(num_dest_nodes=int(nodes),
                       num_messages=max(num_messages, int(nodes)),
                       dup_fraction=dup_fraction)
-        winners.append([
-            best_strategy(machine, sc, float(s),
-                          exclude_best_case=exclude_best_case)
-            for s in sizes
-        ])
+        winners.append(best_strategy_sweep(
+            machine, sc, [float(s) for s in sizes],
+            exclude_best_case=exclude_best_case))
     return RegimeMap(
         machine=machine.name,
         num_messages=num_messages,

@@ -22,6 +22,7 @@ from repro.models.strategies import (
     all_strategy_models,
     model_label,
 )
+from repro.models.vectorized import SummaryBatch
 
 
 @dataclass(frozen=True)
@@ -85,6 +86,38 @@ def scenario_summary(machine: MachineSpec, scenario: Scenario,
     )
 
 
+def scenario_summary_batch(machine: MachineSpec, scenario: Scenario,
+                           sizes: Sequence[float]) -> SummaryBatch:
+    """Vectorized :func:`scenario_summary` over a size sweep.
+
+    Field-wise identical to building one summary per size: counts are
+    size-independent, byte quantities scale linearly with the same
+    multiplications as the scalar constructor.
+    """
+    msg_size = np.asarray(sizes, dtype=float)
+    if np.any(msg_size < 0):
+        raise ValueError("msg sizes must be >= 0")
+    gpn = max(machine.gpus_per_node, 1)
+    n = scenario.num_dest_nodes
+    m = scenario.num_messages
+    per_pair = m / n
+    per_proc = m / gpn
+    shape = msg_size.shape
+    return SummaryBatch(
+        num_dest_nodes=np.full(shape, n, dtype=int),
+        messages_per_node_pair=np.full(shape, int(np.ceil(per_pair)),
+                                       dtype=int),
+        bytes_per_node_pair=per_pair * msg_size,
+        node_bytes=m * msg_size,
+        proc_bytes=per_proc * msg_size,
+        proc_messages=np.full(shape, int(np.ceil(per_proc)), dtype=int),
+        proc_dest_nodes=np.full(
+            shape, min(n, int(np.ceil(per_proc)) if per_proc else 0),
+            dtype=int),
+        active_gpus=np.full(shape, gpn, dtype=int),
+    )
+
+
 def sweep_scenario(machine: MachineSpec, scenario: Scenario,
                    sizes: Sequence[float],
                    models: Optional[List[StrategyModel]] = None,
@@ -92,18 +125,43 @@ def sweep_scenario(machine: MachineSpec, scenario: Scenario,
     """Modelled time per strategy over a message-size sweep.
 
     Returns ``{strategy label: times}`` with one entry per model, each a
-    float array aligned with ``sizes``.
+    float array aligned with ``sizes``.  Evaluates the vectorized
+    :meth:`StrategyModel.time_sweep` (bit-identical to point-wise
+    :meth:`StrategyModel.time`).
     """
     if models is None:
         models = all_strategy_models(machine)
-    out: Dict[str, np.ndarray] = {}
-    for model in models:
-        times = np.empty(len(sizes))
-        for i, size in enumerate(sizes):
-            summary = scenario_summary(machine, scenario, size)
-            times[i] = model.time(summary, dup_fraction=scenario.dup_fraction)
-        out[model_label(model)] = times
-    return out
+    batch = scenario_summary_batch(machine, scenario, sizes)
+    return {
+        model_label(model): model.time_sweep(
+            batch, dup_fraction=scenario.dup_fraction)
+        for model in models
+    }
+
+
+def best_strategy_sweep(machine: MachineSpec, scenario: Scenario,
+                        sizes: Sequence[float],
+                        models: Optional[List[StrategyModel]] = None,
+                        exclude_best_case: bool = True) -> List[str]:
+    """Minimum-time strategy label at every size of a sweep.
+
+    Ties resolve to the earliest model in registry order, exactly like
+    the strict ``<`` scan of :func:`best_strategy` (``np.argmin``
+    returns the first occurrence of the minimum).
+    """
+    if models is None:
+        models = all_strategy_models(machine)
+    if exclude_best_case:
+        models = [m for m in models if m.name != "2-Step 1"]
+    if not models:
+        return ["" for _ in sizes]
+    batch = scenario_summary_batch(machine, scenario, sizes)
+    times = np.vstack([
+        model.time_sweep(batch, dup_fraction=scenario.dup_fraction)
+        for model in models
+    ])
+    labels = [model_label(m) for m in models]
+    return [labels[i] for i in np.argmin(times, axis=0)]
 
 
 def best_strategy(machine: MachineSpec, scenario: Scenario, msg_size: float,
@@ -114,14 +172,5 @@ def best_strategy(machine: MachineSpec, scenario: Scenario, msg_size: float,
     ``exclude_best_case`` drops the 2-Step 1 idealizations, matching how
     the paper circles its minima.
     """
-    if models is None:
-        models = all_strategy_models(machine)
-    best_label, best_time = "", float("inf")
-    for model in models:
-        if exclude_best_case and model.name == "2-Step 1":
-            continue
-        summary = scenario_summary(machine, scenario, msg_size)
-        t = model.time(summary, dup_fraction=scenario.dup_fraction)
-        if t < best_time:
-            best_label, best_time = model_label(model), t
-    return best_label
+    return best_strategy_sweep(machine, scenario, [msg_size], models,
+                               exclude_best_case=exclude_best_case)[0]

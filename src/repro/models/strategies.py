@@ -22,7 +22,9 @@ redundant payload (Section 2.3 / Figure 4.3 bottom rows).
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
 
 from repro.machine.locality import TransportKind
 from repro.machine.topology import MachineSpec
@@ -34,6 +36,15 @@ from repro.models.submodels import (
     t_on,
     t_on_hierarchical,
     t_on_split,
+)
+from repro.models.vectorized import (
+    SummaryBatch,
+    t_copy_vec,
+    t_off_device_aware_vec,
+    t_off_vec,
+    t_on_hierarchical_vec,
+    t_on_split_vec,
+    t_on_vec,
 )
 
 STAGED = "staged"
@@ -84,8 +95,45 @@ class StrategyModel:
             summary = summary.with_duplicate_removal(dup_fraction)
         return self._time(summary)
 
+    def time_sweep(self,
+                   summaries: Union[SummaryBatch, Sequence[PatternSummary]],
+                   dup_fraction: float = 0.0) -> np.ndarray:
+        """Vectorized :meth:`time` over a batch of summaries.
+
+        Accepts a :class:`SummaryBatch` (typically from
+        :func:`repro.models.scenarios.scenario_summary_batch`) or a
+        sequence of scalar summaries.  Returns times bit-identical to
+        calling :meth:`time` point-wise — the vectorized sub-models
+        replicate the scalar floating-point operation order exactly.
+        """
+        batch = (summaries if isinstance(summaries, SummaryBatch)
+                 else SummaryBatch.from_summaries(list(summaries)))
+        if self.node_aware and dup_fraction > 0.0:
+            batch = batch.with_duplicate_removal(dup_fraction)
+        times = np.asarray(self._time_vec(batch), dtype=float)
+        empty = batch.is_empty
+        if np.any(empty):
+            times = np.where(empty, 0.0, times)
+        return times
+
     def _time(self, summary: PatternSummary) -> float:  # pragma: no cover
         raise NotImplementedError
+
+    def _time_vec(self, b: SummaryBatch) -> np.ndarray:
+        """Array counterpart of :meth:`_time` (default: scalar fallback)."""
+        return np.array([
+            self._time(PatternSummary(
+                num_dest_nodes=int(b.num_dest_nodes[i]),
+                messages_per_node_pair=int(b.messages_per_node_pair[i]),
+                bytes_per_node_pair=float(b.bytes_per_node_pair[i]),
+                node_bytes=float(b.node_bytes[i]),
+                proc_bytes=float(b.proc_bytes[i]),
+                proc_messages=int(b.proc_messages[i]),
+                proc_dest_nodes=int(b.proc_dest_nodes[i]),
+                active_gpus=int(b.active_gpus[i]),
+            ))
+            for i in range(len(b.node_bytes))
+        ])
 
     # -- shared helpers -----------------------------------------------------------
     @property
@@ -96,6 +144,9 @@ class StrategyModel:
     def _dests_per_proc(self, summary: PatternSummary) -> int:
         """Destination nodes handled per paired process (round-robin)."""
         return math.ceil(summary.num_dest_nodes / self.gpn)
+
+    def _dests_per_proc_vec(self, b: SummaryBatch) -> np.ndarray:
+        return np.ceil(b.num_dest_nodes / self.gpn)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<{type(self).__name__} on {self.machine.name}>"
@@ -133,6 +184,15 @@ class StandardStagedModel(StrategyModel):
                             summary.proc_bytes)
         return total
 
+    def _time_vec(self, b: SummaryBatch) -> np.ndarray:
+        msg_size = b.proc_bytes / np.maximum(b.proc_messages, 1)
+        total = t_off_vec(self.machine, b.proc_messages, b.proc_bytes,
+                          b.node_bytes, msg_size)
+        if self.include_copies:
+            total = total + t_copy_vec(self.machine, b.proc_bytes,
+                                       b.proc_bytes)
+        return total
+
 
 class StandardDeviceModel(StrategyModel):
     """Standard device-aware: the postal model on GPU rows (Table 6 row 2)."""
@@ -145,6 +205,11 @@ class StandardDeviceModel(StrategyModel):
         msg_size = summary.proc_bytes / max(summary.proc_messages, 1)
         return t_off_device_aware(self.machine, summary.proc_messages,
                                   summary.proc_bytes, msg_size=msg_size)
+
+    def _time_vec(self, b: SummaryBatch) -> np.ndarray:
+        msg_size = b.proc_bytes / np.maximum(b.proc_messages, 1)
+        return t_off_device_aware_vec(self.machine, b.proc_messages,
+                                      b.proc_bytes, msg_size)
 
 
 # ---------------------------------------------------------------------------
@@ -166,6 +231,16 @@ class ThreeStepStagedModel(StrategyModel):
             + t_copy(self.machine, summary.proc_bytes, s_nn)
         )
 
+    def _time_vec(self, b: SummaryBatch) -> np.ndarray:
+        m = self._dests_per_proc_vec(b)
+        s_nn = b.bytes_per_node_pair
+        s_off = m * s_nn
+        return (
+            t_off_vec(self.machine, m, s_off, b.node_bytes, s_nn)
+            + 2.0 * t_on_vec(self.machine, s_nn, TransportKind.CPU)
+            + t_copy_vec(self.machine, b.proc_bytes, s_nn)
+        )
+
 
 class ThreeStepDeviceModel(StrategyModel):
     """3-Step device-aware: gather and send GPU-to-GPU (no copies)."""
@@ -179,6 +254,14 @@ class ThreeStepDeviceModel(StrategyModel):
         return (
             t_off_device_aware(self.machine, m, m * s_nn, msg_size=s_nn)
             + 2.0 * t_on(self.machine, s_nn, TransportKind.GPU)
+        )
+
+    def _time_vec(self, b: SummaryBatch) -> np.ndarray:
+        m = self._dests_per_proc_vec(b)
+        s_nn = b.bytes_per_node_pair
+        return (
+            t_off_device_aware_vec(self.machine, m, m * s_nn, s_nn)
+            + 2.0 * t_on_vec(self.machine, s_nn, TransportKind.GPU)
         )
 
 
@@ -197,6 +280,15 @@ class ThreeStepHierarchicalStagedModel(StrategyModel):
             + t_copy(self.machine, summary.proc_bytes, s_nn)
         )
 
+    def _time_vec(self, b: SummaryBatch) -> np.ndarray:
+        m = self._dests_per_proc_vec(b)
+        s_nn = b.bytes_per_node_pair
+        return (
+            t_off_vec(self.machine, m, m * s_nn, b.node_bytes, s_nn)
+            + 2.0 * t_on_hierarchical_vec(self.machine, s_nn, TransportKind.CPU)
+            + t_copy_vec(self.machine, b.proc_bytes, s_nn)
+        )
+
 
 class ThreeStepHierarchicalDeviceModel(StrategyModel):
     """Hierarchical 3-Step (extension), device-aware — ref [13]'s path."""
@@ -210,6 +302,14 @@ class ThreeStepHierarchicalDeviceModel(StrategyModel):
         return (
             t_off_device_aware(self.machine, m, m * s_nn, msg_size=s_nn)
             + 2.0 * t_on_hierarchical(self.machine, s_nn, TransportKind.GPU)
+        )
+
+    def _time_vec(self, b: SummaryBatch) -> np.ndarray:
+        m = self._dests_per_proc_vec(b)
+        s_nn = b.bytes_per_node_pair
+        return (
+            t_off_device_aware_vec(self.machine, m, m * s_nn, s_nn)
+            + 2.0 * t_on_hierarchical_vec(self.machine, s_nn, TransportKind.GPU)
         )
 
 
@@ -233,6 +333,16 @@ class TwoStepStagedModel(StrategyModel):
                      summary.bytes_per_node_pair)
         )
 
+    def _time_vec(self, b: SummaryBatch) -> np.ndarray:
+        m = b.num_dest_nodes
+        msg = b.bytes_per_node_pair / self.gpn
+        s_off = m * msg
+        return (
+            t_off_vec(self.machine, m, s_off, b.node_bytes, msg)
+            + t_on_vec(self.machine, b.proc_bytes, TransportKind.CPU)
+            + t_copy_vec(self.machine, b.proc_bytes, b.bytes_per_node_pair)
+        )
+
 
 class TwoStepDeviceModel(StrategyModel):
     """2-Step All, device-aware."""
@@ -246,6 +356,14 @@ class TwoStepDeviceModel(StrategyModel):
         return (
             t_off_device_aware(self.machine, m, m * msg, msg_size=msg)
             + t_on(self.machine, summary.proc_bytes, TransportKind.GPU)
+        )
+
+    def _time_vec(self, b: SummaryBatch) -> np.ndarray:
+        m = b.num_dest_nodes
+        msg = b.bytes_per_node_pair / self.gpn
+        return (
+            t_off_device_aware_vec(self.machine, m, m * msg, msg)
+            + t_on_vec(self.machine, b.proc_bytes, TransportKind.GPU)
         )
 
 
@@ -268,6 +386,15 @@ class TwoStepBestCaseStagedModel(StrategyModel):
             + t_copy(self.machine, summary.proc_bytes, s_nn)
         )
 
+    def _time_vec(self, b: SummaryBatch) -> np.ndarray:
+        m = self._dests_per_proc_vec(b)
+        s_nn = b.bytes_per_node_pair
+        return (
+            t_off_vec(self.machine, m, m * s_nn, b.node_bytes, s_nn)
+            + t_on_vec(self.machine, s_nn, TransportKind.CPU)
+            + t_copy_vec(self.machine, b.proc_bytes, s_nn)
+        )
+
 
 class TwoStepBestCaseDeviceModel(StrategyModel):
     """2-Step 1, device-aware — the paper's overall large-size winner."""
@@ -281,6 +408,14 @@ class TwoStepBestCaseDeviceModel(StrategyModel):
         return (
             t_off_device_aware(self.machine, m, m * s_nn, msg_size=s_nn)
             + t_on(self.machine, s_nn, TransportKind.GPU)
+        )
+
+    def _time_vec(self, b: SummaryBatch) -> np.ndarray:
+        m = self._dests_per_proc_vec(b)
+        s_nn = b.bytes_per_node_pair
+        return (
+            t_off_device_aware_vec(self.machine, m, m * s_nn, s_nn)
+            + t_on_vec(self.machine, s_nn, TransportKind.GPU)
         )
 
 
@@ -311,6 +446,19 @@ class _SplitModelBase(StrategyModel):
         per_pair = max(1, math.ceil(s_nn / cap))
         return n_dest * per_pair, min(cap, s_nn)
 
+    def split_counts_vec(self, b: SummaryBatch):
+        """Array version of :meth:`split_counts` (same branch order)."""
+        cap0 = float(self.message_cap)
+        s_nn = b.bytes_per_node_pair
+        n_dest = b.num_dest_nodes
+        cap = np.where(b.node_bytes / cap0 > self.ppn,
+                       np.ceil(b.node_bytes / self.ppn), cap0)
+        per_pair = np.maximum(1, np.ceil(s_nn / cap))
+        under = s_nn <= cap0
+        total = np.where(under, n_dest, n_dest * per_pair)
+        msg_size = np.where(under, s_nn, np.minimum(cap, s_nn))
+        return total, msg_size
+
     def _time(self, summary: PatternSummary) -> float:
         total_msgs, msg_size = self.split_counts(summary)
         m = math.ceil(total_msgs / self.ppn)
@@ -322,6 +470,18 @@ class _SplitModelBase(StrategyModel):
                                ppn=self.ppn, active_gpus=summary.active_gpus)
             + t_copy(self.machine, summary.proc_bytes,
                      summary.bytes_per_node_pair, nproc=self.ppg)
+        )
+
+    def _time_vec(self, b: SummaryBatch) -> np.ndarray:
+        total_msgs, msg_size = self.split_counts_vec(b)
+        m = np.ceil(total_msgs / self.ppn)
+        s_proc = b.node_bytes / self.ppn
+        return (
+            t_off_vec(self.machine, m, s_proc, b.node_bytes, msg_size)
+            + 2.0 * t_on_split_vec(self.machine, b.node_bytes, self.ppg,
+                                   ppn=self.ppn, active_gpus=b.active_gpus)
+            + t_copy_vec(self.machine, b.proc_bytes,
+                         b.bytes_per_node_pair, nproc=self.ppg)
         )
 
 

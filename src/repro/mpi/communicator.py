@@ -128,6 +128,22 @@ class Communicator:
         self._split_calls: Dict[int, Dict[int, Tuple[Optional[int], int, Event]]] = {}
         self._split_count: Dict[int, int] = {}
 
+    def reset_state(self) -> None:
+        """Drop matching/collective state for an independent rerun.
+
+        Used by the :class:`~repro.mpi.job.SimJob` in-place reset path:
+        clears posted-send/recv queues, split coordination, and each
+        cached handle's collective tag sequence, so a rerun is
+        observably identical to one on a freshly built communicator.
+        """
+        for matcher in self._matchers:
+            matcher.sends.clear()
+            matcher.recvs.clear()
+        self._split_calls.clear()
+        self._split_count.clear()
+        for handle in self._handles.values():
+            handle._coll_seq = 0
+
     # -- handles ----------------------------------------------------------------
     def handle(self, world_rank: int) -> "CommHandle":
         """Rank-bound view for ``world_rank`` (must be a member)."""
@@ -156,7 +172,9 @@ class Communicator:
             raise ValueError(f"invalid tag {tag}")
         size = payload_nbytes(payload, nbytes)
         kind = TransportKind.GPU if is_device(payload) else TransportKind.CPU
-        event = self.sim.event(name=f"send[{src_local}->{dest} tag={tag}]")
+        # Static name: per-message f-string formatting is measurable in
+        # message-heavy runs and the name is only a repr/debug aid.
+        event = Event(self.sim, name="send")
         op = _SendOp(src_local, tag, payload, size, kind, self.sim.now, event)
         protocol = self.transport.protocol_for(kind, size)
         if not protocol.is_synchronous:
@@ -171,7 +189,7 @@ class Communicator:
     def _irecv(self, dest_local: int, source: int, tag: int) -> Request:
         if source != ANY_SOURCE and not 0 <= source < self.size:
             raise ValueError(f"source {source} out of range for {self.name!r}")
-        event = self.sim.event(name=f"recv[{dest_local}<-{source} tag={tag}]")
+        event = Event(self.sim, name="recv")
         op = _RecvOp(source, tag, self.sim.now, event)
         self._matchers[dest_local].post_recv(op)
         return Request(self.sim, "recv", event)

@@ -36,6 +36,12 @@ class CopyEngine:
         self.d2h_bytes = 0
         self.copies = 0
 
+    def reset_stats(self) -> None:
+        """Clear volume/count counters (between independent benchmark reps)."""
+        self.h2d_bytes = 0
+        self.d2h_bytes = 0
+        self.copies = 0
+
     def _cost(self, direction: CopyDirection, nbytes: int, nproc: int,
               team_bytes: Optional[int]) -> float:
         """Wall time seen by one member of an ``nproc``-way copy team.

@@ -173,16 +173,47 @@ class SimJob:
             self.sim, self.layout.machine.copy_params,
             noise=noise.fork(2 * run + 1))
 
+    def reset_state(self) -> None:
+        """In-place equivalent of :meth:`_fresh` for benchmark sweeps.
+
+        Resets the simulator clock/queues, NIC/pipe servers, transport
+        statistics, communicator matching state and copy-engine counters
+        while *reusing* the existing :class:`JobLayout`,
+        :class:`Transport`, :class:`Communicator` and
+        :class:`CopyEngine` objects (and their internal caches).  Noise
+        streams are re-forked exactly as a full rebuild would, so a run
+        after ``reset_state()`` produces bit-identical virtual times to
+        one after ``_fresh()``.
+        """
+        self.sim.reset()
+        noise = make_noise(self.noise_sigma, self.seed)
+        run = self._run_count
+        self._run_count += 1
+        self.transport.reset_nics()
+        self.transport.reset_stats()
+        self.transport.noise = noise.fork(2 * run)
+        self.world.reset_state()
+        self.copy_engine.reset_stats()
+        self.copy_engine.noise = noise.fork(2 * run + 1)
+
     # -- running programs ----------------------------------------------------
     def run(self, program: Callable[..., Generator], *args: Any,
-            reuse_state: bool = False, until: Optional[float] = None,
+            reuse_state: bool = False, reset_state: bool = False,
+            until: Optional[float] = None,
             **kwargs: Any) -> JobResult:
         """Run ``program(ctx, *args, **kwargs)`` on every rank.
 
         Each invocation starts from a fresh simulator (time 0, empty NIC
-        queues) unless ``reuse_state=True``.
+        queues) unless ``reuse_state=True``.  ``reset_state=True``
+        instead resets the existing simulator/transport in place — the
+        benchmark-sweep fast path, observably identical to a rebuild but
+        without the per-point construction cost.
         """
-        if not reuse_state:
+        if reuse_state:
+            pass
+        elif reset_state:
+            self.reset_state()
+        else:
             self._fresh()
         size = self.layout.size
         contexts = [RankContext(self, r) for r in range(size)]

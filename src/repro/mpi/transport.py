@@ -46,6 +46,7 @@ Two serialization points shape contention:
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
@@ -64,8 +65,8 @@ class TransportStats:
     bytes_sent: int = 0
     off_node_messages: int = 0
     off_node_bytes: int = 0
-    by_protocol: Dict[Protocol, int] = field(default_factory=dict)
-    by_locality: Dict[Locality, int] = field(default_factory=dict)
+    by_protocol: "Counter[Protocol]" = field(default_factory=Counter)
+    by_locality: "Counter[Locality]" = field(default_factory=Counter)
 
     def record(self, protocol: Protocol, locality: Locality, nbytes: int) -> None:
         self.messages += 1
@@ -73,8 +74,8 @@ class TransportStats:
         if locality is Locality.OFF_NODE:
             self.off_node_messages += 1
             self.off_node_bytes += nbytes
-        self.by_protocol[protocol] = self.by_protocol.get(protocol, 0) + 1
-        self.by_locality[locality] = self.by_locality.get(locality, 0) + 1
+        self.by_protocol[protocol] += 1
+        self.by_locality[locality] += 1
 
 
 @dataclass(frozen=True)
@@ -129,7 +130,7 @@ class Transport:
         self.sim = sim
         self.layout = layout
         self.machine = layout.machine
-        self.noise = noise if noise is not None else NoNoise()
+        self.noise = noise if noise is not None else NoNoise()  # via property
         self.overhead_fraction = (self.DEFAULT_OVERHEAD_FRACTION
                                   if overhead_fraction is None
                                   else float(overhead_fraction))
@@ -170,6 +171,30 @@ class Transport:
             ]
         else:
             self._gpu_nics = None
+        # -- hot-path caches -------------------------------------------------
+        # Route cache keyed (kind, locality, protocol bucket): the per-
+        # message path through ``comm_params.for_message`` collapses to a
+        # threshold select + one dict hit on a prebuilt table.
+        params = self.machine.comm_params
+        self._select_protocol = params.thresholds.select
+        self._route: Dict[Tuple[TransportKind, Locality, Protocol],
+                          object] = {
+            (kind, loc, proto): link
+            for (kind, proto, loc), link in params.table.items()
+        }
+        self._node_of = layout._node_of
+
+    # -- noise ---------------------------------------------------------------
+    @property
+    def noise(self) -> NoiseModel:
+        return self._noise
+
+    @noise.setter
+    def noise(self, model: NoiseModel) -> None:
+        # Track identity noise so the hot path can skip perturb() calls
+        # entirely (NoNoise returns its input unchanged).
+        self._noise = model
+        self._noiseless = isinstance(model, NoNoise)
 
     # -- introspection -------------------------------------------------------
     def nic_of(self, node: int, kind: TransportKind) -> Optional[BandwidthResource]:
@@ -203,11 +228,13 @@ class Transport:
         """
         if nbytes < 0:
             raise ValueError(f"nbytes must be >= 0, got {nbytes}")
-        locality = self.classify(src, dest)
-        protocol, link = self.machine.comm_params.for_message(
-            kind, locality, nbytes)
-        base = self.noise.perturb(link.time(nbytes))
+        locality = self.layout.locality(src, dest)
+        protocol = self._select_protocol(kind, nbytes)
+        link = self._route[(kind, locality, protocol)]
         alpha = link.alpha
+        base = alpha + link.beta * nbytes
+        if not self._noiseless:
+            base = self._noise.perturb(base)
 
         ready = t_match if protocol.is_synchronous else t_send
         start = max(ready, self._pipe_free[src])
@@ -217,7 +244,7 @@ class Transport:
         self._pipe_free[src] = start + occupancy
         delivery = start + base
         if locality is Locality.OFF_NODE:
-            nic = self.nic_of(self.layout.node_of(src), kind)
+            nic = self.nic_of(self._node_of[src], kind)
             if nic is not None:
                 nic_done = nic.completion_time(nbytes, start=start + alpha)
                 delivery = max(delivery, nic_done)
@@ -249,3 +276,13 @@ class Transport:
             for nic in self._gpu_nics:
                 nic.reset()
         self._pipe_free = [0.0] * self.layout.size
+
+    def reset_stats(self) -> None:
+        """Clear aggregate counters and the trace log.
+
+        ``reset_nics()`` only resets queue state; benchmark rep loops
+        call this as well so per-rep statistics do not leak across
+        repetitions.
+        """
+        self.stats = TransportStats()
+        self.trace_log.clear()

@@ -1,0 +1,224 @@
+"""Timed micro-suite over the simulator's hot paths.
+
+Four workloads cover the layers the optimisation work targets:
+
+``engine``
+    Raw DES kernel event throughput: many processes looping on
+    zero-cost bookkeeping plus heap-scheduled timeouts.
+``pingpong``
+    The Table-2 refit (:func:`repro.benchpress.pingpong.fit_comm_table`)
+    — message costing, protocol selection and the sweep-reuse path.
+``spmv``
+    One audikw-analog SpMV exchange per rep — the irregular
+    many-message pattern the paper validates against (Figure 4.2).
+``scenarios``
+    The Figure-4.3 scenario grid over all strategy models — the
+    vectorized analytic-model path.
+
+Each workload reports its wall clock (best of ``repeats``) plus a
+throughput metric (virtual events/sec, simulated messages/sec or model
+evaluations/sec).  All workloads run the simulator with fixed seeds, so
+the *virtual* results are deterministic; only the wall clock varies.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+#: report schema version (bump when fields change meaning)
+SCHEMA = 1
+
+
+@dataclass
+class WorkloadResult:
+    """Timing of one suite workload."""
+
+    name: str
+    wall_s: float              # best-of-repeats wall clock [s]
+    repeats: int
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def summary(self) -> str:
+        extra = ", ".join(f"{k}={v:,.0f}" for k, v in self.metrics.items())
+        return f"{self.name:12s} {self.wall_s * 1e3:9.1f} ms   {extra}"
+
+
+# ---------------------------------------------------------------------------
+# Workloads — each returns {metric name: value} for the report
+# ---------------------------------------------------------------------------
+def _engine_workload(procs: int, timeouts: int) -> Callable[[], Dict[str, float]]:
+    def run() -> Dict[str, float]:
+        from repro.sim.engine import Simulator
+
+        sim = Simulator()
+
+        def worker(delay: float):
+            for _ in range(timeouts):
+                yield sim.timeout(delay)
+
+        for p in range(procs):
+            sim.process(worker(1e-6 * (p + 1)), label=f"w{p}")
+        sim.run()
+        # one start token per process + one event per timeout
+        return {"events": procs * (timeouts + 1)}
+
+    return run
+
+
+def _pingpong_workload(iterations: int,
+                       n_points: int) -> Callable[[], Dict[str, float]]:
+    def run() -> Dict[str, float]:
+        from repro.benchpress.pingpong import fit_comm_table
+        from repro.machine.presets import lassen
+        from repro.mpi.job import SimJob
+
+        job = SimJob(lassen(), num_nodes=2, ppn=40)
+        table = fit_comm_table(job, iterations=iterations, n_points=n_points)
+        # each fitted path sweeps <= n_points sizes, one run each,
+        # 2 * iterations messages per run
+        msgs = sum(1 for _ in table) * n_points * 2 * iterations
+        return {"messages": msgs}
+
+    return run
+
+
+def _spmv_workload(matrix_n: int, reps: int) -> Callable[[], Dict[str, float]]:
+    from repro.core import all_strategies
+    from repro.sparse.distributed import DistributedCSR
+    from repro.sparse.suite import SUITE
+
+    # Matrix assembly and partitioning are inputs to the simulator, not
+    # part of it — build once, outside the timed region.
+    matrix = SUITE["audikw_1"].build(matrix_n)
+    dist = DistributedCSR(matrix, num_gpus=8)
+    v = np.random.default_rng(5).standard_normal(dist.n)
+    strategy = next(s for s in all_strategies()
+                    if s.label == "Standard (staged)")
+
+    def run() -> Dict[str, float]:
+        from repro.machine.presets import lassen
+        from repro.mpi.job import SimJob
+        from repro.sparse.spmv import distributed_spmv
+
+        job = SimJob(lassen(), num_nodes=2, ppn=40, seed=11)
+        msgs = 0
+        for _ in range(reps):
+            msgs += distributed_spmv(job, dist, strategy, v).messages
+        return {"messages": msgs}
+
+    return run
+
+
+def _scenario_workload(n_sizes: int,
+                       dup_fractions: Tuple[float, ...]
+                       ) -> Callable[[], Dict[str, float]]:
+    def run() -> Dict[str, float]:
+        from repro.machine.presets import lassen
+        from repro.models.scenarios import (
+            PAPER_SCENARIOS,
+            Scenario,
+            sweep_scenario,
+        )
+
+        machine = lassen()
+        sizes = np.logspace(0, 7, n_sizes)
+        evals = 0
+        for base in PAPER_SCENARIOS:
+            for dup in dup_fractions:
+                sc = Scenario(num_dest_nodes=base.num_dest_nodes,
+                              num_messages=base.num_messages,
+                              dup_fraction=dup)
+                out = sweep_scenario(machine, sc, sizes)
+                evals += len(out) * n_sizes
+        return {"evals": evals}
+
+    return run
+
+
+def default_workloads(smoke: bool = False
+                      ) -> List[Tuple[str, Callable[[], Dict[str, float]], int]]:
+    """(name, workload, repeats) triples for the standard suite."""
+    if smoke:
+        return [
+            ("engine", _engine_workload(procs=20, timeouts=100), 1),
+            ("pingpong", _pingpong_workload(iterations=1, n_points=3), 1),
+            ("spmv", _spmv_workload(matrix_n=1000, reps=1), 1),
+            ("scenarios", _scenario_workload(16, (0.0,)), 1),
+        ]
+    return [
+        ("engine", _engine_workload(procs=200, timeouts=500), 3),
+        ("pingpong", _pingpong_workload(iterations=2, n_points=10), 3),
+        ("spmv", _spmv_workload(matrix_n=4000, reps=3), 3),
+        ("scenarios", _scenario_workload(64, (0.0, 0.25)), 3),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Harness
+# ---------------------------------------------------------------------------
+def run_suite(smoke: bool = False, verbose: bool = True
+              ) -> List[WorkloadResult]:
+    """Run the suite, best-of-``repeats`` per workload."""
+    results: List[WorkloadResult] = []
+    for name, workload, repeats in default_workloads(smoke=smoke):
+        best = float("inf")
+        metrics: Dict[str, float] = {}
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            metrics = workload()
+            elapsed = time.perf_counter() - t0
+            best = min(best, elapsed)
+        for key, value in list(metrics.items()):
+            metrics[f"{key}_per_s"] = value / best if best > 0 else 0.0
+        result = WorkloadResult(name=name, wall_s=best, repeats=repeats,
+                                metrics=metrics)
+        results.append(result)
+        if verbose:
+            print(result.summary)
+    if verbose:
+        total = sum(r.wall_s for r in results)
+        print(f"{'total':12s} {total * 1e3:9.1f} ms")
+    return results
+
+
+def write_report(results: List[WorkloadResult], path: str,
+                 smoke: bool = False) -> Dict[str, object]:
+    """Serialize suite results to ``path`` (BENCH_repro.json schema)."""
+    report: Dict[str, object] = {
+        "suite": "repro.perf",
+        "schema": SCHEMA,
+        "smoke": smoke,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "total_wall_s": sum(r.wall_s for r in results),
+        "workloads": [asdict(r) for r in results],
+    }
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=1)
+        fh.write("\n")
+    return report
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI body for ``python -m repro perf [--smoke] [-o OUT.json]``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro perf",
+        description="Run the simulator performance micro-suite.")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny workloads (CI wiring check, ~1 s)")
+    parser.add_argument("-o", "--output", default="BENCH_repro.json",
+                        help="report path (default: %(default)s)")
+    args = parser.parse_args(argv)
+    results = run_suite(smoke=args.smoke)
+    write_report(results, args.output, smoke=args.smoke)
+    print(f"wrote {args.output}")
+    return 0

@@ -5,15 +5,47 @@ Determinism
 Events scheduled for the same virtual time fire in scheduling order
 (monotone sequence numbers break ties), so a simulation with a fixed seed
 is bit-reproducible across runs and platforms.
+
+Fast paths
+----------
+The engine keeps two pending-event structures that together behave as a
+single priority queue ordered by ``(time, seq)``:
+
+* a binary heap for events scheduled with a positive delay, and
+* a plain FIFO deque for *immediate* (zero-delay) events.
+
+Zero-delay events — process starts, resumptions of already-fired events,
+interrupts, and every ``succeed()``/``fail()`` without a delay — are the
+majority of the event traffic in message-heavy simulations.  Because the
+clock never moves backwards, the deque is naturally sorted by
+``(time, seq)``, so ``step()`` only has to compare the two queue heads to
+pop in exactly the order the single-heap implementation would have.  The
+fired order (and therefore every virtual time) is bit-identical to the
+pure-heap kernel; only the wall-clock cost changes.
+
+Process resumption on an already-fired event similarly skips the relay
+:class:`Event` allocation: a lightweight :class:`_Resume` token carrying
+the original event is queued instead, preserving engine-driven (non-
+recursive) resumption order.
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from itertools import count
 from typing import Any, Generator, Iterable, List, Optional, Tuple
 
-from repro.sim.events import AllOf, AnyOf, Event, EventState, Timeout, ensure_event
+from repro.sim.events import (
+    AllOf,
+    AnyOf,
+    Event,
+    EventState,
+    Timeout,
+    ensure_event,
+)
+
+_PROCESSED = EventState.PROCESSED
 
 
 class SimulationError(RuntimeError):
@@ -32,6 +64,55 @@ class Interrupt(Exception):
         self.cause = cause
 
 
+class _Start:
+    """Zero-delay token kick-starting a process (no Event allocation).
+
+    Duck-types the slice of the :class:`Event` interface that
+    :meth:`Process._resume` reads (``ok`` / ``value``).
+    """
+
+    __slots__ = ("process",)
+    ok = _ok = True
+    value = _value = None
+
+    def __init__(self, process: "Process") -> None:
+        self.process = process
+
+    def _process_callbacks(self) -> None:
+        self.process._resume(self)
+
+
+class _Resume:
+    """Zero-delay token resuming a process from an already-fired event.
+
+    Replaces the relay :class:`Event` the slow path allocated: the
+    process is resumed with the *original* event (same ``ok``/``value``),
+    still driven by the engine loop rather than recursion.
+    """
+
+    __slots__ = ("process", "source")
+
+    def __init__(self, process: "Process", source: Event) -> None:
+        self.process = process
+        self.source = source
+
+    def _process_callbacks(self) -> None:
+        self.process._resume(self.source)
+
+
+class _Throw:
+    """Zero-delay token throwing an exception into a process."""
+
+    __slots__ = ("process", "exc")
+
+    def __init__(self, process: "Process", exc: BaseException) -> None:
+        self.process = process
+        self.exc = exc
+
+    def _process_callbacks(self) -> None:
+        self.process._throw(self.exc)
+
+
 class Process(Event):
     """A running generator coroutine.
 
@@ -40,7 +121,7 @@ class Process(Event):
     lets processes wait on each other by yielding the process object.
     """
 
-    __slots__ = ("generator", "_waiting_on", "label")
+    __slots__ = ("generator", "_waiting_on", "label", "_bound_resume")
 
     def __init__(self, sim: "Simulator", generator: Generator,
                  label: str = "") -> None:
@@ -52,10 +133,11 @@ class Process(Event):
         self.generator = generator
         self.label = self.name
         self._waiting_on: Optional[Event] = None
-        # Kick-start at the current time via an immediate event.
-        start = Event(sim, name=f"start:{self.name}")
-        start.callbacks.append(self._resume)
-        start.succeed(None)
+        # One bound method reused for every callback subscription (a
+        # fresh `self._resume` lookup allocates a new method object).
+        self._bound_resume = self._resume
+        # Kick-start at the current time via an immediate token.
+        sim._schedule_token(_Start(self))
         sim._live_processes += 1
 
     @property
@@ -66,20 +148,18 @@ class Process(Event):
         """Throw :class:`Interrupt` into the process at the current time."""
         if not self.is_alive:
             raise RuntimeError(f"cannot interrupt finished process {self.label!r}")
-        ev = Event(self.sim, name=f"interrupt:{self.label}")
-        ev.callbacks.append(lambda _ev: self._throw(Interrupt(cause)))
-        ev.succeed(None)
+        self.sim._schedule_token(_Throw(self, Interrupt(cause)))
 
     # -- engine internals ---------------------------------------------------
     def _resume(self, event: Event) -> None:
-        if self.processed:
+        if self._state is _PROCESSED:
             return
         self._waiting_on = None
         try:
-            if event.ok:
-                target = self.generator.send(event.value)
+            if event._ok:
+                target = self.generator.send(event._value)
             else:
-                target = self.generator.throw(event.value)
+                target = self.generator.throw(event._value)
         except StopIteration as stop:
             self._finish(stop.value)
             return
@@ -92,11 +172,11 @@ class Process(Event):
         self._wait_on(target)
 
     def _throw(self, exc: BaseException) -> None:
-        if self.processed:
+        if self._state is _PROCESSED:
             return
         waiting = self._waiting_on
-        if waiting is not None and self._resume in waiting.callbacks:
-            waiting.callbacks.remove(self._resume)
+        if waiting is not None and self._bound_resume in waiting.callbacks:
+            waiting.callbacks.remove(self._bound_resume)
         self._waiting_on = None
         try:
             target = self.generator.throw(exc)
@@ -112,19 +192,14 @@ class Process(Event):
         self._wait_on(target)
 
     def _wait_on(self, target: Any) -> None:
-        event = ensure_event(self.sim, target)
+        event = target if isinstance(target, Event) else ensure_event(self.sim, target)
         self._waiting_on = event
-        if event.processed:
-            # Already fired: resume at the current time via a fresh event
-            # so the engine (not recursion) drives the resumption.
-            relay = Event(self.sim, name=f"relay:{self.name}")
-            relay.callbacks.append(self._resume)
-            if event.ok:
-                relay.succeed(event.value)
-            else:
-                relay.fail(event.value)
+        if event._state is _PROCESSED:
+            # Already fired: resume at the current time via an immediate
+            # token so the engine (not recursion) drives the resumption.
+            self.sim._schedule_token(_Resume(self, event))
         else:
-            event.callbacks.append(self._resume)
+            event.callbacks.append(self._bound_resume)
 
     def _finish(self, value: Any) -> None:
         self.sim._live_processes -= 1
@@ -132,11 +207,13 @@ class Process(Event):
 
 
 class Simulator:
-    """Owner of the virtual clock and the pending-event heap."""
+    """Owner of the virtual clock and the pending-event queues."""
 
     def __init__(self) -> None:
         self._now: float = 0.0
         self._heap: List[Tuple[float, int, Event]] = []
+        #: zero-delay events/tokens, naturally sorted by (time, seq)
+        self._imm: deque = deque()
         self._seq = count()
         self._live_processes = 0
         self._crashed: List[Tuple[Process, BaseException]] = []
@@ -149,9 +226,18 @@ class Simulator:
 
     # -- scheduling -------------------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
-        if delay < 0:
+        if delay == 0.0:
+            # Immediate: fires at the current time, after everything at
+            # (now, smaller seq) — exactly heap order, without the heap.
+            self._imm.append((self._now, next(self._seq), event))
+        elif delay > 0.0:
+            heapq.heappush(self._heap, (self._now + delay, next(self._seq), event))
+        else:
             raise ValueError(f"cannot schedule into the past (delay={delay!r})")
-        heapq.heappush(self._heap, (self._now + delay, next(self._seq), event))
+
+    def _schedule_token(self, token: Any) -> None:
+        """Queue an engine-internal immediate token (start/resume/throw)."""
+        self._imm.append((self._now, next(self._seq), token))
 
     # -- factories ---------------------------------------------------------------
     def event(self, name: str = "") -> Event:
@@ -182,25 +268,45 @@ class Simulator:
 
     # -- main loop -----------------------------------------------------------------
     def step(self) -> None:
-        """Fire the next scheduled event."""
-        when, _seq, event = heapq.heappop(self._heap)
+        """Fire the next scheduled event.
+
+        Raises :class:`SimulationError` when nothing is scheduled (an
+        empty schedule is a caller bug, not an engine state).
+        """
+        imm = self._imm
+        heap = self._heap
+        if imm:
+            # The deque is sorted by (time, seq); pop whichever head is
+            # earlier so the fired order matches the single-heap kernel.
+            # Sequence numbers are unique, so the tuple comparison never
+            # reaches the (incomparable) event payloads.
+            if heap and heap[0] < imm[0]:
+                when, _seq, event = heapq.heappop(heap)
+            else:
+                when, _seq, event = imm.popleft()
+        elif heap:
+            when, _seq, event = heapq.heappop(heap)
+        else:
+            raise SimulationError("step() called with no scheduled events")
         self._now = when
         event._process_callbacks()
 
     def run(self, until: Optional[float] = None) -> float:
-        """Run until the heap drains or virtual time passes ``until``.
+        """Run until the queues drain or virtual time passes ``until``.
 
         Returns the final virtual time.  Raises :class:`DeadlockError` if
         live processes remain with nothing scheduled, and re-raises the
         first exception of any crashed process.
         """
-        while self._heap:
-            if until is not None and self._heap[0][0] > until:
+        step = self.step
+        crashed = self._crashed
+        while self._imm or self._heap:
+            if until is not None and self.peek() > until:
                 self._now = until
                 break
-            self.step()
-            if self._crashed:
-                proc, exc = self._crashed[0]
+            step()
+            if crashed:
+                proc, exc = crashed[0]
                 raise SimulationError(
                     f"process {proc.label!r} crashed at t={self._now:g}: {exc!r}"
                 ) from exc
@@ -214,4 +320,23 @@ class Simulator:
 
     def peek(self) -> float:
         """Time of the next scheduled event (``inf`` if none)."""
+        if self._imm:
+            t = self._imm[0][0]
+            if self._heap and self._heap[0][0] < t:
+                return self._heap[0][0]
+            return t
         return self._heap[0][0] if self._heap else float("inf")
+
+    def reset(self) -> None:
+        """Restore a pristine clock/queues in place (between benchmark reps).
+
+        Equivalent to constructing a fresh :class:`Simulator` while
+        keeping the object identity, so transports, communicators and
+        resources holding a reference stay valid.
+        """
+        self._now = 0.0
+        self._heap.clear()
+        self._imm.clear()
+        self._seq = count()
+        self._live_processes = 0
+        self._crashed.clear()

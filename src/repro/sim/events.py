@@ -34,6 +34,11 @@ class EventState(enum.Enum):
     PROCESSED = "processed"
 
 
+# hot-path aliases: module globals resolve faster than enum attributes
+_TRIGGERED = EventState.TRIGGERED
+_PROCESSED = EventState.PROCESSED
+
+
 class Event:
     """A one-shot occurrence in virtual time.
 
@@ -112,10 +117,12 @@ class Event:
     # -- engine hook --------------------------------------------------------
     def _process_callbacks(self) -> None:
         """Run callbacks.  Called exactly once by the simulator loop."""
-        self._state = EventState.PROCESSED
-        callbacks, self.callbacks = self.callbacks, []
-        for cb in callbacks:
-            cb(self)
+        self._state = _PROCESSED
+        callbacks = self.callbacks
+        if callbacks:
+            self.callbacks = []
+            for cb in callbacks:
+                cb(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         label = self.name or self.__class__.__name__
@@ -131,9 +138,18 @@ class Timeout(Event):
                  name: str = "") -> None:
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay!r}")
-        super().__init__(sim, name=name or f"Timeout({delay:g})")
-        self.delay = float(delay)
-        self.succeed(value, delay=self.delay)
+        # Timeouts are the engine's hottest allocation: skip the name
+        # formatting (repr falls back to the class name) and trigger
+        # inline — a fresh event is PENDING by construction, so the
+        # succeed() state check is redundant.
+        self.sim = sim
+        self.name = name
+        self.callbacks = []
+        self.delay = delay = float(delay)
+        self._value = value
+        self._ok = True
+        self._state = _TRIGGERED
+        sim._schedule(self, delay)
 
 
 class _Condition(Event):

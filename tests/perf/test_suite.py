@@ -1,0 +1,43 @@
+"""The perf harness runs, reports sane numbers and writes valid JSON."""
+
+import json
+
+from repro.perf import run_suite, write_report
+from repro.perf.suite import SCHEMA, main
+
+
+def test_smoke_suite_runs_and_reports(tmp_path, capsys):
+    results = run_suite(smoke=True, verbose=False)
+    names = [r.name for r in results]
+    assert names == ["engine", "pingpong", "spmv", "scenarios"]
+    for r in results:
+        assert r.wall_s > 0.0
+        assert r.repeats >= 1
+        assert r.metrics, r.name
+        for key, value in r.metrics.items():
+            assert value > 0.0, (r.name, key)
+    # every workload reports a throughput companion for each raw count
+    engine = results[0]
+    assert engine.metrics["events_per_s"] == \
+        engine.metrics["events"] / engine.wall_s
+
+    out = tmp_path / "bench.json"
+    report = write_report(results, str(out), smoke=True)
+    on_disk = json.loads(out.read_text())
+    assert on_disk == json.loads(json.dumps(report))
+    assert on_disk["suite"] == "repro.perf"
+    assert on_disk["schema"] == SCHEMA
+    assert on_disk["smoke"] is True
+    assert on_disk["total_wall_s"] > 0.0
+    assert len(on_disk["workloads"]) == 4
+
+
+def test_cli_main_writes_report(tmp_path, capsys):
+    out = tmp_path / "BENCH_repro.json"
+    rc = main(["--smoke", "-o", str(out)])
+    assert rc == 0
+    data = json.loads(out.read_text())
+    assert {w["name"] for w in data["workloads"]} == \
+        {"engine", "pingpong", "spmv", "scenarios"}
+    captured = capsys.readouterr().out
+    assert "wrote" in captured

@@ -170,6 +170,51 @@ class TestEngine:
         with pytest.raises(ValueError):
             ev.succeed(delay=-1.0)
 
+    def test_step_with_empty_schedule_raises(self, sim):
+        with pytest.raises(SimulationError, match="no scheduled events"):
+            sim.step()
+
+    def test_step_empty_after_drain_raises(self, sim):
+        sim.timeout(1.0)
+        sim.run()
+        with pytest.raises(SimulationError, match="no scheduled events"):
+            sim.step()
+
+    def test_zero_delay_and_heap_events_interleave_in_seq_order(self, sim):
+        # A zero-delay event created at t=1 must NOT preempt a heap
+        # event at t=1 that was scheduled earlier: same time, smaller
+        # sequence number fires first regardless of which queue holds it.
+        order = []
+
+        def first(sim):
+            yield sim.timeout(1.0)             # heap, earlier seq
+            imm = sim.timeout(0.0, value="imm")  # zero-delay at t=1
+            imm.callbacks.append(lambda ev: order.append(ev.value))
+            order.append("first")
+            yield imm
+
+        def second(sim):
+            yield sim.timeout(1.0)             # heap, seq between the two
+            order.append("second")
+
+        sim.process(first(sim))
+        sim.process(second(sim))
+        sim.run()
+        assert order == ["first", "second", "imm"]
+
+    def test_reset_restores_pristine_state(self, sim):
+        def proc(sim):
+            yield sim.timeout(3.0)
+
+        sim.process(proc(sim))
+        sim.run()
+        assert sim.now == 3.0
+        sim.reset()
+        assert sim.now == 0.0 and sim.peek() == float("inf")
+        p = sim.process(proc(sim))
+        sim.run()
+        assert sim.now == 3.0 and p.processed
+
     def test_all_of_any_of_helpers(self, sim):
         def proc(sim):
             vals = yield sim.all_of([sim.timeout(1.0, value=1),
