@@ -5,7 +5,9 @@ Enables message tracing, runs the same heavy exchange under standard
 and Split + MD communication, and prints per-rank timelines plus link
 summaries — making the mechanics visible: standard serializes many
 messages through four GPU-owner pipes, Split spreads the same bytes
-across all forty cores.
+across all forty cores.  A full span tracer rides along and the
+combined recording is exported as ``trace.json`` — open it at
+https://ui.perfetto.dev to see both strategies side by side.
 
 Run:  python examples/trace_analysis.py
 """
@@ -23,6 +25,12 @@ from repro.bench.timeline import (
 from repro.core import CommPattern, SplitMD, StandardStaged, run_exchange
 from repro.machine import lassen
 from repro.mpi import SimJob
+from repro.obs import (
+    MemoryTracer,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
 
 
 def heavy_pattern(num_gpus: int = 16) -> CommPattern:
@@ -34,8 +42,8 @@ def heavy_pattern(num_gpus: int = 16) -> CommPattern:
     return CommPattern(num_gpus, sends)
 
 
-def analyze(strategy) -> None:
-    job = SimJob(lassen(), num_nodes=4, ppn=40, trace=True)
+def analyze(strategy, tracer: MemoryTracer) -> None:
+    job = SimJob(lassen(), num_nodes=4, ppn=40, trace=True, tracer=tracer)
     pattern = heavy_pattern()
     result = run_exchange(job, strategy, pattern)
     log = job.transport.trace_log
@@ -62,8 +70,15 @@ def analyze(strategy) -> None:
 
 
 def main() -> None:
-    analyze(StandardStaged())
-    analyze(SplitMD())
+    tracers = {}
+    for strategy in (StandardStaged(), SplitMD()):
+        tracer = tracers[strategy.label] = MemoryTracer()
+        analyze(strategy, tracer)
+    trace = to_chrome_trace(tracers)
+    n_events = validate_chrome_trace(trace)
+    write_chrome_trace("trace.json", trace)
+    print(f"\nwrote trace.json ({n_events} events; "
+          f"open in https://ui.perfetto.dev)")
 
 
 if __name__ == "__main__":

@@ -9,6 +9,9 @@ Usage::
     python -m repro perf [--smoke] [-o OUT.json]
                                           # wall-clock micro-suite ->
                                           # BENCH_repro.json
+    python -m repro trace [SCENARIO] [--smoke] [-o trace.json]
+                                          # traced run -> Perfetto JSON
+    python -m repro --version             # print the package version
 """
 
 from __future__ import annotations
@@ -57,6 +60,11 @@ def main(argv=None) -> int:
     if not argv or argv[0] in ("-h", "--help"):
         print(__doc__)
         return 0
+    if argv[0] in ("-V", "--version"):
+        import repro
+
+        print(f"repro {repro.__version__}")
+        return 0
     cmd, rest = argv[0], argv[1:]
     if cmd == "info":
         _info()
@@ -76,8 +84,13 @@ def main(argv=None) -> int:
         from repro.perf.suite import main as perf_main
 
         return perf_main(rest)
+    elif cmd == "trace":
+        from repro.obs.cli import main as trace_main
+
+        return trace_main(rest)
     else:
-        print(f"unknown command {cmd!r}; see --help", file=sys.stderr)
+        print(f"unknown command {cmd!r}", file=sys.stderr)
+        print(__doc__, file=sys.stderr)
         return 2
     return 0
 

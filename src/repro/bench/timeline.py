@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.machine.locality import Locality
-from repro.mpi.transport import MessageTrace
+from repro.mpi.transport import MessageTrace, phase_name
 
 
 @dataclass
@@ -81,28 +81,18 @@ def locality_breakdown(log: Sequence[MessageTrace]) -> Dict[str, Dict]:
     return out
 
 
-#: strategy tag -> phase name (see repro.core.base tag constants)
-_PHASE_NAMES = {
-    1: "direct",          # TAG_P2P (standard)
-    2: "on-node direct",  # TAG_LOCAL
-    3: "gather",          # TAG_GATHER (3-Step step 1)
-    4: "inter-node",      # TAG_INTER
-    5: "redistribute",    # TAG_REDIST
-    6: "distribute",      # TAG_DIST (Split local_Scomm)
-}
-
-
 def phase_breakdown(log: Sequence[MessageTrace]) -> Dict[str, Dict]:
     """Per-strategy-phase traffic summary, keyed by phase name.
 
-    Phases are identified by the message tags the strategies use
-    (gather / inter-node / redistribute / distribute / direct); each
+    Phases are identified by the named ``phase`` each trace carries
+    (mapped from the strategy tag constants in :mod:`repro.core.base`,
+    e.g. gather / inter-node / redistribute / distribute / direct); each
     entry reports message count, bytes, the phase's first transfer
     start and last delivery (its span in the exchange timeline).
     """
     out: Dict[str, Dict] = {}
     for t in log:
-        name = _PHASE_NAMES.get(t.tag, f"tag {t.tag}")
+        name = t.phase or phase_name(t.tag)
         d = out.setdefault(name, {
             "messages": 0, "bytes": 0,
             "first_start": t.t_start, "last_delivery": t.delivery,

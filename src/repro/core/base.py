@@ -29,18 +29,20 @@ from repro.core.pattern import CommPattern
 from repro.core.records import Record, assemble
 from repro.machine.topology import JobLayout
 from repro.mpi.job import JobResult, RankContext, SimJob
-from repro.mpi.transport import TransportStats
+from repro.mpi.transport import TransportStats, register_phase
 
 # Tag space shared by all strategies (phases never interleave ambiguously
-# because receive counts per phase are exact).
-TAG_P2P = 1       # standard direct messages
-TAG_LOCAL = 2     # on-node direct messages (node-aware strategies)
-TAG_GATHER = 3    # 3-step on-node gather
-TAG_INTER = 4     # inter-node phase
-TAG_REDIST = 5    # on-node redistribution of received inter-node data
-TAG_DIST = 6      # split: distributing send data to assigned sender procs
-TAG_SGATHER = 7   # hierarchical 3-step: intra-socket gather
-TAG_SREDIST = 8   # hierarchical 3-step: cross-socket redistribution
+# because receive counts per phase are exact).  Each tag registers its
+# human-readable phase name with the transport, so message traces and
+# exported spans carry named phases instead of raw integers.
+TAG_P2P = register_phase(1, "direct")          # standard direct messages
+TAG_LOCAL = register_phase(2, "on-node direct")  # on-node direct messages
+TAG_GATHER = register_phase(3, "gather")       # 3-step on-node gather
+TAG_INTER = register_phase(4, "inter-node")    # inter-node phase
+TAG_REDIST = register_phase(5, "redistribute")  # on-node redistribution
+TAG_DIST = register_phase(6, "distribute")     # split: feed sender procs
+TAG_SGATHER = register_phase(7, "socket-gather")    # intra-socket gather
+TAG_SREDIST = register_phase(8, "socket-redistribute")  # cross-socket
 
 
 class CommunicationStrategy:

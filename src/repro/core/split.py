@@ -429,43 +429,49 @@ class _SplitBase(CommunicationStrategy):
                                             nbytes=records_nbytes(recs)))
 
         # Line 2: distribute chunk parts to their assigned sender procs.
-        for send_rank, cid, recs in rp.dist_sends:
-            payload = (cid, materialize(recs))
-            nbytes = node_records_nbytes(payload[1])
-            send_reqs.append(ctx.comm.isend(payload, dest=send_rank,
-                                            tag=TAG_DIST, nbytes=nbytes))
+        with ctx.phase("distribute"):
+            for send_rank, cid, recs in rp.dist_sends:
+                payload = (cid, materialize(recs))
+                nbytes = node_records_nbytes(payload[1])
+                send_reqs.append(ctx.comm.isend(payload, dest=send_rank,
+                                                tag=TAG_DIST, nbytes=nbytes))
 
         # Line 3: inter-node chunk exchange.
         if rp.send_chunks:
-            buckets: Dict[int, List[NodeRecord]] = {
-                cid: materialize(recs) for cid, recs in rp.own_parts.items()
-            }
-            msgs = yield ctx.comm.waitall(dist_reqs)
-            for msg in msgs:
-                cid, recs = msg.data
-                buckets.setdefault(cid, []).extend(recs)
-            for cid, recv_rank, nbytes in sorted(rp.send_chunks):
-                recs = buckets.get(cid, [])
-                send_reqs.append(
-                    ctx.comm.isend(recs, dest=recv_rank, tag=TAG_INTER,
-                                   nbytes=node_records_nbytes(recs)))
+            with ctx.phase("inter-node"):
+                buckets: Dict[int, List[NodeRecord]] = {
+                    cid: materialize(recs)
+                    for cid, recs in rp.own_parts.items()
+                }
+                msgs = yield ctx.comm.waitall(dist_reqs)
+                for msg in msgs:
+                    cid, recs = msg.data
+                    buckets.setdefault(cid, []).extend(recs)
+                for cid, recv_rank, nbytes in sorted(rp.send_chunks):
+                    recs = buckets.get(cid, [])
+                    send_reqs.append(
+                        ctx.comm.isend(recs, dest=recv_rank, tag=TAG_INTER,
+                                       nbytes=node_records_nbytes(recs)))
 
         # Line 4: expand unions and redistribute to destination owners.
         kept: List[Record] = []
         if rp.n_inter_recv:
-            msgs = yield ctx.comm.waitall(inter_reqs)
-            expanded: List[Record] = []
-            for nrec in flatten_messages(msgs):
-                pos = plan.positions[(nrec.src_gpu, nrec.dest_node)]
-                expanded.extend(expand_node_record(nrec, pos))
-            for dest_gpu, recs in sorted(group_by(expanded, "dest_gpu").items()):
-                dest_rank = ctx.layout.owner_of_global_gpu(dest_gpu)
-                if dest_rank == ctx.rank:
-                    kept.extend(recs)
-                else:
-                    send_reqs.append(
-                        ctx.comm.isend(recs, dest=dest_rank, tag=TAG_REDIST,
-                                       nbytes=records_nbytes(recs)))
+            with ctx.phase("redistribute"):
+                msgs = yield ctx.comm.waitall(inter_reqs)
+                expanded: List[Record] = []
+                for nrec in flatten_messages(msgs):
+                    pos = plan.positions[(nrec.src_gpu, nrec.dest_node)]
+                    expanded.extend(expand_node_record(nrec, pos))
+                for dest_gpu, recs in sorted(group_by(expanded,
+                                                      "dest_gpu").items()):
+                    dest_rank = ctx.layout.owner_of_global_gpu(dest_gpu)
+                    if dest_rank == ctx.rank:
+                        kept.extend(recs)
+                    else:
+                        send_reqs.append(
+                            ctx.comm.isend(recs, dest=dest_rank,
+                                           tag=TAG_REDIST,
+                                           nbytes=records_nbytes(recs)))
 
         local_msgs = yield ctx.comm.waitall(local_reqs)
         redist_msgs = yield ctx.comm.waitall(redist_reqs)

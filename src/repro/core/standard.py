@@ -85,18 +85,19 @@ class _StandardBase(CommunicationStrategy):
             ev, _ = ctx.copy.d2h(DeviceBuffer(rp.gpu, rp.send_bytes))
             yield ev
 
-        recv_reqs = [ctx.comm.irecv(tag=TAG_P2P) for _ in range(rp.n_recv)]
-        send_reqs = []
-        for dest_rank, dest_gpu, _idx in rp.sends:
-            payload: object = [records[dest_gpu]]
-            nbytes = records[dest_gpu].nbytes
-            if not self.staged:
-                payload = DeviceBuffer(rp.gpu, payload, nbytes=nbytes)
-            send_reqs.append(
-                ctx.comm.isend(payload, dest=dest_rank, tag=TAG_P2P,
-                               nbytes=nbytes))
-        msgs = yield ctx.comm.waitall(recv_reqs)
-        yield ctx.comm.waitall(send_reqs)
+        with ctx.phase("direct"):
+            recv_reqs = [ctx.comm.irecv(tag=TAG_P2P) for _ in range(rp.n_recv)]
+            send_reqs = []
+            for dest_rank, dest_gpu, _idx in rp.sends:
+                payload: object = [records[dest_gpu]]
+                nbytes = records[dest_gpu].nbytes
+                if not self.staged:
+                    payload = DeviceBuffer(rp.gpu, payload, nbytes=nbytes)
+                send_reqs.append(
+                    ctx.comm.isend(payload, dest=dest_rank, tag=TAG_P2P,
+                                   nbytes=nbytes))
+            msgs = yield ctx.comm.waitall(recv_reqs)
+            yield ctx.comm.waitall(send_reqs)
 
         if self.staged and rp.recv_bytes:
             ev, _ = ctx.copy.h2d(rp.recv_bytes, gpu=rp.gpu)

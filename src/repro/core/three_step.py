@@ -216,48 +216,52 @@ class _ThreeStepBase(CommunicationStrategy):
                                             tag=TAG_LOCAL, nbytes=nbytes))
 
         # Step 1: deduplicated gather contributions at the paired senders.
-        for pair_rank, dest_node, union in rp.gather_sends:
-            nrec = NodeRecord(rp.gpu, dest_node, 0, data[rp.gpu][union])
-            send_reqs.append(
-                ctx.comm.isend(self._wrap(ctx, [nrec], nrec.nbytes),
-                               dest=pair_rank, tag=TAG_GATHER,
-                               nbytes=nrec.nbytes))
+        with ctx.phase("gather"):
+            for pair_rank, dest_node, union in rp.gather_sends:
+                nrec = NodeRecord(rp.gpu, dest_node, 0, data[rp.gpu][union])
+                send_reqs.append(
+                    ctx.comm.isend(self._wrap(ctx, [nrec], nrec.nbytes),
+                                   dest=pair_rank, tag=TAG_GATHER,
+                                   nbytes=nrec.nbytes))
 
         # Step 2: forward one combined buffer per destination node.
         if rp.forward:
-            buckets: Dict[int, List[NodeRecord]] = {
-                node: [NodeRecord(rp.gpu, node, 0, data[rp.gpu][union])]
-                for node, union in rp.own_contrib.items()
-            }
-            msgs = yield ctx.comm.waitall(gather_reqs)
-            for nrec in flatten_messages(msgs):
-                buckets.setdefault(nrec.dest_node, []).append(nrec)
-            for dest_node, (recv_rank, _n) in sorted(rp.forward.items()):
-                nrecs = buckets.get(dest_node, [])
-                nbytes = node_records_nbytes(nrecs)
-                send_reqs.append(
-                    ctx.comm.isend(self._wrap(ctx, nrecs, nbytes),
-                                   dest=recv_rank, tag=TAG_INTER,
-                                   nbytes=nbytes))
+            with ctx.phase("inter-node"):
+                buckets: Dict[int, List[NodeRecord]] = {
+                    node: [NodeRecord(rp.gpu, node, 0, data[rp.gpu][union])]
+                    for node, union in rp.own_contrib.items()
+                }
+                msgs = yield ctx.comm.waitall(gather_reqs)
+                for nrec in flatten_messages(msgs):
+                    buckets.setdefault(nrec.dest_node, []).append(nrec)
+                for dest_node, (recv_rank, _n) in sorted(rp.forward.items()):
+                    nrecs = buckets.get(dest_node, [])
+                    nbytes = node_records_nbytes(nrecs)
+                    send_reqs.append(
+                        ctx.comm.isend(self._wrap(ctx, nrecs, nbytes),
+                                       dest=recv_rank, tag=TAG_INTER,
+                                       nbytes=nbytes))
 
         # Step 3: expand unions and redistribute on-node.
         kept: List[Record] = []
         if rp.n_inter_recv:
-            msgs = yield ctx.comm.waitall(inter_reqs)
-            expanded: List[Record] = []
-            for nrec in flatten_messages(msgs):
-                pos = plan.positions[(nrec.src_gpu, nrec.dest_node)]
-                expanded.extend(expand_node_record(nrec, pos))
-            for dest_gpu, recs in sorted(group_by(expanded, "dest_gpu").items()):
-                dest_rank = ctx.layout.owner_of_global_gpu(dest_gpu)
-                if dest_rank == ctx.rank:
-                    kept.extend(recs)
-                else:
-                    nbytes = records_nbytes(recs)
-                    send_reqs.append(
-                        ctx.comm.isend(self._wrap(ctx, recs, nbytes),
-                                       dest=dest_rank, tag=TAG_REDIST,
-                                       nbytes=nbytes))
+            with ctx.phase("redistribute"):
+                msgs = yield ctx.comm.waitall(inter_reqs)
+                expanded: List[Record] = []
+                for nrec in flatten_messages(msgs):
+                    pos = plan.positions[(nrec.src_gpu, nrec.dest_node)]
+                    expanded.extend(expand_node_record(nrec, pos))
+                for dest_gpu, recs in sorted(group_by(expanded,
+                                                      "dest_gpu").items()):
+                    dest_rank = ctx.layout.owner_of_global_gpu(dest_gpu)
+                    if dest_rank == ctx.rank:
+                        kept.extend(recs)
+                    else:
+                        nbytes = records_nbytes(recs)
+                        send_reqs.append(
+                            ctx.comm.isend(self._wrap(ctx, recs, nbytes),
+                                           dest=dest_rank, tag=TAG_REDIST,
+                                           nbytes=nbytes))
 
         local_msgs = yield ctx.comm.waitall(local_reqs)
         redist_msgs = yield ctx.comm.waitall(redist_reqs)

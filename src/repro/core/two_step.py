@@ -181,31 +181,34 @@ class _TwoStepBase(CommunicationStrategy):
                                             nbytes=nbytes))
 
         # Step 1: one deduplicated message per destination node.
-        for dest_node, (receiver, union) in sorted(rp.inter_sends.items()):
-            nrec = NodeRecord(rp.gpu, dest_node, 0, data[rp.gpu][union])
-            send_reqs.append(
-                ctx.comm.isend(self._wrap(ctx, [nrec], nrec.nbytes),
-                               dest=receiver, tag=TAG_INTER,
-                               nbytes=nrec.nbytes))
+        with ctx.phase("inter-node"):
+            for dest_node, (receiver, union) in sorted(rp.inter_sends.items()):
+                nrec = NodeRecord(rp.gpu, dest_node, 0, data[rp.gpu][union])
+                send_reqs.append(
+                    ctx.comm.isend(self._wrap(ctx, [nrec], nrec.nbytes),
+                                   dest=receiver, tag=TAG_INTER,
+                                   nbytes=nrec.nbytes))
 
         # Step 2: expand and redistribute on-node.
         kept: List[Record] = []
         if rp.n_inter_recv:
-            msgs = yield ctx.comm.waitall(inter_reqs)
-            expanded: List[Record] = []
-            for nrec in flatten_messages(msgs):
-                pos = plan.positions[(nrec.src_gpu, nrec.dest_node)]
-                expanded.extend(expand_node_record(nrec, pos))
-            for dest_gpu, recs in sorted(group_by(expanded, "dest_gpu").items()):
-                dest_rank = ctx.layout.owner_of_global_gpu(dest_gpu)
-                if dest_rank == ctx.rank:
-                    kept.extend(recs)
-                else:
-                    nbytes = records_nbytes(recs)
-                    send_reqs.append(
-                        ctx.comm.isend(self._wrap(ctx, recs, nbytes),
-                                       dest=dest_rank, tag=TAG_REDIST,
-                                       nbytes=nbytes))
+            with ctx.phase("redistribute"):
+                msgs = yield ctx.comm.waitall(inter_reqs)
+                expanded: List[Record] = []
+                for nrec in flatten_messages(msgs):
+                    pos = plan.positions[(nrec.src_gpu, nrec.dest_node)]
+                    expanded.extend(expand_node_record(nrec, pos))
+                for dest_gpu, recs in sorted(group_by(expanded,
+                                                      "dest_gpu").items()):
+                    dest_rank = ctx.layout.owner_of_global_gpu(dest_gpu)
+                    if dest_rank == ctx.rank:
+                        kept.extend(recs)
+                    else:
+                        nbytes = records_nbytes(recs)
+                        send_reqs.append(
+                            ctx.comm.isend(self._wrap(ctx, recs, nbytes),
+                                           dest=dest_rank, tag=TAG_REDIST,
+                                           nbytes=nbytes))
 
         local_msgs = yield ctx.comm.waitall(local_reqs)
         redist_msgs = yield ctx.comm.waitall(redist_reqs)

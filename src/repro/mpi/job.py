@@ -27,6 +27,8 @@ from repro.machine.topology import JobLayout, MachineSpec, ProcessPlacement
 from repro.mpi.communicator import CommHandle, Communicator
 from repro.mpi.device import CopyEngine
 from repro.mpi.transport import Transport, TransportStats
+from repro.obs.metrics import DEFAULT_TIME_BUCKETS, MetricsRegistry
+from repro.obs.tracer import NULL_PHASE, MemoryTracer, PhaseSpan
 from repro.sim.engine import Simulator
 from repro.sim.noise import NoiseModel, make_noise
 
@@ -97,6 +99,19 @@ class RankContext:
         """Locally advance this rank's time (compute phases, sleeps)."""
         return self.job.sim.timeout(delay)
 
+    def phase(self, name: str):
+        """Span context manager for a named strategy phase.
+
+        ``with ctx.phase("gather"): ...`` records one span covering the
+        block's virtual-time extent on this rank's phase track.  With
+        tracing disabled it returns a shared no-op context manager, so
+        instrumented strategies cost nothing in ordinary runs.
+        """
+        sim = self.job.sim
+        if not sim._trace_on:
+            return NULL_PHASE
+        return PhaseSpan(sim, f"rank{self.rank}/phase", name)
+
 
 @dataclass
 class JobResult:
@@ -131,19 +146,28 @@ class SimJob:
         Job shape.
     noise_sigma, seed:
         Lognormal timing-jitter scale (0 = exact costs) and RNG seed.
+    trace, tracer:
+        ``trace=True`` records one :class:`MessageTrace` per message on
+        the transport; ``tracer`` (a :class:`repro.obs.MemoryTracer`, or
+        ``True`` for a fresh one) additionally enables engine/NIC/phase
+        span recording for the Perfetto exporter.  Both default off —
+        ordinary runs pay only cached-boolean guards.
     """
 
     def __init__(self, machine: MachineSpec, num_nodes: int, ppn: int,
                  noise_sigma: float = 0.0, seed: int = 0,
                  overhead_fraction: Optional[float] = None,
                  queue_search_cost: float = 0.0,
-                 trace: bool = False) -> None:
+                 trace: bool = False, tracer=None) -> None:
         self.layout = JobLayout(machine, num_nodes, ppn)
         self.noise_sigma = noise_sigma
         self.seed = seed
         self.overhead_fraction = overhead_fraction
         self.queue_search_cost = queue_search_cost
         self.trace = trace
+        # ``tracer=True`` is sugar for a fresh in-memory tracer; the
+        # instance is shared across runs (each run clears it first).
+        self.tracer = MemoryTracer() if tracer is True else tracer
         self._run_count = 0
         self.sim: Simulator = None  # type: ignore[assignment]
         self.transport: Transport = None  # type: ignore[assignment]
@@ -158,7 +182,9 @@ class SimJob:
         runs model independent measurements while two jobs constructed
         with the same seed replay identical run sequences.
         """
-        self.sim = Simulator()
+        if self.tracer is not None:
+            self.tracer.clear()
+        self.sim = Simulator(tracer=self.tracer)
         noise = make_noise(self.noise_sigma, self.seed)
         run = self._run_count
         self._run_count += 1
@@ -186,11 +212,14 @@ class SimJob:
         one after ``_fresh()``.
         """
         self.sim.reset()
+        if self.tracer is not None:
+            self.tracer.clear()
         noise = make_noise(self.noise_sigma, self.seed)
         run = self._run_count
         self._run_count += 1
         self.transport.reset_nics()
         self.transport.reset_stats()
+        self.transport.clear_trace()
         self.transport.noise = noise.fork(2 * run)
         self.world.reset_state()
         self.copy_engine.reset_stats()
@@ -240,3 +269,53 @@ class SimJob:
         if reps < 1:
             raise ValueError(f"reps must be >= 1, got {reps}")
         return [self.run(program, *args, **kwargs) for _ in range(reps)]
+
+    # -- observability -------------------------------------------------------
+    def metrics(self) -> Dict[str, object]:
+        """Metrics snapshot of the last run (stable JSON schema).
+
+        Absorbs the transport/copy-engine counters into a
+        :class:`~repro.obs.metrics.MetricsRegistry` and — when message
+        tracing was enabled — adds message-size and queueing-delay
+        histograms with p50/p95/p99 summaries, plus per-NIC busy-time
+        gauges.  Pure post-processing: calling it never perturbs
+        simulation state, and it costs nothing unless called.
+        """
+        from repro.machine.locality import TransportKind
+
+        reg = MetricsRegistry()
+        s = self.transport.stats
+        reg.counter("transport.messages").inc(s.messages)
+        reg.counter("transport.bytes_sent").inc(s.bytes_sent)
+        reg.counter("transport.off_node.messages").inc(s.off_node_messages)
+        reg.counter("transport.off_node.bytes").inc(s.off_node_bytes)
+        for proto, n in sorted(s.by_protocol.items(), key=lambda kv: kv[0].name):
+            reg.counter(f"transport.protocol.{proto.name.lower()}").inc(n)
+        for loc, n in sorted(s.by_locality.items(), key=lambda kv: kv[0].name):
+            reg.counter(f"transport.locality.{loc.name.lower()}").inc(n)
+        reg.counter("copy.h2d_bytes").inc(self.copy_engine.h2d_bytes)
+        reg.counter("copy.d2h_bytes").inc(self.copy_engine.d2h_bytes)
+        reg.counter("copy.copies").inc(self.copy_engine.copies)
+        reg.gauge("job.ranks").set(self.layout.size)
+        reg.gauge("job.nodes").set(self.layout.num_nodes)
+        reg.gauge("sim.virtual_time_s").set(self.sim.now)
+        if self.sim.steps_traced:
+            reg.counter("engine.steps").inc(self.sim.steps_traced)
+        elapsed = self.sim.now
+        for node in range(self.layout.num_nodes):
+            nic = self.transport.nic_of(node, TransportKind.CPU)
+            busy = nic.bytes_served / nic.rate
+            reg.gauge(f"nic.{nic.name}.busy_s").set(busy)
+            if elapsed > 0:
+                reg.gauge(f"nic.{nic.name}.utilization").set(busy / elapsed)
+        log = self.transport.trace_log
+        if log:
+            sizes = reg.histogram("transport.message_bytes")
+            pipe = reg.histogram("transport.pipe_wait_s",
+                                 DEFAULT_TIME_BUCKETS)
+            xfer = reg.histogram("transport.transfer_s", DEFAULT_TIME_BUCKETS)
+            for t in log:
+                sizes.observe(t.nbytes)
+                pipe.observe(t.pipe_wait)
+                xfer.observe(t.transfer_time)
+        return reg.to_dict()

@@ -57,6 +57,27 @@ from repro.sim.noise import NoiseModel, NoNoise
 from repro.sim.resources import BandwidthResource
 
 
+#: user tag -> human-readable strategy phase name.  Strategies register
+#: their tag constants via :func:`register_phase` (see
+#: :mod:`repro.core.base`); unknown tags fall back to ``"tag N"``.
+PHASE_NAMES: Dict[int, str] = {}
+
+
+def register_phase(tag: int, name: str) -> int:
+    """Name the strategy phase identified by ``tag``; returns ``tag``.
+
+    Written as an identity-with-side-effect so tag constants register at
+    their definition site: ``TAG_GATHER = register_phase(3, "gather")``.
+    """
+    PHASE_NAMES[tag] = name
+    return tag
+
+
+def phase_name(tag: int) -> str:
+    """Human-readable phase name for a message tag."""
+    return PHASE_NAMES.get(tag) or f"tag {tag}"
+
+
 @dataclass
 class TransportStats:
     """Aggregate counters for one job run."""
@@ -104,6 +125,7 @@ class MessageTrace:
     send_complete: float
     delivery: float
     tag: int = 0           # user tag (identifies the strategy phase)
+    phase: str = ""        # named strategy phase (mapped from the tag)
 
     @property
     def pipe_wait(self) -> float:
@@ -253,13 +275,27 @@ class Transport:
         else:
             send_complete = start + alpha
         self.stats.record(protocol, locality, nbytes)
-        if self.trace_enabled:
-            self.trace_log.append(MessageTrace(
-                src=src, dest=dest, nbytes=nbytes, kind=kind,
-                protocol=protocol, locality=locality, t_send=t_send,
-                t_start=start, send_complete=send_complete,
-                delivery=delivery, tag=tag,
-            ))
+        tracer = self.sim.tracer
+        if self.trace_enabled or tracer.enabled:
+            phase = phase_name(tag)
+            if self.trace_enabled:
+                self.trace_log.append(MessageTrace(
+                    src=src, dest=dest, nbytes=nbytes, kind=kind,
+                    protocol=protocol, locality=locality, t_send=t_send,
+                    t_start=start, send_complete=send_complete,
+                    delivery=delivery, tag=tag, phase=phase,
+                ))
+            if tracer.enabled:
+                # One span per message on the sender's track, covering the
+                # serializing pipe residency (spans on a rank track never
+                # overlap, so Perfetto renders a clean per-rank Gantt).
+                tracer.span(
+                    f"rank{src}", phase, start, start + occupancy, cat="msg",
+                    args={"dest": dest, "nbytes": nbytes,
+                          "protocol": protocol.name,
+                          "locality": locality.name,
+                          "send_complete": send_complete,
+                          "delivery": delivery})
         return MessageTiming(
             protocol=protocol,
             kind=kind,
@@ -278,11 +314,16 @@ class Transport:
         self._pipe_free = [0.0] * self.layout.size
 
     def reset_stats(self) -> None:
-        """Clear aggregate counters and the trace log.
+        """Clear aggregate counters (the trace log is left untouched).
 
         ``reset_nics()`` only resets queue state; benchmark rep loops
         call this as well so per-rep statistics do not leak across
-        repetitions.
+        repetitions.  Call :meth:`clear_trace` to also drop the message
+        trace — the two are independent so a per-rep stats reset no
+        longer silently discards an accumulated trace.
         """
         self.stats = TransportStats()
+
+    def clear_trace(self) -> None:
+        """Drop the accumulated message trace log."""
         self.trace_log.clear()

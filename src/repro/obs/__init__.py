@@ -1,0 +1,73 @@
+"""Unified observability layer: tracing, metrics, and trace export.
+
+``repro.obs`` is the cross-cutting subsystem that makes the simulator's
+hot paths diagnosable instead of guessable:
+
+* :mod:`repro.obs.tracer` — a span/event/counter tracer threaded
+  through the DES engine (process lifetimes, queue depths), the shared
+  resources (NIC byte-server occupancy), the transport (per-message
+  spans with protocol/locality/phase attributes) and the strategies
+  (named phase spans).  The default :class:`NullTracer` costs one
+  cached-boolean branch per record site — the ``obs_overhead`` perf
+  workload pins that the disabled path stays within noise.
+* :mod:`repro.obs.metrics` — counters, gauges and fixed-bucket
+  histograms with p50/p95/p99 summaries, snapshotted by
+  ``SimJob.metrics()`` into a stable JSON schema.
+* :mod:`repro.obs.export` — Chrome trace-event / Perfetto JSON (one
+  track per rank and per NIC), a NIC-utilization time-series sampler,
+  and a text report; driven by ``python -m repro trace``.
+
+Enable recording per job::
+
+    from repro.obs import MemoryTracer
+    tracer = MemoryTracer()
+    job = SimJob(lassen(), num_nodes=2, ppn=8, trace=True, tracer=tracer)
+    run_exchange(job, SplitMD(), pattern)
+    write_chrome_trace("trace.json", to_chrome_trace(tracer))
+"""
+
+from repro.obs.tracer import (
+    NULL_TRACER,
+    CounterRecord,
+    InstantRecord,
+    MemoryTracer,
+    NullTracer,
+    PhaseSpan,
+    SpanRecord,
+)
+from repro.obs.metrics import (
+    DEFAULT_BYTE_BUCKETS,
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.export import (
+    nic_utilization,
+    render_text_report,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "MemoryTracer",
+    "SpanRecord",
+    "InstantRecord",
+    "CounterRecord",
+    "PhaseSpan",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BYTE_BUCKETS",
+    "DEFAULT_TIME_BUCKETS",
+    "nic_utilization",
+    "render_text_report",
+    "to_chrome_trace",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,248 @@
+"""Exporters: Chrome trace-event / Perfetto JSON, NIC utilization, text.
+
+The primary exporter, :func:`to_chrome_trace`, turns one or more
+:class:`~repro.obs.tracer.MemoryTracer` recordings into the Chrome
+trace-event *JSON object format* — loadable directly in Perfetto
+(https://ui.perfetto.dev) or ``chrome://tracing``:
+
+* each tracer becomes one *process* (pid) — comparing two strategies
+  side by side is one trace with two pids;
+* each track (``rank0``, ``nic[1]``, ``rank3/phase``, ``engine``, ...)
+  becomes one named, sort-indexed *thread* (tid) within its pid;
+* spans become complete events (``ph: "X"``) carrying their ``args``;
+* instants become ``ph: "i"`` and counter samples ``ph: "C"``;
+* virtual seconds are exported as microseconds (the format's unit).
+
+:func:`nic_utilization` is the resource-occupancy sampler: it bins NIC
+byte-server spans into a busy-fraction time series per NIC track, which
+:func:`to_chrome_trace` also embeds as counter tracks so the injection
+ceiling is visible as a utilization graph alongside the message Gantt.
+
+:func:`validate_chrome_trace` is the schema check used by the CLI, the
+tests and CI: structural field checks plus the monotonic-``ts``
+ordering guarantee the exporter makes.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.obs.tracer import MemoryTracer, SpanRecord
+
+#: exporter schema version, embedded under ``otherData``
+SCHEMA = 1
+
+#: microseconds per simulated second (trace-event ``ts`` unit)
+_US = 1e6
+
+#: span category emitted by the NIC byte-server instrumentation
+NIC_CATEGORY = "nic"
+
+TracerMap = Union[MemoryTracer, Mapping[str, MemoryTracer]]
+
+
+def _as_map(tracers: TracerMap) -> "Dict[str, MemoryTracer]":
+    if isinstance(tracers, MemoryTracer):
+        return {"sim": tracers}
+    if not tracers:
+        raise ValueError("no tracers to export")
+    return dict(tracers)
+
+
+def _track_order(track: str) -> Tuple[int, str]:
+    """Stable display order: ranks, phase lanes, NICs, then the rest."""
+    if track.startswith("rank"):
+        return (0 if "/" not in track else 1, track)
+    if track.startswith("nic") or track.startswith("gpu-nic"):
+        return (2, track)
+    return (3, track)
+
+
+def nic_utilization(tracer: MemoryTracer, nbins: int = 60,
+                    span: Optional[Tuple[float, float]] = None
+                    ) -> Dict[str, object]:
+    """Busy-fraction time series for every NIC byte-server track.
+
+    Returns ``{"edges": [nbins+1 bin edges], "series": {track: [busy
+    fraction per bin]}}``.  ``span`` overrides the sampled window
+    (default: the full extent of the tracer's NIC spans).
+    """
+    if nbins < 1:
+        raise ValueError(f"nbins must be >= 1, got {nbins}")
+    nic_spans = [s for s in tracer.spans if s.cat == NIC_CATEGORY]
+    if not nic_spans:
+        return {"edges": [], "series": {}}
+    if span is None:
+        t0 = min(s.t0 for s in nic_spans)
+        t1 = max(s.t1 for s in nic_spans)
+    else:
+        t0, t1 = span
+    width = max((t1 - t0) / nbins, 1e-30)
+    edges = [t0 + i * width for i in range(nbins + 1)]
+    series: Dict[str, List[float]] = {}
+    for s in nic_spans:
+        busy = series.setdefault(s.track, [0.0] * nbins)
+        lo = max(int((s.t0 - t0) / width), 0)
+        hi = min(int((s.t1 - t0) / width), nbins - 1)
+        for i in range(lo, hi + 1):
+            b0 = edges[i]
+            b1 = b0 + width
+            busy[i] += max(0.0, min(s.t1, b1) - max(s.t0, b0))
+    for busy in series.values():
+        for i, t in enumerate(busy):
+            busy[i] = min(t / width, 1.0)
+    return {"edges": edges, "series": series}
+
+
+def to_chrome_trace(tracers: TracerMap,
+                    utilization_bins: int = 60) -> Dict[str, object]:
+    """Export tracer recordings as a Chrome trace-event JSON object.
+
+    ``tracers`` is either one :class:`MemoryTracer` or a mapping of
+    process label -> tracer (one pid per entry).  Events are globally
+    sorted by ``ts``; metadata events lead the list.
+    """
+    by_pid = _as_map(tracers)
+    meta: List[dict] = []
+    events: List[dict] = []
+    for pid, (label, tracer) in enumerate(sorted(by_pid.items()), start=1):
+        meta.append({"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+                     "args": {"name": label}})
+        tids = {track: tid for tid, track in
+                enumerate(sorted(tracer.tracks(), key=_track_order), start=1)}
+        for track, tid in tids.items():
+            meta.append({"name": "thread_name", "ph": "M", "pid": pid,
+                         "tid": tid, "args": {"name": track}})
+            meta.append({"name": "thread_sort_index", "ph": "M", "pid": pid,
+                         "tid": tid, "args": {"sort_index": tid}})
+        for s in tracer.spans:
+            ev = {"name": s.name, "cat": s.cat or "span", "ph": "X",
+                  "ts": s.t0 * _US, "dur": (s.t1 - s.t0) * _US,
+                  "pid": pid, "tid": tids[s.track]}
+            if s.args:
+                ev["args"] = dict(s.args)
+            events.append(ev)
+        for i in tracer.instants:
+            ev = {"name": i.name, "cat": i.cat or "instant", "ph": "i",
+                  "ts": i.t * _US, "s": "t",
+                  "pid": pid, "tid": tids[i.track]}
+            if i.args:
+                ev["args"] = dict(i.args)
+            events.append(ev)
+        for c in tracer.counters:
+            events.append({"name": c.name, "cat": "counter", "ph": "C",
+                           "ts": c.t * _US, "pid": pid,
+                           "tid": tids[c.track],
+                           "args": {c.name: c.value}})
+        # Derived NIC-utilization counter track (one graph per NIC).
+        util = nic_utilization(tracer, nbins=utilization_bins)
+        for track, busy in sorted(util["series"].items()):  # type: ignore[union-attr]
+            for edge, frac in zip(util["edges"], busy):  # type: ignore[arg-type]
+                events.append({"name": f"{track} util", "cat": "counter",
+                               "ph": "C", "ts": edge * _US, "pid": pid,
+                               "tid": tids[track],
+                               "args": {"utilization": round(frac, 4)}})
+    events.sort(key=lambda e: e["ts"])
+    return {
+        "traceEvents": meta + events,
+        "displayTimeUnit": "ms",
+        "otherData": {"exporter": "repro.obs", "schema": SCHEMA},
+    }
+
+
+def write_chrome_trace(path: str, trace: Dict[str, object]) -> None:
+    """Serialize an exported trace to ``path`` (compact JSON)."""
+    with open(path, "w") as fh:
+        json.dump(trace, fh, separators=(",", ":"))
+        fh.write("\n")
+
+
+def validate_chrome_trace(trace: object) -> int:
+    """Validate exporter output; returns the non-metadata event count.
+
+    Checks the structural contract the exporter makes — required keys,
+    per-phase field requirements, non-negative durations, and globally
+    monotonic ``ts`` over non-metadata events.  Raises ``ValueError``
+    with a specific message on the first violation.
+    """
+    if not isinstance(trace, dict):
+        raise ValueError(f"trace must be a JSON object, got {type(trace).__name__}")
+    events = trace.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        raise ValueError("traceEvents must be a non-empty list")
+    last_ts = float("-inf")
+    counted = 0
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            raise ValueError(f"traceEvents[{i}] is not an object")
+        for key in ("name", "ph", "pid"):
+            if key not in ev:
+                raise ValueError(f"traceEvents[{i}] missing {key!r}")
+        ph = ev["ph"]
+        if ph == "M":
+            continue
+        if "ts" not in ev or "tid" not in ev:
+            raise ValueError(f"traceEvents[{i}] ({ph!r}) missing ts/tid")
+        ts = ev["ts"]
+        if ts < last_ts:
+            raise ValueError(
+                f"traceEvents[{i}]: ts {ts} < previous {last_ts} "
+                f"(events must be time-sorted)")
+        last_ts = ts
+        if ph == "X":
+            if ev.get("dur", -1) < 0:
+                raise ValueError(f"traceEvents[{i}]: X event needs dur >= 0")
+        elif ph == "C":
+            if not isinstance(ev.get("args"), dict) or not ev["args"]:
+                raise ValueError(f"traceEvents[{i}]: C event needs args")
+        elif ph != "i":
+            raise ValueError(f"traceEvents[{i}]: unexpected phase {ph!r}")
+        counted += 1
+    return counted
+
+
+# ---------------------------------------------------------------------------
+# Text report
+# ---------------------------------------------------------------------------
+def _span_stats(spans: Sequence[SpanRecord]) -> Tuple[int, float]:
+    return len(spans), sum(s.duration for s in spans)
+
+
+def render_text_report(tracers: TracerMap,
+                       metrics: Optional[Mapping[str, Mapping]] = None,
+                       max_tracks: int = 12) -> str:
+    """Human-readable per-run summary of a recording.
+
+    ``metrics`` optionally maps run label -> ``SimJob.metrics()`` dict;
+    headline counters are folded into the report.
+    """
+    lines: List[str] = []
+    for label, tracer in sorted(_as_map(tracers).items()):
+        lines.append(f"=== {label} ===")
+        lines.append(f"records: {len(tracer.spans)} spans, "
+                     f"{len(tracer.instants)} instants, "
+                     f"{len(tracer.counters)} counter samples")
+        by_track: Dict[str, List[SpanRecord]] = {}
+        for s in tracer.spans:
+            by_track.setdefault(s.track, []).append(s)
+        busiest = sorted(by_track.items(),
+                         key=lambda kv: -_span_stats(kv[1])[1])[:max_tracks]
+        for track, spans in busiest:
+            n, busy = _span_stats(spans)
+            lines.append(f"  {track:>16s}  {n:>6d} spans  "
+                         f"busy {busy:.3e} s")
+        util = nic_utilization(tracer)
+        for track, busy in sorted(util["series"].items()):  # type: ignore[union-attr]
+            peak = max(busy) if busy else 0.0
+            mean = sum(busy) / len(busy) if busy else 0.0
+            lines.append(f"  {track:>16s}  utilization mean "
+                         f"{mean:5.1%}  peak {peak:5.1%}")
+        if metrics and label in metrics:
+            counters = metrics[label].get("counters", {})
+            for key in ("transport.messages", "transport.bytes_sent",
+                        "transport.off_node.messages", "engine.steps"):
+                if key in counters:
+                    lines.append(f"  {key:>28s} = {counters[key]:,}")
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"

@@ -1,0 +1,191 @@
+"""Metrics registry: counters, gauges and fixed-bucket histograms.
+
+The registry is the aggregation half of the observability layer: where
+the tracer records *when* things happened, metrics record *how much* —
+message counts, byte volumes, distribution summaries.  The registry is
+snapshot-oriented: :meth:`MetricsRegistry.to_dict` emits a stable JSON
+schema (versioned by :data:`SCHEMA`) that ``SimJob.metrics()`` exposes
+and the trace CLI embeds in its reports.
+
+Histograms use *fixed* bucket upper bounds chosen at construction, so
+observation is O(log buckets) and merging/serializing needs no sample
+retention; p50/p95/p99 are estimated by linear interpolation inside the
+selected bucket (exact min/max are tracked to tighten the edge buckets).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence
+
+#: metrics JSON schema version (bump when field meanings change)
+SCHEMA = 1
+
+#: default byte-size buckets: 64 B .. 64 MiB in powers of four
+DEFAULT_BYTE_BUCKETS = tuple(64 * 4 ** i for i in range(10))
+
+#: default duration buckets: 1 ns .. ~1 s in decades
+DEFAULT_TIME_BUCKETS = tuple(1e-9 * 10 ** i for i in range(10))
+
+
+class Counter:
+    """Monotonically increasing integer counter."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counter increment must be >= 0, got {n}")
+        self.value += n
+
+
+class Gauge:
+    """Last-write-wins scalar."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Fixed-bucket histogram with interpolated percentile summaries.
+
+    ``buckets`` are strictly increasing upper bounds; one implicit
+    overflow bucket catches everything above the last bound.
+    """
+
+    __slots__ = ("bounds", "counts", "count", "total", "vmin", "vmax")
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_BYTE_BUCKETS) -> None:
+        bounds = [float(b) for b in buckets]
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(f"bucket bounds must increase: {bounds}")
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # + overflow
+        self.count = 0
+        self.total = 0.0
+        self.vmin = float("inf")
+        self.vmax = float("-inf")
+
+    def observe(self, value: float) -> None:
+        v = float(value)
+        self.counts[bisect_left(self.bounds, v)] += 1
+        self.count += 1
+        self.total += v
+        if v < self.vmin:
+            self.vmin = v
+        if v > self.vmax:
+            self.vmax = v
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Estimated ``p``-th percentile (0 <= p <= 100).
+
+        Linear interpolation inside the selected bucket, clamped to the
+        observed min/max so single-bucket distributions stay tight.
+        """
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if self.count == 0:
+            return 0.0
+        target = p / 100.0 * self.count
+        cum = 0
+        for i, n in enumerate(self.counts):
+            if n == 0:
+                continue
+            if cum + n >= target:
+                lo = self.bounds[i - 1] if i > 0 else self.vmin
+                hi = self.bounds[i] if i < len(self.bounds) else self.vmax
+                lo = max(lo, self.vmin)
+                hi = min(hi, self.vmax)
+                if hi <= lo:
+                    return lo
+                frac = (target - cum) / n
+                return lo + frac * (hi - lo)
+            cum += n
+        return self.vmax  # pragma: no cover - defensive
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "buckets": list(self.bounds),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.total,
+            "min": self.vmin if self.count else 0.0,
+            "max": self.vmax if self.count else 0.0,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+
+class MetricsRegistry:
+    """Named metric instruments with get-or-create access.
+
+    >>> reg = MetricsRegistry()
+    >>> reg.counter("transport.messages").inc(3)
+    >>> reg.counter("transport.messages").value
+    3
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            self._check_fresh(name)
+            c = self._counters[name] = Counter()
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            self._check_fresh(name)
+            g = self._gauges[name] = Gauge()
+        return g
+
+    def histogram(self, name: str,
+                  buckets: Optional[Sequence[float]] = None) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            self._check_fresh(name)
+            h = self._histograms[name] = Histogram(
+                buckets if buckets is not None else DEFAULT_BYTE_BUCKETS)
+        return h
+
+    def _check_fresh(self, name: str) -> None:
+        if (name in self._counters or name in self._gauges
+                or name in self._histograms):
+            raise ValueError(
+                f"metric {name!r} already registered with a different type")
+
+    def names(self) -> List[str]:
+        return sorted(list(self._counters) + list(self._gauges)
+                      + list(self._histograms))
+
+    def to_dict(self) -> Dict[str, object]:
+        """Stable JSON-serializable snapshot (see :data:`SCHEMA`)."""
+        return {
+            "schema": SCHEMA,
+            "counters": {k: c.value
+                         for k, c in sorted(self._counters.items())},
+            "gauges": {k: g.value for k, g in sorted(self._gauges.items())},
+            "histograms": {k: h.to_dict()
+                           for k, h in sorted(self._histograms.items())},
+        }

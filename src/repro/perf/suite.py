@@ -1,6 +1,6 @@
 """Timed micro-suite over the simulator's hot paths.
 
-Four workloads cover the layers the optimisation work targets:
+Five workloads cover the layers the optimisation work targets:
 
 ``engine``
     Raw DES kernel event throughput: many processes looping on
@@ -14,6 +14,10 @@ Four workloads cover the layers the optimisation work targets:
 ``scenarios``
     The Figure-4.3 scenario grid over all strategy models — the
     vectorized analytic-model path.
+``obs_overhead``
+    A message-heavy alltoall exchange with the default
+    :class:`~repro.obs.tracer.NullTracer` — guards the pay-for-what-
+    you-use contract of :mod:`repro.obs` (tracing off must cost ~0).
 
 Each workload reports its wall clock (best of ``repeats``) plus a
 throughput metric (virtual events/sec, simulated messages/sec or model
@@ -142,6 +146,35 @@ def _scenario_workload(n_sizes: int,
     return run
 
 
+def _obs_overhead_workload(nodes: int, block: int,
+                           reps: int) -> Callable[[], Dict[str, float]]:
+    from repro.core import CommPattern
+    from repro.machine.presets import lassen
+
+    # Pattern construction is input, not simulator — build it once.
+    machine = lassen()
+    num_gpus = nodes * machine.gpus_per_node
+    sends = {
+        s: {d: np.arange(block) for d in range(num_gpus) if d != s}
+        for s in range(num_gpus)
+    }
+    pattern = CommPattern(num_gpus, sends)
+
+    def run() -> Dict[str, float]:
+        from repro.core import run_exchange, strategy_by_name
+        from repro.mpi.job import SimJob
+
+        # Default NullTracer: the untraced hot path must stay flat.
+        strategy = strategy_by_name("Standard (staged)")
+        job = SimJob(machine, num_nodes=nodes, ppn=40)
+        msgs = 0
+        for _ in range(reps):
+            msgs += run_exchange(job, strategy, pattern).total_messages
+        return {"messages": msgs}
+
+    return run
+
+
 def default_workloads(smoke: bool = False
                       ) -> List[Tuple[str, Callable[[], Dict[str, float]], int]]:
     """(name, workload, repeats) triples for the standard suite."""
@@ -151,12 +184,16 @@ def default_workloads(smoke: bool = False
             ("pingpong", _pingpong_workload(iterations=1, n_points=3), 1),
             ("spmv", _spmv_workload(matrix_n=1000, reps=1), 1),
             ("scenarios", _scenario_workload(16, (0.0,)), 1),
+            ("obs_overhead", _obs_overhead_workload(nodes=2, block=32,
+                                                    reps=1), 1),
         ]
     return [
         ("engine", _engine_workload(procs=200, timeouts=500), 3),
         ("pingpong", _pingpong_workload(iterations=2, n_points=10), 3),
         ("spmv", _spmv_workload(matrix_n=4000, reps=3), 3),
         ("scenarios", _scenario_workload(64, (0.0, 0.25)), 3),
+        ("obs_overhead", _obs_overhead_workload(nodes=4, block=256,
+                                                reps=3), 3),
     ]
 
 

@@ -36,6 +36,7 @@ from collections import deque
 from itertools import count
 from typing import Any, Generator, Iterable, List, Optional, Tuple
 
+from repro.obs.tracer import NULL_TRACER
 from repro.sim.events import (
     AllOf,
     AnyOf,
@@ -46,6 +47,9 @@ from repro.sim.events import (
 )
 
 _PROCESSED = EventState.PROCESSED
+
+#: traced-run queue-depth sampling period (steps per counter sample)
+_TRACE_SAMPLE_EVERY = 256
 
 
 class SimulationError(RuntimeError):
@@ -121,7 +125,8 @@ class Process(Event):
     lets processes wait on each other by yielding the process object.
     """
 
-    __slots__ = ("generator", "_waiting_on", "label", "_bound_resume")
+    __slots__ = ("generator", "_waiting_on", "label", "_bound_resume",
+                 "_trace_t0")
 
     def __init__(self, sim: "Simulator", generator: Generator,
                  label: str = "") -> None:
@@ -139,6 +144,9 @@ class Process(Event):
         # Kick-start at the current time via an immediate token.
         sim._schedule_token(_Start(self))
         sim._live_processes += 1
+        if sim._trace_on:
+            self._trace_t0 = sim._now
+            sim.tracer.instant(self.label, "start", sim._now, cat="engine")
 
     @property
     def is_alive(self) -> bool:
@@ -154,6 +162,9 @@ class Process(Event):
     def _resume(self, event: Event) -> None:
         if self._state is _PROCESSED:
             return
+        if self.sim._trace_fine:
+            self.sim.tracer.instant(self.label, "resume", self.sim._now,
+                                    cat="engine")
         self._waiting_on = None
         try:
             if event._ok:
@@ -202,14 +213,25 @@ class Process(Event):
             event.callbacks.append(self._bound_resume)
 
     def _finish(self, value: Any) -> None:
-        self.sim._live_processes -= 1
+        sim = self.sim
+        sim._live_processes -= 1
+        if sim._trace_on:
+            sim.tracer.span(self.label, "process", self._trace_t0, sim._now,
+                            cat="engine")
         self.succeed(value)
 
 
 class Simulator:
-    """Owner of the virtual clock and the pending-event queues."""
+    """Owner of the virtual clock and the pending-event queues.
 
-    def __init__(self) -> None:
+    ``tracer`` (default: the shared :data:`~repro.obs.tracer.NULL_TRACER`)
+    receives engine spans when enabled: process start instants and
+    lifetime spans, plus queue-depth counter samples from the traced run
+    loop.  The disabled path costs one cached-boolean branch per site —
+    the untraced ``run()`` loop is untouched.
+    """
+
+    def __init__(self, tracer: Any = None) -> None:
         self._now: float = 0.0
         self._heap: List[Tuple[float, int, Event]] = []
         #: zero-delay events/tokens, naturally sorted by (time, seq)
@@ -217,12 +239,26 @@ class Simulator:
         self._seq = count()
         self._live_processes = 0
         self._crashed: List[Tuple[Process, BaseException]] = []
+        self._steps_traced = 0
+        self.set_tracer(tracer if tracer is not None else NULL_TRACER)
+
+    def set_tracer(self, tracer: Any) -> None:
+        """Install ``tracer`` and refresh the cached hot-path flags."""
+        self.tracer = tracer
+        self._trace_on = bool(tracer.enabled)
+        self._trace_fine = self._trace_on and bool(getattr(tracer, "fine",
+                                                           False))
 
     # -- clock ----------------------------------------------------------------
     @property
     def now(self) -> float:
         """Current virtual time in seconds."""
         return self._now
+
+    @property
+    def steps_traced(self) -> int:
+        """Events fired by traced ``run()`` loops (0 when untraced)."""
+        return self._steps_traced
 
     # -- scheduling -------------------------------------------------------------
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
@@ -298,6 +334,8 @@ class Simulator:
         live processes remain with nothing scheduled, and re-raises the
         first exception of any crashed process.
         """
+        if self._trace_on:
+            return self._run_traced(until)
         step = self.step
         crashed = self._crashed
         while self._imm or self._heap:
@@ -316,6 +354,45 @@ class Simulator:
                     f"{self._live_processes} process(es) blocked forever at "
                     f"t={self._now:g} with no scheduled events"
                 )
+        return self._now
+
+    def _run_traced(self, until: Optional[float]) -> float:
+        """Instrumented twin of the ``run()`` loop.
+
+        Fires the exact same event sequence (it delegates to ``step()``),
+        additionally counting events and sampling the pending-queue depth
+        every ``_TRACE_SAMPLE_EVERY`` steps as an ``engine`` counter
+        track.  Kept separate so the untraced loop stays branch-free.
+        """
+        step = self.step
+        crashed = self._crashed
+        tracer = self.tracer
+        steps = 0
+        while self._imm or self._heap:
+            if until is not None and self.peek() > until:
+                self._now = until
+                break
+            step()
+            steps += 1
+            if steps % _TRACE_SAMPLE_EVERY == 0:
+                tracer.counter("engine", "queue_depth", self._now,
+                               len(self._imm) + len(self._heap))
+            if crashed:
+                proc, exc = crashed[0]
+                self._steps_traced += steps
+                raise SimulationError(
+                    f"process {proc.label!r} crashed at t={self._now:g}: {exc!r}"
+                ) from exc
+        else:
+            if self._live_processes > 0 and until is None:
+                self._steps_traced += steps
+                raise DeadlockError(
+                    f"{self._live_processes} process(es) blocked forever at "
+                    f"t={self._now:g} with no scheduled events"
+                )
+        self._steps_traced += steps
+        tracer.counter("engine", "queue_depth", self._now,
+                       len(self._imm) + len(self._heap))
         return self._now
 
     def peek(self) -> float:
@@ -340,3 +417,4 @@ class Simulator:
         self._seq = count()
         self._live_processes = 0
         self._crashed.clear()
+        self._steps_traced = 0

@@ -14,6 +14,13 @@ Three resource kinds are provided:
 :class:`TokenBucket`
     A rate limiter admitting ``rate`` tokens/second with a burst bucket,
     used by tests to model paced injection.
+
+Observability: when the owning simulator has an enabled tracer
+(:mod:`repro.obs`), every :class:`BandwidthResource` booking emits one
+occupancy span on the server's track (``nic[k]``), and a *named*
+:class:`Resource` emits ``in_use`` counter samples on every grant and
+release — the acquire→release occupancy series.  With the default
+``NullTracer`` both sites cost a single cached-boolean branch.
 """
 
 from __future__ import annotations
@@ -34,13 +41,22 @@ class Resource:
     the holder must call ``release()`` exactly once per grant.
     """
 
-    def __init__(self, sim: "Simulator", capacity: int = 1) -> None:
+    def __init__(self, sim: "Simulator", capacity: int = 1,
+                 name: str = "") -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.sim = sim
         self.capacity = capacity
+        self.name = name
         self._in_use = 0
         self._waiters: Deque[Event] = deque()
+
+    def _trace_occupancy(self) -> None:
+        self.sim.tracer.counter(self.name, "in_use", self.sim.now,
+                                self._in_use)
+        if self._waiters:
+            self.sim.tracer.counter(self.name, "waiters", self.sim.now,
+                                    len(self._waiters))
 
     @property
     def in_use(self) -> int:
@@ -57,6 +73,8 @@ class Resource:
             ev.succeed(self)
         else:
             self._waiters.append(ev)
+        if self.sim._trace_on and self.name:
+            self._trace_occupancy()
         return ev
 
     def release(self) -> None:
@@ -67,6 +85,8 @@ class Resource:
             self._waiters.popleft().succeed(self)
         else:
             self._in_use -= 1
+        if self.sim._trace_on and self.name:
+            self._trace_occupancy()
 
 
 class BandwidthResource:
@@ -122,14 +142,7 @@ class BandwidthResource:
             server (default: now).  The transfer begins at
             ``max(start, server free)``.
         """
-        if nbytes < 0:
-            raise ValueError(f"nbytes must be >= 0, got {nbytes!r}")
-        begin = max(self.available_at, self.sim.now if start is None else start)
-        finish = begin + nbytes / self.rate
-        self._available_at = finish
-        self._bytes_served += nbytes
-        self._transfers += 1
-        return self.sim.timeout_until(finish)
+        return self.sim.timeout_until(self.completion_time(nbytes, start))
 
     def completion_time(self, nbytes: float, start: Optional[float] = None) -> float:
         """Book a transfer and return its completion *time* (no event)."""
@@ -140,6 +153,9 @@ class BandwidthResource:
         self._available_at = finish
         self._bytes_served += nbytes
         self._transfers += 1
+        if self.sim._trace_on and nbytes > 0:
+            self.sim.tracer.span(self.name or "bw", "transfer", begin, finish,
+                                 cat="nic", args={"nbytes": nbytes})
         return finish
 
     def reset(self) -> None:

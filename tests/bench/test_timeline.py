@@ -6,12 +6,27 @@ import pytest
 from repro.bench.timeline import (
     busiest_links,
     locality_breakdown,
+    phase_breakdown,
     render_timeline,
     summarize_trace,
 )
 from repro.core import CommPattern, SplitMD, StandardStaged, run_exchange
 from repro.machine import lassen
+from repro.machine.locality import Locality, Protocol, TransportKind
 from repro.mpi import SimJob
+from repro.mpi.transport import MessageTrace
+
+
+def mt(src=0, dest=1, nbytes=100, t_send=0.0, t_start=0.0,
+       send_complete=None, delivery=1.0, tag=1, phase="",
+       locality=Locality.OFF_NODE, protocol=Protocol.EAGER):
+    """Hand-built MessageTrace with convenient defaults."""
+    return MessageTrace(
+        src=src, dest=dest, nbytes=nbytes, kind=TransportKind.CPU,
+        protocol=protocol, locality=locality, t_send=t_send,
+        t_start=t_start,
+        send_complete=delivery if send_complete is None else send_complete,
+        delivery=delivery, tag=tag, phase=phase)
 
 
 @pytest.fixture
@@ -76,6 +91,67 @@ class TestAnalysis:
         assert total == result.stats.messages
         for d in breakdown.values():
             assert d["mean_transfer"] > 0
+
+
+class TestHandBuiltLog:
+    """Exact-value checks of every helper on a constructed trace log."""
+
+    LOG = [
+        mt(src=0, dest=1, nbytes=100, t_send=0.0, t_start=0.5, delivery=1.0,
+           phase="gather"),
+        mt(src=0, dest=2, nbytes=300, t_send=1.0, t_start=1.0, delivery=3.0,
+           phase="gather"),
+        mt(src=1, dest=2, nbytes=50, t_send=0.0, t_start=0.0, delivery=2.0,
+           phase="inter-node", locality=Locality.ON_NODE),
+        mt(src=1, dest=2, nbytes=50, t_send=2.0, t_start=2.5, delivery=4.0,
+           tag=99),
+    ]
+
+    def test_summarize_trace_exact(self):
+        summary = summarize_trace(self.LOG)
+        assert set(summary) == {0, 1}
+        a = summary[0]
+        assert a.messages == 2 and a.bytes_sent == 400
+        assert a.first_send == 0.0 and a.last_delivery == 3.0
+        assert a.span == 3.0
+        assert a.pipe_wait == 0.5          # 0.5 + 0.0
+        assert a.busy_time == 2.5          # 0.5 + 2.0
+        b = summary[1]
+        assert b.messages == 2 and b.bytes_sent == 100
+        assert b.pipe_wait == 0.5 and b.busy_time == 3.5
+
+    def test_busiest_links_exact(self):
+        links = busiest_links(self.LOG, top=10)
+        assert links[0] == (0, 2, 300, 1)
+        assert (1, 2, 100, 2) in links
+        assert (0, 1, 100, 1) in links
+
+    def test_locality_breakdown_exact(self):
+        by_loc = locality_breakdown(self.LOG)
+        off = by_loc[str(Locality.OFF_NODE)]
+        assert off["messages"] == 3 and off["bytes"] == 450
+        assert off["mean_transfer"] == pytest.approx((0.5 + 2.0 + 1.5) / 3)
+        on = by_loc[str(Locality.ON_NODE)]
+        assert on["messages"] == 1 and on["mean_transfer"] == 2.0
+
+    def test_phase_breakdown_uses_named_phase(self):
+        phases = phase_breakdown(self.LOG)
+        gather = phases["gather"]
+        assert gather["messages"] == 2 and gather["bytes"] == 400
+        assert gather["first_start"] == 0.5
+        assert gather["last_delivery"] == 3.0
+        assert gather["span"] == 2.5
+        assert phases["inter-node"]["messages"] == 1
+
+    def test_phase_breakdown_falls_back_to_tag(self):
+        phases = phase_breakdown(self.LOG)
+        # tag 99 is unregistered and the trace carries no phase name
+        assert phases["tag 99"]["messages"] == 1
+
+    def test_render_timeline_hand_built(self):
+        text = render_timeline(self.LOG, width=20)
+        assert "rank    0" in text and "rank    1" in text
+        assert "#" in text
 
 
 class TestPhaseBreakdown:

@@ -1,0 +1,156 @@
+"""Perfetto/Chrome exporter round-trip, NIC sampler, validation."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    nic_utilization,
+    render_text_report,
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.tracer import MemoryTracer
+
+
+def hand_built_tracer() -> MemoryTracer:
+    """A small recording covering every record kind and track family."""
+    t = MemoryTracer()
+    t.instant("rank0", "start", 0.0, cat="engine")
+    t.span("rank0", "eager", 0.0, 1.0, cat="msg",
+           args={"dest": 1, "nbytes": 64, "protocol": "EAGER"})
+    t.span("rank0", "eager", 1.0, 1.5, cat="msg")
+    t.span("rank1", "rendezvous", 0.5, 2.0, cat="msg")
+    t.span("rank0/phase", "gather", 0.0, 1.5, cat="phase")
+    t.span("nic[0]", "transfer", 0.0, 2.0, cat="nic", args={"nbytes": 128})
+    t.counter("engine", "queue_depth", 0.25, 3)
+    return t
+
+
+class TestChromeTrace:
+    def test_valid_and_counted(self):
+        trace = to_chrome_trace(hand_built_tracer())
+        n = validate_chrome_trace(trace)
+        # 7 records + 60 embedded NIC-utilization samples
+        assert n == 7 + 60
+        assert trace["otherData"]["exporter"] == "repro.obs"
+
+    def test_monotonic_ts(self):
+        trace = to_chrome_trace(hand_built_tracer())
+        ts = [e["ts"] for e in trace["traceEvents"] if e["ph"] != "M"]
+        assert ts == sorted(ts)
+
+    def test_one_thread_per_track_with_names(self):
+        tracer = hand_built_tracer()
+        trace = to_chrome_trace(tracer)
+        names = {e["args"]["name"] for e in trace["traceEvents"]
+                 if e["ph"] == "M" and e["name"] == "thread_name"}
+        assert names == set(tracer.tracks())
+        # ranks sort before phase lanes before NICs
+        by_tid = sorted(
+            (e["tid"], e["args"]["name"]) for e in trace["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name")
+        ordered = [name for _tid, name in by_tid]
+        assert ordered.index("rank0") < ordered.index("rank0/phase")
+        assert ordered.index("rank0/phase") < ordered.index("nic[0]")
+
+    def test_one_process_per_label(self):
+        trace = to_chrome_trace({"A": hand_built_tracer(),
+                                 "B": hand_built_tracer()})
+        validate_chrome_trace(trace)
+        procs = {e["args"]["name"]: e["pid"] for e in trace["traceEvents"]
+                 if e["ph"] == "M" and e["name"] == "process_name"}
+        assert set(procs) == {"A", "B"}
+        assert len(set(procs.values())) == 2
+
+    def test_file_round_trip(self, tmp_path):
+        trace = to_chrome_trace(hand_built_tracer())
+        path = tmp_path / "trace.json"
+        write_chrome_trace(str(path), trace)
+        on_disk = json.loads(path.read_text())
+        assert on_disk == json.loads(json.dumps(trace))
+        assert validate_chrome_trace(on_disk) == validate_chrome_trace(trace)
+
+    def test_span_args_preserved(self):
+        trace = to_chrome_trace(hand_built_tracer())
+        eager = [e for e in trace["traceEvents"]
+                 if e["ph"] == "X" and e.get("args", {}).get("dest") == 1]
+        assert eager and eager[0]["args"]["protocol"] == "EAGER"
+        assert eager[0]["dur"] == pytest.approx(1e6)  # 1 s -> 1e6 us
+
+    def test_empty_mapping_rejected(self):
+        with pytest.raises(ValueError):
+            to_chrome_trace({})
+
+
+class TestNicUtilization:
+    def test_full_busy_is_one(self):
+        util = nic_utilization(hand_built_tracer(), nbins=10)
+        assert len(util["edges"]) == 11
+        assert util["series"]["nic[0]"] == pytest.approx([1.0] * 10)
+
+    def test_partial_busy_fraction(self):
+        t = MemoryTracer()
+        t.span("nic[0]", "transfer", 0.0, 1.0, cat="nic")
+        t.span("nic[0]", "transfer", 3.0, 4.0, cat="nic")
+        util = nic_utilization(t, nbins=4)
+        assert util["series"]["nic[0]"] == [1.0, 0.0, 0.0, 1.0]
+
+    def test_no_nic_spans(self):
+        t = MemoryTracer()
+        t.span("rank0", "x", 0.0, 1.0, cat="msg")
+        assert nic_utilization(t) == {"edges": [], "series": {}}
+
+    def test_nbins_validation(self):
+        with pytest.raises(ValueError):
+            nic_utilization(MemoryTracer(), nbins=0)
+
+
+class TestValidation:
+    def test_rejects_non_object(self):
+        with pytest.raises(ValueError):
+            validate_chrome_trace([1, 2])
+
+    def test_rejects_empty_events(self):
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"traceEvents": []})
+
+    def test_rejects_missing_keys(self):
+        with pytest.raises(ValueError, match="missing 'ph'"):
+            validate_chrome_trace({"traceEvents": [{"name": "x", "pid": 1}]})
+
+    def test_rejects_unsorted_ts(self):
+        events = [
+            {"name": "a", "ph": "i", "ts": 2.0, "pid": 1, "tid": 1, "s": "t"},
+            {"name": "b", "ph": "i", "ts": 1.0, "pid": 1, "tid": 1, "s": "t"},
+        ]
+        with pytest.raises(ValueError, match="time-sorted"):
+            validate_chrome_trace({"traceEvents": events})
+
+    def test_rejects_span_without_dur(self):
+        events = [{"name": "a", "ph": "X", "ts": 0.0, "pid": 1, "tid": 1}]
+        with pytest.raises(ValueError, match="dur"):
+            validate_chrome_trace({"traceEvents": events})
+
+    def test_rejects_counter_without_args(self):
+        events = [{"name": "a", "ph": "C", "ts": 0.0, "pid": 1, "tid": 1}]
+        with pytest.raises(ValueError, match="args"):
+            validate_chrome_trace({"traceEvents": events})
+
+    def test_rejects_unknown_phase(self):
+        events = [{"name": "a", "ph": "B", "ts": 0.0, "pid": 1, "tid": 1}]
+        with pytest.raises(ValueError, match="phase"):
+            validate_chrome_trace({"traceEvents": events})
+
+
+class TestTextReport:
+    def test_report_mentions_tracks_and_metrics(self):
+        metrics = {"run": {"counters": {"transport.messages": 3,
+                                        "transport.bytes_sent": 192}}}
+        text = render_text_report({"run": hand_built_tracer()},
+                                  metrics=metrics)
+        assert "=== run ===" in text
+        assert "rank0" in text and "nic[0]" in text
+        assert "utilization" in text
+        assert "transport.messages = 3" in text

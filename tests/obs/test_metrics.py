@@ -1,0 +1,124 @@
+"""Metrics registry: counters, gauges, fixed-bucket histograms."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BYTE_BUCKETS,
+    DEFAULT_TIME_BUCKETS,
+    SCHEMA,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        c = Counter()
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        g = Gauge()
+        g.set(3)
+        g.set(1.5)
+        assert g.value == 1.5
+
+
+class TestHistogram:
+    def test_bucket_validation(self):
+        with pytest.raises(ValueError):
+            Histogram([])
+        with pytest.raises(ValueError):
+            Histogram([1.0, 1.0, 2.0])
+        with pytest.raises(ValueError):
+            Histogram([2.0, 1.0])
+
+    def test_observe_counts_and_overflow(self):
+        h = Histogram([10.0, 100.0])
+        for v in (1.0, 5.0, 50.0, 500.0):
+            h.observe(v)
+        assert h.counts == [2, 1, 1]  # last entry: overflow bucket
+        assert h.count == 4
+        assert h.total == 556.0
+        assert h.vmin == 1.0 and h.vmax == 500.0
+        assert h.mean == 139.0
+
+    def test_percentile_single_value(self):
+        h = Histogram(DEFAULT_BYTE_BUCKETS)
+        for _ in range(10):
+            h.observe(4096.0)
+        # min == max clamps interpolation to the exact value
+        assert h.percentile(50) == 4096.0
+        assert h.percentile(99) == 4096.0
+
+    def test_percentile_monotone_and_bounded(self):
+        h = Histogram(DEFAULT_TIME_BUCKETS)
+        for i in range(1, 100):
+            h.observe(1e-6 * i)
+        p50, p95, p99 = h.percentile(50), h.percentile(95), h.percentile(99)
+        assert h.vmin <= p50 <= p95 <= p99 <= h.vmax
+
+    def test_percentile_domain(self):
+        h = Histogram([1.0])
+        with pytest.raises(ValueError):
+            h.percentile(-1)
+        with pytest.raises(ValueError):
+            h.percentile(101)
+        assert h.percentile(50) == 0.0  # empty histogram
+
+    def test_to_dict_fields(self):
+        h = Histogram([10.0])
+        h.observe(5.0)
+        d = h.to_dict()
+        assert d["buckets"] == [10.0]
+        assert d["counts"] == [1, 0]
+        assert d["count"] == 1 and d["sum"] == 5.0
+        assert d["min"] == d["max"] == d["mean"] == 5.0
+        assert d["p50"] == d["p95"] == d["p99"] == 5.0
+
+    def test_empty_to_dict_has_no_infinities(self):
+        d = Histogram([10.0]).to_dict()
+        assert d["min"] == 0.0 and d["max"] == 0.0
+        json.dumps(d)  # must be JSON-serializable
+
+
+class TestMetricsRegistry:
+    def test_get_or_create(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc(2)
+        assert reg.counter("a").value == 2
+        reg.gauge("b").set(1.0)
+        reg.histogram("c").observe(3.0)
+        assert reg.names() == ["a", "b", "c"]
+
+    def test_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+        with pytest.raises(ValueError):
+            reg.histogram("x")
+
+    def test_to_dict_schema(self):
+        reg = MetricsRegistry()
+        reg.counter("msgs").inc(7)
+        reg.gauge("util").set(0.5)
+        reg.histogram("sizes", buckets=[10.0]).observe(4.0)
+        snap = reg.to_dict()
+        assert snap["schema"] == SCHEMA
+        assert snap["counters"] == {"msgs": 7}
+        assert snap["gauges"] == {"util": 0.5}
+        assert set(snap["histograms"]) == {"sizes"}
+        # round-trips through JSON unchanged
+        assert json.loads(json.dumps(snap)) == snap

@@ -1,0 +1,104 @@
+"""Tracer recording semantics: null path, memory path, phase spans."""
+
+from repro.obs.tracer import (
+    NULL_PHASE,
+    NULL_TRACER,
+    MemoryTracer,
+    NullTracer,
+    PhaseSpan,
+    SpanRecord,
+)
+
+
+class _FakeSim:
+    """Duck-typed simulator for PhaseSpan: just .now and .tracer."""
+
+    def __init__(self, tracer):
+        self.now = 0.0
+        self.tracer = tracer
+
+
+class TestNullTracer:
+    def test_disabled_flags(self):
+        assert NullTracer.enabled is False
+        assert NullTracer.fine is False
+        assert NULL_TRACER.enabled is False
+
+    def test_all_calls_are_noops(self):
+        t = NullTracer()
+        t.span("rank0", "x", 0.0, 1.0, cat="msg", args={"a": 1})
+        t.instant("rank0", "start", 0.0)
+        t.counter("engine", "queue_depth", 0.0, 3)
+        t.clear()
+        assert not hasattr(t, "spans")
+
+
+class TestMemoryTracer:
+    def test_records_all_kinds(self):
+        t = MemoryTracer()
+        assert t.enabled is True and t.fine is False
+        t.span("rank0", "eager", 1.0, 2.0, cat="msg", args={"nbytes": 64})
+        t.instant("rank1", "start", 0.5, cat="engine")
+        t.counter("engine", "queue_depth", 0.25, 7)
+        assert t.num_records == 3
+        assert t.spans[0] == SpanRecord("rank0", "eager", 1.0, 2.0, "msg",
+                                        {"nbytes": 64})
+        assert t.spans[0].duration == 1.0
+        assert t.instants[0].t == 0.5
+        assert t.counters[0].value == 7.0
+
+    def test_tracks_first_appearance_order(self):
+        t = MemoryTracer()
+        t.span("b", "s", 0.0, 1.0)
+        t.instant("a", "i", 0.0)
+        t.counter("b", "c", 0.0, 1)
+        t.counter("c", "c", 0.0, 1)
+        assert t.tracks() == ["b", "a", "c"]
+
+    def test_spans_on_filters_by_track(self):
+        t = MemoryTracer()
+        t.span("rank0", "x", 0.0, 1.0)
+        t.span("rank1", "y", 0.0, 1.0)
+        t.span("rank0", "z", 1.0, 2.0)
+        assert [s.name for s in t.spans_on("rank0")] == ["x", "z"]
+
+    def test_clear_drops_everything(self):
+        t = MemoryTracer()
+        t.span("rank0", "x", 0.0, 1.0)
+        t.instant("rank0", "i", 0.0)
+        t.counter("rank0", "c", 0.0, 1)
+        t.clear()
+        assert t.num_records == 0
+        assert t.tracks() == []
+
+    def test_fine_flag(self):
+        assert MemoryTracer(fine=True).fine is True
+        assert MemoryTracer().fine is False
+
+
+class TestPhaseSpan:
+    def test_records_enter_exit_interval(self):
+        tracer = MemoryTracer()
+        sim = _FakeSim(tracer)
+        sim.now = 1.5
+        with PhaseSpan(sim, "rank0/phase", "gather"):
+            sim.now = 2.5
+        assert tracer.spans == [
+            SpanRecord("rank0/phase", "gather", 1.5, 2.5, "phase", None)]
+
+    def test_does_not_swallow_exceptions(self):
+        tracer = MemoryTracer()
+        sim = _FakeSim(tracer)
+        try:
+            with PhaseSpan(sim, "rank0/phase", "gather"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("exception swallowed")
+        assert len(tracer.spans) == 1
+
+    def test_null_phase_is_reusable_noop(self):
+        for _ in range(2):
+            with NULL_PHASE as p:
+                assert p is NULL_PHASE

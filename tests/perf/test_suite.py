@@ -9,7 +9,8 @@ from repro.perf.suite import SCHEMA, main
 def test_smoke_suite_runs_and_reports(tmp_path, capsys):
     results = run_suite(smoke=True, verbose=False)
     names = [r.name for r in results]
-    assert names == ["engine", "pingpong", "spmv", "scenarios"]
+    assert names == ["engine", "pingpong", "spmv", "scenarios",
+                     "obs_overhead"]
     for r in results:
         assert r.wall_s > 0.0
         assert r.repeats >= 1
@@ -29,7 +30,7 @@ def test_smoke_suite_runs_and_reports(tmp_path, capsys):
     assert on_disk["schema"] == SCHEMA
     assert on_disk["smoke"] is True
     assert on_disk["total_wall_s"] > 0.0
-    assert len(on_disk["workloads"]) == 4
+    assert len(on_disk["workloads"]) == 5
 
 
 def test_cli_main_writes_report(tmp_path, capsys):
@@ -38,6 +39,6 @@ def test_cli_main_writes_report(tmp_path, capsys):
     assert rc == 0
     data = json.loads(out.read_text())
     assert {w["name"] for w in data["workloads"]} == \
-        {"engine", "pingpong", "spmv", "scenarios"}
+        {"engine", "pingpong", "spmv", "scenarios", "obs_overhead"}
     captured = capsys.readouterr().out
     assert "wrote" in captured

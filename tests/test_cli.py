@@ -48,5 +48,24 @@ class TestCli:
         assert main([]) == 0
         assert "Usage" in capsys.readouterr().out
 
-    def test_unknown_command(self):
+    @pytest.mark.parametrize("flag", ["--version", "-V"])
+    def test_version_flag(self, capsys, flag):
+        assert main([flag]) == 0
+        out = capsys.readouterr().out
+        assert out.strip() == f"repro {repro.__version__}"
+
+    def test_unknown_command_prints_usage_to_stderr(self, capsys):
         assert main(["bogus"]) == 2
+        captured = capsys.readouterr()
+        assert not captured.out
+        assert "unknown command 'bogus'" in captured.err
+        assert "Usage" in captured.err
+
+    def test_trace_smoke(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        assert main(["trace", "--smoke", "-o", str(out)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        import json
+
+        trace = json.loads(out.read_text())
+        assert trace["traceEvents"]
