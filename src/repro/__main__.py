@@ -11,6 +11,9 @@ Usage::
                                           # BENCH_repro.json
     python -m repro trace [SCENARIO] [--smoke] [-o trace.json]
                                           # traced run -> Perfetto JSON
+    python -m repro chaos [--seed N] [--smoke] [-o report.json]
+                                          # randomized fault sweep with
+                                          # engine invariant checks
     python -m repro --version             # print the package version
 """
 
@@ -88,6 +91,10 @@ def main(argv=None) -> int:
         from repro.obs.cli import main as trace_main
 
         return trace_main(rest)
+    elif cmd == "chaos":
+        from repro.faults.chaos import main as chaos_main
+
+        return chaos_main(rest)
     else:
         print(f"unknown command {cmd!r}", file=sys.stderr)
         print(__doc__, file=sys.stderr)

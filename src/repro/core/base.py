@@ -63,6 +63,24 @@ class CommunicationStrategy:
     def staged(self) -> bool:
         return self.data_path == "staged"
 
+    def effective_staged(self, ctx: RankContext) -> bool:
+        """Whether this rank should stage payloads through the host *now*.
+
+        Staged strategies always stage.  Device-aware strategies query
+        the transport's copy-engine health at program start: during a
+        :class:`~repro.faults.FaultPlan` device outage they gracefully
+        degrade to the staged-through-host path (recording one
+        ``degraded`` count and a trace instant per rank) instead of
+        pushing payloads onto a dead device path.
+        """
+        if self.staged:
+            return True
+        transport = ctx.job.transport
+        if transport.device_path_ok():
+            return False
+        transport.note_degraded(ctx.rank)
+        return True
+
     def plan(self, pattern: CommPattern, layout: JobLayout) -> Any:
         raise NotImplementedError
 

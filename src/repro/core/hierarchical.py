@@ -240,8 +240,8 @@ class _HierarchicalBase(CommunicationStrategy):
     def plan(self, pattern: CommPattern, layout: JobLayout) -> _Plan:
         return _build_plan(pattern, layout)
 
-    def _wrap(self, ctx: RankContext, obj, nbytes: int):
-        if self.staged:
+    def _wrap(self, ctx: RankContext, obj, nbytes: int, staged: bool):
+        if staged:
             return obj
         gpu = ctx.global_gpu
         if gpu is None:
@@ -258,8 +258,9 @@ class _HierarchicalBase(CommunicationStrategy):
             return 0.0, None
             yield  # pragma: no cover
         t0 = ctx.now
+        staged = self.effective_staged(ctx)
 
-        if self.staged and rp.send_bytes:
+        if staged and rp.send_bytes:
             ev, _ = ctx.copy.d2h(DeviceBuffer(rp.gpu, rp.send_bytes))
             yield ev
 
@@ -283,7 +284,7 @@ class _HierarchicalBase(CommunicationStrategy):
         for dest_rank, dest_gpu, idx in rp.local_sends:
             recs = [Record(rp.gpu, dest_gpu, 0, data[rp.gpu][idx])]
             nbytes = records_nbytes(recs)
-            send_reqs.append(ctx.comm.isend(self._wrap(ctx, recs, nbytes),
+            send_reqs.append(ctx.comm.isend(self._wrap(ctx, recs, nbytes, staged),
                                             dest=dest_rank, tag=TAG_LOCAL,
                                             nbytes=nbytes))
 
@@ -291,7 +292,7 @@ class _HierarchicalBase(CommunicationStrategy):
         for leader, dest_node, union in rp.sgather_sends:
             nrec = NodeRecord(rp.gpu, dest_node, 0, data[rp.gpu][union])
             send_reqs.append(
-                ctx.comm.isend(self._wrap(ctx, [nrec], nrec.nbytes),
+                ctx.comm.isend(self._wrap(ctx, [nrec], nrec.nbytes, staged),
                                dest=leader, tag=TAG_SGATHER,
                                nbytes=nrec.nbytes))
 
@@ -311,7 +312,7 @@ class _HierarchicalBase(CommunicationStrategy):
                     continue  # kept; consumed by the forward phase below
                 nbytes = node_records_nbytes(recs)
                 send_reqs.append(
-                    ctx.comm.isend(self._wrap(ctx, recs, nbytes),
+                    ctx.comm.isend(self._wrap(ctx, recs, nbytes, staged),
                                    dest=sender, tag=TAG_GATHER,
                                    nbytes=nbytes))
 
@@ -328,7 +329,7 @@ class _HierarchicalBase(CommunicationStrategy):
                 recs = buckets.get(dest_node, [])
                 nbytes = node_records_nbytes(recs)
                 send_reqs.append(
-                    ctx.comm.isend(self._wrap(ctx, recs, nbytes),
+                    ctx.comm.isend(self._wrap(ctx, recs, nbytes, staged),
                                    dest=recv_rank, tag=TAG_INTER,
                                    nbytes=nbytes))
 
@@ -352,7 +353,7 @@ class _HierarchicalBase(CommunicationStrategy):
                     else:
                         nbytes = records_nbytes(recs)
                         send_reqs.append(ctx.comm.isend(
-                            self._wrap(ctx, recs, nbytes), dest=owner,
+                            self._wrap(ctx, recs, nbytes, staged), dest=owner,
                             tag=TAG_REDIST, nbytes=nbytes))
                 else:
                     per_socket.setdefault(socket, []).extend(recs)
@@ -360,7 +361,7 @@ class _HierarchicalBase(CommunicationStrategy):
                 rl = rp.scatter_to[socket]
                 nbytes = records_nbytes(recs)
                 send_reqs.append(ctx.comm.isend(
-                    self._wrap(ctx, recs, nbytes), dest=rl,
+                    self._wrap(ctx, recs, nbytes, staged), dest=rl,
                     tag=TAG_SREDIST, nbytes=nbytes))
 
         # Phase 5: redistribution leaders deliver to final owners.
@@ -375,14 +376,14 @@ class _HierarchicalBase(CommunicationStrategy):
                 else:
                     nbytes = records_nbytes(recs)
                     send_reqs.append(ctx.comm.isend(
-                        self._wrap(ctx, recs, nbytes), dest=owner,
+                        self._wrap(ctx, recs, nbytes, staged), dest=owner,
                         tag=TAG_REDIST, nbytes=nbytes))
 
         local_msgs = yield ctx.comm.waitall(local_reqs)
         redist_msgs = yield ctx.comm.waitall(redist_reqs)
         yield ctx.comm.waitall(send_reqs)
 
-        if self.staged and rp.recv_bytes:
+        if staged and rp.recv_bytes:
             ev, _ = ctx.copy.h2d(rp.recv_bytes, gpu=rp.gpu)
             yield ev
 

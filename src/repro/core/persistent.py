@@ -91,7 +91,8 @@ class NodeAwareExchanger:
         self.pattern = pattern
         self.predicted: Dict[str, float] = {}
         if strategy is None:
-            strategy, self.predicted = select_strategy(pattern, job.layout)
+            strategy, self.predicted = select_strategy(
+                pattern, job.layout, transport=job.transport)
         self.strategy = strategy
         # Algorithm-1-style setup, paid once.
         self.plan = strategy.plan(pattern, job.layout)

@@ -79,17 +79,25 @@ def predict_times(pattern: CommPattern, layout: JobLayout,
 def select_strategy(pattern: CommPattern, layout: JobLayout,
                     ppn: Optional[int] = None,
                     message_cap: Optional[int] = None,
-                    staged_only: bool = False
+                    staged_only: bool = False,
+                    transport=None
                     ) -> Tuple[CommunicationStrategy, Dict[str, float]]:
     """Pick the model-predicted fastest strategy for ``pattern``.
 
     Returns ``(strategy instance, {label: predicted time})``.  Set
     ``staged_only=True`` on systems without device-aware MPI support.
+    Passing the job's ``transport`` lets the selector re-rank under an
+    active fault plan: while a copy-engine outage makes the device path
+    unhealthy (``transport.device_path_ok()`` is False), device-aware
+    candidates are excluded exactly as with ``staged_only`` — they would
+    only degrade to their staged twins at run time anyway.
     """
     times = predict_times(pattern, layout, ppn=ppn, message_cap=message_cap)
+    degraded = transport is not None and not transport.device_path_ok()
+    skip_device = staged_only or degraded
     candidates = {
         label: t for label, t in times.items()
-        if not (staged_only and "device" in label)
+        if not (skip_device and "device" in label)
     }
     best = min(candidates, key=lambda k: candidates[k])
     return strategy_by_name(best), times

@@ -78,9 +78,12 @@ class _StandardBase(CommunicationStrategy):
             return 0.0, None
             yield  # pragma: no cover - makes this a generator
         t0 = ctx.now
+        # Device-aware variants degrade to the staged path while a fault
+        # plan's copy-engine outage is active (see effective_staged).
+        staged = self.effective_staged(ctx)
         records = build_records(rp.gpu, data, {d: i for _r, d, i in rp.sends})
 
-        if self.staged and rp.send_bytes:
+        if staged and rp.send_bytes:
             # One packed D2H copy of everything leaving this GPU.
             ev, _ = ctx.copy.d2h(DeviceBuffer(rp.gpu, rp.send_bytes))
             yield ev
@@ -91,7 +94,7 @@ class _StandardBase(CommunicationStrategy):
             for dest_rank, dest_gpu, _idx in rp.sends:
                 payload: object = [records[dest_gpu]]
                 nbytes = records[dest_gpu].nbytes
-                if not self.staged:
+                if not staged:
                     payload = DeviceBuffer(rp.gpu, payload, nbytes=nbytes)
                 send_reqs.append(
                     ctx.comm.isend(payload, dest=dest_rank, tag=TAG_P2P,
@@ -99,7 +102,7 @@ class _StandardBase(CommunicationStrategy):
             msgs = yield ctx.comm.waitall(recv_reqs)
             yield ctx.comm.waitall(send_reqs)
 
-        if self.staged and rp.recv_bytes:
+        if staged and rp.recv_bytes:
             ev, _ = ctx.copy.h2d(rp.recv_bytes, gpu=rp.gpu)
             yield ev
 

@@ -171,9 +171,9 @@ class _ThreeStepBase(CommunicationStrategy):
     def plan(self, pattern: CommPattern, layout: JobLayout) -> _Plan:
         return _build_plan(pattern, layout)
 
-    def _wrap(self, ctx: RankContext, obj, nbytes: int):
+    def _wrap(self, ctx: RankContext, obj, nbytes: int, staged: bool):
         """Payload for the wire: device-buffer-wrapped on the GPU path."""
-        if self.staged:
+        if staged:
             return obj
         gpu = ctx.global_gpu
         if gpu is None:
@@ -190,8 +190,9 @@ class _ThreeStepBase(CommunicationStrategy):
             return 0.0, None
             yield  # pragma: no cover
         t0 = ctx.now
+        staged = self.effective_staged(ctx)
 
-        if self.staged and rp.send_bytes:
+        if staged and rp.send_bytes:
             ev, _ = ctx.copy.d2h(DeviceBuffer(rp.gpu, rp.send_bytes))
             yield ev
 
@@ -211,7 +212,7 @@ class _ThreeStepBase(CommunicationStrategy):
         for dest_rank, dest_gpu, idx in rp.local_sends:
             recs = [Record(rp.gpu, dest_gpu, 0, data[rp.gpu][idx])]
             nbytes = records_nbytes(recs)
-            send_reqs.append(ctx.comm.isend(self._wrap(ctx, recs, nbytes),
+            send_reqs.append(ctx.comm.isend(self._wrap(ctx, recs, nbytes, staged),
                                             dest=dest_rank,
                                             tag=TAG_LOCAL, nbytes=nbytes))
 
@@ -220,7 +221,7 @@ class _ThreeStepBase(CommunicationStrategy):
             for pair_rank, dest_node, union in rp.gather_sends:
                 nrec = NodeRecord(rp.gpu, dest_node, 0, data[rp.gpu][union])
                 send_reqs.append(
-                    ctx.comm.isend(self._wrap(ctx, [nrec], nrec.nbytes),
+                    ctx.comm.isend(self._wrap(ctx, [nrec], nrec.nbytes, staged),
                                    dest=pair_rank, tag=TAG_GATHER,
                                    nbytes=nrec.nbytes))
 
@@ -238,7 +239,7 @@ class _ThreeStepBase(CommunicationStrategy):
                     nrecs = buckets.get(dest_node, [])
                     nbytes = node_records_nbytes(nrecs)
                     send_reqs.append(
-                        ctx.comm.isend(self._wrap(ctx, nrecs, nbytes),
+                        ctx.comm.isend(self._wrap(ctx, nrecs, nbytes, staged),
                                        dest=recv_rank, tag=TAG_INTER,
                                        nbytes=nbytes))
 
@@ -259,7 +260,7 @@ class _ThreeStepBase(CommunicationStrategy):
                     else:
                         nbytes = records_nbytes(recs)
                         send_reqs.append(
-                            ctx.comm.isend(self._wrap(ctx, recs, nbytes),
+                            ctx.comm.isend(self._wrap(ctx, recs, nbytes, staged),
                                            dest=dest_rank, tag=TAG_REDIST,
                                            nbytes=nbytes))
 
@@ -267,7 +268,7 @@ class _ThreeStepBase(CommunicationStrategy):
         redist_msgs = yield ctx.comm.waitall(redist_reqs)
         yield ctx.comm.waitall(send_reqs)
 
-        if self.staged and rp.recv_bytes:
+        if staged and rp.recv_bytes:
             ev, _ = ctx.copy.h2d(rp.recv_bytes, gpu=rp.gpu)
             yield ev
 

@@ -141,8 +141,8 @@ class _TwoStepBase(CommunicationStrategy):
     def plan(self, pattern: CommPattern, layout: JobLayout) -> _Plan:
         return _build_plan(pattern, layout)
 
-    def _wrap(self, ctx: RankContext, obj, nbytes: int):
-        if self.staged:
+    def _wrap(self, ctx: RankContext, obj, nbytes: int, staged: bool):
+        if staged:
             return obj
         gpu = ctx.global_gpu
         if gpu is None:
@@ -159,8 +159,9 @@ class _TwoStepBase(CommunicationStrategy):
             return 0.0, None
             yield  # pragma: no cover
         t0 = ctx.now
+        staged = self.effective_staged(ctx)
 
-        if self.staged and rp.send_bytes:
+        if staged and rp.send_bytes:
             ev, _ = ctx.copy.d2h(DeviceBuffer(rp.gpu, rp.send_bytes))
             yield ev
 
@@ -176,7 +177,7 @@ class _TwoStepBase(CommunicationStrategy):
         for dest_rank, dest_gpu, idx in rp.local_sends:
             recs = [Record(rp.gpu, dest_gpu, 0, data[rp.gpu][idx])]
             nbytes = records_nbytes(recs)
-            send_reqs.append(ctx.comm.isend(self._wrap(ctx, recs, nbytes),
+            send_reqs.append(ctx.comm.isend(self._wrap(ctx, recs, nbytes, staged),
                                             dest=dest_rank, tag=TAG_LOCAL,
                                             nbytes=nbytes))
 
@@ -185,7 +186,7 @@ class _TwoStepBase(CommunicationStrategy):
             for dest_node, (receiver, union) in sorted(rp.inter_sends.items()):
                 nrec = NodeRecord(rp.gpu, dest_node, 0, data[rp.gpu][union])
                 send_reqs.append(
-                    ctx.comm.isend(self._wrap(ctx, [nrec], nrec.nbytes),
+                    ctx.comm.isend(self._wrap(ctx, [nrec], nrec.nbytes, staged),
                                    dest=receiver, tag=TAG_INTER,
                                    nbytes=nrec.nbytes))
 
@@ -206,7 +207,7 @@ class _TwoStepBase(CommunicationStrategy):
                     else:
                         nbytes = records_nbytes(recs)
                         send_reqs.append(
-                            ctx.comm.isend(self._wrap(ctx, recs, nbytes),
+                            ctx.comm.isend(self._wrap(ctx, recs, nbytes, staged),
                                            dest=dest_rank, tag=TAG_REDIST,
                                            nbytes=nbytes))
 
@@ -214,7 +215,7 @@ class _TwoStepBase(CommunicationStrategy):
         redist_msgs = yield ctx.comm.waitall(redist_reqs)
         yield ctx.comm.waitall(send_reqs)
 
-        if self.staged and rp.recv_bytes:
+        if staged and rp.recv_bytes:
             ev, _ = ctx.copy.h2d(rp.recv_bytes, gpu=rp.gpu)
             yield ev
 

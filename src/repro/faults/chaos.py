@@ -1,0 +1,285 @@
+"""Chaos-testing harness: randomized fault sweeps with invariant checks.
+
+``python -m repro chaos [--seed N] [--smoke] [-o report.json]`` runs a
+deterministic sweep of randomized fault scenarios (plus a fault-free
+baseline) across every Table-5 strategy and asserts engine invariants on
+each run:
+
+* **Byte conservation** — for every NIC, the bytes it served equal the
+  sum over off-node messages of ``nbytes * attempts`` from that node
+  (retransmitted bytes consume real injection bandwidth).
+* **Monotone times** — every message's transfer start, send-complete
+  and delivery times are ordered and never precede the send post.
+* **Termination** — every run either completes (all rank programs
+  finish) or raises a diagnosable :class:`DeliveryError`; a
+  :class:`DeadlockError`/:class:`WatchdogError` or any other crash is a
+  violation ("never a hang").
+* **Trace transparency** — re-running the identical scenario with the
+  Perfetto tracer attached produces a bit-identical outcome fingerprint
+  (virtual times compared via ``float.hex``).
+* **Correct delivery** — completed exchanges are verified bit-exact
+  against the pattern's ground truth.
+
+The whole sweep is a pure function of ``--seed``: two invocations with
+the same seed produce byte-identical reports (no timestamps, sorted
+keys), which is what the CI ``chaos-smoke`` job asserts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.faults.errors import DeliveryError
+from repro.faults.plan import (
+    NO_FAULTS,
+    DeviceOutage,
+    FaultPlan,
+    LinkDegradation,
+    MessageLoss,
+    Pacing,
+    RetryPolicy,
+    Straggler,
+)
+from repro.sim.engine import DeadlockError, SimulationError, WatchdogError
+
+#: sweep shape: 2 Lassen-like nodes, 4 GPU owners + 2 helpers per node
+NUM_NODES = 2
+PPN = 6
+NUM_GPUS = 8
+#: element counts covering the short / eager / rendezvous protocols
+#: (itemsize 8: 128 B, 2 KiB, 16 KiB)
+MSG_ELEMS = (16, 256, 2048)
+#: watchdog budgets — generous for these tiny jobs; a hang trips them
+MAX_EVENTS = 2_000_000
+MAX_WALL_SECONDS = 60.0
+
+
+def build_scenario(index: int, rng: np.random.Generator) -> FaultPlan:
+    """One randomized fault plan (index 0 is the fault-free baseline).
+
+    All randomness comes from ``rng``, so a sweep is a pure function of
+    its seed.  Degradation windows are drawn cursor-style (each window
+    starts at or after the previous one ends), which satisfies the
+    sorted/non-overlapping contract of
+    :meth:`~repro.sim.resources.BandwidthResource.set_degradation`.
+    """
+    if index == 0:
+        return NO_FAULTS
+    degradations = []
+    cursor = float(rng.uniform(0.0, 2e-5))
+    for _ in range(int(rng.integers(0, 3))):
+        width = float(rng.uniform(1e-5, 2e-4))
+        degradations.append(LinkDegradation(
+            t0=cursor, t1=cursor + width,
+            factor=float(rng.uniform(0.05, 0.8)),
+            node=int(rng.integers(0, NUM_NODES)) if rng.random() < 0.5
+            else None))
+        cursor += width + float(rng.uniform(1e-6, 5e-5))
+    stragglers = []
+    for rank in sorted(rng.choice(NUM_NODES * PPN,
+                                  size=int(rng.integers(0, 3)),
+                                  replace=False).tolist()):
+        stragglers.append(Straggler(rank=int(rank),
+                                    factor=float(rng.uniform(1.5, 4.0))))
+    loss = None
+    if rng.random() < 0.7:
+        loss = MessageLoss(prob=float(rng.uniform(0.05, 0.3)))
+    outages = []
+    if rng.random() < 0.5:
+        outages.append(DeviceOutage())
+    retry = RetryPolicy(timeout=2e-4, backoff=1e-4, backoff_cap=1e-3,
+                        max_retries=int(rng.integers(2, 6)))
+    pacing = None
+    if rng.random() < 0.3:
+        pacing = Pacing(rate=float(rng.uniform(1e9, 1e10)),
+                        burst=float(rng.uniform(4096, 65536)))
+    return FaultPlan(degradations=degradations, stragglers=stragglers,
+                     loss=loss, outages=outages, retry=retry,
+                     pacing=pacing, seed=index)
+
+
+def _check_conservation(job, violations: List[str], where: str) -> None:
+    """Every NIC's bytes_served == sum(nbytes * attempts) injected into it."""
+    from repro.machine.locality import Locality, TransportKind
+
+    expected: Dict[tuple, float] = {}
+    for t in job.transport.trace_log:
+        if t.locality is not Locality.OFF_NODE:
+            continue
+        if job.transport.nic_of(0, t.kind) is None:
+            continue
+        node = job.layout.placement(t.src).node
+        key = (node, t.kind)
+        expected[key] = expected.get(key, 0.0) + t.nbytes * t.attempts
+    for node in range(job.layout.num_nodes):
+        for kind in (TransportKind.CPU, TransportKind.GPU):
+            nic = job.transport.nic_of(node, kind)
+            if nic is None:
+                continue
+            want = expected.get((node, kind), 0.0)
+            if nic.bytes_served != want:
+                violations.append(
+                    f"{where}: byte conservation broken on {kind.name} NIC "
+                    f"of node {node}: served {nic.bytes_served}, "
+                    f"messages injected {want}")
+
+
+def _check_monotone(job, violations: List[str], where: str) -> None:
+    for t in job.transport.trace_log:
+        ok = (t.t_send <= t.t_start
+              and t.t_start <= t.send_complete
+              and t.t_start <= t.delivery)
+        if not ok:
+            violations.append(
+                f"{where}: non-monotone message times "
+                f"{t.src}->{t.dest}: send={t.t_send} start={t.t_start} "
+                f"complete={t.send_complete} delivery={t.delivery}")
+            return  # one example per run is enough
+
+
+def _run_once(machine, plan: FaultPlan, pattern, strategy,
+              tracer: bool, violations: List[str],
+              where: str) -> Dict[str, Any]:
+    """One (scenario, strategy) run; returns its outcome fingerprint."""
+    from repro.core.base import default_data, run_exchange, verify_exchange
+    from repro.mpi.job import SimJob
+
+    job = SimJob(machine, num_nodes=NUM_NODES, ppn=PPN, seed=0,
+                 faults=plan, trace=True, tracer=True if tracer else None,
+                 max_events=MAX_EVENTS, max_wall_seconds=MAX_WALL_SECONDS)
+    outcome: Dict[str, Any] = {}
+    try:
+        result = run_exchange(job, strategy, pattern)
+    except DeliveryError as exc:
+        outcome["outcome"] = "delivery-error"
+        outcome["error"] = str(exc)
+    except (DeadlockError, WatchdogError) as exc:
+        outcome["outcome"] = "hang"
+        outcome["error"] = f"{type(exc).__name__}: {exc}"
+        violations.append(f"{where}: hang ({type(exc).__name__}: {exc})")
+    except (SimulationError, AssertionError) as exc:
+        outcome["outcome"] = "crash"
+        outcome["error"] = f"{type(exc).__name__}: {exc}"
+        violations.append(f"{where}: crash ({type(exc).__name__}: {exc})")
+    else:
+        outcome["outcome"] = "ok"
+        outcome["comm_time_hex"] = result.comm_time.hex()
+        try:
+            verify_exchange(result, pattern,
+                            default_data(pattern, job.layout))
+        except AssertionError as exc:
+            violations.append(f"{where}: corrupt delivery ({exc})")
+        blocked = job.sim.blocked_labels()
+        if blocked:
+            violations.append(
+                f"{where}: processes still blocked after a completed "
+                f"run: {blocked}")
+    stats = job.transport.stats
+    outcome["elapsed_hex"] = float(job.sim.now).hex()
+    outcome["messages"] = stats.messages
+    outcome["retries"] = stats.retries
+    outcome["timeouts"] = stats.timeouts
+    outcome["gave_up"] = stats.gave_up
+    outcome["degraded"] = stats.degraded
+    _check_conservation(job, violations, where)
+    _check_monotone(job, violations, where)
+    if job.sim.now < 0:
+        violations.append(f"{where}: virtual clock went negative")
+    return outcome
+
+
+def run_chaos(seed: int = 0, smoke: bool = False) -> Dict[str, Any]:
+    """Run the sweep; returns the (JSON-serializable) report."""
+    from repro.core.pattern import CommPattern
+    from repro.core.selector import all_strategies
+    from repro.machine.presets import lassen
+
+    machine = lassen()
+    n_scenarios = 3 if smoke else 6
+    rng = np.random.default_rng(seed)
+    violations: List[str] = []
+    scenarios = []
+    runs = ok_runs = delivery_errors = 0
+    for index in range(n_scenarios):
+        plan = build_scenario(index, rng)
+        pattern = CommPattern.random(
+            num_gpus=NUM_GPUS, local_n=4096, messages_per_gpu=3,
+            msg_elems=MSG_ELEMS[index % len(MSG_ELEMS)],
+            seed=seed * 1000 + index)
+        results: Dict[str, Any] = {}
+        for strategy in all_strategies():
+            where = f"scenario {index} / {strategy.label}"
+            runs += 1
+            plain = _run_once(machine, plan, pattern, strategy,
+                              tracer=False, violations=violations,
+                              where=where)
+            traced = _run_once(machine, plan, pattern, strategy,
+                               tracer=True, violations=violations,
+                               where=f"{where} [traced]")
+            if plain != traced:
+                violations.append(
+                    f"{where}: tracing changed the outcome fingerprint "
+                    f"(untraced {plain} != traced {traced})")
+            if plain["outcome"] == "ok":
+                ok_runs += 1
+            elif plain["outcome"] == "delivery-error":
+                delivery_errors += 1
+            results[strategy.label] = plain
+        scenarios.append({
+            "index": index,
+            "plan": plan.describe(),
+            "msg_elems": MSG_ELEMS[index % len(MSG_ELEMS)],
+            "results": results,
+        })
+    return {
+        "seed": seed,
+        "smoke": smoke,
+        "scenarios": scenarios,
+        "violations": violations,
+        "ok": not violations,
+        "summary": {
+            "runs": runs,
+            "ok": ok_runs,
+            "delivery_errors": delivery_errors,
+            "violations": len(violations),
+        },
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro chaos",
+        description="Randomized fault-injection sweep with engine "
+                    "invariant checks.")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="sweep seed (the whole report is a pure "
+                             "function of it)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small sweep (3 scenarios instead of 6)")
+    parser.add_argument("-o", "--output", default=None,
+                        help="write the JSON report here (default stdout)")
+    args = parser.parse_args(argv)
+    report = run_chaos(seed=args.seed, smoke=args.smoke)
+    text = json.dumps(report, indent=2, sort_keys=True)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text + "\n")
+    else:
+        print(text)
+    summary = report["summary"]
+    print(f"chaos: {summary['runs']} runs, {summary['ok']} ok, "
+          f"{summary['delivery_errors']} delivery errors, "
+          f"{summary['violations']} invariant violations",
+          file=sys.stderr)
+    for v in report["violations"]:
+        print(f"  VIOLATION: {v}", file=sys.stderr)
+    return 0 if report["ok"] else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,38 @@
+"""Fault-injection error types.
+
+:class:`DeliveryError` subclasses the engine's
+:class:`~repro.sim.engine.SimulationError` so ``Simulator.run`` re-raises
+it directly (unwrapped) when a rank's program dies on an undeliverable
+message — exhausted retransmits surface as a diagnosable exception,
+never a hang.
+"""
+
+from __future__ import annotations
+
+from repro.sim.engine import SimulationError
+
+
+class DeliveryError(SimulationError):
+    """A message exhausted its retransmit budget and was dropped.
+
+    Carries the failed message's envelope so chaos reports and callers
+    can attribute the loss: world ranks ``src``/``dest``, payload size,
+    the resolved ``protocol`` and ``locality``, the number of transfer
+    ``attempts`` made, and the virtual time ``t_fail`` the sender gave
+    up.
+    """
+
+    def __init__(self, src: int, dest: int, nbytes: int, protocol,
+                 locality, attempts: int, t_fail: float) -> None:
+        self.src = src
+        self.dest = dest
+        self.nbytes = nbytes
+        self.protocol = protocol
+        self.locality = locality
+        self.attempts = attempts
+        self.t_fail = t_fail
+        super().__init__(
+            f"message {src} -> {dest} ({nbytes} B, {protocol.name}/"
+            f"{locality.name}) undeliverable after {attempts} attempt(s); "
+            f"gave up at t={t_fail:g}"
+        )

@@ -31,8 +31,17 @@ class LinkParams:
     beta: float   # inverse bandwidth [s/byte]
 
     def __post_init__(self) -> None:
-        if self.alpha < 0 or self.beta < 0:
-            raise ValueError(f"negative link parameter: {self}")
+        # ``not (v >= 0)`` also catches NaN, which every comparison-based
+        # check lets through.
+        for name in ("alpha", "beta"):
+            v = getattr(self, name)
+            if not (v >= 0):
+                raise ValueError(
+                    f"link parameter {name!r} must be a finite number >= 0, "
+                    f"got {v!r}")
+            if v == float("inf"):
+                raise ValueError(
+                    f"link parameter {name!r} must be finite, got {v!r}")
 
     def time(self, nbytes: float) -> float:
         """Postal-model transfer time for ``nbytes``."""
@@ -209,12 +218,19 @@ class NicParams:
     nics_per_node: int = 1
 
     def __post_init__(self) -> None:
-        if self.rn_inv <= 0:
-            raise ValueError(f"rn_inv must be positive, got {self.rn_inv!r}")
-        if self.gpu_rn_inv < 0:
-            raise ValueError(f"gpu_rn_inv must be >= 0, got {self.gpu_rn_inv!r}")
-        if self.nics_per_node < 1:
-            raise ValueError(f"nics_per_node must be >= 1, got {self.nics_per_node}")
+        # NaN-safe: ``not (v > 0)`` rejects NaN as well as non-positives.
+        if not (self.rn_inv > 0) or self.rn_inv == float("inf"):
+            raise ValueError(
+                f"'rn_inv' must be a finite positive rate, "
+                f"got {self.rn_inv!r}")
+        if not (self.gpu_rn_inv >= 0) or self.gpu_rn_inv == float("inf"):
+            raise ValueError(
+                f"'gpu_rn_inv' must be a finite number >= 0, "
+                f"got {self.gpu_rn_inv!r}")
+        if not (self.nics_per_node >= 1):
+            raise ValueError(
+                f"'nics_per_node' must be a count >= 1, "
+                f"got {self.nics_per_node!r}")
 
     @property
     def injection_rate(self) -> float:

@@ -40,12 +40,19 @@ class MachineSpec:
     nic: NicParams
 
     def __post_init__(self) -> None:
-        if self.sockets_per_node < 1:
-            raise ValueError(f"sockets_per_node must be >= 1 ({self.name})")
-        if self.cores_per_socket < 1:
-            raise ValueError(f"cores_per_socket must be >= 1 ({self.name})")
-        if self.gpus_per_socket < 0:
-            raise ValueError(f"gpus_per_socket must be >= 0 ({self.name})")
+        # Integer-ness first (floats, NaN and bools are not counts), then
+        # range; each message names the offending field.
+        for name, floor in (("sockets_per_node", 1),
+                            ("cores_per_socket", 1),
+                            ("gpus_per_socket", 0)):
+            v = getattr(self, name)
+            if not isinstance(v, int) or isinstance(v, bool):
+                raise ValueError(
+                    f"{self.name}: {name!r} must be an integer count, "
+                    f"got {v!r}")
+            if v < floor:
+                raise ValueError(
+                    f"{self.name}: {name!r} must be >= {floor}, got {v}")
         if self.gpus_per_socket > self.cores_per_socket:
             raise ValueError(
                 f"{self.name}: each GPU needs at least one owner core "
@@ -109,10 +116,14 @@ class JobLayout:
     _LOCALITY_TABLE_MAX_SIZE = 1024
 
     def __init__(self, machine: MachineSpec, num_nodes: int, ppn: int) -> None:
+        for name, v in (("num_nodes", num_nodes), ("ppn", ppn)):
+            if not isinstance(v, int) or isinstance(v, bool):
+                raise ValueError(
+                    f"{name!r} must be an integer count, got {v!r}")
         if num_nodes < 1:
-            raise ValueError(f"num_nodes must be >= 1, got {num_nodes}")
+            raise ValueError(f"'num_nodes' must be >= 1, got {num_nodes}")
         if ppn < 1:
-            raise ValueError(f"ppn must be >= 1, got {ppn}")
+            raise ValueError(f"'ppn' must be >= 1, got {ppn}")
         if ppn > machine.max_ppn:
             raise ValueError(
                 f"ppn={ppn} exceeds {machine.name} core count {machine.max_ppn}"

@@ -182,7 +182,16 @@ class Communicator:
             op.timing = self.transport.resolve(
                 self.world_ranks[src_local], self.world_ranks[dest],
                 size, kind, t_send=op.t_send, t_match=op.t_send, tag=tag)
-            event.succeed(None, delay=op.timing.send_complete - self.sim.now)
+            if op.timing.error is None:
+                event.succeed(None,
+                              delay=op.timing.send_complete - self.sim.now)
+            else:
+                # Exhausted retransmit budget: the send request fails at
+                # the give-up time and the error surfaces in the sender's
+                # program (never a silent hang).
+                event.fail(op.timing.error,
+                           delay=max(0.0,
+                                     op.timing.send_complete - self.sim.now))
         self._matchers[dest].post_send(op)
         return Request(self.sim, "send", event)
 
@@ -210,7 +219,19 @@ class Communicator:
                 self.world_ranks[send.src], self.world_ranks[dest_local],
                 send.nbytes, send.kind, t_send=send.t_send, t_match=t_match,
                 tag=send.tag)
-            send.event.succeed(None, delay=send.timing.send_complete - now)
+            if send.timing.error is None:
+                send.event.succeed(None,
+                                   delay=send.timing.send_complete - now)
+            else:
+                send.event.fail(send.timing.error,
+                                delay=max(0.0,
+                                          send.timing.send_complete - now))
+        if send.timing.error is not None:
+            # The message never arrives: fail the receive at the moment
+            # the sender gave up, carrying the same DeliveryError.
+            recv.event.fail(send.timing.error,
+                            delay=max(0.0, send.timing.delivery - now))
+            return
         payload = send.payload
         if isinstance(payload, DeviceBuffer):
             dest_gpu = self.layout.global_gpu_of(self.world_ranks[dest_local])

@@ -23,6 +23,7 @@ from typing import Any, Callable, Dict, Generator, List, Optional, Sequence
 
 import numpy as np
 
+from repro.faults.plan import NO_FAULTS, FaultPlan
 from repro.machine.topology import JobLayout, MachineSpec, ProcessPlacement
 from repro.mpi.communicator import CommHandle, Communicator
 from repro.mpi.device import CopyEngine
@@ -152,19 +153,35 @@ class SimJob:
         ``True`` for a fresh one) additionally enables engine/NIC/phase
         span recording for the Perfetto exporter.  Both default off —
         ordinary runs pay only cached-boolean guards.
+    faults:
+        A :class:`~repro.faults.FaultPlan` to inject (default
+        :data:`~repro.faults.NO_FAULTS` — fault-free, bit-identical to a
+        job built without the parameter).  Forked per run like the noise
+        model, so repeated runs draw independent-but-seeded fault
+        streams.
+    max_events, max_wall_seconds:
+        Watchdog budgets forwarded to every ``sim.run`` (None = no
+        budget); exceeding one raises
+        :class:`~repro.sim.engine.WatchdogError`.
     """
 
     def __init__(self, machine: MachineSpec, num_nodes: int, ppn: int,
                  noise_sigma: float = 0.0, seed: int = 0,
                  overhead_fraction: Optional[float] = None,
                  queue_search_cost: float = 0.0,
-                 trace: bool = False, tracer=None) -> None:
+                 trace: bool = False, tracer=None,
+                 faults: Optional[FaultPlan] = None,
+                 max_events: Optional[int] = None,
+                 max_wall_seconds: Optional[float] = None) -> None:
         self.layout = JobLayout(machine, num_nodes, ppn)
         self.noise_sigma = noise_sigma
         self.seed = seed
         self.overhead_fraction = overhead_fraction
         self.queue_search_cost = queue_search_cost
         self.trace = trace
+        self.faults = faults if faults is not None else NO_FAULTS
+        self.max_events = max_events
+        self.max_wall_seconds = max_wall_seconds
         # ``tracer=True`` is sugar for a fresh in-memory tracer; the
         # instance is shared across runs (each run clears it first).
         self.tracer = MemoryTracer() if tracer is True else tracer
@@ -192,7 +209,8 @@ class SimJob:
                                    noise=noise.fork(2 * run),
                                    overhead_fraction=self.overhead_fraction,
                                    queue_search_cost=self.queue_search_cost,
-                                   trace=self.trace)
+                                   trace=self.trace,
+                                   faults=self.faults.fork(run))
         self.world = Communicator(
             self.transport, range(self.layout.size), name="world")
         self.copy_engine = CopyEngine(
@@ -221,6 +239,7 @@ class SimJob:
         self.transport.reset_stats()
         self.transport.clear_trace()
         self.transport.noise = noise.fork(2 * run)
+        self.transport.set_faults(self.faults.fork(run))
         self.world.reset_state()
         self.copy_engine.reset_stats()
         self.copy_engine.noise = noise.fork(2 * run + 1)
@@ -255,7 +274,8 @@ class SimJob:
 
         procs = [self.sim.process(wrap(ctx), label=f"rank{ctx.rank}")
                  for ctx in contexts]
-        self.sim.run(until=until)
+        self.sim.run(until=until, max_events=self.max_events,
+                     max_wall_seconds=self.max_wall_seconds)
         return JobResult(
             elapsed=self.sim.now,
             values=[p.value if p.processed else None for p in procs],
@@ -293,6 +313,11 @@ class SimJob:
             reg.counter(f"transport.protocol.{proto.name.lower()}").inc(n)
         for loc, n in sorted(s.by_locality.items(), key=lambda kv: kv[0].name):
             reg.counter(f"transport.locality.{loc.name.lower()}").inc(n)
+        if self.transport.faults.active:
+            reg.counter("faults.retries").inc(s.retries)
+            reg.counter("faults.timeouts").inc(s.timeouts)
+            reg.counter("faults.gave_up").inc(s.gave_up)
+            reg.counter("faults.degraded").inc(s.degraded)
         reg.counter("copy.h2d_bytes").inc(self.copy_engine.h2d_bytes)
         reg.counter("copy.d2h_bytes").inc(self.copy_engine.d2h_bytes)
         reg.counter("copy.copies").inc(self.copy_engine.copies)

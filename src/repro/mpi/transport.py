@@ -48,13 +48,15 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from repro.faults.errors import DeliveryError
+from repro.faults.plan import NO_FAULTS, FaultPlan
 from repro.machine.locality import Locality, Protocol, TransportKind
 from repro.machine.topology import JobLayout
 from repro.sim.engine import Simulator
 from repro.sim.noise import NoiseModel, NoNoise
-from repro.sim.resources import BandwidthResource
+from repro.sim.resources import BandwidthResource, TokenBucket
 
 
 #: user tag -> human-readable strategy phase name.  Strategies register
@@ -88,6 +90,15 @@ class TransportStats:
     off_node_bytes: int = 0
     by_protocol: "Counter[Protocol]" = field(default_factory=Counter)
     by_locality: "Counter[Locality]" = field(default_factory=Counter)
+    # -- resilience counters (all zero without an active fault plan) --------
+    #: retransmits performed after a lost attempt
+    retries: int = 0
+    #: attempts detected lost (one rendezvous timeout each)
+    timeouts: int = 0
+    #: messages dropped after exhausting their retransmit budget
+    gave_up: int = 0
+    #: device-aware ranks that degraded to the staged path this run
+    degraded: int = 0
 
     def record(self, protocol: Protocol, locality: Locality, nbytes: int) -> None:
         self.messages += 1
@@ -108,6 +119,11 @@ class MessageTiming:
     locality: Locality
     send_complete: float   # when the sender's request fires
     delivery: float        # when the payload is available at the receiver
+    attempts: int = 1      # transfer attempts (1 + retransmits)
+    #: set when every attempt was lost: the DeliveryError to fail the
+    #: send/recv events with (``send_complete``/``delivery`` then hold
+    #: the give-up time)
+    error: Optional[DeliveryError] = None
 
 
 @dataclass(frozen=True)
@@ -126,6 +142,13 @@ class MessageTrace:
     delivery: float
     tag: int = 0           # user tag (identifies the strategy phase)
     phase: str = ""        # named strategy phase (mapped from the tag)
+    attempts: int = 1      # transfer attempts (1 + retransmits)
+    failed: bool = False   # dropped after exhausting its retransmit budget
+
+    @property
+    def retries(self) -> int:
+        """Retransmits performed for this message."""
+        return self.attempts - 1
 
     @property
     def pipe_wait(self) -> float:
@@ -148,7 +171,8 @@ class Transport:
                  noise: Optional[NoiseModel] = None,
                  overhead_fraction: Optional[float] = None,
                  queue_search_cost: float = 0.0,
-                 trace: bool = False) -> None:
+                 trace: bool = False,
+                 faults: Optional[FaultPlan] = None) -> None:
         self.sim = sim
         self.layout = layout
         self.machine = layout.machine
@@ -205,6 +229,7 @@ class Transport:
             for (kind, proto, loc), link in params.table.items()
         }
         self._node_of = layout._node_of
+        self.set_faults(faults if faults is not None else NO_FAULTS)
 
     # -- noise ---------------------------------------------------------------
     @property
@@ -217,6 +242,87 @@ class Transport:
         # entirely (NoNoise returns its input unchanged).
         self._noise = model
         self._noiseless = isinstance(model, NoNoise)
+
+    # -- faults --------------------------------------------------------------
+    @property
+    def faults(self) -> FaultPlan:
+        return self._faults
+
+    def set_faults(self, plan: FaultPlan) -> None:
+        """Install ``plan`` (usually an already-forked per-run plan).
+
+        Precomputes everything the per-message hot path needs: a cached
+        activity boolean, the per-rank straggler factor table, the loss
+        window, NIC degradation windows and the pacing token buckets.
+        With :data:`~repro.faults.plan.NO_FAULTS` the per-message cost is
+        a single cached-boolean branch and no RNG is constructed.
+        """
+        self._faults = plan
+        active = plan.active
+        self._fault_free = not active
+        self._pace: Optional[List[TokenBucket]] = None
+        if not active:
+            self._fault_rng = None
+            self._straggler: Optional[List[float]] = None
+            self._loss = None
+            self._outages: Tuple = ()
+            self._retry = None
+            for nic in self._cpu_nics:
+                nic.set_degradation(None)
+            if self._gpu_nics is not None:
+                for nic in self._gpu_nics:
+                    nic.set_degradation(None)
+            return
+        self._fault_rng = plan.rng()
+        factors = [1.0] * self.layout.size
+        for s in plan.stragglers:
+            if s.rank < self.layout.size:
+                factors[s.rank] = s.factor
+        self._straggler = factors
+        self._loss = plan.loss
+        self._outages = plan.outages
+        self._retry = plan.retry
+        for node, nic in enumerate(self._cpu_nics):
+            windows = [(d.t0, d.t1, d.factor)
+                       for d in sorted(plan.degradations,
+                                       key=lambda d: (d.t0, d.t1))
+                       if d.node is None or d.node == node]
+            nic.set_degradation(windows or None)
+        if plan.pacing is not None:
+            self._pace = [TokenBucket(self.sim, plan.pacing.rate,
+                                      plan.pacing.burst)
+                          for _ in range(self.layout.num_nodes)]
+
+    def device_path_ok(self, t: Optional[float] = None,
+                       node: Optional[int] = None) -> bool:
+        """Whether the GPU/copy-engine data path is healthy at time ``t``.
+
+        Strategies query this at program start to decide between their
+        device-aware and staged-through-host variants; the selector uses
+        it to exclude device-aware candidates while an outage is active.
+        ``node=None`` asks about the job as a whole (any affected node
+        counts as unhealthy — a single dead copy engine stalls the
+        collective exchange).
+        """
+        if self._fault_free or not self._outages:
+            return True
+        when = self.sim.now if t is None else t
+        for outage in self._outages:
+            if outage.t0 <= when < outage.t1 and (
+                    node is None or outage.node is None
+                    or outage.node == node):
+                return False
+        return True
+
+    def note_degraded(self, rank: int) -> None:
+        """Record that ``rank`` fell back to its staged data path."""
+        self.stats.degraded += 1
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            # On the rank's phase lane so the fallback is visible next to
+            # the strategy phases it affects.
+            tracer.instant(f"rank{rank}/phase", "degraded-to-staged",
+                           self.sim.now, cat="fault")
 
     # -- introspection -------------------------------------------------------
     def nic_of(self, node: int, kind: TransportKind) -> Optional[BandwidthResource]:
@@ -257,20 +363,37 @@ class Transport:
         base = alpha + link.beta * nbytes
         if not self._noiseless:
             base = self._noise.perturb(base)
+        fault_free = self._fault_free
+        if not fault_free:
+            straggle = self._straggler[src]
+            if straggle != 1.0:
+                base *= straggle
 
         ready = t_match if protocol.is_synchronous else t_send
         start = max(ready, self._pipe_free[src])
         # Pipe occupancy: serializing CPU overhead + per-byte transport;
         # the remaining (1 - o) * alpha of latency overlaps across sends.
+        # Charged once regardless of retransmits (the retry gaps leave
+        # the pipe idle for later sends).
         occupancy = max(base - (1.0 - self.overhead_fraction) * alpha, 0.0)
         self._pipe_free[src] = start + occupancy
-        delivery = start + base
-        if locality is Locality.OFF_NODE:
-            nic = self.nic_of(self._node_of[src], kind)
-            if nic is not None:
-                nic_done = nic.completion_time(nbytes, start=start + alpha)
-                delivery = max(delivery, nic_done)
-        if protocol.is_synchronous:
+        attempts = 1
+        error: Optional[DeliveryError] = None
+        if fault_free:
+            delivery = start + base
+            if locality is Locality.OFF_NODE:
+                nic = self.nic_of(self._node_of[src], kind)
+                if nic is not None:
+                    nic_done = nic.completion_time(nbytes, start=start + alpha)
+                    delivery = max(delivery, nic_done)
+        else:
+            delivery, attempts, error = self._resolve_attempts(
+                src, dest, nbytes, kind, protocol, locality, start, alpha,
+                base)
+        if error is not None:
+            # Both sides learn of the drop at the give-up time.
+            send_complete = delivery
+        elif protocol.is_synchronous:
             send_complete = delivery
         else:
             send_complete = start + alpha
@@ -284,6 +407,7 @@ class Transport:
                     protocol=protocol, locality=locality, t_send=t_send,
                     t_start=start, send_complete=send_complete,
                     delivery=delivery, tag=tag, phase=phase,
+                    attempts=attempts, failed=error is not None,
                 ))
             if tracer.enabled:
                 # One span per message on the sender's track, covering the
@@ -302,7 +426,83 @@ class Transport:
             locality=locality,
             send_complete=send_complete,
             delivery=delivery,
+            attempts=attempts,
+            error=error,
         )
+
+    def _resolve_attempts(self, src: int, dest: int, nbytes: int,
+                          kind: TransportKind, protocol: Protocol,
+                          locality: Locality, start: float, alpha: float,
+                          base: float
+                          ) -> Tuple[float, int, Optional[DeliveryError]]:
+        """Loss / timeout / retransmit loop (active fault plan only).
+
+        Every attempt — lost or not — books the sending node's NIC, so
+        retransmitted bytes consume real injection bandwidth and show up
+        in byte-conservation accounting.  A lost attempt is detected
+        ``retry.timeout`` after its transfer start; retransmit ``k``
+        backs off ``min(backoff * 2**k, backoff_cap)`` more.  When the
+        budget is exhausted the message fails with a
+        :class:`~repro.faults.errors.DeliveryError` at the final
+        detection time.
+        """
+        loss_p = 0.0
+        loss = self._loss
+        if (loss is not None and locality is Locality.OFF_NODE
+                and loss.t0 <= start < loss.t1):
+            loss_p = loss.prob
+        if kind is TransportKind.GPU and not self.device_path_ok(t=start):
+            # Dead copy engine: device payloads never make it out.
+            loss_p = 1.0
+        node = self._node_of[src]
+        nic = (self.nic_of(node, kind)
+               if locality is Locality.OFF_NODE else None)
+        pace = self._pace
+        pacing = self._faults.pacing
+        rng = self._fault_rng
+        retry = self._retry
+        tracer = self.sim.tracer
+        attempt = start
+        attempts = 0
+        k = 0
+        while True:
+            attempts += 1
+            lost = loss_p > 0.0 and rng.random() < loss_p
+            nic_done = None
+            if nic is not None:
+                entry = attempt + alpha
+                if pace is not None and pacing.t0 <= entry < pacing.t1:
+                    entry = pace[node].take_at(nbytes, entry)
+                nic_done = nic.completion_time(nbytes, start=entry)
+            if not lost:
+                delivery = attempt + base
+                if nic_done is not None and nic_done > delivery:
+                    delivery = nic_done
+                return delivery, attempts, None
+            detect = attempt + retry.timeout
+            self.stats.timeouts += 1
+            if tracer.enabled:
+                tracer.instant(f"rank{src}", "timeout", detect, cat="fault",
+                               args={"dest": dest, "nbytes": nbytes,
+                                     "attempt": attempts})
+            if k >= retry.max_retries:
+                self.stats.gave_up += 1
+                if tracer.enabled:
+                    tracer.instant(f"rank{src}", "gave-up", detect,
+                                   cat="fault",
+                                   args={"dest": dest, "nbytes": nbytes,
+                                         "attempts": attempts})
+                return detect, attempts, DeliveryError(
+                    src, dest, nbytes, protocol, locality, attempts, detect)
+            backoff = min(retry.backoff * (1 << k), retry.backoff_cap)
+            attempt = detect + backoff
+            k += 1
+            self.stats.retries += 1
+            if tracer.enabled:
+                tracer.instant(f"rank{src}", "retransmit", attempt,
+                               cat="fault",
+                               args={"dest": dest, "nbytes": nbytes,
+                                     "attempt": attempts + 1})
 
     def reset_nics(self) -> None:
         """Drop NIC/pipe queue state (between independent benchmark reps)."""
@@ -311,6 +511,9 @@ class Transport:
         if self._gpu_nics is not None:
             for nic in self._gpu_nics:
                 nic.reset()
+        if self._pace is not None:
+            for bucket in self._pace:
+                bucket.reset()
         self._pipe_free = [0.0] * self.layout.size
 
     def reset_stats(self) -> None:

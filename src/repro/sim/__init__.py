@@ -28,7 +28,8 @@ Example
 [1.5]
 """
 
-from repro.sim.engine import Simulator, Process, SimulationError, DeadlockError
+from repro.sim.engine import (Simulator, Process, SimulationError,
+                              DeadlockError, WatchdogError)
 from repro.sim.events import Event, Timeout, AllOf, AnyOf, EventState
 from repro.sim.resources import BandwidthResource, Resource, TokenBucket
 from repro.sim.noise import NoiseModel, NoNoise, LognormalNoise
@@ -38,6 +39,7 @@ __all__ = [
     "Process",
     "SimulationError",
     "DeadlockError",
+    "WatchdogError",
     "Event",
     "Timeout",
     "AllOf",

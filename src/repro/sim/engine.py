@@ -32,6 +32,7 @@ recursive) resumption order.
 from __future__ import annotations
 
 import heapq
+import time as _time
 from collections import deque
 from itertools import count
 from typing import Any, Generator, Iterable, List, Optional, Tuple
@@ -58,6 +59,14 @@ class SimulationError(RuntimeError):
 
 class DeadlockError(SimulationError):
     """Raised when processes remain but no events are scheduled."""
+
+
+class WatchdogError(SimulationError):
+    """Raised when a run exceeds its max-events / max-wall-seconds budget."""
+
+
+#: wall-clock watchdog check period (steps between ``monotonic()`` reads)
+_WATCHDOG_CHECK_EVERY = 4096
 
 
 class Interrupt(Exception):
@@ -144,6 +153,7 @@ class Process(Event):
         # Kick-start at the current time via an immediate token.
         sim._schedule_token(_Start(self))
         sim._live_processes += 1
+        sim._processes.append(self)
         if sim._trace_on:
             self._trace_t0 = sim._now
             sim.tracer.instant(self.label, "start", sim._now, cat="engine")
@@ -238,6 +248,9 @@ class Simulator:
         self._imm: deque = deque()
         self._seq = count()
         self._live_processes = 0
+        #: every process ever registered (labels for deadlock/watchdog
+        #: diagnostics); cleared by :meth:`reset`
+        self._processes: List[Process] = []
         self._crashed: List[Tuple[Process, BaseException]] = []
         self._steps_traced = 0
         self.set_tracer(tracer if tracer is not None else NULL_TRACER)
@@ -327,13 +340,56 @@ class Simulator:
         self._now = when
         event._process_callbacks()
 
-    def run(self, until: Optional[float] = None) -> float:
+    # -- diagnostics -----------------------------------------------------------
+    def blocked_labels(self, limit: Optional[int] = None) -> List[str]:
+        """Labels of processes that are still alive (blocked or runnable)."""
+        labels = [p.label for p in self._processes if p.is_alive]
+        return labels if limit is None else labels[:limit]
+
+    def _blocked_detail(self) -> str:
+        labels = self.blocked_labels()
+        if not labels:
+            return ""
+        shown = ", ".join(labels[:8])
+        if len(labels) > 8:
+            shown += f", ... ({len(labels) - 8} more)"
+        return f" (blocked: {shown})"
+
+    def _raise_crashed(self, proc: Process, exc: BaseException) -> None:
+        # Structural simulation errors (DeliveryError, watchdog trips seen
+        # inside a program, ...) surface unwrapped so callers can catch
+        # the specific type; anything else keeps the crash wrapper.
+        if isinstance(exc, SimulationError):
+            raise exc
+        raise SimulationError(
+            f"process {proc.label!r} crashed at t={self._now:g}: {exc!r}"
+        ) from exc
+
+    def _raise_deadlock(self) -> None:
+        raise DeadlockError(
+            f"{self._live_processes} process(es) blocked forever at "
+            f"t={self._now:g} with no scheduled events{self._blocked_detail()}"
+        )
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None,
+            max_wall_seconds: Optional[float] = None) -> float:
         """Run until the queues drain or virtual time passes ``until``.
 
         Returns the final virtual time.  Raises :class:`DeadlockError` if
         live processes remain with nothing scheduled, and re-raises the
-        first exception of any crashed process.
+        first exception of any crashed process (:class:`SimulationError`
+        subclasses propagate unwrapped; other exceptions are wrapped with
+        the crashing process's label).
+
+        ``max_events`` / ``max_wall_seconds`` arm a watchdog: exceeding
+        either budget raises a diagnostic :class:`WatchdogError` naming
+        the still-live processes — turning runaway or silently-wrong
+        simulations into actionable failures.  The watchdog runs in a
+        separate guarded loop so the ordinary hot loop stays untouched.
         """
+        if max_events is not None or max_wall_seconds is not None:
+            return self._run_guarded(until, max_events, max_wall_seconds)
         if self._trace_on:
             return self._run_traced(until)
         step = self.step
@@ -344,16 +400,10 @@ class Simulator:
                 break
             step()
             if crashed:
-                proc, exc = crashed[0]
-                raise SimulationError(
-                    f"process {proc.label!r} crashed at t={self._now:g}: {exc!r}"
-                ) from exc
+                self._raise_crashed(*crashed[0])
         else:
             if self._live_processes > 0 and until is None:
-                raise DeadlockError(
-                    f"{self._live_processes} process(es) blocked forever at "
-                    f"t={self._now:g} with no scheduled events"
-                )
+                self._raise_deadlock()
         return self._now
 
     def _run_traced(self, until: Optional[float]) -> float:
@@ -378,21 +428,67 @@ class Simulator:
                 tracer.counter("engine", "queue_depth", self._now,
                                len(self._imm) + len(self._heap))
             if crashed:
-                proc, exc = crashed[0]
                 self._steps_traced += steps
-                raise SimulationError(
-                    f"process {proc.label!r} crashed at t={self._now:g}: {exc!r}"
-                ) from exc
+                self._raise_crashed(*crashed[0])
         else:
             if self._live_processes > 0 and until is None:
                 self._steps_traced += steps
-                raise DeadlockError(
-                    f"{self._live_processes} process(es) blocked forever at "
-                    f"t={self._now:g} with no scheduled events"
-                )
+                self._raise_deadlock()
         self._steps_traced += steps
         tracer.counter("engine", "queue_depth", self._now,
                        len(self._imm) + len(self._heap))
+        return self._now
+
+    def _run_guarded(self, until: Optional[float],
+                     max_events: Optional[int],
+                     max_wall_seconds: Optional[float]) -> float:
+        """Watchdog twin of the ``run()`` loop (event + wall budgets).
+
+        Wall time is sampled every ``_WATCHDOG_CHECK_EVERY`` steps to
+        keep the per-event cost at one integer compare.  Handles tracing
+        too, so a guarded run fires the identical event sequence.
+        """
+        step = self.step
+        crashed = self._crashed
+        trace_on = self._trace_on
+        tracer = self.tracer
+        budget = float("inf") if max_events is None else int(max_events)
+        deadline = (None if max_wall_seconds is None
+                    else _time.monotonic() + max_wall_seconds)
+        steps = 0
+        try:
+            while self._imm or self._heap:
+                if until is not None and self.peek() > until:
+                    self._now = until
+                    break
+                step()
+                steps += 1
+                if steps > budget:
+                    raise WatchdogError(
+                        f"simulation exceeded max_events={max_events} at "
+                        f"t={self._now:g} with {self._live_processes} live "
+                        f"process(es){self._blocked_detail()}"
+                    )
+                if (deadline is not None
+                        and steps % _WATCHDOG_CHECK_EVERY == 0
+                        and _time.monotonic() > deadline):
+                    raise WatchdogError(
+                        f"simulation exceeded max_wall_seconds="
+                        f"{max_wall_seconds} after {steps} events at "
+                        f"t={self._now:g} with {self._live_processes} live "
+                        f"process(es){self._blocked_detail()}"
+                    )
+                if trace_on and steps % _TRACE_SAMPLE_EVERY == 0:
+                    tracer.counter("engine", "queue_depth", self._now,
+                                   len(self._imm) + len(self._heap))
+                if crashed:
+                    self._raise_crashed(*crashed[0])
+            else:
+                if self._live_processes > 0 and until is None:
+                    self._raise_deadlock()
+        finally:
+            if trace_on:
+                self._steps_traced += steps
         return self._now
 
     def peek(self) -> float:
@@ -416,5 +512,6 @@ class Simulator:
         self._imm.clear()
         self._seq = count()
         self._live_processes = 0
+        self._processes.clear()
         self._crashed.clear()
         self._steps_traced = 0

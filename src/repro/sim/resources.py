@@ -26,7 +26,7 @@ release — the acquire→release occupancy series.  With the default
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional, TYPE_CHECKING
+from typing import Deque, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from repro.sim.events import Event
 
@@ -100,6 +100,11 @@ class BandwidthResource:
     The server conserves throughput: the sum of bytes completed over any
     busy interval equals ``rate * interval``, which is what makes
     max-rate injection behaviour emerge from contention.
+
+    Fault injection (:mod:`repro.faults`) may install *degradation
+    windows* via :meth:`set_degradation`: during ``[t0, t1)`` the server
+    drains at ``factor * rate``.  With no windows installed the original
+    single-division fast path is taken unchanged.
     """
 
     def __init__(self, sim: "Simulator", rate: float, name: str = "") -> None:
@@ -111,6 +116,58 @@ class BandwidthResource:
         self._available_at: float = 0.0
         self._bytes_served: float = 0.0
         self._transfers: int = 0
+        #: sorted, non-overlapping ``(t0, t1, factor)`` rate droops
+        self._windows: Optional[Tuple[Tuple[float, float, float], ...]] = None
+
+    def set_degradation(
+            self,
+            windows: Optional[Sequence[Tuple[float, float, float]]]) -> None:
+        """Install (or clear, with ``None``) rate-degradation windows.
+
+        ``windows`` are ``(t0, t1, factor)`` triples with
+        ``0 < factor <= 1``; they must be sorted by start and must not
+        overlap (the piecewise drain walks them once per transfer).
+        """
+        if not windows:
+            self._windows = None
+            return
+        wins = tuple((float(t0), float(t1), float(f))
+                     for t0, t1, f in windows)
+        prev_end = -float("inf")
+        for t0, t1, f in wins:
+            if not t1 > t0:
+                raise ValueError(f"empty degradation window [{t0!r}, {t1!r})")
+            if not 0.0 < f <= 1.0:
+                raise ValueError(
+                    f"degradation factor must be in (0, 1], got {f!r}")
+            if t0 < prev_end:
+                raise ValueError(
+                    f"degradation windows overlap or are unsorted at {t0!r}")
+            prev_end = t1
+        self._windows = wins
+
+    def _piecewise_finish(self, begin: float, nbytes: float) -> float:
+        """Drain ``nbytes`` starting at ``begin`` across rate windows."""
+        t = begin
+        remaining = float(nbytes)
+        rate = self.rate
+        for t0, t1, factor in self._windows:  # type: ignore[union-attr]
+            if t1 <= t:
+                continue
+            if t0 > t:
+                # Full-rate gap before this window.
+                cap = (t0 - t) * rate
+                if remaining <= cap:
+                    return t + remaining / rate
+                remaining -= cap
+                t = t0
+            degraded = rate * factor
+            cap = (t1 - t) * degraded
+            if remaining <= cap:
+                return t + remaining / degraded
+            remaining -= cap
+            t = t1
+        return t + remaining / rate
 
     @property
     def available_at(self) -> float:
@@ -128,7 +185,9 @@ class BandwidthResource:
     def busy_until(self, nbytes: float, start: Optional[float] = None) -> float:
         """Completion time a transfer of ``nbytes`` would get, w/o booking."""
         begin = max(self.available_at, self.sim.now if start is None else start)
-        return begin + nbytes / self.rate
+        if self._windows is None:
+            return begin + nbytes / self.rate
+        return self._piecewise_finish(begin, nbytes)
 
     def transfer(self, nbytes: float, start: Optional[float] = None) -> Event:
         """Book a transfer and return the event firing at its completion.
@@ -149,7 +208,10 @@ class BandwidthResource:
         if nbytes < 0:
             raise ValueError(f"nbytes must be >= 0, got {nbytes!r}")
         begin = max(self.available_at, self.sim.now if start is None else start)
-        finish = begin + nbytes / self.rate
+        if self._windows is None:
+            finish = begin + nbytes / self.rate
+        else:
+            finish = self._piecewise_finish(begin, nbytes)
         self._available_at = finish
         self._bytes_served += nbytes
         self._transfers += 1
@@ -200,3 +262,32 @@ class TokenBucket:
         wait = deficit / self.rate
         self._stamp = self.sim.now + wait
         return self.sim.timeout(wait)
+
+    def take_at(self, amount: float, when: float) -> float:
+        """Model-side booking: consume ``amount`` tokens at virtual time
+        ``when`` and return the time the tokens are available.
+
+        Unlike :meth:`take` this never creates an event — it is used by
+        the transport to gate NIC entry times while costing a message.
+        Bookings must be made in non-decreasing ``when`` order per
+        bucket; earlier stamps are clamped to the last booking.
+        """
+        if amount < 0:
+            raise ValueError("amount must be >= 0")
+        when = max(float(when), self._stamp)
+        tokens = min(self.burst,
+                     self._tokens + (when - self._stamp) * self.rate)
+        if amount <= tokens:
+            self._tokens = tokens - amount
+            self._stamp = when
+            return when
+        deficit = amount - tokens
+        ready = when + deficit / self.rate
+        self._tokens = 0.0
+        self._stamp = ready
+        return ready
+
+    def reset(self) -> None:
+        """Restore a full bucket at time zero (between benchmark reps)."""
+        self._tokens = float(self.burst)
+        self._stamp = 0.0

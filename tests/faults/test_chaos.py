@@ -1,0 +1,86 @@
+"""Chaos harness: determinism, invariants, CLI plumbing."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.faults.chaos import build_scenario, main, run_chaos
+
+
+@pytest.fixture(scope="module")
+def smoke_report():
+    return run_chaos(seed=0, smoke=True)
+
+
+class TestScenarioGeneration:
+    def test_scenario_zero_is_baseline(self):
+        rng = np.random.default_rng(0)
+        assert not build_scenario(0, rng).active
+
+    def test_scenarios_are_deterministic(self):
+        a = [build_scenario(i, np.random.default_rng(4)) for i in range(4)]
+        b = [build_scenario(i, np.random.default_rng(4)) for i in range(4)]
+        assert [p.describe() for p in a] == [p.describe() for p in b]
+
+    def test_degradation_windows_sorted_non_overlapping(self):
+        # The cursor-based generator must always satisfy the
+        # BandwidthResource.set_degradation contract.
+        for seed in range(8):
+            rng = np.random.default_rng(seed)
+            for index in range(1, 4):
+                plan = build_scenario(index, rng)
+                prev_end = -1.0
+                for d in plan.degradations:
+                    assert d.t0 >= prev_end
+                    assert d.t1 > d.t0
+                    prev_end = d.t1
+
+
+class TestSweep:
+    def test_smoke_sweep_holds_all_invariants(self, smoke_report):
+        assert smoke_report["ok"], smoke_report["violations"]
+        assert smoke_report["violations"] == []
+        assert smoke_report["summary"]["runs"] == 24  # 3 scenarios x 8
+
+    def test_smoke_sweep_exercises_faults(self, smoke_report):
+        totals = {"retries": 0, "degraded": 0}
+        for sc in smoke_report["scenarios"]:
+            for res in sc["results"].values():
+                totals["retries"] += res["retries"]
+                totals["degraded"] += res["degraded"]
+        assert totals["retries"] > 0
+        assert totals["degraded"] > 0
+
+    def test_sweep_is_deterministic(self, smoke_report):
+        again = run_chaos(seed=0, smoke=True)
+        assert json.dumps(smoke_report, sort_keys=True) == \
+            json.dumps(again, sort_keys=True)
+
+    def test_baseline_scenario_matches_untraced_golden_style(
+            self, smoke_report):
+        # Scenario 0 is fault-free: no retries/timeouts anywhere, and all
+        # strategies deliver.
+        base = smoke_report["scenarios"][0]
+        for res in base["results"].values():
+            assert res["outcome"] == "ok"
+            assert res["retries"] == 0
+            assert res["gave_up"] == 0
+
+
+class TestCli:
+    def test_main_writes_report_and_exits_zero(self, tmp_path, capsys):
+        out = tmp_path / "chaos.json"
+        code = main(["--smoke", "--seed", "0", "-o", str(out)])
+        assert code == 0
+        report = json.loads(out.read_text())
+        assert report["ok"] is True
+        err = capsys.readouterr().err
+        assert "invariant violations" in err
+
+    def test_main_is_byte_deterministic(self, tmp_path):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        assert main(["--smoke", "--seed", "0", "-o", str(a)]) == 0
+        assert main(["--smoke", "--seed", "0", "-o", str(b)]) == 0
+        assert a.read_bytes() == b.read_bytes()

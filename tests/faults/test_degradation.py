@@ -1,0 +1,115 @@
+"""Graceful degradation of device-aware strategies under outages."""
+
+import pytest
+
+from repro.core.base import default_data, run_exchange, verify_exchange
+from repro.core.pattern import CommPattern
+from repro.core.selector import select_strategy, strategy_by_name
+from repro.faults import DeviceOutage, FaultPlan, NO_FAULTS
+from repro.mpi.job import SimJob
+
+DEVICE_LABELS = [
+    "Standard (device-aware)",
+    "2-Step (device-aware)",
+    "3-Step (device-aware)",
+]
+
+
+@pytest.fixture
+def pattern():
+    return CommPattern.random(num_gpus=8, local_n=512, messages_per_gpu=3,
+                              msg_elems=256, seed=1)
+
+
+def make_job(machine, plan, **kw):
+    kw.setdefault("num_nodes", 2)
+    kw.setdefault("ppn", 6)
+    kw.setdefault("seed", 3)
+    return SimJob(machine, faults=plan, **kw)
+
+
+class TestStagedFallback:
+    @pytest.mark.parametrize("label", DEVICE_LABELS)
+    def test_outage_degrades_to_staged_twin(self, machine, pattern, label):
+        # Under a full-run copy-engine outage the device-aware strategy
+        # must run its staged data path — bit-identical to the staged
+        # twin — and still deliver correct payloads.
+        outage = FaultPlan(outages=[DeviceOutage()])
+        device_job = make_job(machine, outage)
+        staged_job = make_job(machine, NO_FAULTS)
+        degraded = run_exchange(device_job, strategy_by_name(label), pattern)
+        staged = run_exchange(
+            staged_job,
+            strategy_by_name(label.replace("device-aware", "staged")),
+            pattern)
+        assert degraded.comm_time.hex() == staged.comm_time.hex()
+        verify_exchange(degraded, pattern,
+                        default_data(pattern, device_job.layout))
+        assert device_job.transport.stats.degraded > 0
+
+    def test_degraded_counter_counts_participating_ranks(
+            self, machine, pattern):
+        job = make_job(machine, FaultPlan(outages=[DeviceOutage()]))
+        run_exchange(job, strategy_by_name("2-Step (device-aware)"), pattern)
+        # one fallback note per rank that ran the strategy's program
+        assert job.transport.stats.degraded == 8
+
+    def test_degradation_visible_in_trace(self, machine, pattern):
+        job = make_job(machine, FaultPlan(outages=[DeviceOutage()]),
+                       tracer=True)
+        run_exchange(job, strategy_by_name("2-Step (device-aware)"), pattern)
+        instants = [e for e in job.tracer.instants
+                    if e.name == "degraded-to-staged"]
+        assert instants
+        assert all(e.track.endswith("/phase") for e in instants)
+        assert all(e.cat == "fault" for e in instants)
+
+    def test_staged_strategy_unaffected_by_outage(self, machine, pattern):
+        strat = strategy_by_name("2-Step (staged)")
+        base = run_exchange(make_job(machine, NO_FAULTS), strat, pattern)
+        out = run_exchange(
+            make_job(machine, FaultPlan(outages=[DeviceOutage()])),
+            strat, pattern)
+        assert base.comm_time.hex() == out.comm_time.hex()
+        assert out.stats.degraded == 0
+
+
+class TestPathHealth:
+    def test_device_path_ok_windows(self, machine):
+        plan = FaultPlan(outages=[DeviceOutage(t0=1.0, t1=2.0)])
+        job = make_job(machine, plan)
+        t = job.transport
+        assert t.device_path_ok(t=0.5)
+        assert not t.device_path_ok(t=1.0)
+        assert not t.device_path_ok(t=1.999)
+        assert t.device_path_ok(t=2.0)
+
+    def test_node_scoped_outage(self, machine):
+        plan = FaultPlan(outages=[DeviceOutage(node=1)])
+        job = make_job(machine, plan)
+        t = job.transport
+        assert t.device_path_ok(t=0.0, node=0)
+        assert not t.device_path_ok(t=0.0, node=1)
+        # job-wide query: any affected node counts
+        assert not t.device_path_ok(t=0.0)
+
+    def test_no_faults_path_always_ok(self, machine):
+        job = make_job(machine, NO_FAULTS)
+        assert job.transport.device_path_ok()
+
+
+class TestSelectorReRanking:
+    def test_selector_excludes_device_strategies_during_outage(
+            self, machine, pattern):
+        job = make_job(machine, FaultPlan(outages=[DeviceOutage()]))
+        strategy, _times = select_strategy(pattern, job.layout,
+                                           transport=job.transport)
+        assert "device" not in strategy.label
+
+    def test_selector_unaffected_without_outage(self, machine, pattern):
+        job = make_job(machine, NO_FAULTS)
+        with_t, times_t = select_strategy(pattern, job.layout,
+                                          transport=job.transport)
+        without, times = select_strategy(pattern, job.layout)
+        assert with_t.label == without.label
+        assert times_t == times

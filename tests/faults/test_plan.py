@@ -1,0 +1,152 @@
+"""FaultPlan data model: validation, forking, stream isolation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    NO_FAULTS,
+    DeviceOutage,
+    FaultPlan,
+    LinkDegradation,
+    MessageLoss,
+    NoFaults,
+    Pacing,
+    RetryPolicy,
+    Straggler,
+)
+
+
+class TestValidation:
+    def test_degradation_rejects_bad_factor(self):
+        with pytest.raises(ValueError, match="factor"):
+            LinkDegradation(t0=0.0, t1=1.0, factor=0.0)
+        with pytest.raises(ValueError, match="factor"):
+            LinkDegradation(t0=0.0, t1=1.0, factor=1.5)
+        with pytest.raises(ValueError, match="factor"):
+            LinkDegradation(t0=0.0, t1=1.0, factor=float("nan"))
+
+    def test_degradation_rejects_empty_window(self):
+        with pytest.raises(ValueError, match="empty"):
+            LinkDegradation(t0=1.0, t1=1.0, factor=0.5)
+        with pytest.raises(ValueError, match="t0"):
+            LinkDegradation(t0=-1.0, t1=1.0, factor=0.5)
+        with pytest.raises(ValueError, match="t0"):
+            LinkDegradation(t0=float("nan"), t1=1.0, factor=0.5)
+
+    def test_straggler_rejects_speedups_and_nan(self):
+        with pytest.raises(ValueError, match="factor"):
+            Straggler(rank=0, factor=0.5)
+        with pytest.raises(ValueError, match="factor"):
+            Straggler(rank=0, factor=float("nan"))
+        with pytest.raises(ValueError, match="factor"):
+            Straggler(rank=0, factor=float("inf"))
+        with pytest.raises(ValueError, match="rank"):
+            Straggler(rank=-1, factor=2.0)
+
+    def test_loss_prob_range(self):
+        with pytest.raises(ValueError, match="prob"):
+            MessageLoss(prob=-0.1)
+        with pytest.raises(ValueError, match="prob"):
+            MessageLoss(prob=1.1)
+        with pytest.raises(ValueError, match="prob"):
+            MessageLoss(prob=float("nan"))
+        assert MessageLoss(prob=0.0).prob == 0.0
+        assert MessageLoss(prob=1.0).prob == 1.0
+
+    def test_retry_policy_validation(self):
+        with pytest.raises(ValueError, match="timeout"):
+            RetryPolicy(timeout=0.0)
+        with pytest.raises(ValueError, match="backoff_cap"):
+            RetryPolicy(backoff=1e-3, backoff_cap=1e-4)
+        with pytest.raises(ValueError, match="max_retries"):
+            RetryPolicy(max_retries=-1)
+
+    def test_pacing_validation(self):
+        with pytest.raises(ValueError, match="rate"):
+            Pacing(rate=0.0, burst=10.0)
+        with pytest.raises(ValueError, match="burst"):
+            Pacing(rate=1e9, burst=float("inf"))
+
+    def test_outage_window(self):
+        with pytest.raises(ValueError, match="empty"):
+            DeviceOutage(t0=2.0, t1=2.0)
+        assert DeviceOutage().t1 == math.inf
+
+    def test_duplicate_stragglers_rejected(self):
+        with pytest.raises(ValueError, match="duplicate straggler"):
+            FaultPlan(stragglers=[Straggler(0, 2.0), Straggler(0, 3.0)])
+
+    def test_lists_canonicalized_to_tuples(self):
+        plan = FaultPlan(stragglers=[Straggler(1, 2.0)],
+                         outages=[DeviceOutage()])
+        assert isinstance(plan.stragglers, tuple)
+        assert isinstance(plan.outages, tuple)
+
+
+class TestActivity:
+    def test_empty_plan_inactive(self):
+        assert not FaultPlan().active
+
+    def test_each_fault_kind_activates(self):
+        assert FaultPlan(loss=MessageLoss(prob=0.1)).active
+        assert FaultPlan(stragglers=[Straggler(0, 2.0)]).active
+        assert FaultPlan(outages=[DeviceOutage()]).active
+        assert FaultPlan(
+            degradations=[LinkDegradation(0.0, 1.0, 0.5)]).active
+        assert FaultPlan(pacing=Pacing(rate=1e9, burst=4096)).active
+
+    def test_no_faults_singleton_is_inert(self):
+        assert isinstance(NO_FAULTS, NoFaults)
+        assert not NO_FAULTS.active
+        assert NO_FAULTS.fork(3) is NO_FAULTS
+        assert NO_FAULTS.fork(3).fork(5) is NO_FAULTS
+
+
+class TestForking:
+    def test_fork_appends_spawn_key(self):
+        plan = FaultPlan(loss=MessageLoss(prob=0.2), seed=11)
+        assert plan.fork(0).spawn_key == (0,)
+        assert plan.fork(0).fork(2).spawn_key == (0, 2)
+        # the parent is untouched (plans are pure data)
+        assert plan.spawn_key == ()
+
+    def test_forked_streams_are_independent_and_reproducible(self):
+        plan = FaultPlan(loss=MessageLoss(prob=0.2), seed=11)
+        a = plan.fork(0).rng().random(8)
+        b = plan.fork(1).rng().random(8)
+        assert not np.allclose(a, b)
+        again = FaultPlan(loss=MessageLoss(prob=0.2), seed=11)
+        assert np.array_equal(a, again.fork(0).rng().random(8))
+
+    def test_fault_stream_disjoint_from_noise_stream(self):
+        # Same seed for noise and faults must still give different draws:
+        # the 0xFA spawn-key prefix separates the two families.
+        from repro.sim.noise import LognormalNoise
+
+        seed = 5
+        fault_draws = FaultPlan(loss=MessageLoss(prob=0.5),
+                                seed=seed).fork(0).rng().random(64)
+        noise_rng = LognormalNoise(sigma=0.1, seed=seed).fork(0)._rng
+        assert not np.allclose(fault_draws, noise_rng.random(64))
+
+
+class TestDescribe:
+    def test_describe_roundtrips_to_json(self):
+        import json
+
+        plan = FaultPlan(
+            degradations=[LinkDegradation(0.0, 1e-4, 0.25, node=1)],
+            stragglers=[Straggler(3, 2.5)],
+            loss=MessageLoss(prob=0.1),
+            outages=[DeviceOutage(t0=0.0, t1=5e-4)],
+            pacing=Pacing(rate=1e9, burst=8192),
+            seed=9,
+        ).fork(2)
+        d = plan.describe()
+        assert json.loads(json.dumps(d)) == json.loads(json.dumps(d))
+        assert d["active"] is True
+        assert d["spawn_key"] == [2]
+        assert d["stragglers"] == [{"rank": 3, "factor": 2.5}]
+        assert d["loss"]["prob"] == 0.1

@@ -1,0 +1,226 @@
+"""Transport-level fault semantics: loss, retry/backoff, conservation."""
+
+import pytest
+
+from repro.core.base import default_data, run_exchange, verify_exchange
+from repro.core.pattern import CommPattern
+from repro.core.selector import strategy_by_name
+from repro.faults import (
+    NO_FAULTS,
+    DeliveryError,
+    FaultPlan,
+    LinkDegradation,
+    MessageLoss,
+    Pacing,
+    RetryPolicy,
+    Straggler,
+)
+from repro.machine.locality import Locality, TransportKind
+from repro.mpi.job import SimJob
+
+
+@pytest.fixture
+def pattern():
+    return CommPattern.random(num_gpus=8, local_n=512, messages_per_gpu=3,
+                              msg_elems=256, seed=1)
+
+
+def make_job(machine, plan, **kw):
+    kw.setdefault("num_nodes", 2)
+    kw.setdefault("ppn", 6)
+    kw.setdefault("seed", 3)
+    return SimJob(machine, faults=plan, **kw)
+
+
+class TestNoFaultsTransparency:
+    def test_no_faults_is_bit_identical_to_default(self, machine, pattern):
+        strat = strategy_by_name("2-Step (staged)")
+        base = run_exchange(SimJob(machine, 2, 6, seed=3), strat, pattern)
+        nf = run_exchange(make_job(machine, NO_FAULTS), strat, pattern)
+        assert base.comm_time.hex() == nf.comm_time.hex()
+        assert base.rank_times == nf.rank_times
+
+    def test_no_faults_costs_no_rng(self, machine):
+        job = make_job(machine, NO_FAULTS)
+        assert job.transport._fault_free
+        assert job.transport._fault_rng is None
+
+
+class TestLossAndRetry:
+    def test_loss_triggers_retransmits_and_still_delivers(
+            self, machine, pattern):
+        plan = FaultPlan(
+            loss=MessageLoss(prob=0.4),
+            retry=RetryPolicy(timeout=2e-4, backoff=1e-4,
+                              backoff_cap=1e-3, max_retries=10),
+            seed=7)
+        job = make_job(machine, plan)
+        strat = strategy_by_name("2-Step (staged)")
+        result = run_exchange(job, strat, pattern)
+        verify_exchange(result, pattern, default_data(pattern, job.layout))
+        assert result.stats.retries > 0
+        assert result.stats.timeouts >= result.stats.retries
+        assert result.stats.gave_up == 0
+
+    def test_retries_slow_the_exchange_down(self, machine, pattern):
+        strat = strategy_by_name("2-Step (staged)")
+        base = run_exchange(make_job(machine, NO_FAULTS), strat, pattern)
+        plan = FaultPlan(loss=MessageLoss(prob=0.4),
+                         retry=RetryPolicy(max_retries=10), seed=7)
+        lossy = run_exchange(make_job(machine, plan), strat, pattern)
+        assert lossy.comm_time > base.comm_time
+
+    def test_exhausted_retries_raise_delivery_error(self, machine, pattern):
+        plan = FaultPlan(loss=MessageLoss(prob=1.0),
+                         retry=RetryPolicy(max_retries=2), seed=7)
+        job = make_job(machine, plan)
+        strat = strategy_by_name("2-Step (staged)")
+        with pytest.raises(DeliveryError) as exc_info:
+            run_exchange(job, strat, pattern)
+        err = exc_info.value
+        assert err.attempts == 3  # original + 2 retransmits
+        assert err.locality is Locality.OFF_NODE
+        assert err.t_fail > 0
+        assert "undeliverable" in str(err)
+        assert job.transport.stats.gave_up >= 1
+
+    def test_rendezvous_loss_also_fails_cleanly(self, machine):
+        # Large messages use the synchronous rendezvous path, which
+        # resolves at match time — the failure must propagate to both
+        # the sender and the receiver (no hang).
+        pattern = CommPattern.random(num_gpus=8, local_n=65536,
+                                     messages_per_gpu=2, msg_elems=4096,
+                                     seed=2)
+        plan = FaultPlan(loss=MessageLoss(prob=1.0),
+                         retry=RetryPolicy(max_retries=1), seed=1)
+        job = make_job(machine, plan)
+        with pytest.raises(DeliveryError):
+            run_exchange(job, strategy_by_name("Standard (staged)"), pattern)
+
+    def test_deterministic_given_seed(self, machine, pattern):
+        plan = FaultPlan(loss=MessageLoss(prob=0.3),
+                         retry=RetryPolicy(max_retries=8), seed=13)
+        strat = strategy_by_name("Standard (staged)")
+        r1 = run_exchange(make_job(machine, plan), strat, pattern)
+        r2 = run_exchange(make_job(machine, plan), strat, pattern)
+        assert r1.comm_time.hex() == r2.comm_time.hex()
+        assert r1.stats.retries == r2.stats.retries
+
+    def test_runs_fork_independent_fault_streams(self, machine, pattern):
+        plan = FaultPlan(loss=MessageLoss(prob=0.3),
+                         retry=RetryPolicy(max_retries=8), seed=13)
+        job = make_job(machine, plan)
+        strat = strategy_by_name("Standard (staged)")
+        first = run_exchange(job, strat, pattern)
+        second = run_exchange(job, strat, pattern)  # run index 1
+        # Independent draws: the exact retry schedule should differ
+        # (extremely unlikely to collide with prob 0.3 over many sends).
+        assert (first.comm_time.hex() != second.comm_time.hex()
+                or first.stats.retries != second.stats.retries)
+
+
+class TestByteConservation:
+    def test_retransmitted_bytes_hit_the_nic(self, machine, pattern):
+        plan = FaultPlan(loss=MessageLoss(prob=0.4),
+                         retry=RetryPolicy(max_retries=10), seed=7)
+        job = make_job(machine, plan, trace=True)
+        result = run_exchange(job, strategy_by_name("2-Step (staged)"),
+                              pattern)
+        assert result.stats.retries > 0
+        expected = {}
+        for t in job.transport.trace_log:
+            if t.locality is not Locality.OFF_NODE:
+                continue
+            node = job.layout.placement(t.src).node
+            expected[node] = expected.get(node, 0) + t.nbytes * t.attempts
+        for node in range(job.layout.num_nodes):
+            nic = job.transport.nic_of(node, TransportKind.CPU)
+            assert nic.bytes_served == expected.get(node, 0)
+
+
+class TestStragglersAndDegradation:
+    def test_straggler_slows_exchange(self, machine, pattern):
+        strat = strategy_by_name("2-Step (staged)")
+        base = run_exchange(make_job(machine, NO_FAULTS), strat, pattern)
+        slow = run_exchange(
+            make_job(machine, FaultPlan(stragglers=[Straggler(0, 3.0)])),
+            strat, pattern)
+        assert slow.comm_time > base.comm_time
+
+    def test_link_degradation_slows_exchange(self, machine, pattern):
+        strat = strategy_by_name("2-Step (staged)")
+        base = run_exchange(make_job(machine, NO_FAULTS), strat, pattern)
+        plan = FaultPlan(
+            degradations=[LinkDegradation(t0=0.0, t1=1.0, factor=0.05)])
+        slow = run_exchange(make_job(machine, plan), strat, pattern)
+        assert slow.comm_time > base.comm_time
+
+    def test_degradation_window_after_run_is_noop(self, machine, pattern):
+        strat = strategy_by_name("2-Step (staged)")
+        base = run_exchange(make_job(machine, NO_FAULTS), strat, pattern)
+        plan = FaultPlan(
+            degradations=[LinkDegradation(t0=100.0, t1=200.0, factor=0.05)])
+        late = run_exchange(make_job(machine, plan), strat, pattern)
+        assert late.comm_time.hex() == base.comm_time.hex()
+
+    def test_node_scoped_degradation(self, machine, pattern):
+        strat = strategy_by_name("2-Step (staged)")
+        both = FaultPlan(
+            degradations=[LinkDegradation(t0=0.0, t1=1.0, factor=0.05)])
+        one = FaultPlan(
+            degradations=[LinkDegradation(t0=0.0, t1=1.0, factor=0.05,
+                                          node=0)])
+        t_both = run_exchange(make_job(machine, both), strat,
+                              pattern).comm_time
+        t_one = run_exchange(make_job(machine, one), strat,
+                             pattern).comm_time
+        assert t_one <= t_both
+
+
+class TestPacing:
+    def test_pacing_delays_injection(self, machine, pattern):
+        strat = strategy_by_name("Standard (staged)")
+        base = run_exchange(make_job(machine, NO_FAULTS), strat, pattern)
+        plan = FaultPlan(pacing=Pacing(rate=1e7, burst=2048))
+        paced = run_exchange(make_job(machine, plan), strat, pattern)
+        assert paced.comm_time > base.comm_time
+
+
+class TestMetrics:
+    def test_fault_counters_in_metrics(self, machine, pattern):
+        plan = FaultPlan(loss=MessageLoss(prob=0.4),
+                         retry=RetryPolicy(max_retries=10), seed=7)
+        job = make_job(machine, plan)
+        run_exchange(job, strategy_by_name("2-Step (staged)"), pattern)
+        counters = job.metrics()["counters"]
+        assert counters["faults.retries"] > 0
+        assert counters["faults.timeouts"] > 0
+        assert counters["faults.gave_up"] == 0
+
+    def test_no_fault_counters_without_plan(self, machine, pattern):
+        job = SimJob(machine, 2, 6, seed=3)
+        run_exchange(job, strategy_by_name("2-Step (staged)"), pattern)
+        counters = job.metrics()["counters"]
+        assert "faults.retries" not in counters
+
+    def test_reset_state_reforks_fault_stream(self, machine):
+        # In-place reset must replay the exact per-run fault forks that
+        # a sequence of fresh rebuilds would draw.
+        plan = FaultPlan(loss=MessageLoss(prob=0.5),
+                         retry=RetryPolicy(max_retries=8), seed=13)
+
+        def program(ctx):
+            other = (ctx.rank + ctx.size // 2) % ctx.size
+            for tag in range(4):
+                req = ctx.comm.irecv(source=other, tag=tag)
+                ctx.comm.isend(bytes(2048), dest=other, tag=tag)
+                yield req.wait()
+            return ctx.now
+
+        fresh_job = make_job(machine, plan)
+        fresh = [float(fresh_job.run(program).elapsed).hex()
+                 for _ in range(3)]
+        reset_job = make_job(machine, plan)
+        reset = [float(reset_job.run(program, reset_state=i > 0).elapsed).hex()
+                 for i in range(3)]
+        assert fresh == reset

@@ -25,6 +25,21 @@ class TestLinkParams:
         with pytest.raises(ValueError):
             LinkParams(0, -1e-9)
 
+    def test_nan_rejected_naming_field(self):
+        nan = float("nan")
+        with pytest.raises(ValueError, match="alpha"):
+            LinkParams(nan, 0)
+        with pytest.raises(ValueError, match="beta"):
+            LinkParams(0, nan)
+
+    def test_inf_rejected(self):
+        with pytest.raises(ValueError, match="alpha"):
+            LinkParams(float("inf"), 0)
+
+    def test_error_names_offending_field(self):
+        with pytest.raises(ValueError, match="beta"):
+            LinkParams(1e-6, -1e-9)
+
     def test_negative_bytes_rejected(self):
         with pytest.raises(ValueError):
             LinkParams(1e-6, 1e-9).time(-1)
@@ -135,3 +150,15 @@ class TestNicParams:
             NicParams(rn_inv=0)
         with pytest.raises(ValueError):
             NicParams(rn_inv=1e-11, nics_per_node=0)
+
+    def test_nan_and_inf_rejected_naming_field(self):
+        with pytest.raises(ValueError, match="rn_inv"):
+            NicParams(rn_inv=float("nan"))
+        with pytest.raises(ValueError, match="rn_inv"):
+            NicParams(rn_inv=float("inf"))
+        with pytest.raises(ValueError, match="gpu_rn_inv"):
+            NicParams(rn_inv=1e-11, gpu_rn_inv=float("nan"))
+        with pytest.raises(ValueError, match="gpu_rn_inv"):
+            NicParams(rn_inv=1e-11, gpu_rn_inv=-1e-12)
+        with pytest.raises(ValueError, match="nics_per_node"):
+            NicParams(rn_inv=1e-11, nics_per_node=float("nan"))

@@ -32,6 +32,17 @@ class TestMachineSpec:
             # more GPUs than cores on a socket
             MachineSpec("bad", 1, 2, 3, m.comm_params, m.copy_params, m.nic)
 
+    def test_non_integer_counts_rejected_naming_field(self, m):
+        with pytest.raises(ValueError, match="sockets_per_node"):
+            MachineSpec("bad", 2.0, 20, 2,
+                        m.comm_params, m.copy_params, m.nic)
+        with pytest.raises(ValueError, match="cores_per_socket"):
+            MachineSpec("bad", 2, float("nan"), 2,
+                        m.comm_params, m.copy_params, m.nic)
+        with pytest.raises(ValueError, match="gpus_per_socket"):
+            MachineSpec("bad", 2, 20, -1,
+                        m.comm_params, m.copy_params, m.nic)
+
 
 class TestJobLayout:
     def test_shape_validation(self, m):
@@ -41,6 +52,14 @@ class TestJobLayout:
             JobLayout(m, num_nodes=1, ppn=41)  # exceeds cores
         with pytest.raises(ValueError):
             JobLayout(m, num_nodes=1, ppn=3)   # cannot host 4 GPU owners
+
+    def test_non_integer_shape_rejected_naming_field(self, m):
+        with pytest.raises(ValueError, match="num_nodes"):
+            JobLayout(m, num_nodes=2.0, ppn=4)
+        with pytest.raises(ValueError, match="ppn"):
+            JobLayout(m, num_nodes=2, ppn=float("nan"))
+        with pytest.raises(ValueError, match="num_nodes"):
+            JobLayout(m, num_nodes=True, ppn=4)
 
     def test_owner_placement_on_gpu_socket(self, m):
         lay = JobLayout(m, num_nodes=2, ppn=40)

@@ -45,6 +45,33 @@ class TestLognormal:
         assert s1 != s2
         assert s1 == [f1_again.factor() for _ in range(5)]
 
+    def test_fork_does_not_perturb_parent_stream(self):
+        # Forking must be a pure derivation: the parent's own draw
+        # sequence is identical whether or not children were spawned.
+        plain = LognormalNoise(sigma=0.1, seed=9)
+        expected = [plain.factor() for _ in range(5)]
+        forked = LognormalNoise(sigma=0.1, seed=9)
+        forked.fork(1)
+        forked.fork(2)
+        assert [forked.factor() for _ in range(5)] == expected
+
+    def test_fork_keeps_unit_mean(self):
+        # Each forked stream is still a unit-mean lognormal, so per-run
+        # forks model independent measurements without drift.
+        fork = LognormalNoise(sigma=0.2, seed=3).fork(4)
+        factors = np.array([fork.factor() for _ in range(20000)])
+        assert factors.mean() == pytest.approx(1.0, rel=0.02)
+        assert (factors > 0).all()
+
+    def test_same_stream_index_same_draws_across_instances(self):
+        # The SimJob re-fork contract: run k always maps to streams
+        # (2k, 2k+1), so rebuilding a job replays identical sequences.
+        for run in range(3):
+            a = LognormalNoise(sigma=0.15, seed=7).fork(2 * run)
+            b = LognormalNoise(sigma=0.15, seed=7).fork(2 * run)
+            assert [a.factor() for _ in range(8)] == \
+                [b.factor() for _ in range(8)]
+
 
 def test_make_noise_dispatch():
     assert isinstance(make_noise(0.0), NoNoise)

@@ -134,3 +134,101 @@ class TestTokenBucket:
         tb = TokenBucket(sim, rate=1.0, burst=1.0)
         with pytest.raises(ValueError):
             tb.take(-1.0)
+
+    def test_tokens_property_refills_lazily(self, sim):
+        tb = TokenBucket(sim, rate=10.0, burst=20.0)
+
+        def proc(sim, tb):
+            yield tb.take(20.0)      # drain at t=0
+            yield sim.timeout(1.0)   # 10 tokens accrue
+            return tb.tokens
+
+        p = sim.process(proc(sim, tb))
+        sim.run()
+        assert p.value == pytest.approx(10.0)
+
+    def test_take_at_books_without_events(self, sim):
+        # Model-side booking used by the fault-plan pacing path.
+        tb = TokenBucket(sim, rate=10.0, burst=10.0)
+        assert tb.take_at(10.0, when=0.0) == 0.0      # burst is instant
+        assert tb.take_at(5.0, when=0.0) == pytest.approx(0.5)
+        # 1 s after the last booking, 10 tokens have accrued again
+        assert tb.take_at(10.0, when=1.5) == pytest.approx(1.5)
+
+    def test_take_at_clamps_out_of_order_bookings(self, sim):
+        tb = TokenBucket(sim, rate=10.0, burst=10.0)
+        ready = tb.take_at(20.0, when=0.0)
+        assert ready == pytest.approx(1.0)
+        # An earlier "when" cannot rewind the bucket's clock.
+        assert tb.take_at(10.0, when=0.0) == pytest.approx(2.0)
+
+    def test_take_at_rejects_negative(self, sim):
+        tb = TokenBucket(sim, rate=1.0, burst=1.0)
+        with pytest.raises(ValueError):
+            tb.take_at(-1.0, when=0.0)
+
+    def test_reset_restores_full_burst(self, sim):
+        tb = TokenBucket(sim, rate=10.0, burst=10.0)
+        tb.take_at(10.0, when=0.0)
+        assert tb.take_at(10.0, when=0.0) > 0.0
+        tb.reset()
+        assert tb.take_at(10.0, when=0.0) == 0.0
+
+
+class TestBandwidthDegradation:
+    """Fault-plan rate-droop windows on the NIC byte server."""
+
+    def test_no_windows_is_fast_path(self, sim):
+        bw = BandwidthResource(sim, rate=100.0)
+        assert bw.completion_time(50.0) == pytest.approx(0.5)
+
+    def test_window_validation(self, sim):
+        bw = BandwidthResource(sim, rate=100.0)
+        with pytest.raises(ValueError, match="factor"):
+            bw.set_degradation([(0.0, 1.0, 0.0)])
+        with pytest.raises(ValueError, match="empty"):
+            bw.set_degradation([(1.0, 1.0, 0.5)])
+        with pytest.raises(ValueError, match="overlap"):
+            bw.set_degradation([(0.0, 2.0, 0.5), (1.0, 3.0, 0.5)])
+
+    def test_transfer_inside_window_is_slower(self, sim):
+        bw = BandwidthResource(sim, rate=100.0)
+        bw.set_degradation([(0.0, 10.0, 0.5)])
+        # 50 bytes at 50 B/s -> 1 s instead of 0.5 s
+        assert bw.completion_time(50.0) == pytest.approx(1.0)
+
+    def test_transfer_spanning_window_boundary(self, sim):
+        bw = BandwidthResource(sim, rate=100.0)
+        bw.set_degradation([(0.0, 1.0, 0.5)])
+        # First second drains 50 bytes (degraded), the remaining 50
+        # drain at full rate: total 1.5 s.
+        assert bw.completion_time(100.0) == pytest.approx(1.5)
+
+    def test_transfer_after_window_at_full_rate(self, sim):
+        bw = BandwidthResource(sim, rate=100.0)
+        bw.set_degradation([(0.0, 1.0, 0.5)])
+        bw.completion_time(50.0)  # occupies [0, 1)
+        # Next transfer starts at t=1, past the window.
+        assert bw.completion_time(100.0) == pytest.approx(2.0)
+
+    def test_gap_between_windows_full_rate(self, sim):
+        bw = BandwidthResource(sim, rate=100.0)
+        bw.set_degradation([(0.0, 1.0, 0.5), (2.0, 3.0, 0.5)])
+        # 50 B degraded (1 s) + 100 B full-rate gap (1 s) + 50 B degraded
+        # (1 s) = 200 B in 3 s.
+        assert bw.completion_time(200.0) == pytest.approx(3.0)
+
+    def test_clearing_windows_restores_fast_path(self, sim):
+        bw = BandwidthResource(sim, rate=100.0)
+        bw.set_degradation([(0.0, 1.0, 0.5)])
+        bw.set_degradation(None)
+        assert bw.completion_time(50.0) == pytest.approx(0.5)
+
+    def test_reset_preserves_windows(self, sim):
+        # reset() drops queue state between reps; the installed fault
+        # windows belong to the plan and must survive.
+        bw = BandwidthResource(sim, rate=100.0)
+        bw.set_degradation([(0.0, 10.0, 0.5)])
+        bw.completion_time(50.0)
+        bw.reset()
+        assert bw.completion_time(50.0) == pytest.approx(1.0)
