@@ -3,18 +3,25 @@
 Usage::
 
     python -m repro info                  # package + machine summary
-    python -m repro report [out.md]       # regenerate EXPERIMENTS body
+    python -m repro report [out.md] [--jobs N] [--cache]
+                                          # regenerate EXPERIMENTS body
     python -m repro predict N_NODES MSGS SIZE
                                           # model the Fig-4.3 scenario
-    python -m repro perf [--smoke] [-o OUT.json]
+    python -m repro perf [--smoke] [--repeats N] [--jobs N] [-o OUT.json]
                                           # wall-clock micro-suite ->
                                           # BENCH_repro.json
     python -m repro trace [SCENARIO] [--smoke] [-o trace.json]
                                           # traced run -> Perfetto JSON
-    python -m repro chaos [--seed N] [--smoke] [-o report.json]
+    python -m repro chaos [--seed N] [--smoke] [--jobs N] [--cache]
+                          [-o report.json]
                                           # randomized fault sweep with
                                           # engine invariant checks
     python -m repro --version             # print the package version
+
+``--jobs N`` fans sweep shards out over N worker processes (results
+stay byte-identical to serial runs); ``$REPRO_JOBS`` sets the default.
+``--cache`` / ``--cache-dir`` reuse content-addressed shard results
+from ``.repro-cache/`` (or ``$REPRO_CACHE_DIR``).
 """
 
 from __future__ import annotations
@@ -72,15 +79,9 @@ def main(argv=None) -> int:
     if cmd == "info":
         _info()
     elif cmd == "report":
-        from repro.bench.report import generate
+        from repro.bench.report import main as report_main
 
-        text = generate()
-        if rest:
-            with open(rest[0], "w") as fh:
-                fh.write(text)
-            print(f"wrote {rest[0]}")
-        else:
-            print(text)
+        return report_main(rest)
     elif cmd == "predict":
         _predict(rest)
     elif cmd == "perf":

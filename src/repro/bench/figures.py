@@ -8,7 +8,7 @@ statistic); "modelled" means the Table-6 analytic models.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -19,11 +19,17 @@ from repro.core.base import run_exchange
 from repro.core.selector import all_strategies
 from repro.machine.locality import CopyDirection, Locality, TransportKind
 from repro.machine.topology import MachineSpec
-from repro.models.scenarios import PAPER_SCENARIOS, Scenario, sweep_scenario
+from repro.models.scenarios import (
+    PAPER_SCENARIOS,
+    Scenario,
+    sweep_scenarios,
+)
 from repro.models.strategies import all_strategy_models, model_label
 from repro.mpi.job import SimJob
+from repro.par.cache import ResultCache, cache_key
+from repro.par.executor import sweep_map
 from repro.sparse.distributed import DistributedCSR
-from repro.sparse.suite import SUITE
+from repro.sparse.suite import SUITE, matrix_fingerprint, suite_sweep
 
 
 # ---------------------------------------------------------------------------
@@ -87,67 +93,95 @@ def fig3_1_data(machine: MachineSpec,
 def fig4_3_data(machine: MachineSpec,
                 sizes: Optional[Sequence[float]] = None,
                 scenarios: Sequence[Scenario] = PAPER_SCENARIOS,
-                dup_fractions: Sequence[float] = (0.0, 0.25)
+                dup_fractions: Sequence[float] = (0.0, 0.25),
+                jobs: Optional[int] = None,
+                cache: Optional[ResultCache] = None
                 ) -> Dict[str, Tuple[np.ndarray, Dict[str, np.ndarray]]]:
-    """Modelled strategy times per scenario panel (incl. dup variants)."""
+    """Modelled strategy times per scenario panel (incl. dup variants).
+
+    One shard per (scenario, dup) panel via
+    :func:`~repro.models.scenarios.sweep_scenarios`: bit-identical at
+    any ``jobs`` value, and a warm ``cache`` skips every panel whose
+    inputs are unchanged (zero model evaluations).
+    """
     from dataclasses import replace
 
     if sizes is None:
         sizes = np.logspace(1, 5.5, 19)
     sizes = np.asarray(sizes, dtype=np.float64)
-    panels: Dict[str, Tuple[np.ndarray, Dict[str, np.ndarray]]] = {}
-    for base in scenarios:
-        for dup in dup_fractions:
-            sc = replace(base, dup_fraction=dup)
-            panels[sc.label] = (sizes, sweep_scenario(machine, sc, sizes))
-    return panels
+    panel_scenarios = [replace(base, dup_fraction=dup)
+                       for base in scenarios for dup in dup_fractions]
+    swept = sweep_scenarios(machine, panel_scenarios, sizes, jobs=jobs,
+                            cache=cache)
+    return {sc.label: (sizes, series)
+            for sc, series in zip(panel_scenarios, swept)}
 
 
 # ---------------------------------------------------------------------------
 # Figure 4.2 — model validation on the audikw_1 analog
 # ---------------------------------------------------------------------------
+def _fig4_2_shard(spec) -> Dict:
+    """One Figure-4.2 column (all strategies at one GPU count)."""
+    machine, matrix, gpus, ppn, noise_sigma, seed = spec
+    nodes = gpus // machine.gpus_per_node
+    job = SimJob(machine, num_nodes=nodes, ppn=ppn,
+                 noise_sigma=noise_sigma, seed=seed)
+    dist = DistributedCSR(matrix, num_gpus=gpus)
+    pattern = dist.comm_pattern()
+    summary = pattern.summarize(job.layout)
+    measured = {}
+    for strategy in all_strategies():
+        res = run_exchange(job, strategy, pattern)
+        measured[strategy.label] = res.comm_time
+    model = {
+        model_label(m): m.time(summary)
+        for m in all_strategy_models(machine, ppn=ppn,
+                                     include_best_case=False)
+    }
+    return {
+        "measured": measured,
+        "model": model,
+        "meta": {
+            "nodes": nodes,
+            "recv_nodes": summary.num_dest_nodes,
+            "node_bytes": summary.node_bytes,
+            "messages": pattern.total_messages,
+        },
+    }
+
+
 def fig4_2_data(machine: MachineSpec,
                 gpu_counts: Sequence[int] = (8, 16, 32, 64),
                 matrix_n: int = 24_000, ppn: int = 0,
-                noise_sigma: float = 0.0, seed: int = 0) -> Dict[int, Dict]:
+                noise_sigma: float = 0.0, seed: int = 0,
+                jobs: Optional[int] = None,
+                cache: Optional[ResultCache] = None) -> Dict[int, Dict]:
     """Measured (DES) vs modelled times, audikw analog, per GPU count.
 
     Returns ``{gpus: {"measured": {label: t}, "model": {label: t},
-    "meta": {...}}}``.
+    "meta": {...}}}``.  One shard per GPU count (the matrix is built
+    once and shipped to workers); bit-identical at any ``jobs`` value.
     """
     ppn = ppn or machine.max_ppn
     gpn = machine.gpus_per_node
-    matrix = SUITE["audikw_1"].build(matrix_n)
-    out: Dict[int, Dict] = {}
     for gpus in gpu_counts:
         if gpus % gpn:
             raise ValueError(f"gpu count {gpus} not a multiple of {gpn}")
-        nodes = gpus // gpn
-        job = SimJob(machine, num_nodes=nodes, ppn=ppn,
-                     noise_sigma=noise_sigma, seed=seed)
-        dist = DistributedCSR(matrix, num_gpus=gpus)
-        pattern = dist.comm_pattern()
-        summary = pattern.summarize(job.layout)
-        measured = {}
-        for strategy in all_strategies():
-            res = run_exchange(job, strategy, pattern)
-            measured[strategy.label] = res.comm_time
-        model = {
-            model_label(m): m.time(summary)
-            for m in all_strategy_models(machine, ppn=ppn,
-                                         include_best_case=False)
-        }
-        out[gpus] = {
-            "measured": measured,
-            "model": model,
-            "meta": {
-                "nodes": nodes,
-                "recv_nodes": summary.num_dest_nodes,
-                "node_bytes": summary.node_bytes,
-                "messages": pattern.total_messages,
-            },
-        }
-    return out
+    matrix = SUITE["audikw_1"].build(matrix_n)
+    tasks = [(machine, matrix, gpus, ppn, noise_sigma, seed)
+             for gpus in gpu_counts]
+    key_fn = None
+    if cache is not None:
+        matrix_fp = matrix_fingerprint(matrix)
+
+        def key_fn(spec):
+            return cache_key("fig4_2-column", machine=machine,
+                             matrix=matrix_fp, gpus=spec[2], ppn=ppn,
+                             noise_sigma=noise_sigma, seed=seed)
+
+    columns = sweep_map(_fig4_2_shard, tasks, jobs=jobs, cache=cache,
+                        key_fn=key_fn)
+    return {gpus: column for gpus, column in zip(gpu_counts, columns)}
 
 
 # ---------------------------------------------------------------------------
@@ -157,45 +191,23 @@ def fig5_1_data(machine: MachineSpec,
                 matrices: Optional[Sequence[str]] = None,
                 gpu_counts: Sequence[int] = (8, 16, 32, 64),
                 matrix_n: int = 0, ppn: int = 0,
-                noise_sigma: float = 0.0, seed: int = 0
+                noise_sigma: float = 0.0, seed: int = 0,
+                jobs: Optional[int] = None,
+                cache: Optional[ResultCache] = None
                 ) -> Dict[str, Dict]:
     """Measured strategy times per suite matrix and GPU count.
 
     Returns ``{matrix: {"gpus": [...], "series": {label: [t...]},
     "meta": {...}}}`` — the content of one Figure-5.1 panel per matrix.
+    The measurement loop lives in
+    :func:`repro.sparse.suite.suite_sweep`: one shard per matrix,
+    fanned out over ``jobs`` workers with bit-identical ordered
+    results, and content-hash cached when ``cache`` is given.
     """
-    if matrices is None:
-        matrices = list(SUITE)
-    ppn = ppn or machine.max_ppn
-    gpn = machine.gpus_per_node
-    out: Dict[str, Dict] = {}
-    for name in matrices:
-        entry = SUITE[name]
-        matrix = entry.build(matrix_n)
-        series: Dict[str, List[float]] = {
-            s.label: [] for s in all_strategies()
-        }
-        meta: Dict[int, Dict] = {}
-        for gpus in gpu_counts:
-            nodes = gpus // gpn
-            if nodes < 2:
-                raise ValueError(f"gpu count {gpus} gives < 2 nodes")
-            job = SimJob(machine, num_nodes=nodes, ppn=ppn,
-                         noise_sigma=noise_sigma, seed=seed)
-            dist = DistributedCSR(matrix, num_gpus=gpus)
-            pattern = dist.comm_pattern()
-            summary = pattern.summarize(job.layout)
-            pair = pattern.node_pair_traffic(job.layout)
-            meta[gpus] = {
-                "recv_nodes": summary.num_dest_nodes,
-                "inter_node_bytes": sum(b for _m, b in pair.values()),
-                "inter_node_msgs": sum(m for m, _b in pair.values()),
-            }
-            for strategy in all_strategies():
-                res = run_exchange(job, strategy, pattern)
-                series[strategy.label].append(res.comm_time)
-        out[name] = {"gpus": list(gpu_counts), "series": series, "meta": meta}
-    return out
+    return suite_sweep(machine, matrices=matrices, gpu_counts=gpu_counts,
+                       matrix_n=matrix_n, ppn=ppn,
+                       noise_sigma=noise_sigma, seed=seed, jobs=jobs,
+                       cache=cache)
 
 
 # ---------------------------------------------------------------------------

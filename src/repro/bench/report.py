@@ -38,7 +38,16 @@ def _code(text: str) -> List[str]:
     return ["```", text, "```", ""]
 
 
-def generate(matrix_n: int = 16_000, gpu_counts=(8, 16, 32)) -> str:
+def generate(matrix_n: int = 16_000, gpu_counts=(8, 16, 32),
+             jobs=None, cache=None) -> str:
+    """Regenerate the full record.
+
+    ``jobs`` fans the sweep-shaped sections (Figures 4.2, 4.3, 5.1) out
+    over worker processes; ``cache`` (a
+    :class:`repro.par.ResultCache`) skips shards whose inputs are
+    unchanged since the last regeneration.  Output is bit-identical at
+    any ``jobs``/cache setting.
+    """
     machine = lassen()
     out: List[str] = []
     t_start = time.time()
@@ -77,7 +86,8 @@ def generate(matrix_n: int = 16_000, gpu_counts=(8, 16, 32)) -> str:
 
     # --- Figure 4.2 --------------------------------------------------------
     out.append("### Figure 4.2 — model validation (audikw analog)\n")
-    data = fig4_2_data(machine, gpu_counts=gpu_counts, matrix_n=matrix_n)
+    data = fig4_2_data(machine, gpu_counts=gpu_counts, matrix_n=matrix_n,
+                       jobs=jobs, cache=cache)
     labels = sorted(next(iter(data.values()))["measured"])
     measured = {l: [data[g]["measured"][l] for g in gpu_counts]
                 for l in labels}
@@ -97,7 +107,8 @@ def generate(matrix_n: int = 16_000, gpu_counts=(8, 16, 32)) -> str:
 
     # --- Figure 4.3 --------------------------------------------------------
     out.append("### Figure 4.3 — modelled scenarios\n")
-    panels = fig4_3_data(machine, sizes=np.logspace(1, 5.5, 10))
+    panels = fig4_3_data(machine, sizes=np.logspace(1, 5.5, 10),
+                         jobs=jobs, cache=cache)
     for label, (xs, series) in panels.items():
         out.extend(_code(render_series(f"panel: {label}", "bytes", xs,
                                        series, mark_min=True)))
@@ -105,7 +116,7 @@ def generate(matrix_n: int = 16_000, gpu_counts=(8, 16, 32)) -> str:
     # --- Figure 5.1 --------------------------------------------------------
     out.append("### Figure 5.1 — SpMV communication across the suite\n")
     suite_data = fig5_1_data(machine, gpu_counts=gpu_counts,
-                             matrix_n=matrix_n)
+                             matrix_n=matrix_n, jobs=jobs, cache=cache)
     winners = {}
     for name, d in suite_data.items():
         meta = ", ".join(
@@ -135,15 +146,38 @@ def generate(matrix_n: int = 16_000, gpu_counts=(8, 16, 32)) -> str:
     return "\n".join(out)
 
 
-def main() -> None:
-    text = generate()
-    if len(sys.argv) > 1:
-        with open(sys.argv[1], "w") as fh:
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro report",
+        description="Regenerate the EXPERIMENTS.md record.")
+    parser.add_argument("output", nargs="?", default=None,
+                        help="write the record here (default stdout)")
+    parser.add_argument("-j", "--jobs", type=int, default=None,
+                        help="worker processes for the sweep sections "
+                             "(default: $REPRO_JOBS or serial)")
+    parser.add_argument("--cache", action="store_true",
+                        help="cache sweep shards on disk under "
+                             "$REPRO_CACHE_DIR or .repro-cache/")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="cache sweep shards under DIR (implies "
+                             "--cache)")
+    args = parser.parse_args(sys.argv[1:] if argv is None else argv)
+    cache = None
+    if args.cache or args.cache_dir:
+        from repro.par.cache import ResultCache, default_cache_dir
+
+        cache = ResultCache(directory=args.cache_dir or default_cache_dir())
+    text = generate(jobs=args.jobs, cache=cache)
+    if args.output:
+        with open(args.output, "w") as fh:
             fh.write(text)
-        print(f"wrote {sys.argv[1]}")
+        print(f"wrote {args.output}")
     else:
         print(text)
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    raise SystemExit(main())

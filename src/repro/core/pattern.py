@@ -124,6 +124,22 @@ class CommPattern:
         return sum(len(idx) * self.itemsize
                    for d in self._sends.values() for idx in d.values())
 
+    def fingerprint(self) -> str:
+        """Stable content hash of the pattern (for sweep cache keys).
+
+        Two patterns fingerprint equal iff they compare :meth:`__eq__`
+        equal: the hash covers ``num_gpus``, ``itemsize`` and every
+        (src, dest, index-array) triple.
+        """
+        from repro.par.cache import stable_fingerprint
+
+        return stable_fingerprint({
+            "num_gpus": self.num_gpus,
+            "itemsize": self.itemsize,
+            "sends": {src: dict(dests)
+                      for src, dests in self._sends.items()},
+        })
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, CommPattern):
             return NotImplemented

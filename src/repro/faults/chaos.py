@@ -22,7 +22,15 @@ each run:
 
 The whole sweep is a pure function of ``--seed``: two invocations with
 the same seed produce byte-identical reports (no timestamps, sorted
-keys), which is what the CI ``chaos-smoke`` job asserts.
+keys), which is what the CI ``chaos-smoke`` job asserts — **at any
+worker count**.  ``--jobs N`` fans the (scenario, strategy) shards out
+over a process pool via :func:`repro.par.sweep_map`; each shard is a
+pure function of ``(seed, smoke, scenario index, strategy label)``, and
+the ordered gather reassembles violations, outcomes and merged metrics
+in serial order, so parallel reports are byte-identical to serial ones.
+``--cache`` / ``--cache-dir`` enable the content-addressed result cache
+(:class:`repro.par.ResultCache`): a re-run with unchanged inputs skips
+completed shards entirely.
 """
 
 from __future__ import annotations
@@ -30,11 +38,14 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.faults.errors import DeliveryError
+from repro.obs.metrics import MetricsRegistry
+from repro.par.cache import ResultCache, cache_key, default_cache_dir
+from repro.par.executor import sweep_map
 from repro.faults.plan import (
     NO_FAULTS,
     DeviceOutage,
@@ -103,6 +114,28 @@ def build_scenario(index: int, rng: np.random.Generator) -> FaultPlan:
                      pacing=pacing, seed=index)
 
 
+def build_scenarios(seed: int, n_scenarios: int) -> List[FaultPlan]:
+    """All fault plans of one sweep, in index order.
+
+    One shared generator is consumed across indices (scenario ``i``
+    depends on the draws of scenarios ``0..i-1``), so workers rebuild
+    the full list and pick their index — cheap, and bit-identical to
+    the serial construction.
+    """
+    rng = np.random.default_rng(seed)
+    return [build_scenario(index, rng) for index in range(n_scenarios)]
+
+
+def _scenario_pattern(seed: int, index: int):
+    """The randomized exchange pattern of one scenario (pure function)."""
+    from repro.core.pattern import CommPattern
+
+    return CommPattern.random(
+        num_gpus=NUM_GPUS, local_n=4096, messages_per_gpu=3,
+        msg_elems=MSG_ELEMS[index % len(MSG_ELEMS)],
+        seed=seed * 1000 + index)
+
+
 def _check_conservation(job, violations: List[str], where: str) -> None:
     """Every NIC's bytes_served == sum(nbytes * attempts) injected into it."""
     from repro.machine.locality import Locality, TransportKind
@@ -144,8 +177,13 @@ def _check_monotone(job, violations: List[str], where: str) -> None:
 
 def _run_once(machine, plan: FaultPlan, pattern, strategy,
               tracer: bool, violations: List[str],
-              where: str) -> Dict[str, Any]:
-    """One (scenario, strategy) run; returns its outcome fingerprint."""
+              where: str) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+    """One (scenario, strategy) run.
+
+    Returns ``(outcome fingerprint, metrics snapshot)`` — the snapshot
+    is the job's :meth:`~repro.mpi.job.SimJob.metrics`, merged across
+    shards into the report's aggregate ``metrics`` section.
+    """
     from repro.core.base import default_data, run_exchange, verify_exchange
     from repro.mpi.job import SimJob
 
@@ -190,49 +228,105 @@ def _run_once(machine, plan: FaultPlan, pattern, strategy,
     _check_monotone(job, violations, where)
     if job.sim.now < 0:
         violations.append(f"{where}: virtual clock went negative")
-    return outcome
+    return outcome, job.metrics()
 
 
-def run_chaos(seed: int = 0, smoke: bool = False) -> Dict[str, Any]:
-    """Run the sweep; returns the (JSON-serializable) report."""
-    from repro.core.pattern import CommPattern
+def run_chaos_shard(spec: Tuple[int, bool, int, str]) -> Dict[str, Any]:
+    """One sweep shard: both runs (plain + traced) of one cell.
+
+    ``spec = (seed, smoke, scenario index, strategy label)`` — tiny and
+    picklable, so shards fan out over any start method.  Everything
+    else (machine, plan, pattern, strategy instance) is rebuilt
+    deterministically inside the worker.  Returns the cell's outcome,
+    its local violations (in serial order) and the plain run's metrics
+    snapshot.
+    """
+    from repro.core.selector import strategy_by_name
+    from repro.machine.presets import lassen
+
+    seed, smoke, index, label = spec
+    machine = lassen()
+    plan = build_scenarios(seed, 3 if smoke else 6)[index]
+    pattern = _scenario_pattern(seed, index)
+    strategy = strategy_by_name(label)
+    violations: List[str] = []
+    where = f"scenario {index} / {label}"
+    plain, metrics = _run_once(machine, plan, pattern, strategy,
+                               tracer=False, violations=violations,
+                               where=where)
+    traced, _ = _run_once(machine, plan, pattern, strategy,
+                          tracer=True, violations=violations,
+                          where=f"{where} [traced]")
+    if plain != traced:
+        violations.append(
+            f"{where}: tracing changed the outcome fingerprint "
+            f"(untraced {plain} != traced {traced})")
+    return {"outcome": plain, "violations": violations, "metrics": metrics}
+
+
+def _shard_key(spec: Tuple[int, bool, int, str], machine,
+               plan: FaultPlan, pattern_fp: str) -> str:
+    """Content hash of one shard's inputs (see :func:`repro.par.cache_key`)."""
+    seed, smoke, index, label = spec
+    return cache_key("chaos-shard", machine=machine, plan=plan,
+                     pattern=pattern_fp, strategy=label, seed=seed,
+                     smoke=smoke, index=index,
+                     shape=(NUM_NODES, PPN, NUM_GPUS),
+                     budgets=(MAX_EVENTS, MAX_WALL_SECONDS))
+
+
+def run_chaos(seed: int = 0, smoke: bool = False,
+              jobs: Optional[int] = None,
+              cache: Optional[ResultCache] = None) -> Dict[str, Any]:
+    """Run the sweep; returns the (JSON-serializable) report.
+
+    ``jobs`` fans shards out over a process pool (default:
+    ``$REPRO_JOBS`` or serial); ``cache`` skips shards whose content
+    hash already has a stored result.  The report is byte-identical
+    across worker counts and cache states.
+    """
     from repro.core.selector import all_strategies
     from repro.machine.presets import lassen
 
     machine = lassen()
     n_scenarios = 3 if smoke else 6
-    rng = np.random.default_rng(seed)
+    plans = build_scenarios(seed, n_scenarios)
+    labels = [s.label for s in all_strategies()]
+    tasks = [(seed, smoke, index, label)
+             for index in range(n_scenarios) for label in labels]
+    key_fn = None
+    if cache is not None:
+        pattern_fps = {index: _scenario_pattern(seed, index).fingerprint()
+                       for index in range(n_scenarios)}
+
+        def key_fn(spec):
+            return _shard_key(spec, machine, plans[spec[2]],
+                              pattern_fps[spec[2]])
+
+    shards = sweep_map(run_chaos_shard, tasks, jobs=jobs,
+                       cache=cache, key_fn=key_fn)
+
     violations: List[str] = []
+    merged = MetricsRegistry()
     scenarios = []
     runs = ok_runs = delivery_errors = 0
+    shard_iter = iter(shards)
     for index in range(n_scenarios):
-        plan = build_scenario(index, rng)
-        pattern = CommPattern.random(
-            num_gpus=NUM_GPUS, local_n=4096, messages_per_gpu=3,
-            msg_elems=MSG_ELEMS[index % len(MSG_ELEMS)],
-            seed=seed * 1000 + index)
         results: Dict[str, Any] = {}
-        for strategy in all_strategies():
-            where = f"scenario {index} / {strategy.label}"
+        for label in labels:
+            shard = next(shard_iter)
             runs += 1
-            plain = _run_once(machine, plan, pattern, strategy,
-                              tracer=False, violations=violations,
-                              where=where)
-            traced = _run_once(machine, plan, pattern, strategy,
-                               tracer=True, violations=violations,
-                               where=f"{where} [traced]")
-            if plain != traced:
-                violations.append(
-                    f"{where}: tracing changed the outcome fingerprint "
-                    f"(untraced {plain} != traced {traced})")
-            if plain["outcome"] == "ok":
+            violations.extend(shard["violations"])
+            merged.merge(shard["metrics"])
+            outcome = shard["outcome"]
+            if outcome["outcome"] == "ok":
                 ok_runs += 1
-            elif plain["outcome"] == "delivery-error":
+            elif outcome["outcome"] == "delivery-error":
                 delivery_errors += 1
-            results[strategy.label] = plain
+            results[label] = outcome
         scenarios.append({
             "index": index,
-            "plan": plan.describe(),
+            "plan": plans[index].describe(),
             "msg_elems": MSG_ELEMS[index % len(MSG_ELEMS)],
             "results": results,
         })
@@ -242,6 +336,7 @@ def run_chaos(seed: int = 0, smoke: bool = False) -> Dict[str, Any]:
         "scenarios": scenarios,
         "violations": violations,
         "ok": not violations,
+        "metrics": merged.to_dict(),
         "summary": {
             "runs": runs,
             "ok": ok_runs,
@@ -261,10 +356,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                              "function of it)")
     parser.add_argument("--smoke", action="store_true",
                         help="small sweep (3 scenarios instead of 6)")
+    parser.add_argument("-j", "--jobs", type=int, default=None,
+                        help="worker processes for the sweep (default: "
+                             "$REPRO_JOBS or serial); the report is "
+                             "byte-identical at any value")
+    parser.add_argument("--cache", action="store_true",
+                        help="cache shard results on disk under "
+                             "$REPRO_CACHE_DIR or .repro-cache/")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="cache shard results under DIR (implies "
+                             "--cache)")
     parser.add_argument("-o", "--output", default=None,
                         help="write the JSON report here (default stdout)")
     args = parser.parse_args(argv)
-    report = run_chaos(seed=args.seed, smoke=args.smoke)
+    cache = None
+    if args.cache or args.cache_dir:
+        cache = ResultCache(directory=args.cache_dir or default_cache_dir())
+    report = run_chaos(seed=args.seed, smoke=args.smoke, jobs=args.jobs,
+                       cache=cache)
     text = json.dumps(report, indent=2, sort_keys=True)
     if args.output:
         with open(args.output, "w") as fh:

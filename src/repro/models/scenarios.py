@@ -23,6 +23,8 @@ from repro.models.strategies import (
     model_label,
 )
 from repro.models.vectorized import SummaryBatch
+from repro.par.cache import ResultCache, cache_key
+from repro.par.executor import sweep_map
 
 
 @dataclass(frozen=True)
@@ -137,6 +139,42 @@ def sweep_scenario(machine: MachineSpec, scenario: Scenario,
             batch, dup_fraction=scenario.dup_fraction)
         for model in models
     }
+
+
+def _sweep_scenario_shard(spec) -> Dict[str, np.ndarray]:
+    """Module-level worker for :func:`sweep_scenarios` (picklable)."""
+    machine, scenario, sizes = spec
+    return sweep_scenario(machine, scenario, np.asarray(sizes,
+                                                        dtype=np.float64))
+
+
+def scenario_sweep_key(machine: MachineSpec, scenario: Scenario,
+                       sizes: Sequence[float]) -> str:
+    """Content hash of one scenario sweep (default model registry)."""
+    return cache_key("scenario-sweep", machine=machine, scenario=scenario,
+                     sizes=np.asarray(sizes, dtype=np.float64))
+
+
+def sweep_scenarios(machine: MachineSpec, scenarios: Sequence[Scenario],
+                    sizes: Sequence[float],
+                    jobs: Optional[int] = None,
+                    cache: Optional[ResultCache] = None,
+                    ) -> List[Dict[str, np.ndarray]]:
+    """:func:`sweep_scenario` over many scenarios, optionally fanned out.
+
+    Returns one ``{strategy label: times}`` dict per scenario, aligned
+    with ``scenarios`` and bit-identical to the serial loop at any
+    ``jobs`` value (ordered gather).  ``cache`` skips scenarios whose
+    (machine, scenario, sizes) content hash already has a result.
+    Always evaluates the default model registry — callers needing a
+    custom model list use :func:`sweep_scenario` directly.
+    """
+    sizes = np.asarray(sizes, dtype=np.float64)
+    tasks = [(machine, sc, sizes) for sc in scenarios]
+    return sweep_map(
+        _sweep_scenario_shard, tasks, jobs=jobs, cache=cache,
+        key_fn=(lambda t: scenario_sweep_key(t[0], t[1], t[2]))
+        if cache is not None else None)
 
 
 def best_strategy_sweep(machine: MachineSpec, scenario: Scenario,

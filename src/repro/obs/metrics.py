@@ -131,6 +131,29 @@ class Histogram:
             "p99": self.percentile(99),
         }
 
+    def merge_dict(self, snapshot: Dict[str, object]) -> None:
+        """Absorb a :meth:`to_dict` snapshot (same bucket bounds).
+
+        Bucket counts, totals and extrema combine exactly; merging the
+        same snapshots in the same order is therefore deterministic —
+        the property the parallel sweep executor relies on when folding
+        per-worker registries back into the parent in task order.
+        """
+        bounds = [float(b) for b in snapshot["buckets"]]  # type: ignore
+        if bounds != self.bounds:
+            raise ValueError(
+                f"histogram bucket mismatch: have {self.bounds}, "
+                f"snapshot has {bounds}")
+        counts = snapshot["counts"]
+        for i, n in enumerate(counts):  # type: ignore[arg-type]
+            self.counts[i] += int(n)
+        n_new = int(snapshot["count"])  # type: ignore[arg-type]
+        if n_new:
+            self.count += n_new
+            self.total += float(snapshot["sum"])  # type: ignore[arg-type]
+            self.vmin = min(self.vmin, float(snapshot["min"]))  # type: ignore
+            self.vmax = max(self.vmax, float(snapshot["max"]))  # type: ignore
+
 
 class MetricsRegistry:
     """Named metric instruments with get-or-create access.
@@ -189,3 +212,33 @@ class MetricsRegistry:
             "histograms": {k: h.to_dict()
                            for k, h in sorted(self._histograms.items())},
         }
+
+    def merge(self, snapshot: Dict[str, object]) -> None:
+        """Fold a :meth:`to_dict` snapshot into this registry.
+
+        Counters add, gauges take the snapshot's value (last write
+        wins), histograms combine bucket-wise via
+        :meth:`Histogram.merge_dict`.  This is how per-worker registries
+        from a parallel sweep are re-absorbed: merging snapshots in task
+        order produces the same registry as observing everything
+        in-process in that order.
+        """
+        if snapshot.get("schema") != SCHEMA:
+            raise ValueError(
+                f"cannot merge metrics snapshot with schema "
+                f"{snapshot.get('schema')!r} (expected {SCHEMA})")
+        for name, value in snapshot.get("counters", {}).items():  # type: ignore[union-attr]
+            self.counter(name).inc(int(value))
+        for name, value in snapshot.get("gauges", {}).items():  # type: ignore[union-attr]
+            self.gauge(name).set(float(value))
+        for name, hist in snapshot.get("histograms", {}).items():  # type: ignore[union-attr]
+            self.histogram(name, hist["buckets"]).merge_dict(hist)
+
+
+def merge_snapshots(snapshots: Sequence[Dict[str, object]]
+                    ) -> Dict[str, object]:
+    """Merge metrics snapshots (in order) into one combined snapshot."""
+    merged = MetricsRegistry()
+    for snapshot in snapshots:
+        merged.merge(snapshot)
+    return merged.to_dict()

@@ -162,6 +162,32 @@ class MemoryTracer(NullTracer):
     def spans_on(self, track: str) -> List[SpanRecord]:
         return [s for s in self.spans if s.track == track]
 
+    # -- cross-process merging ------------------------------------------------
+    def to_payload(self) -> Dict[str, list]:
+        """Picklable snapshot of all records (for worker -> parent IPC).
+
+        Record dataclasses are already picklable; the payload is a plain
+        dict so it can also round-trip through JSON-ish transports.
+        """
+        return {
+            "spans": list(self.spans),
+            "instants": list(self.instants),
+            "counters": list(self.counters),
+        }
+
+    def extend(self, payload: "MemoryTracer | Dict[str, list]") -> None:
+        """Append another tracer's records (or a :meth:`to_payload`).
+
+        The parallel sweep executor uses this to fold per-worker traces
+        back into the parent tracer; appending payloads in task order
+        reproduces the record order of an in-process serial run.
+        """
+        if isinstance(payload, MemoryTracer):
+            payload = payload.to_payload()
+        self.spans.extend(payload.get("spans", ()))
+        self.instants.extend(payload.get("instants", ()))
+        self.counters.extend(payload.get("counters", ()))
+
 
 # ---------------------------------------------------------------------------
 # Phase-span helpers (used by RankContext.phase)

@@ -1,0 +1,45 @@
+"""Parallel sweep execution and content-addressed result caching.
+
+:func:`~repro.par.executor.sweep_map` fans independent shard
+evaluations over a process pool with deterministic sharding and an
+ordered gather (results bit-identical to serial order at any worker
+count); :class:`~repro.par.cache.ResultCache` skips shards whose inputs
+hash to an already-computed result.  See ``docs/api.md`` ("Parallel
+sweeps & result cache").
+"""
+
+from repro.par.cache import (
+    CACHE_SCHEMA,
+    DEFAULT_CACHE_DIR,
+    ENV_CACHE_DIR,
+    ResultCache,
+    cache_key,
+    default_cache_dir,
+    stable_fingerprint,
+)
+from repro.par.executor import (
+    ENV_JOBS,
+    ENV_START_METHOD,
+    SweepStats,
+    default_start_method,
+    resolve_jobs,
+    shard_tasks,
+    sweep_map,
+)
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "DEFAULT_CACHE_DIR",
+    "ENV_CACHE_DIR",
+    "ENV_JOBS",
+    "ENV_START_METHOD",
+    "ResultCache",
+    "SweepStats",
+    "cache_key",
+    "default_cache_dir",
+    "default_start_method",
+    "resolve_jobs",
+    "shard_tasks",
+    "stable_fingerprint",
+    "sweep_map",
+]

@@ -1,0 +1,225 @@
+"""Content-addressed result cache for sweep shards.
+
+A sweep shard (one chaos scenario x strategy run, one figure panel, one
+scenario model sweep, ...) is a pure function of its inputs: machine
+constants, pattern content, strategy label, seed and fault plan.  The
+cache keys shards by a **stable content hash** of exactly those inputs
+plus :data:`CACHE_SCHEMA` (the "code version" component — bump it when
+simulator semantics change and every stale entry invalidates at once).
+
+Two tiers:
+
+* an **in-memory** dict, always on — repeated sweeps inside one process
+  (e.g. the perf suite's warm-cache arm) hit it for free;
+* an optional **on-disk** tier (``directory=...``), one pickle file per
+  key under ``<dir>/<key[:2]>/<key>.pkl`` with atomic writes, so
+  re-running a figure grid or chaos sweep across processes skips
+  completed shards.  The default location is ``.repro-cache/`` (or
+  ``$REPRO_CACHE_DIR``); both are gitignored.
+
+Keys are built with :func:`cache_key`, values must be picklable.  The
+disk tier is written by the *parent* process only (the executor gathers
+results first), so no cross-process write coordination is needed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import os
+import pickle
+import struct
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+#: cache schema / code version — part of every key; bump to invalidate
+#: all previously stored shard results (e.g. when simulator cost
+#: semantics change in a way that alters shard outputs).
+CACHE_SCHEMA = 1
+
+#: environment variable overriding the default on-disk cache location
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+
+#: default on-disk tier location (relative to the working directory)
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def default_cache_dir() -> str:
+    """Resolve the on-disk tier directory (env override or default)."""
+    return os.environ.get(ENV_CACHE_DIR) or DEFAULT_CACHE_DIR
+
+
+# ---------------------------------------------------------------------------
+# Stable fingerprinting
+# ---------------------------------------------------------------------------
+def _encode(obj: Any) -> Iterator[bytes]:
+    """Yield a canonical, type-tagged byte encoding of ``obj``.
+
+    Collision-resistant across types (every value is tagged), stable
+    across processes and Python versions (no ``hash()``, no ``repr`` of
+    floats), and insensitive to dict insertion order.
+    """
+    if obj is None:
+        yield b"N"
+    elif isinstance(obj, bool):
+        yield b"b1" if obj else b"b0"
+    elif isinstance(obj, int):
+        yield b"i" + str(obj).encode()
+    elif isinstance(obj, float):
+        yield b"f" + struct.pack(">d", obj)
+    elif isinstance(obj, str):
+        raw = obj.encode("utf-8")
+        yield b"s" + str(len(raw)).encode() + b":" + raw
+    elif isinstance(obj, bytes):
+        yield b"y" + str(len(obj)).encode() + b":" + obj
+    elif isinstance(obj, enum.Enum):
+        yield b"e" + type(obj).__name__.encode() + b"." + obj.name.encode()
+    elif isinstance(obj, np.ndarray):
+        arr = np.ascontiguousarray(obj)
+        yield (b"a" + arr.dtype.str.encode() + b"|"
+               + str(arr.shape).encode() + b"|")
+        yield arr.tobytes()
+    elif isinstance(obj, np.generic):
+        yield from _encode(obj.item())
+    elif isinstance(obj, (list, tuple)):
+        yield b"(" if isinstance(obj, tuple) else b"["
+        for item in obj:
+            yield from _encode(item)
+            yield b","
+        yield b")" if isinstance(obj, tuple) else b"]"
+    elif isinstance(obj, (set, frozenset)):
+        yield b"{"
+        for blob in sorted(b"".join(_encode(item)) for item in obj):
+            yield blob
+            yield b","
+        yield b"}"
+    elif isinstance(obj, dict):
+        yield b"<"
+        pairs = sorted(
+            (b"".join(_encode(k)), b"".join(_encode(v)))
+            for k, v in obj.items()
+        )
+        for kb, vb in pairs:
+            yield kb + b"=" + vb + b";"
+        yield b">"
+    elif dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        yield b"D" + type(obj).__qualname__.encode() + b"("
+        for f in dataclasses.fields(obj):
+            yield f.name.encode() + b"="
+            yield from _encode(getattr(obj, f.name))
+            yield b","
+        yield b")"
+    else:
+        raise TypeError(
+            f"cannot fingerprint {type(obj).__name__!r} value {obj!r}; "
+            f"pass plain data (numbers, strings, arrays, dataclasses, "
+            f"containers)")
+
+
+def stable_fingerprint(obj: Any) -> str:
+    """SHA-256 hex digest of the canonical encoding of ``obj``."""
+    h = hashlib.sha256()
+    for chunk in _encode(obj):
+        h.update(chunk)
+    return h.hexdigest()
+
+
+def cache_key(kind: str, **parts: Any) -> str:
+    """Content hash of one shard's inputs.
+
+    ``kind`` namespaces the shard family (``"chaos-shard"``,
+    ``"fig4_3-panel"``, ...); ``parts`` are the inputs the shard is a
+    pure function of.  :data:`CACHE_SCHEMA` is always mixed in, so
+    bumping it invalidates every existing entry.
+    """
+    return stable_fingerprint({
+        "kind": kind,
+        "schema": CACHE_SCHEMA,
+        "parts": parts,
+    })
+
+
+# ---------------------------------------------------------------------------
+# The cache proper
+# ---------------------------------------------------------------------------
+class ResultCache:
+    """Two-tier (memory + optional disk) content-addressed result store.
+
+    Parameters
+    ----------
+    directory:
+        On-disk tier root.  ``None`` disables the disk tier (memory
+        only); pass :func:`default_cache_dir` for the standard
+        ``.repro-cache/`` location.
+
+    Counters (``hits``, ``misses``, ``stores``, ``disk_hits``) make
+    cache behaviour assertable in tests: a warm re-run of a sweep must
+    show ``misses == 0``.
+    """
+
+    def __init__(self, directory: Optional[str] = None) -> None:
+        self.directory = directory
+        self._memory: Dict[str, Any] = {}
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.disk_hits = 0
+
+    @classmethod
+    def with_disk(cls, directory: Optional[str] = None) -> "ResultCache":
+        """A cache whose disk tier lives at ``directory`` (or default)."""
+        return cls(directory=directory or default_cache_dir())
+
+    def _path(self, key: str) -> str:
+        assert self.directory is not None
+        return os.path.join(self.directory, key[:2], key + ".pkl")
+
+    def lookup(self, key: str) -> Tuple[bool, Any]:
+        """``(hit, value)`` — value is ``None`` on a miss."""
+        if key in self._memory:
+            self.hits += 1
+            return True, self._memory[key]
+        if self.directory is not None:
+            path = self._path(key)
+            try:
+                with open(path, "rb") as fh:
+                    value = pickle.load(fh)
+            except (OSError, pickle.PickleError, EOFError,
+                    AttributeError, ImportError):
+                pass  # absent or unreadable -> miss (recomputed below)
+            else:
+                self._memory[key] = value
+                self.hits += 1
+                self.disk_hits += 1
+                return True, value
+        self.misses += 1
+        return False, None
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` in both tiers (atomic disk write)."""
+        self._memory[key] = value
+        self.stores += 1
+        if self.directory is not None:
+            path = self._path(key)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            tmp = path + f".tmp.{os.getpid()}"
+            with open(tmp, "wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def clear_memory(self) -> None:
+        """Drop the in-memory tier (disk entries survive)."""
+        self._memory.clear()
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "disk_hits": self.disk_hits,
+        }

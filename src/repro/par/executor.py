@@ -1,0 +1,175 @@
+"""Parallel sweep executor: deterministic fan-out over process pools.
+
+Every expensive entry point in the repro (chaos sweeps, figure grids,
+the SpMV suite, scenario model sweeps, the perf suite) is a loop over
+**independent, pure** shard evaluations.  :func:`sweep_map` is the one
+fan-out primitive they all share:
+
+* **Serial fallback** — at ``jobs=1`` it is a plain in-process loop: no
+  pool, no pickling, no extra allocation, so existing golden outputs
+  stay bit-exact and single-core runs pay nothing.
+* **Deterministic sharding** — tasks are split into *contiguous* chunks
+  by :func:`shard_tasks` (a pure function of ``(n, jobs, chunk_size)``),
+  so the work distribution never depends on scheduler timing.
+* **Ordered gather** — results are re-assembled by task index, so the
+  output list is **bit-identical** to the serial order regardless of
+  worker count or completion order.
+* **Spawn-safe** — the shard function must be a module-level callable
+  and every task spec picklable; the pool start method defaults to the
+  cheapest available (``fork`` on POSIX) but honours
+  ``$REPRO_START_METHOD`` and the ``start_method=`` argument, and the
+  test suite pins ``spawn`` compatibility.
+* **Content-addressed caching** — pass a
+  :class:`~repro.par.cache.ResultCache` plus a ``key_fn``; cache hits
+  skip evaluation entirely and only misses are fanned out.  The parent
+  writes results back to the cache after the ordered gather, so the
+  disk tier needs no cross-process locking.
+
+Worker count resolution (:func:`resolve_jobs`): explicit ``jobs``
+argument, else ``$REPRO_JOBS``, else 1.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+#: environment variable supplying the default worker count
+ENV_JOBS = "REPRO_JOBS"
+
+#: environment variable overriding the multiprocessing start method
+ENV_START_METHOD = "REPRO_START_METHOD"
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Resolve a worker count: argument > ``$REPRO_JOBS`` > 1."""
+    if jobs is None or jobs == 0:
+        env = os.environ.get(ENV_JOBS, "").strip()
+        if not env:
+            return 1
+        try:
+            jobs = int(env)
+        except ValueError:
+            raise ValueError(
+                f"${ENV_JOBS} must be a positive integer, got {env!r}"
+            ) from None
+    if not isinstance(jobs, int) or isinstance(jobs, bool) or jobs < 1:
+        raise ValueError(f"jobs must be a positive integer, got {jobs!r}")
+    return jobs
+
+
+def default_start_method() -> str:
+    """Cheapest safe start method (env override > fork > spawn)."""
+    env = os.environ.get(ENV_START_METHOD, "").strip()
+    if env:
+        return env
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+def shard_tasks(n: int, jobs: int,
+                chunk_size: Optional[int] = None) -> List[Tuple[int, int]]:
+    """Deterministic contiguous ``[start, stop)`` chunks covering ``n``.
+
+    The default chunk size targets ~4 chunks per worker — small enough
+    to balance uneven shard costs, large enough to amortize pickling —
+    and depends only on ``(n, jobs, chunk_size)``, never on timing.
+    """
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    if n == 0:
+        return []
+    if chunk_size is None:
+        chunk_size = max(1, -(-n // (4 * max(jobs, 1))))
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    return [(lo, min(lo + chunk_size, n)) for lo in range(0, n, chunk_size)]
+
+
+@dataclass
+class SweepStats:
+    """Observability of one :func:`sweep_map` call (filled in place)."""
+
+    tasks: int = 0          # total shards requested
+    executed: int = 0       # shards actually evaluated (cache misses)
+    cache_hits: int = 0     # shards served from the cache
+    jobs: int = 0           # resolved worker count
+    chunks: int = 0         # work units submitted to the pool (0 = serial)
+    obs_payloads: List[Any] = field(default_factory=list)
+
+
+def _run_chunk(fn: Callable[[Any], Any],
+               chunk: List[Tuple[int, Any]]) -> List[Tuple[int, Any]]:
+    """Worker body: evaluate one contiguous chunk of (index, task)."""
+    return [(index, fn(task)) for index, task in chunk]
+
+
+def sweep_map(fn: Callable[[Any], Any], tasks: Sequence[Any],
+              jobs: Optional[int] = None, *,
+              cache: Optional[Any] = None,
+              key_fn: Optional[Callable[[Any], str]] = None,
+              chunk_size: Optional[int] = None,
+              start_method: Optional[str] = None,
+              stats: Optional[SweepStats] = None) -> List[Any]:
+    """``[fn(t) for t in tasks]`` with optional fan-out and caching.
+
+    The result list is always in task order and bit-identical across
+    worker counts (``fn`` must be a pure function of its task).  With
+    ``jobs > 1``, ``fn`` must be module-level and each task picklable.
+    Exceptions raised by ``fn`` propagate to the caller (the pool is
+    shut down first).
+    """
+    tasks = list(tasks)
+    jobs = resolve_jobs(jobs)
+    results: List[Any] = [None] * len(tasks)
+    keys: List[Optional[str]] = [None] * len(tasks)
+    pending: List[Tuple[int, Any]] = []
+    if cache is not None:
+        if key_fn is None:
+            raise ValueError("cache requires a key_fn")
+        for index, task in enumerate(tasks):
+            key = key_fn(task)
+            keys[index] = key
+            hit, value = cache.lookup(key)
+            if hit:
+                results[index] = value
+            else:
+                pending.append((index, task))
+    else:
+        pending = list(enumerate(tasks))
+
+    if stats is not None:
+        stats.tasks = len(tasks)
+        stats.executed = len(pending)
+        stats.cache_hits = len(tasks) - len(pending)
+        stats.jobs = jobs
+        stats.chunks = 0
+
+    if jobs == 1 or len(pending) <= 1:
+        for index, task in pending:
+            results[index] = fn(task)
+    else:
+        spans = shard_tasks(len(pending), jobs, chunk_size)
+        chunks = [pending[lo:hi] for lo, hi in spans]
+        if stats is not None:
+            stats.chunks = len(chunks)
+        ctx = multiprocessing.get_context(
+            start_method or default_start_method())
+        workers = min(jobs, len(chunks))
+        with ProcessPoolExecutor(max_workers=workers,
+                                 mp_context=ctx) as pool:
+            futures = [pool.submit(_run_chunk, fn, chunk)
+                       for chunk in chunks]
+            # Gather in submission order: completion order is
+            # irrelevant because every result lands at its task index.
+            for future in futures:
+                for index, value in future.result():
+                    results[index] = value
+
+    if cache is not None:
+        for index, _task in pending:
+            cache.put(keys[index], results[index])
+    return results

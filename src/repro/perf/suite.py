@@ -18,25 +18,35 @@ Five workloads cover the layers the optimisation work targets:
     A message-heavy alltoall exchange with the default
     :class:`~repro.obs.tracer.NullTracer` — guards the pay-for-what-
     you-use contract of :mod:`repro.obs` (tracing off must cost ~0).
+``sweep_parallel``
+    The chaos-smoke sweep through :func:`repro.par.sweep_map` — serial,
+    fanned out over workers, and warm-cache — reporting the parallel
+    and cached speedups over the serial baseline (and asserting all
+    three reports stay byte-identical).
 
-Each workload reports its wall clock (best of ``repeats``) plus a
-throughput metric (virtual events/sec, simulated messages/sec or model
-evaluations/sec).  All workloads run the simulator with fixed seeds, so
-the *virtual* results are deterministic; only the wall clock varies.
+Each workload reports its wall clock (best and median of ``repeats``)
+plus a throughput metric (virtual events/sec, simulated messages/sec or
+model evaluations/sec).  All workloads run the simulator with fixed
+seeds, so the *virtual* results are deterministic; only the wall clock
+varies.
 """
 
 from __future__ import annotations
 
 import json
 import platform
+import statistics
 import time
 from dataclasses import asdict, dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
-#: report schema version (bump when fields change meaning)
-SCHEMA = 1
+#: report schema version (bump when fields change meaning).
+#: Schema 2 adds ``wall_median_s`` per workload (``wall_s`` keeps its
+#: schema-1 best-of-repeats meaning) and the ``sweep_parallel``
+#: workload, whose ``speedup_*`` metrics carry no ``_per_s`` companion.
+SCHEMA = 2
 
 
 @dataclass
@@ -46,12 +56,30 @@ class WorkloadResult:
     name: str
     wall_s: float              # best-of-repeats wall clock [s]
     repeats: int
+    wall_median_s: float = 0.0  # median-of-repeats wall clock [s]
     metrics: Dict[str, float] = field(default_factory=dict)
 
     @property
     def summary(self) -> str:
         extra = ", ".join(f"{k}={v:,.0f}" for k, v in self.metrics.items())
-        return f"{self.name:12s} {self.wall_s * 1e3:9.1f} ms   {extra}"
+        return f"{self.name:14s} {self.wall_s * 1e3:9.1f} ms   {extra}"
+
+
+def _find_strategy(label: str):
+    """Strategy implementation by label, with a diagnosable failure.
+
+    A bare ``next(...)`` over the registry raises an opaque
+    ``StopIteration`` when the label is missing; this lookup names the
+    label and every available strategy instead.
+    """
+    from repro.core import all_strategies
+
+    strategies = {s.label: s for s in all_strategies()}
+    if label not in strategies:
+        raise ValueError(
+            f"unknown strategy {label!r}; available: "
+            f"{sorted(strategies)}")
+    return strategies[label]
 
 
 # ---------------------------------------------------------------------------
@@ -94,7 +122,6 @@ def _pingpong_workload(iterations: int,
 
 
 def _spmv_workload(matrix_n: int, reps: int) -> Callable[[], Dict[str, float]]:
-    from repro.core import all_strategies
     from repro.sparse.distributed import DistributedCSR
     from repro.sparse.suite import SUITE
 
@@ -103,8 +130,7 @@ def _spmv_workload(matrix_n: int, reps: int) -> Callable[[], Dict[str, float]]:
     matrix = SUITE["audikw_1"].build(matrix_n)
     dist = DistributedCSR(matrix, num_gpus=8)
     v = np.random.default_rng(5).standard_normal(dist.n)
-    strategy = next(s for s in all_strategies()
-                    if s.label == "Standard (staged)")
+    strategy = _find_strategy("Standard (staged)")
 
     def run() -> Dict[str, float]:
         from repro.machine.presets import lassen
@@ -121,27 +147,80 @@ def _spmv_workload(matrix_n: int, reps: int) -> Callable[[], Dict[str, float]]:
 
 
 def _scenario_workload(n_sizes: int,
-                       dup_fractions: Tuple[float, ...]
+                       dup_fractions: Tuple[float, ...],
+                       jobs: Optional[int] = None
                        ) -> Callable[[], Dict[str, float]]:
     def run() -> Dict[str, float]:
         from repro.machine.presets import lassen
         from repro.models.scenarios import (
             PAPER_SCENARIOS,
             Scenario,
-            sweep_scenario,
+            sweep_scenarios,
         )
 
         machine = lassen()
         sizes = np.logspace(0, 7, n_sizes)
-        evals = 0
-        for base in PAPER_SCENARIOS:
-            for dup in dup_fractions:
-                sc = Scenario(num_dest_nodes=base.num_dest_nodes,
+        scenarios = [Scenario(num_dest_nodes=base.num_dest_nodes,
                               num_messages=base.num_messages,
                               dup_fraction=dup)
-                out = sweep_scenario(machine, sc, sizes)
-                evals += len(out) * n_sizes
+                     for base in PAPER_SCENARIOS
+                     for dup in dup_fractions]
+        swept = sweep_scenarios(machine, scenarios, sizes, jobs=jobs)
+        evals = sum(len(out) * n_sizes for out in swept)
         return {"evals": evals}
+
+    return run
+
+
+def _sweep_parallel_workload(par_jobs: int) -> Callable[[], Dict[str, float]]:
+    """Chaos-smoke sweep: serial vs ``par_jobs`` workers vs warm cache.
+
+    Measures the sweep executor end to end on a real workload and
+    asserts all three reports are byte-identical before reporting
+    ``speedup_parallel`` (cold, ``--jobs par_jobs``) and
+    ``speedup_cached`` (warm on-disk cache) over the serial baseline.
+    On an N-core host the parallel speedup approaches
+    ``min(par_jobs, N)``; the cached speedup is core-independent.
+    """
+
+    def run() -> Dict[str, float]:
+        import shutil
+        import tempfile
+
+        from repro.faults.chaos import run_chaos
+        from repro.par.cache import ResultCache
+
+        t0 = time.perf_counter()
+        base = run_chaos(seed=0, smoke=True, jobs=1)
+        t_serial = time.perf_counter() - t0
+
+        tmpdir = tempfile.mkdtemp(prefix="repro-sweep-bench-")
+        try:
+            t0 = time.perf_counter()
+            cold = run_chaos(seed=0, smoke=True, jobs=par_jobs,
+                             cache=ResultCache(directory=tmpdir))
+            t_parallel = time.perf_counter() - t0
+
+            warm_cache = ResultCache(directory=tmpdir)
+            t0 = time.perf_counter()
+            warm = run_chaos(seed=0, smoke=True, jobs=par_jobs,
+                             cache=warm_cache)
+            t_warm = time.perf_counter() - t0
+        finally:
+            shutil.rmtree(tmpdir, ignore_errors=True)
+
+        if cold != base or warm != base:
+            raise AssertionError(
+                "parallel/cached chaos reports diverged from serial")
+        if warm_cache.misses:
+            raise AssertionError(
+                f"warm cache re-ran {warm_cache.misses} shards")
+        return {
+            "shards": float(base["summary"]["runs"]),
+            "jobs": float(par_jobs),
+            "speedup_parallel": t_serial / t_parallel,
+            "speedup_cached": t_serial / t_warm,
+        }
 
     return run
 
@@ -175,53 +254,75 @@ def _obs_overhead_workload(nodes: int, block: int,
     return run
 
 
-def default_workloads(smoke: bool = False
+def default_workloads(smoke: bool = False, jobs: Optional[int] = None
                       ) -> List[Tuple[str, Callable[[], Dict[str, float]], int]]:
-    """(name, workload, repeats) triples for the standard suite."""
+    """(name, workload, repeats) triples for the standard suite.
+
+    ``jobs`` is threaded into the parallel-capable workloads; the
+    ``sweep_parallel`` comparison arm uses ``jobs`` when it implies real
+    fan-out, else 4 workers.
+    """
+    par_jobs = jobs if jobs is not None and jobs > 1 else 4
     if smoke:
         return [
             ("engine", _engine_workload(procs=20, timeouts=100), 1),
             ("pingpong", _pingpong_workload(iterations=1, n_points=3), 1),
             ("spmv", _spmv_workload(matrix_n=1000, reps=1), 1),
-            ("scenarios", _scenario_workload(16, (0.0,)), 1),
+            ("scenarios", _scenario_workload(16, (0.0,), jobs=jobs), 1),
             ("obs_overhead", _obs_overhead_workload(nodes=2, block=32,
                                                     reps=1), 1),
+            ("sweep_parallel", _sweep_parallel_workload(par_jobs), 1),
         ]
     return [
         ("engine", _engine_workload(procs=200, timeouts=500), 3),
         ("pingpong", _pingpong_workload(iterations=2, n_points=10), 3),
         ("spmv", _spmv_workload(matrix_n=4000, reps=3), 3),
-        ("scenarios", _scenario_workload(64, (0.0, 0.25)), 3),
+        ("scenarios", _scenario_workload(64, (0.0, 0.25), jobs=jobs), 3),
         ("obs_overhead", _obs_overhead_workload(nodes=4, block=256,
                                                 reps=3), 3),
+        ("sweep_parallel", _sweep_parallel_workload(par_jobs), 2),
     ]
 
 
 # ---------------------------------------------------------------------------
 # Harness
 # ---------------------------------------------------------------------------
-def run_suite(smoke: bool = False, verbose: bool = True
+def run_suite(smoke: bool = False, verbose: bool = True,
+              repeats: Optional[int] = None, jobs: Optional[int] = None
               ) -> List[WorkloadResult]:
-    """Run the suite, best-of-``repeats`` per workload."""
+    """Run the suite; ``wall_s`` is best-of-repeats, plus the median.
+
+    ``repeats`` overrides every workload's default repeat count (more
+    repeats tighten the min/median against scheduler noise); ``jobs``
+    is forwarded to parallel-capable workloads.
+    """
+    if repeats is not None and repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
     results: List[WorkloadResult] = []
-    for name, workload, repeats in default_workloads(smoke=smoke):
-        best = float("inf")
+    for name, workload, default_reps in default_workloads(smoke=smoke,
+                                                          jobs=jobs):
+        reps = repeats if repeats is not None else default_reps
+        walls: List[float] = []
         metrics: Dict[str, float] = {}
-        for _ in range(repeats):
+        for _ in range(reps):
             t0 = time.perf_counter()
             metrics = workload()
-            elapsed = time.perf_counter() - t0
-            best = min(best, elapsed)
+            walls.append(time.perf_counter() - t0)
+        best = min(walls)
         for key, value in list(metrics.items()):
-            metrics[f"{key}_per_s"] = value / best if best > 0 else 0.0
-        result = WorkloadResult(name=name, wall_s=best, repeats=repeats,
+            # ratios and configuration values get no per-second
+            # companion — only volume-like counts do
+            if "speedup" not in key and key != "jobs":
+                metrics[f"{key}_per_s"] = value / best if best > 0 else 0.0
+        result = WorkloadResult(name=name, wall_s=best, repeats=reps,
+                                wall_median_s=statistics.median(walls),
                                 metrics=metrics)
         results.append(result)
         if verbose:
             print(result.summary)
     if verbose:
         total = sum(r.wall_s for r in results)
-        print(f"{'total':12s} {total * 1e3:9.1f} ms")
+        print(f"{'total':14s} {total * 1e3:9.1f} ms")
     return results
 
 
@@ -244,7 +345,8 @@ def write_report(results: List[WorkloadResult], path: str,
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI body for ``python -m repro perf [--smoke] [-o OUT.json]``."""
+    """CLI body for ``python -m repro perf [--smoke] [--repeats N]
+    [--jobs N] [-o OUT.json]``."""
     import argparse
 
     parser = argparse.ArgumentParser(
@@ -252,10 +354,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         description="Run the simulator performance micro-suite.")
     parser.add_argument("--smoke", action="store_true",
                         help="tiny workloads (CI wiring check, ~1 s)")
+    parser.add_argument("-r", "--repeats", type=int, default=None,
+                        help="override per-workload repeats; min/median "
+                             "wall times are reported")
+    parser.add_argument("-j", "--jobs", type=int, default=None,
+                        help="worker processes for parallel-capable "
+                             "workloads (default: $REPRO_JOBS or serial)")
     parser.add_argument("-o", "--output", default="BENCH_repro.json",
                         help="report path (default: %(default)s)")
     args = parser.parse_args(argv)
-    results = run_suite(smoke=args.smoke)
+    results = run_suite(smoke=args.smoke, repeats=args.repeats,
+                        jobs=args.jobs)
     write_report(results, args.output, smoke=args.smoke)
     print(f"wrote {args.output}")
     return 0

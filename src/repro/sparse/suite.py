@@ -22,7 +22,7 @@ Geo_1438        1,437,960   60.24 M    wide-band geomechanical FEM
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Tuple
+from typing import Callable, Dict
 
 import scipy.sparse as sp
 
@@ -147,3 +147,96 @@ def build_suite_matrix(name: str, n: int = 0) -> sp.csr_matrix:
             f"unknown suite matrix {name!r}; available: {sorted(SUITE)}"
         ) from None
     return entry.build(n)
+
+
+# ---------------------------------------------------------------------------
+# Parallel suite sweep (the Figure 5.1 measurement loop)
+# ---------------------------------------------------------------------------
+def matrix_fingerprint(matrix: sp.csr_matrix) -> str:
+    """Stable content hash of a CSR matrix (for sweep cache keys)."""
+    from repro.par.cache import stable_fingerprint
+
+    csr = matrix.tocsr()
+    return stable_fingerprint({
+        "shape": tuple(int(s) for s in csr.shape),
+        "data": csr.data,
+        "indices": csr.indices,
+        "indptr": csr.indptr,
+    })
+
+
+def measure_matrix_panel(spec) -> Dict[str, object]:
+    """One Figure-5.1 panel: every strategy at every GPU count.
+
+    ``spec = (machine, matrix, gpu_counts, ppn, noise_sigma, seed)`` —
+    module-level and picklable so panels fan out over a process pool.
+    The matrix is built once in the parent and shipped to the worker;
+    per-GPU-count partitioning and DES runs happen here.  Returns the
+    ``{"gpus", "series", "meta"}`` dict a Figure-5.1 panel renders.
+    """
+    from typing import List as _List
+
+    from repro.core.base import run_exchange
+    from repro.core.selector import all_strategies
+    from repro.mpi.job import SimJob
+    from repro.sparse.distributed import DistributedCSR
+
+    machine, matrix, gpu_counts, ppn, noise_sigma, seed = spec
+    gpn = machine.gpus_per_node
+    series: Dict[str, _List[float]] = {
+        s.label: [] for s in all_strategies()
+    }
+    meta: Dict[int, Dict] = {}
+    for gpus in gpu_counts:
+        nodes = gpus // gpn
+        if nodes < 2:
+            raise ValueError(f"gpu count {gpus} gives < 2 nodes")
+        job = SimJob(machine, num_nodes=nodes, ppn=ppn,
+                     noise_sigma=noise_sigma, seed=seed)
+        dist = DistributedCSR(matrix, num_gpus=gpus)
+        pattern = dist.comm_pattern()
+        summary = pattern.summarize(job.layout)
+        pair = pattern.node_pair_traffic(job.layout)
+        meta[gpus] = {
+            "recv_nodes": summary.num_dest_nodes,
+            "inter_node_bytes": sum(b for _m, b in pair.values()),
+            "inter_node_msgs": sum(m for m, _b in pair.values()),
+        }
+        for strategy in all_strategies():
+            res = run_exchange(job, strategy, pattern)
+            series[strategy.label].append(res.comm_time)
+    return {"gpus": list(gpu_counts), "series": series, "meta": meta}
+
+
+def suite_sweep(machine, matrices=None, gpu_counts=(8, 16, 32, 64),
+                matrix_n: int = 0, ppn: int = 0, noise_sigma: float = 0.0,
+                seed: int = 0, jobs=None, cache=None) -> Dict[str, Dict]:
+    """Measured strategy times per suite matrix, one panel per matrix.
+
+    The measurement loop behind Figure 5.1 — each matrix is one shard
+    (built once in the parent, measured across all GPU counts in a
+    worker), fanned out by :func:`repro.par.sweep_map` and gathered in
+    suite order, so results are bit-identical at any ``jobs`` value.
+    ``cache`` keys panels by matrix content + machine + sweep shape.
+    """
+    from repro.par.cache import cache_key
+    from repro.par.executor import sweep_map
+
+    if matrices is None:
+        matrices = list(SUITE)
+    ppn = ppn or machine.max_ppn
+    built = [(name, SUITE[name].build(matrix_n)) for name in matrices]
+    tasks = [(machine, matrix, tuple(gpu_counts), ppn, noise_sigma, seed)
+             for _name, matrix in built]
+
+    def key_fn(spec):
+        m, matrix, counts, p, sigma, s = spec
+        return cache_key("fig5_1-panel", machine=m,
+                         matrix=matrix_fingerprint(matrix),
+                         gpu_counts=counts, ppn=p, noise_sigma=sigma,
+                         seed=s)
+
+    panels = sweep_map(measure_matrix_panel, tasks, jobs=jobs, cache=cache,
+                       key_fn=key_fn if cache is not None else None)
+    return {name: panel
+            for (name, _matrix), panel in zip(built, panels)}

@@ -12,6 +12,7 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    merge_snapshots,
 )
 
 
@@ -122,3 +123,53 @@ class TestMetricsRegistry:
         assert set(snap["histograms"]) == {"sizes"}
         # round-trips through JSON unchanged
         assert json.loads(json.dumps(snap)) == snap
+
+
+class TestMerge:
+    @staticmethod
+    def _sample(counter=3, gauge=1.5, obs=(4.0, 40.0)):
+        reg = MetricsRegistry()
+        reg.counter("msgs").inc(counter)
+        reg.gauge("util").set(gauge)
+        h = reg.histogram("sizes", buckets=[10.0, 100.0])
+        for v in obs:
+            h.observe(v)
+        return reg
+
+    def test_merge_matches_in_process_observation(self):
+        a = self._sample(counter=3, gauge=1.5, obs=(4.0, 40.0))
+        b = self._sample(counter=5, gauge=2.5, obs=(400.0,))
+        merged = MetricsRegistry()
+        merged.merge(a.to_dict())
+        merged.merge(b.to_dict())
+        direct = self._sample(counter=8, gauge=2.5,
+                              obs=(4.0, 40.0, 400.0))
+        assert merged.to_dict() == direct.to_dict()
+
+    def test_merge_order_determinism(self):
+        snaps = [self._sample(counter=i + 1, obs=(float(i),)).to_dict()
+                 for i in range(4)]
+        assert merge_snapshots(snaps) == merge_snapshots(list(snaps))
+
+    def test_merge_rejects_wrong_schema(self):
+        snap = self._sample().to_dict()
+        snap["schema"] = SCHEMA + 1
+        with pytest.raises(ValueError, match="schema"):
+            MetricsRegistry().merge(snap)
+
+    def test_merge_rejects_bucket_mismatch(self):
+        reg = MetricsRegistry()
+        reg.histogram("sizes", buckets=[1.0])
+        snap = self._sample().to_dict()
+        with pytest.raises(ValueError, match="bucket"):
+            reg.merge(snap)
+
+    def test_empty_histogram_snapshot_is_neutral(self):
+        reg = self._sample()
+        before = reg.to_dict()
+        empty = MetricsRegistry()
+        empty.counter("msgs")
+        empty.gauge("util").set(1.5)  # same value: last write wins
+        empty.histogram("sizes", buckets=[10.0, 100.0])
+        reg.merge(empty.to_dict())
+        assert reg.to_dict() == before

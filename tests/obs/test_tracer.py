@@ -102,3 +102,40 @@ class TestPhaseSpan:
         for _ in range(2):
             with NULL_PHASE as p:
                 assert p is NULL_PHASE
+
+
+class TestPayloadMerge:
+    @staticmethod
+    def _traced(offset):
+        t = MemoryTracer()
+        t.span("rank0", "send", offset, offset + 1.0)
+        t.instant("rank0", "post", offset)
+        t.counter("nic", "bytes", offset, 64.0)
+        return t
+
+    def test_payload_round_trip(self):
+        worker = self._traced(0.0)
+        parent = MemoryTracer()
+        parent.extend(worker.to_payload())
+        assert parent.spans == worker.spans
+        assert parent.instants == worker.instants
+        assert parent.counters == worker.counters
+
+    def test_extend_accepts_tracer_directly(self):
+        parent = MemoryTracer()
+        parent.extend(self._traced(0.0))
+        assert parent.num_records == 3
+
+    def test_extend_in_order_reproduces_serial_record_order(self):
+        serial = MemoryTracer()
+        for off in (0.0, 1.0, 2.0):
+            w = self._traced(off)
+            serial.spans.extend(w.spans)
+            serial.instants.extend(w.instants)
+            serial.counters.extend(w.counters)
+        merged = MemoryTracer()
+        for off in (0.0, 1.0, 2.0):
+            merged.extend(self._traced(off).to_payload())
+        assert merged.spans == serial.spans
+        assert merged.instants == serial.instants
+        assert merged.counters == serial.counters

@@ -1,0 +1,165 @@
+"""Content hashing and the two-tier result cache."""
+
+import os
+import pickle
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+import pytest
+
+from repro.par.cache import (
+    CACHE_SCHEMA,
+    ENV_CACHE_DIR,
+    ResultCache,
+    cache_key,
+    default_cache_dir,
+    stable_fingerprint,
+)
+
+
+@dataclass(frozen=True)
+class _Point:
+    x: float
+    y: int
+
+
+class _Color(Enum):
+    RED = 1
+    BLUE = 2
+
+
+class TestStableFingerprint:
+    def test_stable_across_calls(self):
+        obj = {"a": 1, "b": [1.5, "s", None, True]}
+        assert stable_fingerprint(obj) == stable_fingerprint(obj)
+
+    def test_dict_order_insensitive(self):
+        assert stable_fingerprint({"a": 1, "b": 2}) == \
+            stable_fingerprint({"b": 2, "a": 1})
+
+    def test_type_tags_prevent_cross_type_collisions(self):
+        assert stable_fingerprint(1) != stable_fingerprint(1.0)
+        assert stable_fingerprint(1) != stable_fingerprint("1")
+        assert stable_fingerprint(True) != stable_fingerprint(1)
+        assert stable_fingerprint([1, 2]) != stable_fingerprint((1, 2))
+
+    def test_float_sensitivity(self):
+        assert stable_fingerprint(0.1) != stable_fingerprint(0.1 + 1e-12)
+
+    def test_ndarray_content_and_dtype(self):
+        a = np.arange(6, dtype=np.float64)
+        b = a.copy()
+        assert stable_fingerprint(a) == stable_fingerprint(b)
+        b[3] += 1e-9
+        assert stable_fingerprint(a) != stable_fingerprint(b)
+        assert stable_fingerprint(a) != \
+            stable_fingerprint(a.astype(np.float32))
+        assert stable_fingerprint(a) != \
+            stable_fingerprint(a.reshape(2, 3))
+
+    def test_dataclass_and_enum(self):
+        assert stable_fingerprint(_Point(1.0, 2)) == \
+            stable_fingerprint(_Point(1.0, 2))
+        assert stable_fingerprint(_Point(1.0, 2)) != \
+            stable_fingerprint(_Point(1.0, 3))
+        assert stable_fingerprint(_Color.RED) != \
+            stable_fingerprint(_Color.BLUE)
+
+    def test_machine_spec_fingerprints(self, machine):
+        # The real dataclasses used in sweep keys must hash cleanly.
+        assert stable_fingerprint(machine) == stable_fingerprint(machine)
+
+    def test_unfingerprintable_raises(self):
+        with pytest.raises(TypeError, match="cannot fingerprint"):
+            stable_fingerprint(object())
+
+
+class TestCacheKey:
+    def test_kind_and_parts_distinguish(self):
+        a = cache_key("chaos-shard", seed=0)
+        assert a == cache_key("chaos-shard", seed=0)
+        assert a != cache_key("chaos-shard", seed=1)
+        assert a != cache_key("fig4_3-panel", seed=0)
+
+    def test_schema_is_mixed_in(self, monkeypatch):
+        before = cache_key("k", x=1)
+        monkeypatch.setattr("repro.par.cache.CACHE_SCHEMA",
+                            CACHE_SCHEMA + 1)
+        assert cache_key("k", x=1) != before
+
+
+class TestResultCache:
+    def test_memory_tier_round_trip(self):
+        cache = ResultCache()
+        key = cache_key("t", x=1)
+        assert cache.lookup(key) == (False, None)
+        cache.put(key, {"v": 42})
+        assert cache.lookup(key) == (True, {"v": 42})
+        assert cache.stats() == {"hits": 1, "misses": 1, "stores": 1,
+                                 "disk_hits": 0}
+
+    def test_disk_tier_survives_instances(self, tmp_path):
+        key = cache_key("t", x=2)
+        first = ResultCache(directory=str(tmp_path))
+        first.put(key, np.arange(4))
+        second = ResultCache(directory=str(tmp_path))
+        hit, value = second.lookup(key)
+        assert hit
+        assert np.array_equal(value, np.arange(4))
+        assert second.disk_hits == 1
+        # the disk hit is promoted to memory: no second disk read
+        second.lookup(key)
+        assert second.disk_hits == 1
+        assert second.hits == 2
+
+    def test_disk_layout_is_sharded_by_prefix(self, tmp_path):
+        key = cache_key("t", x=3)
+        ResultCache(directory=str(tmp_path)).put(key, 1)
+        path = tmp_path / key[:2] / (key + ".pkl")
+        assert path.is_file()
+        assert not list(tmp_path.glob("**/*.tmp.*"))  # atomic rename
+
+    def test_corrupt_disk_entry_is_a_miss(self, tmp_path):
+        key = cache_key("t", x=4)
+        cache = ResultCache(directory=str(tmp_path))
+        cache.put(key, "good")
+        path = tmp_path / key[:2] / (key + ".pkl")
+        path.write_bytes(b"not a pickle")
+        fresh = ResultCache(directory=str(tmp_path))
+        assert fresh.lookup(key) == (False, None)
+        assert fresh.misses == 1
+        # recompute-and-put repairs the entry
+        fresh.put(key, "good")
+        assert pickle.loads(path.read_bytes()) == "good"
+
+    def test_clear_memory_keeps_disk(self, tmp_path):
+        key = cache_key("t", x=5)
+        cache = ResultCache(directory=str(tmp_path))
+        cache.put(key, 7)
+        cache.clear_memory()
+        assert len(cache) == 0
+        hit, value = cache.lookup(key)
+        assert hit and value == 7
+        assert cache.disk_hits == 1
+
+    def test_memory_only_cache_has_no_files(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        cache = ResultCache()
+        cache.put(cache_key("t", x=6), 1)
+        assert os.listdir(tmp_path) == []
+
+
+class TestDefaultCacheDir:
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(ENV_CACHE_DIR, "/tmp/elsewhere")
+        assert default_cache_dir() == "/tmp/elsewhere"
+
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv(ENV_CACHE_DIR, raising=False)
+        assert default_cache_dir() == ".repro-cache"
+
+    def test_with_disk_uses_default(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(ENV_CACHE_DIR, str(tmp_path / "c"))
+        cache = ResultCache.with_disk()
+        assert cache.directory == str(tmp_path / "c")

@@ -1,0 +1,187 @@
+"""The sweep executor: sharding, ordering, env plumbing, caching."""
+
+import pytest
+
+from repro.par import (
+    ENV_JOBS,
+    ENV_START_METHOD,
+    ResultCache,
+    SweepStats,
+    default_start_method,
+    resolve_jobs,
+    shard_tasks,
+    stable_fingerprint,
+    sweep_map,
+)
+
+
+# Module-level so process pools can pickle them by reference.
+def _square(x):
+    return x * x
+
+
+def _sum_pair(spec):
+    a, b = spec
+    return a + b
+
+
+def _boom(x):
+    if x == 3:
+        raise ValueError("task 3 exploded")
+    return x
+
+
+class TestResolveJobs:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(ENV_JOBS, raising=False)
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(0) == 1
+
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv(ENV_JOBS, "7")
+        assert resolve_jobs(3) == 3
+
+    def test_env_supplies_default(self, monkeypatch):
+        monkeypatch.setenv(ENV_JOBS, "5")
+        assert resolve_jobs(None) == 5
+        assert resolve_jobs(0) == 5
+
+    @pytest.mark.parametrize("bad", ["x", "1.5", "-2"])
+    def test_bad_env_raises(self, monkeypatch, bad):
+        monkeypatch.setenv(ENV_JOBS, bad)
+        with pytest.raises(ValueError):
+            resolve_jobs(None)
+
+    @pytest.mark.parametrize("bad", [-1, 1.5, True])
+    def test_bad_argument_raises(self, bad):
+        with pytest.raises(ValueError):
+            resolve_jobs(bad)
+
+
+class TestShardTasks:
+    @pytest.mark.parametrize("n", [0, 1, 2, 7, 16, 100])
+    @pytest.mark.parametrize("jobs", [1, 2, 4, 9])
+    def test_chunks_cover_range_contiguously(self, n, jobs):
+        spans = shard_tasks(n, jobs)
+        covered = [i for lo, hi in spans for i in range(lo, hi)]
+        assert covered == list(range(n))
+
+    def test_pure_function_of_inputs(self):
+        assert shard_tasks(100, 4) == shard_tasks(100, 4)
+
+    def test_explicit_chunk_size(self):
+        assert shard_tasks(5, 2, chunk_size=2) == [(0, 2), (2, 4), (4, 5)]
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            shard_tasks(-1, 2)
+        with pytest.raises(ValueError):
+            shard_tasks(5, 2, chunk_size=0)
+
+
+class TestSweepMap:
+    def test_serial_matches_list_comprehension(self):
+        tasks = list(range(20))
+        assert sweep_map(_square, tasks, jobs=1) == [t * t for t in tasks]
+
+    @pytest.mark.parametrize("jobs", [2, 4])
+    def test_parallel_matches_serial_order(self, jobs):
+        tasks = list(range(23))
+        serial = sweep_map(_square, tasks, jobs=1)
+        assert sweep_map(_square, tasks, jobs=jobs) == serial
+
+    def test_tuple_specs_fan_out(self):
+        tasks = [(i, 10 * i) for i in range(9)]
+        assert sweep_map(_sum_pair, tasks, jobs=2) == \
+            [a + b for a, b in tasks]
+
+    def test_empty_tasks(self):
+        assert sweep_map(_square, [], jobs=4) == []
+
+    def test_env_jobs_applies(self, monkeypatch):
+        monkeypatch.setenv(ENV_JOBS, "2")
+        stats = SweepStats()
+        out = sweep_map(_square, list(range(8)), stats=stats)
+        assert out == [i * i for i in range(8)]
+        assert stats.jobs == 2
+        assert stats.chunks > 1
+
+    def test_spawn_start_method(self):
+        # Task specs and results must survive the stricter spawn path.
+        tasks = list(range(10))
+        out = sweep_map(_square, tasks, jobs=2, start_method="spawn")
+        assert out == [t * t for t in tasks]
+
+    def test_worker_exception_propagates(self):
+        with pytest.raises(ValueError, match="task 3 exploded"):
+            sweep_map(_boom, list(range(8)), jobs=2)
+
+    def test_serial_exception_propagates(self):
+        with pytest.raises(ValueError, match="task 3 exploded"):
+            sweep_map(_boom, list(range(8)), jobs=1)
+
+    def test_stats_serial(self):
+        stats = SweepStats()
+        sweep_map(_square, list(range(5)), jobs=1, stats=stats)
+        assert stats.tasks == 5
+        assert stats.executed == 5
+        assert stats.cache_hits == 0
+        assert stats.chunks == 0  # no pool in serial mode
+
+
+class TestSweepMapCache:
+    @staticmethod
+    def _key(task):
+        return stable_fingerprint(("square", task))
+
+    def test_cache_requires_key_fn(self):
+        with pytest.raises(ValueError, match="key_fn"):
+            sweep_map(_square, [1], cache=ResultCache())
+
+    def test_warm_rerun_executes_nothing(self):
+        cache = ResultCache()
+        tasks = list(range(12))
+        cold = sweep_map(_square, tasks, jobs=1, cache=cache,
+                         key_fn=self._key)
+        stats = SweepStats()
+        warm = sweep_map(_square, tasks, jobs=1, cache=cache,
+                         key_fn=self._key, stats=stats)
+        assert warm == cold
+        assert stats.executed == 0
+        assert stats.cache_hits == len(tasks)
+
+    def test_partial_hits_only_run_misses(self):
+        cache = ResultCache()
+        sweep_map(_square, [0, 1, 2], jobs=1, cache=cache, key_fn=self._key)
+        stats = SweepStats()
+        out = sweep_map(_square, [0, 1, 2, 3, 4], jobs=1, cache=cache,
+                        key_fn=self._key, stats=stats)
+        assert out == [0, 1, 4, 9, 16]
+        assert stats.cache_hits == 3
+        assert stats.executed == 2
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_parallel_cold_then_warm_identical(self, jobs, tmp_path):
+        tasks = list(range(10))
+        cold_cache = ResultCache(directory=str(tmp_path))
+        cold = sweep_map(_square, tasks, jobs=jobs, cache=cold_cache,
+                         key_fn=self._key)
+        warm_cache = ResultCache(directory=str(tmp_path))
+        warm = sweep_map(_square, tasks, jobs=jobs, cache=warm_cache,
+                         key_fn=self._key)
+        assert warm == cold
+        assert warm_cache.misses == 0
+        assert warm_cache.disk_hits == len(tasks)
+
+
+class TestStartMethod:
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(ENV_START_METHOD, "spawn")
+        assert default_start_method() == "spawn"
+
+    def test_default_is_available(self, monkeypatch):
+        monkeypatch.delenv(ENV_START_METHOD, raising=False)
+        import multiprocessing
+
+        assert default_start_method() in \
+            multiprocessing.get_all_start_methods()

@@ -2,17 +2,22 @@
 
 import json
 
+import pytest
+
 from repro.perf import run_suite, write_report
-from repro.perf.suite import SCHEMA, main
+from repro.perf.suite import SCHEMA, _find_strategy, main
+
+WORKLOADS = ["engine", "pingpong", "spmv", "scenarios", "obs_overhead",
+             "sweep_parallel"]
 
 
 def test_smoke_suite_runs_and_reports(tmp_path, capsys):
     results = run_suite(smoke=True, verbose=False)
     names = [r.name for r in results]
-    assert names == ["engine", "pingpong", "spmv", "scenarios",
-                     "obs_overhead"]
+    assert names == WORKLOADS
     for r in results:
         assert r.wall_s > 0.0
+        assert r.wall_median_s >= r.wall_s  # median of reps >= best
         assert r.repeats >= 1
         assert r.metrics, r.name
         for key, value in r.metrics.items():
@@ -21,6 +26,14 @@ def test_smoke_suite_runs_and_reports(tmp_path, capsys):
     engine = results[0]
     assert engine.metrics["events_per_s"] == \
         engine.metrics["events"] / engine.wall_s
+    # ...except ratios and configuration values
+    parallel = results[-1]
+    assert "speedup_parallel" in parallel.metrics
+    assert "speedup_cached" in parallel.metrics
+    assert "speedup_parallel_per_s" not in parallel.metrics
+    assert "jobs_per_s" not in parallel.metrics
+    # the cached arm skips every shard, so it beats serial handily
+    assert parallel.metrics["speedup_cached"] > 1.0
 
     out = tmp_path / "bench.json"
     report = write_report(results, str(out), smoke=True)
@@ -28,9 +41,12 @@ def test_smoke_suite_runs_and_reports(tmp_path, capsys):
     assert on_disk == json.loads(json.dumps(report))
     assert on_disk["suite"] == "repro.perf"
     assert on_disk["schema"] == SCHEMA
+    assert SCHEMA == 2
     assert on_disk["smoke"] is True
     assert on_disk["total_wall_s"] > 0.0
-    assert len(on_disk["workloads"]) == 5
+    assert len(on_disk["workloads"]) == len(WORKLOADS)
+    for w in on_disk["workloads"]:
+        assert w["wall_median_s"] >= w["wall_s"]
 
 
 def test_cli_main_writes_report(tmp_path, capsys):
@@ -38,7 +54,36 @@ def test_cli_main_writes_report(tmp_path, capsys):
     rc = main(["--smoke", "-o", str(out)])
     assert rc == 0
     data = json.loads(out.read_text())
-    assert {w["name"] for w in data["workloads"]} == \
-        {"engine", "pingpong", "spmv", "scenarios", "obs_overhead"}
+    assert {w["name"] for w in data["workloads"]} == set(WORKLOADS)
     captured = capsys.readouterr().out
     assert "wrote" in captured
+
+
+def test_repeats_override(tmp_path, capsys):
+    out = tmp_path / "bench.json"
+    rc = main(["--smoke", "--repeats", "2", "-o", str(out)])
+    assert rc == 0
+    capsys.readouterr()
+    data = json.loads(out.read_text())
+    for w in data["workloads"]:
+        assert w["repeats"] == 2
+        assert w["wall_median_s"] >= w["wall_s"]
+
+
+def test_repeats_must_be_positive():
+    with pytest.raises(ValueError, match="repeats"):
+        run_suite(smoke=True, verbose=False, repeats=0)
+
+
+def test_find_strategy_unknown_label_is_diagnosable():
+    with pytest.raises(ValueError, match="no-such-strategy"):
+        _find_strategy("no-such-strategy")
+    try:
+        _find_strategy("no-such-strategy")
+    except ValueError as exc:
+        # names every available strategy for the caller
+        assert "Standard (staged)" in str(exc)
+
+
+def test_find_strategy_known_label():
+    assert _find_strategy("Standard (staged)").label == "Standard (staged)"
