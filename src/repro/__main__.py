@@ -3,10 +3,13 @@
 Usage::
 
     python -m repro info                  # package + machine summary
-    python -m repro report [out.md] [--jobs N] [--cache]
+    python -m repro report [out.md] [--jobs N] [--cache] [--machine M]
                                           # regenerate EXPERIMENTS body
-    python -m repro predict N_NODES MSGS SIZE
+    python -m repro predict N_NODES MSGS SIZE [--machine M]
                                           # model the Fig-4.3 scenario
+    python -m repro scenario [--machine M] [--jobs N] [-o out.json]
+                                          # sweep the paper scenarios
+                                          # and print modelled times
     python -m repro perf [--smoke] [--repeats N] [--jobs N] [-o OUT.json]
                                           # wall-clock micro-suite ->
                                           # BENCH_repro.json
@@ -21,7 +24,9 @@ Usage::
 ``--jobs N`` fans sweep shards out over N worker processes (results
 stay byte-identical to serial runs); ``$REPRO_JOBS`` sets the default.
 ``--cache`` / ``--cache-dir`` reuse content-addressed shard results
-from ``.repro-cache/`` (or ``$REPRO_CACHE_DIR``).
+from ``.repro-cache/`` (or ``$REPRO_CACHE_DIR``).  ``--machine M``
+selects any preset from ``repro.machine.PRESETS`` (dash or underscore
+spelling — ``frontier-like`` == ``frontier_like``; default lassen).
 """
 
 from __future__ import annotations
@@ -37,32 +42,101 @@ def _info() -> None:
     print("machines:")
     for name, factory in PRESETS.items():
         m = factory()
+        th = m.comm_params.thresholds
         print(f"  {name:14s} {m.sockets_per_node} socket(s) x "
               f"{m.gpus_per_socket} GPU(s), {m.cores_per_node} cores/node, "
               f"R_N = {m.nic.injection_rate:.2e} B/s")
+        print(f"  {'':14s} short<={th.short_limit} B, "
+              f"eager<={th.eager_limit} B, "
+              f"gpu-eager<={th.gpu_eager_limit} B, "
+              f"ppn<={m.cores_per_node}, gpn={m.gpus_per_node}")
     from repro.core import all_strategies
 
     print("strategies:", ", ".join(s.label for s in all_strategies()))
 
 
 def _predict(args: list) -> None:
-    from repro.machine import lassen
+    import argparse
+
+    from repro.machine import resolve_machine
     from repro.models.scenarios import Scenario, scenario_summary
     from repro.models.strategies import all_strategy_models, model_label
 
-    if len(args) != 3:
-        raise SystemExit("usage: python -m repro predict N_NODES MSGS SIZE")
-    nodes, msgs, size = int(args[0]), int(args[1]), float(args[2])
-    machine = lassen()
-    sc = Scenario(num_dest_nodes=nodes, num_messages=msgs)
-    summary = scenario_summary(machine, sc, size)
+    parser = argparse.ArgumentParser(
+        prog="python -m repro predict",
+        description="Model one Figure-4.3 scenario on a machine preset.")
+    parser.add_argument("nodes", type=int, help="destination node count")
+    parser.add_argument("msgs", type=int, help="messages per node")
+    parser.add_argument("size", type=float, help="bytes per message")
+    parser.add_argument("--machine", default="lassen", metavar="PRESET",
+                        help="machine preset (see `python -m repro info`)")
+    ns = parser.parse_args(args)
+    machine = resolve_machine(ns.machine)
+    sc = Scenario(num_dest_nodes=ns.nodes, num_messages=ns.msgs)
+    summary = scenario_summary(machine, sc, ns.size)
     times = {model_label(m): m.time(summary)
              for m in all_strategy_models(machine)}
     best = min(times, key=lambda k: times[k])
-    print(f"scenario: {sc.label}, {size:g} B/message on {machine.name}")
+    print(f"scenario: {sc.label}, {ns.size:g} B/message on {machine.name}")
     for label, t in sorted(times.items(), key=lambda kv: kv[1]):
         mark = "  <= best" if label == best else ""
         print(f"  {label:30s} {t:.3e} s{mark}")
+
+
+def _scenario(args: list) -> int:
+    import argparse
+    import json
+
+    import numpy as np
+
+    from repro.bench.figures import render_series
+    from repro.machine import resolve_machine
+    from repro.models.scenarios import PAPER_SCENARIOS, sweep_scenarios
+    from repro.par.cache import ResultCache, default_cache_dir
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro scenario",
+        description="Sweep the paper's Figure-4.3 scenarios over message "
+                    "sizes and print the modelled strategy times.")
+    parser.add_argument("--machine", default="lassen", metavar="PRESET",
+                        help="machine preset (see `python -m repro info`)")
+    parser.add_argument("--points", type=int, default=9,
+                        help="message sizes per scenario panel (default 9)")
+    parser.add_argument("-j", "--jobs", type=int, default=None,
+                        help="worker processes (default: $REPRO_JOBS or "
+                             "serial); results are byte-identical")
+    parser.add_argument("--cache", action="store_true",
+                        help="cache panel results on disk")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="cache directory (implies --cache)")
+    parser.add_argument("-o", "--output", default=None,
+                        help="also write the swept times as JSON here")
+    ns = parser.parse_args(args)
+    machine = resolve_machine(ns.machine)
+    cache = None
+    if ns.cache or ns.cache_dir:
+        cache = ResultCache(directory=ns.cache_dir or default_cache_dir())
+    sizes = np.logspace(1, 5, ns.points)
+    swept = sweep_scenarios(machine, PAPER_SCENARIOS, sizes, jobs=ns.jobs,
+                            cache=cache)
+    for sc, series in zip(PAPER_SCENARIOS, swept):
+        print(render_series(f"scenario {sc.label} on {machine.name}",
+                            "bytes/msg", sizes, series, mark_min=True))
+        print()
+    if ns.output:
+        payload = {
+            "machine": machine.name,
+            "sizes": [float(s) for s in sizes],
+            "scenarios": {
+                sc.label: {label: [float(t) for t in times]
+                           for label, times in series.items()}
+                for sc, series in zip(PAPER_SCENARIOS, swept)
+            },
+        }
+        with open(ns.output, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return 0
 
 
 def main(argv=None) -> int:
@@ -84,6 +158,8 @@ def main(argv=None) -> int:
         return report_main(rest)
     elif cmd == "predict":
         _predict(rest)
+    elif cmd == "scenario":
+        return _scenario(rest)
     elif cmd == "perf":
         from repro.perf.suite import main as perf_main
 

@@ -30,7 +30,7 @@ from repro.bench.tables import (
     table3_data,
     table4_data,
 )
-from repro.machine import lassen
+from repro.machine import resolve_machine
 from repro.sparse.suite import SUITE
 
 
@@ -39,20 +39,23 @@ def _code(text: str) -> List[str]:
 
 
 def generate(matrix_n: int = 16_000, gpu_counts=(8, 16, 32),
-             jobs=None, cache=None) -> str:
+             jobs=None, cache=None, machine="lassen") -> str:
     """Regenerate the full record.
 
     ``jobs`` fans the sweep-shaped sections (Figures 4.2, 4.3, 5.1) out
     over worker processes; ``cache`` (a
     :class:`repro.par.ResultCache`) skips shards whose inputs are
-    unchanged since the last regeneration.  Output is bit-identical at
-    any ``jobs``/cache setting.
+    unchanged since the last regeneration.  ``machine`` is a preset
+    name from :data:`repro.machine.PRESETS` (Lassen reproduces the
+    paper; the others model its Section-6 what-if architectures).
+    Output is bit-identical at any ``jobs``/cache setting.
     """
-    machine = lassen()
+    machine = resolve_machine(machine)
     out: List[str] = []
     t_start = time.time()
 
-    out.append("## Regenerated results (simulator, Lassen constants)\n")
+    out.append(f"## Regenerated results (simulator, "
+               f"{machine.name} constants)\n")
     out.append(f"Matrix analog scale: n = {matrix_n:,}; GPU sweep: "
                f"{list(gpu_counts)}; all times are DES virtual seconds "
                f"(max per-rank communication time).\n")
@@ -163,13 +166,16 @@ def main(argv=None) -> int:
     parser.add_argument("--cache-dir", default=None, metavar="DIR",
                         help="cache sweep shards under DIR (implies "
                              "--cache)")
+    parser.add_argument("--machine", default="lassen", metavar="PRESET",
+                        help="machine preset to regenerate for "
+                             "(see `python -m repro info`)")
     args = parser.parse_args(sys.argv[1:] if argv is None else argv)
     cache = None
     if args.cache or args.cache_dir:
         from repro.par.cache import ResultCache, default_cache_dir
 
         cache = ResultCache(directory=args.cache_dir or default_cache_dir())
-    text = generate(jobs=args.jobs, cache=cache)
+    text = generate(jobs=args.jobs, cache=cache, machine=args.machine)
     if args.output:
         with open(args.output, "w") as fh:
             fh.write(text)

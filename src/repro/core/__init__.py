@@ -36,7 +36,13 @@ from repro.core.hierarchical import (
 )
 from repro.core.two_step import TwoStepStaged, TwoStepDevice
 from repro.core.split import SplitMD, SplitDD, SplitSetup
-from repro.core.selector import select_strategy, strategy_by_name, all_strategies
+from repro.core.selector import (
+    all_strategies,
+    compile_plan_for,
+    model_for,
+    select_strategy,
+    strategy_by_name,
+)
 from repro.core.persistent import (
     ExchangeStatistics,
     NodeAwareExchanger,
@@ -69,6 +75,8 @@ __all__ = [
     "select_strategy",
     "strategy_by_name",
     "all_strategies",
+    "model_for",
+    "compile_plan_for",
     "ExchangeStatistics",
     "NodeAwareExchanger",
     "compare_strategies",

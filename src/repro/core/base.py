@@ -21,7 +21,7 @@ delivery against the pattern's ground truth.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Generator, List, Optional, Sequence
+from typing import Any, Dict, Generator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -54,6 +54,13 @@ class CommunicationStrategy:
     data_path: str = "staged"
     #: whether the strategy uses helper (non-GPU-owner) ranks
     uses_helpers: bool = False
+    #: tracer lanes (phase names registered in this module) the DES
+    #: program can emit messages on, in pipeline order.  The hop-plan
+    #: structural check requires every traced phase to be either costed
+    #: by a :class:`repro.paths.HopPlan` stage or listed in the model's
+    #: ``uncosted_phases`` — this declaration ties the implementation to
+    #: that contract at the class level.
+    trace_phases: Tuple[str, ...] = ()
 
     @property
     def label(self) -> str:

@@ -236,6 +236,9 @@ def _build_plan(pattern: CommPattern, layout: JobLayout) -> _Plan:
 
 class _HierarchicalBase(CommunicationStrategy):
     name = "3-Step H"
+    trace_phases = ("socket-gather", "gather", "inter-node",
+                    "socket-redistribute", "redistribute",
+                    "on-node direct")
 
     def plan(self, pattern: CommPattern, layout: JobLayout) -> _Plan:
         return _build_plan(pattern, layout)

@@ -62,6 +62,45 @@ def strategy_by_name(label: str) -> CommunicationStrategy:
     return factory()
 
 
+def model_for(label: str, machine, ppn: Optional[int] = None,
+              message_cap: Optional[int] = None) -> StrategyModel:
+    """The Table-6 analytic model paired with a strategy label."""
+    try:
+        _factory, model_cls = _REGISTRY[label]
+    except KeyError:
+        raise KeyError(
+            f"unknown strategy {label!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return model_cls(machine, ppn=ppn, message_cap=message_cap)
+
+
+def compile_plan_for(label: str, pattern: CommPattern, layout: JobLayout,
+                     ppn: Optional[int] = None,
+                     message_cap: Optional[int] = None):
+    """Compile a strategy's :class:`repro.paths.HopPlan` for a pattern.
+
+    This is the registry-level bridge between a DES implementation and
+    its analytic model: the plan is compiled from the *same* pattern
+    summary the model costs, and the implementation's declared
+    ``trace_phases`` must all be realized by a plan stage or excused by
+    the model's ``uncosted_phases`` — so a plan returned here is, by
+    construction, checkable against a message trace of the matching
+    implementation (:func:`repro.paths.check_plan_against_trace`).
+    """
+    model = model_for(label, layout.machine,
+                      ppn=ppn if ppn is not None else layout.ppn,
+                      message_cap=message_cap)
+    plan = model.compile_plan(pattern.summarize(layout))
+    impl = strategy_by_name(label)
+    covered = set(plan.phases) | set(plan.uncosted_phases)
+    missing = [p for p in impl.trace_phases if p not in covered]
+    if missing:
+        raise ValueError(
+            f"{label}: implementation lanes {missing} are neither costed "
+            f"by a plan stage nor listed in uncosted_phases")
+    return plan
+
+
 def predict_times(pattern: CommPattern, layout: JobLayout,
                   ppn: Optional[int] = None,
                   message_cap: Optional[int] = None) -> Dict[str, float]:

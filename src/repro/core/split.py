@@ -165,6 +165,8 @@ class _SplitBase(CommunicationStrategy):
     """Shared Split machinery; subclasses fix ``ppg`` (MD=1, DD=4)."""
 
     name = "Split"
+    trace_phases = ("distribute", "inter-node", "redistribute",
+                    "on-node direct")
     data_path = "staged"
     uses_helpers = True
     ppg = 1

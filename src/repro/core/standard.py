@@ -67,6 +67,7 @@ def _build_plan(pattern: CommPattern, layout: JobLayout) -> _Plan:
 
 class _StandardBase(CommunicationStrategy):
     name = "Standard"
+    trace_phases = ("direct",)
 
     def plan(self, pattern: CommPattern, layout: JobLayout) -> _Plan:
         return _build_plan(pattern, layout)

@@ -167,6 +167,8 @@ def _build_plan(pattern: CommPattern, layout: JobLayout) -> _Plan:
 
 class _ThreeStepBase(CommunicationStrategy):
     name = "3-Step"
+    trace_phases = ("gather", "inter-node", "redistribute",
+                    "on-node direct")
 
     def plan(self, pattern: CommPattern, layout: JobLayout) -> _Plan:
         return _build_plan(pattern, layout)

@@ -137,6 +137,7 @@ def _build_plan(pattern: CommPattern, layout: JobLayout) -> _Plan:
 
 class _TwoStepBase(CommunicationStrategy):
     name = "2-Step"
+    trace_phases = ("inter-node", "redistribute", "on-node direct")
 
     def plan(self, pattern: CommPattern, layout: JobLayout) -> _Plan:
         return _build_plan(pattern, layout)

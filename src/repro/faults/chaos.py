@@ -231,21 +231,21 @@ def _run_once(machine, plan: FaultPlan, pattern, strategy,
     return outcome, job.metrics()
 
 
-def run_chaos_shard(spec: Tuple[int, bool, int, str]) -> Dict[str, Any]:
+def run_chaos_shard(spec: Tuple) -> Dict[str, Any]:
     """One sweep shard: both runs (plain + traced) of one cell.
 
-    ``spec = (seed, smoke, scenario index, strategy label)`` — tiny and
-    picklable, so shards fan out over any start method.  Everything
-    else (machine, plan, pattern, strategy instance) is rebuilt
-    deterministically inside the worker.  Returns the cell's outcome,
-    its local violations (in serial order) and the plain run's metrics
-    snapshot.
+    ``spec = (seed, smoke, scenario index, strategy label[, machine
+    preset name])`` — tiny and picklable, so shards fan out over any
+    start method.  Everything else (machine, plan, pattern, strategy
+    instance) is rebuilt deterministically inside the worker.  Returns
+    the cell's outcome, its local violations (in serial order) and the
+    plain run's metrics snapshot.
     """
     from repro.core.selector import strategy_by_name
-    from repro.machine.presets import lassen
+    from repro.machine.presets import resolve_machine
 
-    seed, smoke, index, label = spec
-    machine = lassen()
+    seed, smoke, index, label = spec[:4]
+    machine = resolve_machine(spec[4] if len(spec) > 4 else "lassen")
     plan = build_scenarios(seed, 3 if smoke else 6)[index]
     pattern = _scenario_pattern(seed, index)
     strategy = strategy_by_name(label)
@@ -264,10 +264,15 @@ def run_chaos_shard(spec: Tuple[int, bool, int, str]) -> Dict[str, Any]:
     return {"outcome": plain, "violations": violations, "metrics": metrics}
 
 
-def _shard_key(spec: Tuple[int, bool, int, str], machine,
+def _shard_key(spec: Tuple, machine,
                plan: FaultPlan, pattern_fp: str) -> str:
-    """Content hash of one shard's inputs (see :func:`repro.par.cache_key`)."""
-    seed, smoke, index, label = spec
+    """Content hash of one shard's inputs (see :func:`repro.par.cache_key`).
+
+    ``machine`` is the resolved :class:`MachineSpec`; every field of it
+    (including its name) enters the hash, so otherwise-identical sweeps
+    on different machines can never share cache entries.
+    """
+    seed, smoke, index, label = spec[:4]
     return cache_key("chaos-shard", machine=machine, plan=plan,
                      pattern=pattern_fp, strategy=label, seed=seed,
                      smoke=smoke, index=index,
@@ -277,31 +282,34 @@ def _shard_key(spec: Tuple[int, bool, int, str], machine,
 
 def run_chaos(seed: int = 0, smoke: bool = False,
               jobs: Optional[int] = None,
-              cache: Optional[ResultCache] = None) -> Dict[str, Any]:
+              cache: Optional[ResultCache] = None,
+              machine: str = "lassen") -> Dict[str, Any]:
     """Run the sweep; returns the (JSON-serializable) report.
 
     ``jobs`` fans shards out over a process pool (default:
     ``$REPRO_JOBS`` or serial); ``cache`` skips shards whose content
-    hash already has a stored result.  The report is byte-identical
-    across worker counts and cache states.
+    hash already has a stored result.  ``machine`` names any preset in
+    :data:`repro.machine.PRESETS` (workers rebuild it from the name).
+    The report is byte-identical across worker counts and cache states.
     """
     from repro.core.selector import all_strategies
-    from repro.machine.presets import lassen
+    from repro.machine.presets import resolve_machine
 
-    machine = lassen()
+    spec = resolve_machine(machine)
+    machine_name = spec.name
     n_scenarios = 3 if smoke else 6
     plans = build_scenarios(seed, n_scenarios)
     labels = [s.label for s in all_strategies()]
-    tasks = [(seed, smoke, index, label)
+    tasks = [(seed, smoke, index, label, machine_name)
              for index in range(n_scenarios) for label in labels]
     key_fn = None
     if cache is not None:
         pattern_fps = {index: _scenario_pattern(seed, index).fingerprint()
                        for index in range(n_scenarios)}
 
-        def key_fn(spec):
-            return _shard_key(spec, machine, plans[spec[2]],
-                              pattern_fps[spec[2]])
+        def key_fn(task):
+            return _shard_key(task, spec, plans[task[2]],
+                              pattern_fps[task[2]])
 
     shards = sweep_map(run_chaos_shard, tasks, jobs=jobs,
                        cache=cache, key_fn=key_fn)
@@ -333,6 +341,7 @@ def run_chaos(seed: int = 0, smoke: bool = False,
     return {
         "seed": seed,
         "smoke": smoke,
+        "machine": machine_name,
         "scenarios": scenarios,
         "violations": violations,
         "ok": not violations,
@@ -356,6 +365,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                              "function of it)")
     parser.add_argument("--smoke", action="store_true",
                         help="small sweep (3 scenarios instead of 6)")
+    parser.add_argument("--machine", default="lassen", metavar="PRESET",
+                        help="machine preset to sweep on (see "
+                             "`python -m repro info`; default lassen)")
     parser.add_argument("-j", "--jobs", type=int, default=None,
                         help="worker processes for the sweep (default: "
                              "$REPRO_JOBS or serial); the report is "
@@ -373,7 +385,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.cache or args.cache_dir:
         cache = ResultCache(directory=args.cache_dir or default_cache_dir())
     report = run_chaos(seed=args.seed, smoke=args.smoke, jobs=args.jobs,
-                       cache=cache)
+                       cache=cache, machine=args.machine)
     text = json.dumps(report, indent=2, sort_keys=True)
     if args.output:
         with open(args.output, "w") as fh:

@@ -32,6 +32,7 @@ from repro.machine.presets import (
     delta_like,
     frontier_like,
     lassen,
+    resolve_machine,
     summit,
 )
 
@@ -54,4 +55,5 @@ __all__ = [
     "delta_like",
     "bluewaters_like",
     "PRESETS",
+    "resolve_machine",
 ]

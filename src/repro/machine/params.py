@@ -17,6 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Tuple
 
+import numpy as np
+
 from repro.machine.locality import CopyDirection, Locality, Protocol, TransportKind
 
 
@@ -149,6 +151,33 @@ class CommParams:
         """Postal-model time for one message, with protocol selection."""
         _protocol, link = self.for_message(kind, locality, nbytes)
         return link.time(nbytes)
+
+    def link_arrays(self, kind: TransportKind, locality: Locality,
+                    sizes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-element Table-2 ``(alpha, beta)`` for a size array.
+
+        The array counterpart of :meth:`for_message` — the single
+        protocol-resolution entry point for the vectorized costing
+        kernel.  The ``np.select`` condition order replicates the
+        scalar threshold chain in :meth:`ProtocolThresholds.select`
+        (first true wins), so per-element results are bit-identical to
+        scalar selection.
+        """
+        th = self.thresholds
+        if np.any(sizes < 0):
+            raise ValueError("message sizes must be >= 0")
+        if kind is TransportKind.GPU:
+            protocols = (Protocol.EAGER, Protocol.RENDEZVOUS)
+            conds = [sizes <= th.gpu_eager_limit]
+        else:
+            protocols = (Protocol.SHORT, Protocol.EAGER, Protocol.RENDEZVOUS)
+            conds = [sizes <= th.short_limit, sizes <= th.eager_limit]
+        links = [self.link(kind, p, locality) for p in protocols]
+        alpha = np.select(conds, [l.alpha for l in links[:-1]],
+                          default=links[-1].alpha)
+        beta = np.select(conds, [l.beta for l in links[:-1]],
+                         default=links[-1].beta)
+        return alpha, beta
 
 
 CopyKey = Tuple[CopyDirection, int]

@@ -202,3 +202,21 @@ PRESETS: Dict[str, Callable[[], MachineSpec]] = {
     "delta-like": delta_like,
     "bluewaters-like": bluewaters_like,
 }
+
+
+def resolve_machine(name: str) -> MachineSpec:
+    """Build the preset machine called ``name`` (CLI ``--machine`` hook).
+
+    Accepts dash or underscore spelling in any case ("frontier_like" ==
+    "Frontier-Like"); raises ``ValueError`` listing the presets for
+    unknown names.
+    """
+    key = str(name).strip().lower().replace("_", "-")
+    try:
+        factory = PRESETS[key]
+    except KeyError:
+        known = ", ".join(sorted(PRESETS))
+        raise ValueError(
+            f"unknown machine {name!r}; available presets: {known}"
+        ) from None
+    return factory()

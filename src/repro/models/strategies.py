@@ -14,6 +14,15 @@ Split + MD     T_off(m_pn, s_n/ppn) + 2 T_on_split(s_n, 1) + T_copy(...)
 Split + DD     T_off(m_pn, s_n/ppn) + 2 T_on_split(s_n, 4) + T_copy(...)
 =============  =========================================================
 
+Since the hop-plan refactor each class implements a single generic
+``_stages(summary, ops)`` compiler producing the strategy's
+:class:`~repro.paths.ir.HopStage` sequence; the base class evaluates
+those stages through the shared costing kernel with the scalar algebra
+(:meth:`StrategyModel.time`) or the array algebra over a
+:class:`SummaryBatch` (:meth:`StrategyModel.time_sweep`), and exposes
+the full declarative :class:`~repro.paths.ir.HopPlan` via
+:meth:`StrategyModel.compile_plan` for the DES structural cross-check.
+
 Duplicate-data removal (``dup_fraction``) shrinks the byte quantities of
 the node-aware strategies only — standard communication retains the
 redundant payload (Section 2.3 / Figure 4.3 bottom rows).
@@ -21,31 +30,23 @@ redundant payload (Section 2.3 / Figure 4.3 bottom rows).
 
 from __future__ import annotations
 
-import math
-from typing import Dict, List, Optional, Sequence, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.machine.locality import TransportKind
 from repro.machine.topology import MachineSpec
 from repro.models.pattern_summary import PatternSummary
-from repro.models.submodels import (
-    t_copy,
-    t_off,
-    t_off_device_aware,
-    t_on,
-    t_on_hierarchical,
-    t_on_split,
+from repro.models.vectorized import SummaryBatch
+from repro.paths.compile import (
+    copy_stage,
+    device_off_node_stage,
+    hierarchical_on_node_stage,
+    off_node_stage,
+    on_node_stage,
+    split_on_node_stage,
 )
-from repro.models.vectorized import (
-    SummaryBatch,
-    t_copy_vec,
-    t_off_device_aware_vec,
-    t_off_vec,
-    t_on_hierarchical_vec,
-    t_on_split_vec,
-    t_on_vec,
-)
+from repro.paths.ir import CheckMode, HopKind, HopPlan, HopStage
+from repro.paths.kernel import ARRAY_OPS, SCALAR_OPS, Ops, evaluate_stages
 
 STAGED = "staged"
 DEVICE = "device-aware"
@@ -69,6 +70,10 @@ class StrategyModel:
     name: str = "abstract"
     data_path: str = STAGED
     node_aware: bool = True
+    #: tracer lanes the DES implementation may use without the model
+    #: charging them (purely local deliveries are free in the
+    #: busiest-node off-node model)
+    uncosted_phases: Tuple[str, ...] = ("on-node direct",)
 
     def __init__(self, machine: MachineSpec, ppn: Optional[int] = None,
                  message_cap: Optional[int] = None) -> None:
@@ -103,8 +108,9 @@ class StrategyModel:
         Accepts a :class:`SummaryBatch` (typically from
         :func:`repro.models.scenarios.scenario_summary_batch`) or a
         sequence of scalar summaries.  Returns times bit-identical to
-        calling :meth:`time` point-wise — the vectorized sub-models
-        replicate the scalar floating-point operation order exactly.
+        calling :meth:`time` point-wise — the same stages evaluate
+        through the same kernel, with the array algebra replicating the
+        scalar floating-point operation order exactly.
         """
         batch = (summaries if isinstance(summaries, SummaryBatch)
                  else SummaryBatch.from_summaries(list(summaries)))
@@ -116,24 +122,48 @@ class StrategyModel:
             times = np.where(empty, 0.0, times)
         return times
 
-    def _time(self, summary: PatternSummary) -> float:  # pragma: no cover
-        raise NotImplementedError
+    def compile_plan(self, summary: PatternSummary,
+                     dup_fraction: float = 0.0) -> HopPlan:
+        """Compile this strategy's declarative :class:`HopPlan`.
+
+        The plan's stages are exactly those the costing kernel charges
+        in :meth:`time`; the DES cross-check in
+        :mod:`repro.paths.check` verifies a simulated message trace
+        against them.
+        """
+        if self.node_aware and dup_fraction > 0.0:
+            summary = summary.with_duplicate_removal(dup_fraction)
+        return HopPlan(strategy=self.name, data_path=self.data_path,
+                       stages=tuple(self._stages(summary, SCALAR_OPS)),
+                       uncosted_phases=self.uncosted_phases)
+
+    def compile_plan_batch(self, batch: SummaryBatch,
+                           dup_fraction: float = 0.0) -> HopPlan:
+        """Batch counterpart of :meth:`compile_plan` (array quantities)."""
+        if self.node_aware and dup_fraction > 0.0:
+            batch = batch.with_duplicate_removal(dup_fraction)
+        return HopPlan(strategy=self.name, data_path=self.data_path,
+                       stages=tuple(self._stages(batch, ARRAY_OPS)),
+                       uncosted_phases=self.uncosted_phases)
+
+    # -- compilation + costing ---------------------------------------------------
+    def _stages(self, s, ops: Ops) -> List[HopStage]:
+        """Compile the strategy's hop stages from summary quantities.
+
+        Generic over scalar summaries (``ops=SCALAR_OPS``) and
+        :class:`SummaryBatch` (``ops=ARRAY_OPS``) — the two share field
+        names.  Subclasses implement exactly this method; all costing
+        goes through the shared kernel.
+        """
+        raise NotImplementedError  # pragma: no cover
+
+    def _time(self, summary: PatternSummary) -> float:
+        return evaluate_stages(self.machine, self._stages(summary, SCALAR_OPS),
+                               SCALAR_OPS)
 
     def _time_vec(self, b: SummaryBatch) -> np.ndarray:
-        """Array counterpart of :meth:`_time` (default: scalar fallback)."""
-        return np.array([
-            self._time(PatternSummary(
-                num_dest_nodes=int(b.num_dest_nodes[i]),
-                messages_per_node_pair=int(b.messages_per_node_pair[i]),
-                bytes_per_node_pair=float(b.bytes_per_node_pair[i]),
-                node_bytes=float(b.node_bytes[i]),
-                proc_bytes=float(b.proc_bytes[i]),
-                proc_messages=int(b.proc_messages[i]),
-                proc_dest_nodes=int(b.proc_dest_nodes[i]),
-                active_gpus=int(b.active_gpus[i]),
-            ))
-            for i in range(len(b.node_bytes))
-        ])
+        return evaluate_stages(self.machine, self._stages(b, ARRAY_OPS),
+                               ARRAY_OPS)
 
     # -- shared helpers -----------------------------------------------------------
     @property
@@ -141,12 +171,12 @@ class StrategyModel:
         """GPUs per node = paired host processes for 3-Step / 2-Step."""
         return max(self.machine.gpus_per_node, 1)
 
-    def _dests_per_proc(self, summary: PatternSummary) -> int:
+    def _dests_per_proc(self, s, ops: Ops = SCALAR_OPS):
         """Destination nodes handled per paired process (round-robin)."""
-        return math.ceil(summary.num_dest_nodes / self.gpn)
+        return ops.ceil(s.num_dest_nodes / self.gpn)
 
     def _dests_per_proc_vec(self, b: SummaryBatch) -> np.ndarray:
-        return np.ceil(b.num_dest_nodes / self.gpn)
+        return self._dests_per_proc(b, ARRAY_OPS)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<{type(self).__name__} on {self.machine.name}>"
@@ -175,23 +205,14 @@ class StandardStagedModel(StrategyModel):
         super().__init__(machine, ppn, message_cap)
         self.include_copies = include_copies
 
-    def _time(self, summary: PatternSummary) -> float:
-        msg_size = summary.proc_bytes / max(summary.proc_messages, 1)
-        total = t_off(self.machine, summary.proc_messages, summary.proc_bytes,
-                      summary.node_bytes, msg_size=msg_size)
+    def _stages(self, s, ops: Ops) -> List[HopStage]:
+        msg_size = s.proc_bytes / ops.maximum(s.proc_messages, 1)
+        stages = [off_node_stage(s.proc_messages, s.proc_bytes, s.node_bytes,
+                                 msg_size, phase="direct",
+                                 label="direct sends")]
         if self.include_copies:
-            total += t_copy(self.machine, summary.proc_bytes,
-                            summary.proc_bytes)
-        return total
-
-    def _time_vec(self, b: SummaryBatch) -> np.ndarray:
-        msg_size = b.proc_bytes / np.maximum(b.proc_messages, 1)
-        total = t_off_vec(self.machine, b.proc_messages, b.proc_bytes,
-                          b.node_bytes, msg_size)
-        if self.include_copies:
-            total = total + t_copy_vec(self.machine, b.proc_bytes,
-                                       b.proc_bytes)
-        return total
+            stages.append(copy_stage(s.proc_bytes, s.proc_bytes))
+        return stages
 
 
 class StandardDeviceModel(StrategyModel):
@@ -201,15 +222,10 @@ class StandardDeviceModel(StrategyModel):
     data_path = DEVICE
     node_aware = False
 
-    def _time(self, summary: PatternSummary) -> float:
-        msg_size = summary.proc_bytes / max(summary.proc_messages, 1)
-        return t_off_device_aware(self.machine, summary.proc_messages,
-                                  summary.proc_bytes, msg_size=msg_size)
-
-    def _time_vec(self, b: SummaryBatch) -> np.ndarray:
-        msg_size = b.proc_bytes / np.maximum(b.proc_messages, 1)
-        return t_off_device_aware_vec(self.machine, b.proc_messages,
-                                      b.proc_bytes, msg_size)
+    def _stages(self, s, ops: Ops) -> List[HopStage]:
+        msg_size = s.proc_bytes / ops.maximum(s.proc_messages, 1)
+        return [device_off_node_stage(s.proc_messages, s.proc_bytes, msg_size,
+                                      phase="direct", label="direct sends")]
 
 
 # ---------------------------------------------------------------------------
@@ -221,25 +237,16 @@ class ThreeStepStagedModel(StrategyModel):
     name = "3-Step"
     data_path = STAGED
 
-    def _time(self, summary: PatternSummary) -> float:
-        m = self._dests_per_proc(summary)
-        s_nn = summary.bytes_per_node_pair
+    def _stages(self, s, ops: Ops) -> List[HopStage]:
+        m = self._dests_per_proc(s, ops)
+        s_nn = s.bytes_per_node_pair
         s_off = m * s_nn
-        return (
-            t_off(self.machine, m, s_off, summary.node_bytes, msg_size=s_nn)
-            + 2.0 * t_on(self.machine, s_nn, TransportKind.CPU)
-            + t_copy(self.machine, summary.proc_bytes, s_nn)
-        )
-
-    def _time_vec(self, b: SummaryBatch) -> np.ndarray:
-        m = self._dests_per_proc_vec(b)
-        s_nn = b.bytes_per_node_pair
-        s_off = m * s_nn
-        return (
-            t_off_vec(self.machine, m, s_off, b.node_bytes, s_nn)
-            + 2.0 * t_on_vec(self.machine, s_nn, TransportKind.CPU)
-            + t_copy_vec(self.machine, b.proc_bytes, s_nn)
-        )
+        return [
+            off_node_stage(m, s_off, s.node_bytes, s_nn),
+            on_node_stage(self.machine, HopKind.CPU_SEND, s_nn, repeat=2.0,
+                          phases=("gather", "redistribute")),
+            copy_stage(s.proc_bytes, s_nn),
+        ]
 
 
 class ThreeStepDeviceModel(StrategyModel):
@@ -248,21 +255,14 @@ class ThreeStepDeviceModel(StrategyModel):
     name = "3-Step"
     data_path = DEVICE
 
-    def _time(self, summary: PatternSummary) -> float:
-        m = self._dests_per_proc(summary)
-        s_nn = summary.bytes_per_node_pair
-        return (
-            t_off_device_aware(self.machine, m, m * s_nn, msg_size=s_nn)
-            + 2.0 * t_on(self.machine, s_nn, TransportKind.GPU)
-        )
-
-    def _time_vec(self, b: SummaryBatch) -> np.ndarray:
-        m = self._dests_per_proc_vec(b)
-        s_nn = b.bytes_per_node_pair
-        return (
-            t_off_device_aware_vec(self.machine, m, m * s_nn, s_nn)
-            + 2.0 * t_on_vec(self.machine, s_nn, TransportKind.GPU)
-        )
+    def _stages(self, s, ops: Ops) -> List[HopStage]:
+        m = self._dests_per_proc(s, ops)
+        s_nn = s.bytes_per_node_pair
+        return [
+            device_off_node_stage(m, m * s_nn, s_nn),
+            on_node_stage(self.machine, HopKind.GPU_SEND, s_nn, repeat=2.0,
+                          phases=("gather", "redistribute")),
+        ]
 
 
 class ThreeStepHierarchicalStagedModel(StrategyModel):
@@ -271,23 +271,17 @@ class ThreeStepHierarchicalStagedModel(StrategyModel):
     name = "3-Step H"
     data_path = STAGED
 
-    def _time(self, summary: PatternSummary) -> float:
-        m = self._dests_per_proc(summary)
-        s_nn = summary.bytes_per_node_pair
-        return (
-            t_off(self.machine, m, m * s_nn, summary.node_bytes, msg_size=s_nn)
-            + 2.0 * t_on_hierarchical(self.machine, s_nn, TransportKind.CPU)
-            + t_copy(self.machine, summary.proc_bytes, s_nn)
-        )
-
-    def _time_vec(self, b: SummaryBatch) -> np.ndarray:
-        m = self._dests_per_proc_vec(b)
-        s_nn = b.bytes_per_node_pair
-        return (
-            t_off_vec(self.machine, m, m * s_nn, b.node_bytes, s_nn)
-            + 2.0 * t_on_hierarchical_vec(self.machine, s_nn, TransportKind.CPU)
-            + t_copy_vec(self.machine, b.proc_bytes, s_nn)
-        )
+    def _stages(self, s, ops: Ops) -> List[HopStage]:
+        m = self._dests_per_proc(s, ops)
+        s_nn = s.bytes_per_node_pair
+        return [
+            off_node_stage(m, m * s_nn, s.node_bytes, s_nn),
+            hierarchical_on_node_stage(
+                self.machine, HopKind.CPU_SEND, s_nn, repeat=2.0,
+                phases=("socket-gather", "gather",
+                        "socket-redistribute", "redistribute")),
+            copy_stage(s.proc_bytes, s_nn),
+        ]
 
 
 class ThreeStepHierarchicalDeviceModel(StrategyModel):
@@ -296,21 +290,16 @@ class ThreeStepHierarchicalDeviceModel(StrategyModel):
     name = "3-Step H"
     data_path = DEVICE
 
-    def _time(self, summary: PatternSummary) -> float:
-        m = self._dests_per_proc(summary)
-        s_nn = summary.bytes_per_node_pair
-        return (
-            t_off_device_aware(self.machine, m, m * s_nn, msg_size=s_nn)
-            + 2.0 * t_on_hierarchical(self.machine, s_nn, TransportKind.GPU)
-        )
-
-    def _time_vec(self, b: SummaryBatch) -> np.ndarray:
-        m = self._dests_per_proc_vec(b)
-        s_nn = b.bytes_per_node_pair
-        return (
-            t_off_device_aware_vec(self.machine, m, m * s_nn, s_nn)
-            + 2.0 * t_on_hierarchical_vec(self.machine, s_nn, TransportKind.GPU)
-        )
+    def _stages(self, s, ops: Ops) -> List[HopStage]:
+        m = self._dests_per_proc(s, ops)
+        s_nn = s.bytes_per_node_pair
+        return [
+            device_off_node_stage(m, m * s_nn, s_nn),
+            hierarchical_on_node_stage(
+                self.machine, HopKind.GPU_SEND, s_nn, repeat=2.0,
+                phases=("socket-gather", "gather",
+                        "socket-redistribute", "redistribute")),
+        ]
 
 
 # ---------------------------------------------------------------------------
@@ -322,26 +311,15 @@ class TwoStepStagedModel(StrategyModel):
     name = "2-Step"
     data_path = STAGED
 
-    def _time(self, summary: PatternSummary) -> float:
-        m = summary.num_dest_nodes
-        msg = summary.bytes_per_node_pair / self.gpn
-        s_off = m * msg
-        return (
-            t_off(self.machine, m, s_off, summary.node_bytes, msg_size=msg)
-            + t_on(self.machine, summary.proc_bytes, TransportKind.CPU)
-            + t_copy(self.machine, summary.proc_bytes,
-                     summary.bytes_per_node_pair)
-        )
-
-    def _time_vec(self, b: SummaryBatch) -> np.ndarray:
-        m = b.num_dest_nodes
-        msg = b.bytes_per_node_pair / self.gpn
-        s_off = m * msg
-        return (
-            t_off_vec(self.machine, m, s_off, b.node_bytes, msg)
-            + t_on_vec(self.machine, b.proc_bytes, TransportKind.CPU)
-            + t_copy_vec(self.machine, b.proc_bytes, b.bytes_per_node_pair)
-        )
+    def _stages(self, s, ops: Ops) -> List[HopStage]:
+        m = s.num_dest_nodes
+        msg = s.bytes_per_node_pair / self.gpn
+        return [
+            off_node_stage(m, m * msg, s.node_bytes, msg),
+            on_node_stage(self.machine, HopKind.CPU_SEND, s.proc_bytes,
+                          phases=("redistribute",)),
+            copy_stage(s.proc_bytes, s.bytes_per_node_pair),
+        ]
 
 
 class TwoStepDeviceModel(StrategyModel):
@@ -350,21 +328,14 @@ class TwoStepDeviceModel(StrategyModel):
     name = "2-Step"
     data_path = DEVICE
 
-    def _time(self, summary: PatternSummary) -> float:
-        m = summary.num_dest_nodes
-        msg = summary.bytes_per_node_pair / self.gpn
-        return (
-            t_off_device_aware(self.machine, m, m * msg, msg_size=msg)
-            + t_on(self.machine, summary.proc_bytes, TransportKind.GPU)
-        )
-
-    def _time_vec(self, b: SummaryBatch) -> np.ndarray:
-        m = b.num_dest_nodes
-        msg = b.bytes_per_node_pair / self.gpn
-        return (
-            t_off_device_aware_vec(self.machine, m, m * msg, msg)
-            + t_on_vec(self.machine, b.proc_bytes, TransportKind.GPU)
-        )
+    def _stages(self, s, ops: Ops) -> List[HopStage]:
+        m = s.num_dest_nodes
+        msg = s.bytes_per_node_pair / self.gpn
+        return [
+            device_off_node_stage(m, m * msg, msg),
+            on_node_stage(self.machine, HopKind.GPU_SEND, s.proc_bytes,
+                          phases=("redistribute",)),
+        ]
 
 
 class TwoStepBestCaseStagedModel(StrategyModel):
@@ -377,23 +348,15 @@ class TwoStepBestCaseStagedModel(StrategyModel):
     name = "2-Step 1"
     data_path = STAGED
 
-    def _time(self, summary: PatternSummary) -> float:
-        m = self._dests_per_proc(summary)
-        s_nn = summary.bytes_per_node_pair
-        return (
-            t_off(self.machine, m, m * s_nn, summary.node_bytes, msg_size=s_nn)
-            + t_on(self.machine, s_nn, TransportKind.CPU)
-            + t_copy(self.machine, summary.proc_bytes, s_nn)
-        )
-
-    def _time_vec(self, b: SummaryBatch) -> np.ndarray:
-        m = self._dests_per_proc_vec(b)
-        s_nn = b.bytes_per_node_pair
-        return (
-            t_off_vec(self.machine, m, m * s_nn, b.node_bytes, s_nn)
-            + t_on_vec(self.machine, s_nn, TransportKind.CPU)
-            + t_copy_vec(self.machine, b.proc_bytes, s_nn)
-        )
+    def _stages(self, s, ops: Ops) -> List[HopStage]:
+        m = self._dests_per_proc(s, ops)
+        s_nn = s.bytes_per_node_pair
+        return [
+            off_node_stage(m, m * s_nn, s.node_bytes, s_nn),
+            on_node_stage(self.machine, HopKind.CPU_SEND, s_nn,
+                          phases=("redistribute",)),
+            copy_stage(s.proc_bytes, s_nn),
+        ]
 
 
 class TwoStepBestCaseDeviceModel(StrategyModel):
@@ -402,21 +365,14 @@ class TwoStepBestCaseDeviceModel(StrategyModel):
     name = "2-Step 1"
     data_path = DEVICE
 
-    def _time(self, summary: PatternSummary) -> float:
-        m = self._dests_per_proc(summary)
-        s_nn = summary.bytes_per_node_pair
-        return (
-            t_off_device_aware(self.machine, m, m * s_nn, msg_size=s_nn)
-            + t_on(self.machine, s_nn, TransportKind.GPU)
-        )
-
-    def _time_vec(self, b: SummaryBatch) -> np.ndarray:
-        m = self._dests_per_proc_vec(b)
-        s_nn = b.bytes_per_node_pair
-        return (
-            t_off_device_aware_vec(self.machine, m, m * s_nn, s_nn)
-            + t_on_vec(self.machine, s_nn, TransportKind.GPU)
-        )
+    def _stages(self, s, ops: Ops) -> List[HopStage]:
+        m = self._dests_per_proc(s, ops)
+        s_nn = s.bytes_per_node_pair
+        return [
+            device_off_node_stage(m, m * s_nn, s_nn),
+            on_node_stage(self.machine, HopKind.GPU_SEND, s_nn,
+                          phases=("redistribute",)),
+        ]
 
 
 # ---------------------------------------------------------------------------
@@ -427,6 +383,24 @@ class _SplitModelBase(StrategyModel):
 
     ppg: int = 1  # host processes per GPU (1 = MD, 4 = DD)
 
+    def _split_counts(self, s, ops: Ops):
+        """Generic Algorithm-1 resolution over either operand algebra.
+
+        Branchless compute-both-then-select form whose select order
+        mirrors the scalar ``if`` chain, so per-element results match
+        the scalar branches bitwise.
+        """
+        cap0 = float(self.message_cap)
+        s_nn = s.bytes_per_node_pair
+        n_dest = s.num_dest_nodes
+        cap = ops.where(s.node_bytes / cap0 > self.ppn,
+                        ops.ceil(s.node_bytes / self.ppn), cap0)
+        per_pair = ops.maximum(1, ops.ceil(s_nn / cap))
+        under = s_nn <= cap0
+        total = ops.where(under, n_dest, n_dest * per_pair)
+        msg_size = ops.where(under, s_nn, ops.minimum(cap, s_nn))
+        return total, msg_size
+
     def split_counts(self, summary: PatternSummary):
         """(total inter-node messages, individual message size).
 
@@ -436,53 +410,25 @@ class _SplitModelBase(StrategyModel):
         spreads over at most ``ppn`` messages, and each pair's volume is
         split to that cap.
         """
-        cap = float(self.message_cap)
-        s_nn = summary.bytes_per_node_pair
-        n_dest = summary.num_dest_nodes
-        if s_nn <= cap:
-            return n_dest, s_nn
-        if summary.node_bytes / cap > self.ppn:
-            cap = math.ceil(summary.node_bytes / self.ppn)
-        per_pair = max(1, math.ceil(s_nn / cap))
-        return n_dest * per_pair, min(cap, s_nn)
+        return self._split_counts(summary, SCALAR_OPS)
 
     def split_counts_vec(self, b: SummaryBatch):
         """Array version of :meth:`split_counts` (same branch order)."""
-        cap0 = float(self.message_cap)
-        s_nn = b.bytes_per_node_pair
-        n_dest = b.num_dest_nodes
-        cap = np.where(b.node_bytes / cap0 > self.ppn,
-                       np.ceil(b.node_bytes / self.ppn), cap0)
-        per_pair = np.maximum(1, np.ceil(s_nn / cap))
-        under = s_nn <= cap0
-        total = np.where(under, n_dest, n_dest * per_pair)
-        msg_size = np.where(under, s_nn, np.minimum(cap, s_nn))
-        return total, msg_size
+        return self._split_counts(b, ARRAY_OPS)
 
-    def _time(self, summary: PatternSummary) -> float:
-        total_msgs, msg_size = self.split_counts(summary)
-        m = math.ceil(total_msgs / self.ppn)
-        s_proc = summary.node_bytes / self.ppn
-        return (
-            t_off(self.machine, m, s_proc, summary.node_bytes,
-                  msg_size=msg_size)
-            + 2.0 * t_on_split(self.machine, summary.node_bytes, self.ppg,
-                               ppn=self.ppn, active_gpus=summary.active_gpus)
-            + t_copy(self.machine, summary.proc_bytes,
-                     summary.bytes_per_node_pair, nproc=self.ppg)
-        )
-
-    def _time_vec(self, b: SummaryBatch) -> np.ndarray:
-        total_msgs, msg_size = self.split_counts_vec(b)
-        m = np.ceil(total_msgs / self.ppn)
-        s_proc = b.node_bytes / self.ppn
-        return (
-            t_off_vec(self.machine, m, s_proc, b.node_bytes, msg_size)
-            + 2.0 * t_on_split_vec(self.machine, b.node_bytes, self.ppg,
-                                   ppn=self.ppn, active_gpus=b.active_gpus)
-            + t_copy_vec(self.machine, b.proc_bytes,
-                         b.bytes_per_node_pair, nproc=self.ppg)
-        )
+    def _stages(self, s, ops: Ops) -> List[HopStage]:
+        total_msgs, msg_size = self._split_counts(s, ops)
+        m = ops.ceil(total_msgs / self.ppn)
+        s_proc = s.node_bytes / self.ppn
+        return [
+            off_node_stage(m, s_proc, s.node_bytes, msg_size,
+                           check=CheckMode.NODE_TOTAL,
+                           node_count=total_msgs),
+            split_on_node_stage(self.machine, s.node_bytes, self.ppg,
+                                self.ppn, s.active_gpus, ops, repeat=2.0,
+                                phases=("distribute", "redistribute")),
+            copy_stage(s.proc_bytes, s.bytes_per_node_pair, nproc=self.ppg),
+        ]
 
 
 class SplitMDModel(_SplitModelBase):

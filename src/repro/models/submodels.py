@@ -9,14 +9,33 @@ term count goes to zero).
 Protocol selection: each term picks the (alpha, beta) row of Table 2 by
 the size of the *individual message* it describes, mirroring how the MPI
 library would switch protocols.
+
+Since the hop-plan refactor these functions are thin wrappers: each
+validates its inputs, builds the canonical hop stage from
+:mod:`repro.paths.compile`, and evaluates it through the shared scalar
+costing kernel — the identical stages and kernel also serve the
+vectorized sweeps and the strategy models, so no cost arithmetic is
+duplicated here.
 """
 
 from __future__ import annotations
 
-import math
-
-from repro.machine.locality import CopyDirection, Locality, TransportKind
+from repro.machine.locality import TransportKind
 from repro.machine.topology import MachineSpec
+from repro.paths.compile import (
+    copy_stage,
+    device_off_node_stage,
+    hierarchical_on_node_stage,
+    off_node_stage,
+    on_node_stage,
+    split_on_node_stage,
+)
+from repro.paths.ir import HopKind
+from repro.paths.kernel import SCALAR_OPS, stage_cost
+
+
+def _hop_kind(kind: TransportKind) -> HopKind:
+    return HopKind.GPU_SEND if kind is TransportKind.GPU else HopKind.CPU_SEND
 
 
 def t_on(machine: MachineSpec, s: float,
@@ -32,14 +51,8 @@ def t_on(machine: MachineSpec, s: float,
     """
     if s < 0:
         raise ValueError(f"s must be >= 0, got {s!r}")
-    gps = machine.gpus_per_socket
-    params = machine.comm_params
-    _p, on_socket = params.for_message(kind, Locality.ON_SOCKET, s)
-    total = (gps - 1) * on_socket.time(s)
-    if machine.sockets_per_node > 1:
-        _p, on_node = params.for_message(kind, Locality.ON_NODE, s)
-        total += gps * on_node.time(s)
-    return total
+    stage = on_node_stage(machine, _hop_kind(kind), s, phases=("gather",))
+    return stage_cost(machine, stage, SCALAR_OPS)
 
 
 def t_on_split(machine: MachineSpec, s_total: float, ppg: int,
@@ -66,36 +79,11 @@ def t_on_split(machine: MachineSpec, s_total: float, ppg: int,
     """
     if s_total < 0:
         raise ValueError(f"s_total must be >= 0, got {s_total!r}")
-    if ppg < 1:
-        raise ValueError(f"ppg must be >= 1, got {ppg!r}")
     if active_gpus < 1:
         raise ValueError(f"active_gpus must be >= 1, got {active_gpus!r}")
-    pps = machine.cores_per_socket
-    sockets = machine.sockets_per_node
-    if ppg > pps:
-        raise ValueError(f"ppg={ppg} exceeds processes per socket {pps}")
-    active_gpus = min(active_gpus, max(machine.gpus_per_node, 1))
-    if ppn <= 0:
-        ppn = machine.cores_per_node
-    s_msg = s_total / ppn
-    params = machine.comm_params
-    kind = TransportKind.CPU
-    _p, on_socket = params.for_message(kind, Locality.ON_SOCKET, s_msg)
-    # Sockets hosting at least one distributing (copying) process.
-    gps = max(machine.gpus_per_socket, 1)
-    sockets_with = min(sockets, math.ceil(active_gpus / gps))
-    dist_per_socket = math.ceil(active_gpus / sockets_with) * ppg
-    # On-socket fan-out: the socket's pps receivers shared among its
-    # distributors, minus the share a distributor keeps for itself.
-    n_os = max(pps / dist_per_socket - 1, 0.0)
-    total = n_os * on_socket.time(s_msg)
-    # Sockets without distributors are reached via on-node messages,
-    # shared among all distributors.
-    if sockets_with < sockets:
-        _p, on_node = params.for_message(kind, Locality.ON_NODE, s_msg)
-        n_on = (sockets - sockets_with) * pps / (sockets_with * dist_per_socket)
-        total += n_on * on_node.time(s_msg)
-    return total
+    stage = split_on_node_stage(machine, s_total, ppg, ppn, active_gpus,
+                                SCALAR_OPS, phases=("distribute",))
+    return stage_cost(machine, stage, SCALAR_OPS)
 
 
 def t_on_hierarchical(machine: MachineSpec, s: float,
@@ -111,15 +99,9 @@ def t_on_hierarchical(machine: MachineSpec, s: float,
     """
     if s < 0:
         raise ValueError(f"s must be >= 0, got {s!r}")
-    gps = machine.gpus_per_socket
-    params = machine.comm_params
-    _p, on_socket = params.for_message(kind, Locality.ON_SOCKET, s)
-    total = (gps - 1) * on_socket.time(s)
-    if machine.sockets_per_node > 1:
-        combined = gps * s
-        _p, on_node = params.for_message(kind, Locality.ON_NODE, combined)
-        total += (machine.sockets_per_node - 1) * on_node.time(combined)
-    return total
+    stage = hierarchical_on_node_stage(machine, _hop_kind(kind), s,
+                                       phases=("socket-gather",))
+    return stage_cost(machine, stage, SCALAR_OPS)
 
 
 def t_off(machine: MachineSpec, m: int, s_proc: float, s_node: float,
@@ -144,10 +126,8 @@ def t_off(machine: MachineSpec, m: int, s_proc: float, s_node: float,
         raise ValueError("m, s_proc, s_node must be >= 0")
     if msg_size < 0:
         msg_size = s_proc / max(m, 1)
-    _p, link = machine.comm_params.for_message(
-        TransportKind.CPU, Locality.OFF_NODE, msg_size)
-    rn = machine.nic.injection_rate * machine.nic.nics_per_node
-    return link.alpha * m + max(s_node / rn, s_proc * link.beta)
+    stage = off_node_stage(m, s_proc, s_node, msg_size)
+    return stage_cost(machine, stage, SCALAR_OPS)
 
 
 def t_off_device_aware(machine: MachineSpec, m: int, s_proc: float,
@@ -164,16 +144,8 @@ def t_off_device_aware(machine: MachineSpec, m: int, s_proc: float,
         raise ValueError("m and s_proc must be >= 0")
     if msg_size < 0:
         msg_size = s_proc / max(m, 1)
-    _p, link = machine.comm_params.for_message(
-        TransportKind.GPU, Locality.OFF_NODE, msg_size)
-    base = link.alpha * m + s_proc * link.beta
-    gpu_rate = machine.nic.gpu_injection_rate
-    if gpu_rate != float("inf"):
-        gpn = max(machine.gpus_per_node, 1)
-        base = link.alpha * m + max(
-            gpn * s_proc / (gpu_rate * machine.nic.nics_per_node),
-            s_proc * link.beta)
-    return base
+    stage = device_off_node_stage(m, s_proc, msg_size)
+    return stage_cost(machine, stage, SCALAR_OPS)
 
 
 def t_copy(machine: MachineSpec, s_send: float, s_recv: float,
@@ -189,6 +161,5 @@ def t_copy(machine: MachineSpec, s_send: float, s_recv: float,
     """
     if s_send < 0 or s_recv < 0:
         raise ValueError("s_send and s_recv must be >= 0")
-    cp = machine.copy_params
-    return (cp.time(CopyDirection.D2H, s_send, nproc)
-            + cp.time(CopyDirection.H2D, s_recv, nproc))
+    stage = copy_stage(s_send, s_recv, nproc=nproc)
+    return stage_cost(machine, stage, SCALAR_OPS)

@@ -9,13 +9,18 @@ most of its wall clock in Python call overhead.  This module provides
   whose byte quantities vary along one axis (typically a size sweep),
 * ``*_vec`` versions of every sub-model term operating on arrays.
 
-Bit-exactness contract: every helper applies the *same* floating-point
-operations in the *same* order as its scalar twin in
-:mod:`repro.models.submodels`, with branches replaced by
-``np.select`` / ``np.where`` whose branch order mirrors the scalar
-``if`` chains.  ``StrategyModel.time_sweep`` therefore returns values
-bit-identical to point-wise ``StrategyModel.time`` calls (pinned by
-``tests/models/test_vectorized.py``).
+Since the hop-plan refactor each ``*_vec`` helper builds the *same*
+canonical stage as its scalar twin in :mod:`repro.models.submodels`
+and evaluates it through the shared kernel with the array algebra
+(:data:`repro.paths.kernel.ARRAY_OPS`); protocol selection over a size
+axis lives in :meth:`repro.machine.params.CommParams.link_arrays`.
+
+Bit-exactness contract: the kernel applies the *same* floating-point
+operations in the *same* order for both algebras, with branches
+replaced by ``np.select`` / ``np.where`` whose branch order mirrors the
+scalar ``if`` chains.  ``StrategyModel.time_sweep`` therefore returns
+values bit-identical to point-wise ``StrategyModel.time`` calls (pinned
+by ``tests/models/test_vectorized.py``).
 """
 
 from __future__ import annotations
@@ -25,9 +30,23 @@ from typing import Sequence, Tuple
 
 import numpy as np
 
-from repro.machine.locality import CopyDirection, Locality, Protocol, TransportKind
+from repro.machine.locality import Locality, TransportKind
 from repro.machine.topology import MachineSpec
 from repro.models.pattern_summary import PatternSummary
+from repro.paths.compile import (
+    copy_stage,
+    device_off_node_stage,
+    hierarchical_on_node_stage,
+    off_node_stage,
+    on_node_stage,
+    split_on_node_stage,
+)
+from repro.paths.ir import HopKind
+from repro.paths.kernel import ARRAY_OPS, stage_cost
+
+
+def _hop_kind(kind: TransportKind) -> HopKind:
+    return HopKind.GPU_SEND if kind is TransportKind.GPU else HopKind.CPU_SEND
 
 
 # ---------------------------------------------------------------------------
@@ -89,25 +108,10 @@ def link_select(machine: MachineSpec, kind: TransportKind, locality: Locality,
                 sizes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     """Per-element Table-2 ``(alpha, beta)`` for a size array.
 
-    The ``np.select`` condition order replicates the scalar threshold
-    chain in :meth:`ProtocolThresholds.select` (first true wins).
+    Delegates to :meth:`repro.machine.params.CommParams.link_arrays`,
+    the kernel's single protocol-resolution entry point.
     """
-    params = machine.comm_params
-    th = params.thresholds
-    if np.any(sizes < 0):
-        raise ValueError("message sizes must be >= 0")
-    if kind is TransportKind.GPU:
-        protocols = (Protocol.EAGER, Protocol.RENDEZVOUS)
-        conds = [sizes <= th.gpu_eager_limit]
-    else:
-        protocols = (Protocol.SHORT, Protocol.EAGER, Protocol.RENDEZVOUS)
-        conds = [sizes <= th.short_limit, sizes <= th.eager_limit]
-    links = [params.link(kind, p, locality) for p in protocols]
-    alpha = np.select(conds, [l.alpha for l in links[:-1]],
-                      default=links[-1].alpha)
-    beta = np.select(conds, [l.beta for l in links[:-1]],
-                     default=links[-1].beta)
-    return alpha, beta
+    return machine.comm_params.link_arrays(kind, locality, sizes)
 
 
 # ---------------------------------------------------------------------------
@@ -116,44 +120,19 @@ def link_select(machine: MachineSpec, kind: TransportKind, locality: Locality,
 def t_on_vec(machine: MachineSpec, s: np.ndarray,
              kind: TransportKind = TransportKind.CPU) -> np.ndarray:
     """Vectorized eq. (4.1); see :func:`repro.models.submodels.t_on`."""
-    gps = machine.gpus_per_socket
-    a_os, b_os = link_select(machine, kind, Locality.ON_SOCKET, s)
-    total = (gps - 1) * (a_os + b_os * s)
-    if machine.sockets_per_node > 1:
-        a_on, b_on = link_select(machine, kind, Locality.ON_NODE, s)
-        total = total + gps * (a_on + b_on * s)
-    return total
+    stage = on_node_stage(machine, _hop_kind(kind), s, phases=("gather",))
+    return stage_cost(machine, stage, ARRAY_OPS)
 
 
 def t_on_split_vec(machine: MachineSpec, s_total: np.ndarray, ppg: int,
                    ppn: int = 0,
                    active_gpus: np.ndarray = None) -> np.ndarray:
     """Vectorized eq. (4.2); see :func:`repro.models.submodels.t_on_split`."""
-    if ppg < 1:
-        raise ValueError(f"ppg must be >= 1, got {ppg!r}")
-    pps = machine.cores_per_socket
-    sockets = machine.sockets_per_node
-    if ppg > pps:
-        raise ValueError(f"ppg={ppg} exceeds processes per socket {pps}")
     if active_gpus is None:
         active_gpus = np.ones_like(s_total, dtype=int)
-    active = np.minimum(active_gpus, max(machine.gpus_per_node, 1))
-    if ppn <= 0:
-        ppn = machine.cores_per_node
-    s_msg = s_total / ppn
-    kind = TransportKind.CPU
-    a_os, b_os = link_select(machine, kind, Locality.ON_SOCKET, s_msg)
-    gps = max(machine.gpus_per_socket, 1)
-    sockets_with = np.minimum(sockets, np.ceil(active / gps))
-    dist_per_socket = np.ceil(active / sockets_with) * ppg
-    n_os = np.maximum(pps / dist_per_socket - 1, 0.0)
-    total = n_os * (a_os + b_os * s_msg)
-    lacking = sockets_with < sockets
-    if np.any(lacking):
-        a_on, b_on = link_select(machine, kind, Locality.ON_NODE, s_msg)
-        n_on = (sockets - sockets_with) * pps / (sockets_with * dist_per_socket)
-        total = np.where(lacking, total + n_on * (a_on + b_on * s_msg), total)
-    return total
+    stage = split_on_node_stage(machine, s_total, ppg, ppn, active_gpus,
+                                ARRAY_OPS, phases=("distribute",))
+    return stage_cost(machine, stage, ARRAY_OPS)
 
 
 def t_on_hierarchical_vec(machine: MachineSpec, s: np.ndarray,
@@ -161,23 +140,16 @@ def t_on_hierarchical_vec(machine: MachineSpec, s: np.ndarray,
                           ) -> np.ndarray:
     """Vectorized hierarchical gather; see
     :func:`repro.models.submodels.t_on_hierarchical`."""
-    gps = machine.gpus_per_socket
-    a_os, b_os = link_select(machine, kind, Locality.ON_SOCKET, s)
-    total = (gps - 1) * (a_os + b_os * s)
-    if machine.sockets_per_node > 1:
-        combined = gps * s
-        a_on, b_on = link_select(machine, kind, Locality.ON_NODE, combined)
-        total = total + (machine.sockets_per_node - 1) * (a_on + b_on * combined)
-    return total
+    stage = hierarchical_on_node_stage(machine, _hop_kind(kind), s,
+                                       phases=("socket-gather",))
+    return stage_cost(machine, stage, ARRAY_OPS)
 
 
 def t_off_vec(machine: MachineSpec, m: np.ndarray, s_proc: np.ndarray,
               s_node: np.ndarray, msg_size: np.ndarray) -> np.ndarray:
     """Vectorized eq. (4.3); see :func:`repro.models.submodels.t_off`."""
-    alpha, beta = link_select(machine, TransportKind.CPU,
-                              Locality.OFF_NODE, msg_size)
-    rn = machine.nic.injection_rate * machine.nic.nics_per_node
-    return alpha * m + np.maximum(s_node / rn, s_proc * beta)
+    stage = off_node_stage(m, s_proc, s_node, msg_size)
+    return stage_cost(machine, stage, ARRAY_OPS)
 
 
 def t_off_device_aware_vec(machine: MachineSpec, m: np.ndarray,
@@ -185,22 +157,12 @@ def t_off_device_aware_vec(machine: MachineSpec, m: np.ndarray,
                            msg_size: np.ndarray) -> np.ndarray:
     """Vectorized eq. (4.4); see
     :func:`repro.models.submodels.t_off_device_aware`."""
-    alpha, beta = link_select(machine, TransportKind.GPU,
-                              Locality.OFF_NODE, msg_size)
-    base = alpha * m + s_proc * beta
-    gpu_rate = machine.nic.gpu_injection_rate
-    if gpu_rate != float("inf"):
-        gpn = max(machine.gpus_per_node, 1)
-        base = alpha * m + np.maximum(
-            gpn * s_proc / (gpu_rate * machine.nic.nics_per_node),
-            s_proc * beta)
-    return base
+    stage = device_off_node_stage(m, s_proc, msg_size)
+    return stage_cost(machine, stage, ARRAY_OPS)
 
 
 def t_copy_vec(machine: MachineSpec, s_send: np.ndarray, s_recv: np.ndarray,
                nproc: int = 1) -> np.ndarray:
     """Vectorized eq. (4.5); see :func:`repro.models.submodels.t_copy`."""
-    cp = machine.copy_params
-    d2h = cp.link(CopyDirection.D2H, nproc)
-    h2d = cp.link(CopyDirection.H2D, nproc)
-    return (d2h.alpha + d2h.beta * s_send) + (h2d.alpha + h2d.beta * s_recv)
+    stage = copy_stage(s_send, s_recv, nproc=nproc)
+    return stage_cost(machine, stage, ARRAY_OPS)

@@ -1,0 +1,208 @@
+"""Structural cross-check: DES message traces vs. compiled hop plans.
+
+The third consumer of the HopPlan IR.  A ``core.*`` strategy program,
+run under ``SimJob(..., trace=True)``, leaves a list of
+``MessageTrace`` records whose ``phase`` lane is derived from the
+message tag.  This module groups that trace by lane and verifies it
+against the plan the strategy model compiled for the same pattern
+summary:
+
+* every traced lane must be realized by a plan stage (or declared
+  uncosted, e.g. ``"on-node direct"`` local deliveries);
+* per lane, the transport kinds and localities on the wire must match
+  the stage's declared hops;
+* per stage, counts and bytes are compared according to the stage's
+  :class:`~repro.paths.ir.CheckMode` — the busiest-rank stages of the
+  Standard/3-Step/2-Step off-node legs match *exactly*, Split's
+  chunked inter-node leg matches on phase totals, and the worst-case
+  on-node fan-out terms bound the observed busiest-rank bytes.
+
+Checks return violation strings rather than raising so callers (tests,
+the chaos harness) can aggregate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Set
+
+from repro.machine.locality import Locality, TransportKind
+from repro.paths.ir import CheckMode, HopKind, HopPlan, HopStage
+
+
+@dataclass
+class PhaseProfile:
+    """Aggregate of one tracer lane of a message trace."""
+
+    messages: int = 0
+    nbytes: int = 0
+    rank_messages: Dict[int, int] = field(default_factory=dict)
+    rank_bytes: Dict[int, int] = field(default_factory=dict)
+    kinds: Set[TransportKind] = field(default_factory=set)
+    localities: Set[Locality] = field(default_factory=set)
+
+    @property
+    def max_rank_messages(self) -> int:
+        return max(self.rank_messages.values(), default=0)
+
+    @property
+    def max_rank_bytes(self) -> int:
+        return max(self.rank_bytes.values(), default=0)
+
+
+def profile_trace(trace: Iterable) -> Dict[str, PhaseProfile]:
+    """Group a ``MessageTrace`` list by phase lane, per-sender."""
+    profiles: Dict[str, PhaseProfile] = {}
+    for t in trace:
+        prof = profiles.setdefault(t.phase, PhaseProfile())
+        prof.messages += 1
+        prof.nbytes += t.nbytes
+        prof.rank_messages[t.src] = prof.rank_messages.get(t.src, 0) + 1
+        prof.rank_bytes[t.src] = prof.rank_bytes.get(t.src, 0) + t.nbytes
+        prof.kinds.add(t.kind)
+        prof.localities.add(t.locality)
+    return profiles
+
+
+def _declared_hops(stage: HopStage):
+    """Every trace-visible hop, conditional or not.
+
+    A hop's ``enabled`` flag gates *costing* — a disabled conditional
+    hop (eq. 4.2's cross-socket feed when every socket has its own
+    distributor) still documents a legitimate locality for the lane,
+    because the DES charges those bytes to a different hop rather than
+    not sending them.
+    """
+    return [h for h in stage.hops if h.kind is not HopKind.MEMCPY]
+
+
+def _stage_hops(stage: HopStage):
+    """The stage's enabled, trace-visible hops (the costed set)."""
+    return [h for h in stage.hops
+            if h.kind is not HopKind.MEMCPY and bool(h.enabled)]
+
+
+def _as_int(value) -> int:
+    """Round a model quantity (int-valued float) to an integer."""
+    return int(round(float(value)))
+
+
+def check_plan_against_trace(plan: HopPlan, trace: Sequence) -> List[str]:
+    """Violations of the plan/trace consistency contract (empty = ok)."""
+    out: List[str] = []
+    who = f"{plan.strategy} ({plan.data_path})"
+    profiles = profile_trace(trace)
+
+    # 1. Lane discipline: nothing on the wire outside the declared plan.
+    for phase, prof in profiles.items():
+        if phase in plan.uncosted_phases:
+            continue
+        stage = plan.stage_for_phase(phase)
+        if stage is None:
+            out.append(
+                f"{who}: traced phase {phase!r} ({prof.messages} msgs) is "
+                f"realized by no plan stage and not declared uncosted")
+            continue
+        hops = _declared_hops(stage)
+        allowed_kinds = {h.kind.transport_kind for h in hops}
+        allowed_locs = {h.locality for h in hops}
+        bad_kinds = prof.kinds - allowed_kinds
+        if bad_kinds:
+            out.append(
+                f"{who}: phase {phase!r} carries {sorted(k.name for k in bad_kinds)} "
+                f"messages; stage {stage.label!r} declares "
+                f"{sorted(k.name for k in allowed_kinds)}")
+        bad_locs = prof.localities - allowed_locs
+        if bad_locs:
+            out.append(
+                f"{who}: phase {phase!r} carries "
+                f"{sorted(l.name for l in bad_locs)} messages; stage "
+                f"{stage.label!r} declares "
+                f"{sorted(l.name for l in allowed_locs)}")
+
+    # 2. Per-stage count/byte agreement, by declared strictness.
+    for stage in plan.stages:
+        if stage.check is CheckMode.SKIP:
+            continue
+        hops = _stage_hops(stage)
+        if not hops:
+            continue
+        expected_msgs = sum(_as_int(h.count) for h in hops)
+        expected_bytes = sum(
+            float(h.total_bytes) if h.total_bytes is not None
+            else float(h.count) * float(h.nbytes)
+            for h in hops)
+        for phase in stage.phases:
+            prof = profiles.get(phase)
+            if stage.check is CheckMode.EXACT_RANK:
+                if prof is None:
+                    if expected_msgs > 0:
+                        out.append(
+                            f"{who}: stage {stage.label!r} expects "
+                            f"{expected_msgs} msgs in phase {phase!r}; "
+                            f"trace has none")
+                    continue
+                if prof.max_rank_messages != expected_msgs:
+                    out.append(
+                        f"{who}: phase {phase!r} busiest rank sent "
+                        f"{prof.max_rank_messages} msgs; stage "
+                        f"{stage.label!r} expects {expected_msgs}")
+                if prof.max_rank_bytes != _as_int(expected_bytes):
+                    out.append(
+                        f"{who}: phase {phase!r} busiest rank sent "
+                        f"{prof.max_rank_bytes} B; stage {stage.label!r} "
+                        f"expects {_as_int(expected_bytes)}")
+            elif stage.check is CheckMode.NODE_TOTAL:
+                hop = hops[0]
+                node_msgs = _as_int(hop.node_count if hop.node_count
+                                    is not None else hop.count)
+                node_bytes = _as_int(hop.node_bytes if hop.node_bytes
+                                     is not None else expected_bytes)
+                if prof is None:
+                    if node_msgs > 0:
+                        out.append(
+                            f"{who}: stage {stage.label!r} expects "
+                            f"{node_msgs} msgs in phase {phase!r}; "
+                            f"trace has none")
+                    continue
+                if prof.messages != node_msgs:
+                    out.append(
+                        f"{who}: phase {phase!r} carried {prof.messages} "
+                        f"msgs in total; stage {stage.label!r} expects "
+                        f"{node_msgs}")
+                if prof.nbytes != node_bytes:
+                    out.append(
+                        f"{who}: phase {phase!r} carried {prof.nbytes} B "
+                        f"in total; stage {stage.label!r} expects "
+                        f"{node_bytes}")
+            elif stage.check is CheckMode.BOUND_TOTAL:
+                # Average-share terms (eq. 4.2): the busiest rank can
+                # exceed its modelled share, but the lane cannot move
+                # more than the stage's payload per repetition.
+                if prof is None:
+                    continue
+                hop = hops[0]
+                payload = (float(hop.node_bytes) if hop.node_bytes
+                           is not None else expected_bytes)
+                if prof.nbytes > payload * (1.0 + 1e-9):
+                    out.append(
+                        f"{who}: phase {phase!r} moved {prof.nbytes} B "
+                        f"in total, above the stage {stage.label!r} "
+                        f"payload {payload:.1f} B")
+            else:  # BOUND_RANK — the model term is a worst-case bound
+                if prof is None:
+                    continue
+                bound = expected_bytes * (1.0 + 1e-9)
+                if prof.max_rank_bytes > bound:
+                    out.append(
+                        f"{who}: phase {phase!r} busiest rank sent "
+                        f"{prof.max_rank_bytes} B, above the stage "
+                        f"{stage.label!r} worst-case bound "
+                        f"{expected_bytes:.1f} B")
+    return out
+
+
+def assert_plan_matches_trace(plan: HopPlan, trace: Sequence) -> None:
+    """Raise ``AssertionError`` listing every plan/trace violation."""
+    violations = check_plan_against_trace(plan, trace)
+    assert not violations, "\n".join(violations)

@@ -1,0 +1,172 @@
+"""The HopPlan intermediate representation.
+
+A *hop plan* is the declarative form of one (strategy, data path)
+combination of paper Table 5: an ordered sequence of :class:`HopStage`
+records, each describing typed message hops over the machine — how many
+messages, how large, over which locality, serialized how (one after the
+other vs. rate-limited in parallel).  The plan is the single source of
+truth shared by three consumers:
+
+* the scalar analytic coster (``StrategyModel.time``),
+* the batched numpy coster (``StrategyModel.time_sweep``),
+* the DES structural cross-check (:mod:`repro.paths.check`), which
+  verifies that the transport operations a ``core.*`` program actually
+  emitted (per tracer phase lane) are consistent with the plan's stages.
+
+Quantities (``count``, ``nbytes``, …) are either Python scalars (plans
+compiled from one :class:`~repro.models.pattern_summary.PatternSummary`)
+or numpy arrays (plans compiled from a
+:class:`~repro.models.vectorized.SummaryBatch` sweep); the costing
+kernel in :mod:`repro.paths.kernel` is generic over both.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+from repro.machine.locality import CopyDirection, Locality, TransportKind
+
+
+class HopKind(enum.Enum):
+    """Transport type of one hop."""
+
+    CPU_SEND = "cpu-send"    # host-to-host MPI message
+    GPU_SEND = "gpu-send"    # device-aware MPI message
+    MEMCPY = "memcpy"        # D2H / H2D staging copy
+
+    @property
+    def transport_kind(self) -> Optional[TransportKind]:
+        """The Table-2 row family this hop's messages are costed from."""
+        if self is HopKind.CPU_SEND:
+            return TransportKind.CPU
+        if self is HopKind.GPU_SEND:
+            return TransportKind.GPU
+        return None
+
+
+class Serialization(enum.Enum):
+    """How a hop's ``count`` messages occupy the wire.
+
+    SEQUENTIAL
+        One after the other: ``count * (alpha + beta * nbytes)`` —
+        the postal model of the on-node gather fan-outs (eq. 4.1/4.2).
+    MAX_RATE
+        Latencies serialize but payloads stream concurrently, limited
+        by the busiest-process bandwidth and (CPU path) the node's NIC
+        injection rate — eq. (4.3)'s max-rate form, or eq. (4.4)'s
+        postal form with the optional GPU injection guard.
+    """
+
+    SEQUENTIAL = "sequential"
+    MAX_RATE = "max-rate"
+
+
+class CheckMode(enum.Enum):
+    """How the DES cross-check compares a stage against a trace lane.
+
+    The analytic models describe the *busiest* participant, and some
+    stages are deliberate worst-case bounds — so each stage declares how
+    literally its numbers should match the simulated message trace.
+    """
+
+    EXACT_RANK = "exact-rank"    # busiest-rank messages/bytes match exactly
+    NODE_TOTAL = "node-total"    # phase totals match node_count/node_bytes
+    BOUND_RANK = "bound-rank"    # busiest-rank bytes bounded by the model
+    BOUND_TOTAL = "bound-total"  # phase-total bytes bounded by the payload
+    SKIP = "skip"                # not observable in the message trace
+
+
+@dataclass(frozen=True, eq=False)
+class Hop:
+    """One typed hop: ``count`` messages of ``nbytes`` each.
+
+    ``nbytes`` is the *individual* message size (it drives protocol
+    selection); MAX_RATE hops carry the busiest-process total in
+    ``total_bytes`` and the busiest-node total in ``node_bytes``.
+    ``enabled`` gates conditional hops (scalar bool or boolean array) —
+    eq. (4.2)'s cross-socket term exists only when some socket hosts no
+    distributor.  MEMCPY hops use ``direction``/``nproc`` instead of a
+    locality.
+    """
+
+    kind: HopKind
+    count: Any
+    nbytes: Any
+    serialization: Serialization = Serialization.SEQUENTIAL
+    phase: str = ""
+    locality: Optional[Locality] = None
+    total_bytes: Any = None      # busiest-process bytes (MAX_RATE)
+    node_bytes: Any = None       # busiest-node bytes (CPU MAX_RATE)
+    node_count: Any = None       # phase-total messages (NODE_TOTAL check)
+    direction: Optional[CopyDirection] = None   # MEMCPY only
+    nproc: int = 1               # MEMCPY: concurrent copying processes
+    enabled: Any = True
+
+    def __post_init__(self) -> None:
+        if self.kind is HopKind.MEMCPY:
+            if self.direction is None:
+                raise ValueError("MEMCPY hop requires a direction")
+        elif self.locality is None:
+            raise ValueError(f"{self.kind} hop requires a locality")
+
+
+@dataclass(frozen=True, eq=False)
+class HopStage:
+    """An ordered group of hops whose costs sum into one model term.
+
+    ``repeat`` scales the stage total (the node-aware gather and
+    redistribution legs are the same term twice: ``2 T_on``); the
+    stage then realizes one tracer lane per entry of ``phases``.
+    ``check`` tells :mod:`repro.paths.check` how strictly the DES trace
+    must match.
+    """
+
+    label: str
+    hops: Tuple[Hop, ...]
+    repeat: float = 1.0
+    phases: Tuple[str, ...] = ()
+    check: CheckMode = CheckMode.BOUND_RANK
+
+    def __post_init__(self) -> None:
+        if not self.hops:
+            raise ValueError(f"stage {self.label!r} has no hops")
+        first = self.hops[0]
+        if first.enabled is not True:
+            raise ValueError(
+                f"stage {self.label!r}: the leading hop must be "
+                f"unconditional (conditional hops fold onto a running sum)")
+
+
+@dataclass(frozen=True, eq=False)
+class HopPlan:
+    """The compiled path of one strategy over one pattern summary.
+
+    ``uncosted_phases`` lists tracer lanes the DES implementation may
+    legitimately use without the analytic model charging them (e.g. the
+    purely local ``"on-node direct"`` deliveries, which the paper's
+    busiest-node model treats as free relative to the off-node path).
+    """
+
+    strategy: str
+    data_path: str
+    stages: Tuple[HopStage, ...]
+    uncosted_phases: Tuple[str, ...] = ()
+
+    def stage_for_phase(self, phase: str) -> Optional[HopStage]:
+        """The stage realizing tracer lane ``phase`` (None if uncosted)."""
+        for stage in self.stages:
+            if phase in stage.phases:
+                return stage
+        return None
+
+    @property
+    def phases(self) -> Tuple[str, ...]:
+        """Every tracer lane the plan's stages realize, in stage order."""
+        seen = []
+        for stage in self.stages:
+            for phase in stage.phases:
+                if phase not in seen:
+                    seen.append(phase)
+        return tuple(seen)

@@ -1,0 +1,145 @@
+"""The shared costing kernel: one evaluator, two operand algebras.
+
+Every cost in the analytic layer is produced here, by walking a
+sequence of :class:`~repro.paths.ir.HopStage` records and charging each
+hop from the machine's Table-2/3/4 constants.  The *same* code path
+serves the scalar coster and the batched numpy coster: an :class:`Ops`
+bundle supplies ``ceil``/``max``/``where``/protocol-selection operating
+either on Python scalars (:data:`SCALAR_OPS`) or on numpy arrays
+(:data:`ARRAY_OPS`).
+
+Bit-exactness contract: for scalar inputs the kernel applies exactly
+the floating-point operations (and order) of the historical hand-written
+``_time`` bodies, and for array inputs exactly those of their
+``*_vec`` twins — stage sums start from the first hop's cost, stages
+accumulate left-associatively, and a ``repeat`` factor multiplies the
+finished stage sum (exact for the power-of-two repeats the models use).
+The goldens in ``tests/test_equivalence.py`` pin this.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.machine.locality import TransportKind
+from repro.machine.topology import MachineSpec
+from repro.paths.ir import Hop, HopKind, HopPlan, HopStage, Serialization
+
+
+@dataclass(frozen=True)
+class Ops:
+    """Operand algebra the kernel is generic over."""
+
+    name: str
+    ceil: Callable[[Any], Any]
+    maximum: Callable[[Any, Any], Any]
+    minimum: Callable[[Any, Any], Any]
+    where: Callable[[Any, Any, Any], Any]
+    any: Callable[[Any], bool]
+    #: ``link(machine, kind, locality, nbytes) -> (alpha, beta)`` with
+    #: protocol selection by individual-message size
+    link: Callable[[MachineSpec, TransportKind, Any, Any], Any]
+
+
+def _scalar_link(machine: MachineSpec, kind: TransportKind, locality,
+                 nbytes):
+    _protocol, link = machine.comm_params.for_message(kind, locality, nbytes)
+    return link.alpha, link.beta
+
+
+def _array_link(machine: MachineSpec, kind: TransportKind, locality, nbytes):
+    return machine.comm_params.link_arrays(kind, locality, nbytes)
+
+
+SCALAR_OPS = Ops(
+    name="scalar",
+    ceil=math.ceil,
+    maximum=max,
+    minimum=min,
+    where=lambda cond, a, b: a if cond else b,
+    any=bool,
+    link=_scalar_link,
+)
+
+ARRAY_OPS = Ops(
+    name="array",
+    ceil=np.ceil,
+    maximum=np.maximum,
+    minimum=np.minimum,
+    where=np.where,
+    any=np.any,
+    link=_array_link,
+)
+
+
+def hop_cost(machine: MachineSpec, hop: Hop, ops: Ops) -> Any:
+    """Cost of one hop from the machine's measured constants.
+
+    SEQUENTIAL: postal model times count.  MAX_RATE: eq. (4.3) for CPU
+    sends (NIC injection guard over the busiest node) or eq. (4.4) for
+    GPU sends (postal, with the injection guard only on machines that
+    declare a finite GPU injection rate).  MEMCPY: Table-3 row for the
+    hop's direction and process count.
+    """
+    if hop.kind is HopKind.MEMCPY:
+        link = machine.copy_params.link(hop.direction, hop.nproc)
+        return link.alpha + link.beta * hop.nbytes
+    alpha, beta = ops.link(machine, hop.kind.transport_kind, hop.locality,
+                           hop.nbytes)
+    if hop.serialization is Serialization.SEQUENTIAL:
+        return hop.count * (alpha + beta * hop.nbytes)
+    if hop.kind is HopKind.CPU_SEND:
+        rn = machine.nic.injection_rate * machine.nic.nics_per_node
+        return alpha * hop.count + ops.maximum(hop.node_bytes / rn,
+                                               hop.total_bytes * beta)
+    base = alpha * hop.count + hop.total_bytes * beta
+    gpu_rate = machine.nic.gpu_injection_rate
+    if gpu_rate != float("inf"):
+        gpn = max(machine.gpus_per_node, 1)
+        base = alpha * hop.count + ops.maximum(
+            gpn * hop.total_bytes / (gpu_rate * machine.nic.nics_per_node),
+            hop.total_bytes * beta)
+    return base
+
+
+def stage_cost(machine: MachineSpec, stage: HopStage, ops: Ops) -> Any:
+    """Cost of one stage: hop costs summed in order, times ``repeat``.
+
+    Conditional hops (``enabled`` other than the literal ``True``) fold
+    onto the running sum through ``ops.where`` — replicating the scalar
+    ``if`` branches and their ``np.where`` twins bitwise — and are
+    skipped entirely when no element enables them.
+    """
+    total = None
+    for hop in stage.hops:
+        if hop.enabled is True:
+            cost = hop_cost(machine, hop, ops)
+            total = cost if total is None else total + cost
+        else:
+            if not ops.any(hop.enabled):
+                continue
+            cost = hop_cost(machine, hop, ops)
+            total = ops.where(hop.enabled, total + cost, total)
+    if stage.repeat != 1.0:
+        total = stage.repeat * total
+    return total
+
+
+def evaluate_stages(machine: MachineSpec, stages: Sequence[HopStage],
+                    ops: Ops) -> Any:
+    """Total plan cost: stage costs summed left-associatively."""
+    total = None
+    for stage in stages:
+        cost = stage_cost(machine, stage, ops)
+        total = cost if total is None else total + cost
+    return 0.0 if total is None else total
+
+
+def cost_plan(machine: MachineSpec, plan: HopPlan,
+              ops: Ops = SCALAR_OPS) -> Any:
+    """Evaluate a compiled :class:`HopPlan` (scalar algebra by default)."""
+    return evaluate_stages(machine, plan.stages, ops)

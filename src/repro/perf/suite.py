@@ -1,6 +1,6 @@
 """Timed micro-suite over the simulator's hot paths.
 
-Five workloads cover the layers the optimisation work targets:
+The workloads cover the layers the optimisation work targets:
 
 ``engine``
     Raw DES kernel event throughput: many processes looping on
@@ -14,6 +14,12 @@ Five workloads cover the layers the optimisation work targets:
 ``scenarios``
     The Figure-4.3 scenario grid over all strategy models — the
     vectorized analytic-model path.
+``hop_plan``
+    The hop-plan costing kernel: every strategy model's
+    ``time_sweep`` (batched :data:`~repro.paths.kernel.ARRAY_OPS`
+    evaluation) against point-wise scalar ``time`` calls over the same
+    summaries — asserting bit-identity and that the vectorized coster
+    keeps its PR-1 ``time_sweep`` speedup through the IR refactor.
 ``obs_overhead``
     A message-heavy alltoall exchange with the default
     :class:`~repro.obs.tracer.NullTracer` — guards the pay-for-what-
@@ -46,7 +52,9 @@ import numpy as np
 #: Schema 2 adds ``wall_median_s`` per workload (``wall_s`` keeps its
 #: schema-1 best-of-repeats meaning) and the ``sweep_parallel``
 #: workload, whose ``speedup_*`` metrics carry no ``_per_s`` companion.
-SCHEMA = 2
+#: Schema 3 adds the ``hop_plan`` workload and a top-level ``machine``
+#: field naming the preset the suite ran on.
+SCHEMA = 3
 
 
 @dataclass
@@ -104,14 +112,17 @@ def _engine_workload(procs: int, timeouts: int) -> Callable[[], Dict[str, float]
     return run
 
 
-def _pingpong_workload(iterations: int,
-                       n_points: int) -> Callable[[], Dict[str, float]]:
+def _pingpong_workload(iterations: int, n_points: int,
+                       machine_name: str = "lassen"
+                       ) -> Callable[[], Dict[str, float]]:
     def run() -> Dict[str, float]:
         from repro.benchpress.pingpong import fit_comm_table
-        from repro.machine.presets import lassen
+        from repro.machine import resolve_machine
         from repro.mpi.job import SimJob
 
-        job = SimJob(lassen(), num_nodes=2, ppn=40)
+        machine = resolve_machine(machine_name)
+        job = SimJob(machine, num_nodes=2,
+                     ppn=min(machine.cores_per_node, 40))
         table = fit_comm_table(job, iterations=iterations, n_points=n_points)
         # each fitted path sweeps <= n_points sizes, one run each,
         # 2 * iterations messages per run
@@ -121,23 +132,27 @@ def _pingpong_workload(iterations: int,
     return run
 
 
-def _spmv_workload(matrix_n: int, reps: int) -> Callable[[], Dict[str, float]]:
+def _spmv_workload(matrix_n: int, reps: int,
+                   machine_name: str = "lassen"
+                   ) -> Callable[[], Dict[str, float]]:
+    from repro.machine import resolve_machine
     from repro.sparse.distributed import DistributedCSR
     from repro.sparse.suite import SUITE
 
     # Matrix assembly and partitioning are inputs to the simulator, not
     # part of it — build once, outside the timed region.
+    machine = resolve_machine(machine_name)
     matrix = SUITE["audikw_1"].build(matrix_n)
-    dist = DistributedCSR(matrix, num_gpus=8)
+    dist = DistributedCSR(matrix, num_gpus=2 * machine.gpus_per_node)
     v = np.random.default_rng(5).standard_normal(dist.n)
     strategy = _find_strategy("Standard (staged)")
 
     def run() -> Dict[str, float]:
-        from repro.machine.presets import lassen
         from repro.mpi.job import SimJob
         from repro.sparse.spmv import distributed_spmv
 
-        job = SimJob(lassen(), num_nodes=2, ppn=40, seed=11)
+        job = SimJob(machine, num_nodes=2,
+                     ppn=min(machine.cores_per_node, 40), seed=11)
         msgs = 0
         for _ in range(reps):
             msgs += distributed_spmv(job, dist, strategy, v).messages
@@ -148,17 +163,18 @@ def _spmv_workload(matrix_n: int, reps: int) -> Callable[[], Dict[str, float]]:
 
 def _scenario_workload(n_sizes: int,
                        dup_fractions: Tuple[float, ...],
-                       jobs: Optional[int] = None
+                       jobs: Optional[int] = None,
+                       machine_name: str = "lassen"
                        ) -> Callable[[], Dict[str, float]]:
     def run() -> Dict[str, float]:
-        from repro.machine.presets import lassen
+        from repro.machine import resolve_machine
         from repro.models.scenarios import (
             PAPER_SCENARIOS,
             Scenario,
             sweep_scenarios,
         )
 
-        machine = lassen()
+        machine = resolve_machine(machine_name)
         sizes = np.logspace(0, 7, n_sizes)
         scenarios = [Scenario(num_dest_nodes=base.num_dest_nodes,
                               num_messages=base.num_messages,
@@ -172,7 +188,55 @@ def _scenario_workload(n_sizes: int,
     return run
 
 
-def _sweep_parallel_workload(par_jobs: int) -> Callable[[], Dict[str, float]]:
+def _hop_plan_workload(n_sizes: int, machine_name: str = "lassen"
+                       ) -> Callable[[], Dict[str, float]]:
+    """Shared costing kernel: batched vs point-wise plan evaluation.
+
+    Every strategy model evaluates the same Figure-4.3 summaries twice —
+    once through ``time_sweep`` (the hop-plan kernel with
+    :data:`~repro.paths.kernel.ARRAY_OPS`) and once point-wise through
+    scalar ``time`` calls.  The two must agree bit-for-bit, and the
+    batched path must stay faster than the scalar loop: that is the
+    PR 1 ``time_sweep`` win the IR refactor is not allowed to lose.
+    """
+
+    def run() -> Dict[str, float]:
+        from repro.machine import resolve_machine
+        from repro.models.scenarios import PAPER_SCENARIOS, scenario_summary
+        from repro.models.strategies import all_strategy_models, model_label
+        from repro.models.vectorized import SummaryBatch
+
+        machine = resolve_machine(machine_name)
+        sizes = np.logspace(0, 7, n_sizes)
+        summaries = [scenario_summary(machine, sc, float(size))
+                     for sc in PAPER_SCENARIOS for size in sizes]
+        batch = SummaryBatch.from_summaries(summaries)
+        models = all_strategy_models(machine)
+
+        t0 = time.perf_counter()
+        swept = {model_label(m): m.time_sweep(batch) for m in models}
+        t_vec = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        pointwise = {model_label(m): np.array([m.time(s) for s in summaries])
+                     for m in models}
+        t_scalar = time.perf_counter() - t0
+
+        for label, vec in swept.items():
+            if not np.array_equal(vec, pointwise[label]):
+                raise AssertionError(
+                    f"vectorized coster diverged from scalar for {label}")
+        evals = len(models) * len(summaries)
+        return {
+            "evals": evals,
+            "speedup_vectorized": t_scalar / t_vec if t_vec > 0 else 1.0,
+        }
+
+    return run
+
+
+def _sweep_parallel_workload(par_jobs: int, machine_name: str = "lassen"
+                             ) -> Callable[[], Dict[str, float]]:
     """Chaos-smoke sweep: serial vs ``par_jobs`` workers vs warm cache.
 
     Measures the sweep executor end to end on a real workload and
@@ -191,20 +255,21 @@ def _sweep_parallel_workload(par_jobs: int) -> Callable[[], Dict[str, float]]:
         from repro.par.cache import ResultCache
 
         t0 = time.perf_counter()
-        base = run_chaos(seed=0, smoke=True, jobs=1)
+        base = run_chaos(seed=0, smoke=True, jobs=1, machine=machine_name)
         t_serial = time.perf_counter() - t0
 
         tmpdir = tempfile.mkdtemp(prefix="repro-sweep-bench-")
         try:
             t0 = time.perf_counter()
             cold = run_chaos(seed=0, smoke=True, jobs=par_jobs,
-                             cache=ResultCache(directory=tmpdir))
+                             cache=ResultCache(directory=tmpdir),
+                             machine=machine_name)
             t_parallel = time.perf_counter() - t0
 
             warm_cache = ResultCache(directory=tmpdir)
             t0 = time.perf_counter()
             warm = run_chaos(seed=0, smoke=True, jobs=par_jobs,
-                             cache=warm_cache)
+                             cache=warm_cache, machine=machine_name)
             t_warm = time.perf_counter() - t0
         finally:
             shutil.rmtree(tmpdir, ignore_errors=True)
@@ -225,13 +290,14 @@ def _sweep_parallel_workload(par_jobs: int) -> Callable[[], Dict[str, float]]:
     return run
 
 
-def _obs_overhead_workload(nodes: int, block: int,
-                           reps: int) -> Callable[[], Dict[str, float]]:
+def _obs_overhead_workload(nodes: int, block: int, reps: int,
+                           machine_name: str = "lassen"
+                           ) -> Callable[[], Dict[str, float]]:
     from repro.core import CommPattern
-    from repro.machine.presets import lassen
+    from repro.machine import resolve_machine
 
     # Pattern construction is input, not simulator — build it once.
-    machine = lassen()
+    machine = resolve_machine(machine_name)
     num_gpus = nodes * machine.gpus_per_node
     sends = {
         s: {d: np.arange(block) for d in range(num_gpus) if d != s}
@@ -245,7 +311,8 @@ def _obs_overhead_workload(nodes: int, block: int,
 
         # Default NullTracer: the untraced hot path must stay flat.
         strategy = strategy_by_name("Standard (staged)")
-        job = SimJob(machine, num_nodes=nodes, ppn=40)
+        job = SimJob(machine, num_nodes=nodes,
+                     ppn=min(machine.cores_per_node, 40))
         msgs = 0
         for _ in range(reps):
             msgs += run_exchange(job, strategy, pattern).total_messages
@@ -254,33 +321,45 @@ def _obs_overhead_workload(nodes: int, block: int,
     return run
 
 
-def default_workloads(smoke: bool = False, jobs: Optional[int] = None
+def default_workloads(smoke: bool = False, jobs: Optional[int] = None,
+                      machine: str = "lassen"
                       ) -> List[Tuple[str, Callable[[], Dict[str, float]], int]]:
     """(name, workload, repeats) triples for the standard suite.
 
     ``jobs`` is threaded into the parallel-capable workloads; the
     ``sweep_parallel`` comparison arm uses ``jobs`` when it implies real
-    fan-out, else 4 workers.
+    fan-out, else 4 workers.  ``machine`` names the preset every
+    machine-dependent workload runs on (resolved lazily per workload).
     """
     par_jobs = jobs if jobs is not None and jobs > 1 else 4
     if smoke:
         return [
             ("engine", _engine_workload(procs=20, timeouts=100), 1),
-            ("pingpong", _pingpong_workload(iterations=1, n_points=3), 1),
-            ("spmv", _spmv_workload(matrix_n=1000, reps=1), 1),
-            ("scenarios", _scenario_workload(16, (0.0,), jobs=jobs), 1),
-            ("obs_overhead", _obs_overhead_workload(nodes=2, block=32,
-                                                    reps=1), 1),
-            ("sweep_parallel", _sweep_parallel_workload(par_jobs), 1),
+            ("pingpong", _pingpong_workload(iterations=1, n_points=3,
+                                            machine_name=machine), 1),
+            ("spmv", _spmv_workload(matrix_n=1000, reps=1,
+                                    machine_name=machine), 1),
+            ("scenarios", _scenario_workload(16, (0.0,), jobs=jobs,
+                                             machine_name=machine), 1),
+            ("hop_plan", _hop_plan_workload(16, machine_name=machine), 1),
+            ("obs_overhead", _obs_overhead_workload(nodes=2, block=32, reps=1,
+                                                    machine_name=machine), 1),
+            ("sweep_parallel", _sweep_parallel_workload(
+                par_jobs, machine_name=machine), 1),
         ]
     return [
         ("engine", _engine_workload(procs=200, timeouts=500), 3),
-        ("pingpong", _pingpong_workload(iterations=2, n_points=10), 3),
-        ("spmv", _spmv_workload(matrix_n=4000, reps=3), 3),
-        ("scenarios", _scenario_workload(64, (0.0, 0.25), jobs=jobs), 3),
-        ("obs_overhead", _obs_overhead_workload(nodes=4, block=256,
-                                                reps=3), 3),
-        ("sweep_parallel", _sweep_parallel_workload(par_jobs), 2),
+        ("pingpong", _pingpong_workload(iterations=2, n_points=10,
+                                        machine_name=machine), 3),
+        ("spmv", _spmv_workload(matrix_n=4000, reps=3,
+                                machine_name=machine), 3),
+        ("scenarios", _scenario_workload(64, (0.0, 0.25), jobs=jobs,
+                                         machine_name=machine), 3),
+        ("hop_plan", _hop_plan_workload(64, machine_name=machine), 3),
+        ("obs_overhead", _obs_overhead_workload(nodes=4, block=256, reps=3,
+                                                machine_name=machine), 3),
+        ("sweep_parallel", _sweep_parallel_workload(
+            par_jobs, machine_name=machine), 2),
     ]
 
 
@@ -288,19 +367,21 @@ def default_workloads(smoke: bool = False, jobs: Optional[int] = None
 # Harness
 # ---------------------------------------------------------------------------
 def run_suite(smoke: bool = False, verbose: bool = True,
-              repeats: Optional[int] = None, jobs: Optional[int] = None
-              ) -> List[WorkloadResult]:
+              repeats: Optional[int] = None, jobs: Optional[int] = None,
+              machine: str = "lassen") -> List[WorkloadResult]:
     """Run the suite; ``wall_s`` is best-of-repeats, plus the median.
 
     ``repeats`` overrides every workload's default repeat count (more
     repeats tighten the min/median against scheduler noise); ``jobs``
-    is forwarded to parallel-capable workloads.
+    is forwarded to parallel-capable workloads; ``machine`` picks the
+    preset the machine-dependent workloads model.
     """
     if repeats is not None and repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
     results: List[WorkloadResult] = []
     for name, workload, default_reps in default_workloads(smoke=smoke,
-                                                          jobs=jobs):
+                                                          jobs=jobs,
+                                                          machine=machine):
         reps = repeats if repeats is not None else default_reps
         walls: List[float] = []
         metrics: Dict[str, float] = {}
@@ -327,12 +408,14 @@ def run_suite(smoke: bool = False, verbose: bool = True,
 
 
 def write_report(results: List[WorkloadResult], path: str,
-                 smoke: bool = False) -> Dict[str, object]:
+                 smoke: bool = False,
+                 machine: str = "lassen") -> Dict[str, object]:
     """Serialize suite results to ``path`` (BENCH_repro.json schema)."""
     report: Dict[str, object] = {
         "suite": "repro.perf",
         "schema": SCHEMA,
         "smoke": smoke,
+        "machine": machine,
         "python": platform.python_version(),
         "platform": platform.platform(),
         "total_wall_s": sum(r.wall_s for r in results),
@@ -360,11 +443,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("-j", "--jobs", type=int, default=None,
                         help="worker processes for parallel-capable "
                              "workloads (default: $REPRO_JOBS or serial)")
+    parser.add_argument("--machine", default="lassen", metavar="PRESET",
+                        help="machine preset the workloads model "
+                             "(see `python -m repro info`)")
     parser.add_argument("-o", "--output", default="BENCH_repro.json",
                         help="report path (default: %(default)s)")
     args = parser.parse_args(argv)
+    from repro.machine import resolve_machine
+
+    machine = resolve_machine(args.machine).name  # fail fast, canonical name
     results = run_suite(smoke=args.smoke, repeats=args.repeats,
-                        jobs=args.jobs)
-    write_report(results, args.output, smoke=args.smoke)
+                        jobs=args.jobs, machine=machine)
+    write_report(results, args.output, smoke=args.smoke, machine=machine)
     print(f"wrote {args.output}")
     return 0

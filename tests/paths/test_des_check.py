@@ -1,0 +1,84 @@
+"""DES structural cross-check: simulated traces match compiled plans.
+
+For every registry strategy, on several machines and scenario shapes,
+run a traced exchange and verify the message trace against the
+strategy's compiled :class:`repro.paths.HopPlan` — per tracer lane,
+hop kinds and localities must be declared, and counts/bytes must match
+at each stage's declared strictness (:class:`repro.paths.CheckMode`).
+"""
+
+import pytest
+
+from repro.core import (
+    CommPattern,
+    all_strategies,
+    compile_plan_for,
+    run_exchange,
+    strategy_by_name,
+    verify_exchange,
+)
+from repro.core.base import default_data
+from repro.machine import JobLayout, resolve_machine
+from repro.mpi.job import SimJob
+from repro.paths import assert_plan_matches_trace, check_plan_against_trace
+
+MACHINES = ["lassen", "summit", "frontier_like"]
+LABELS = [s.label for s in all_strategies()]
+
+
+def _ppn(machine):
+    return max(6, machine.gpus_per_node + 2)
+
+
+def _traced_run(machine, label, n_dest, msg_elems):
+    layout = JobLayout(machine, num_nodes=n_dest + 1, ppn=_ppn(machine))
+    num_messages = 2 * n_dest * machine.gpus_per_node
+    pattern = CommPattern.scenario(layout, num_dest_nodes=n_dest,
+                                   num_messages=num_messages,
+                                   msg_elems=msg_elems)
+    plan = compile_plan_for(label, pattern, layout)
+    job = SimJob(machine, num_nodes=layout.num_nodes, ppn=layout.ppn,
+                 trace=True)
+    strategy = strategy_by_name(label)
+    data = default_data(pattern, job.layout)
+    result = run_exchange(job, strategy, pattern, data=data)
+    verify_exchange(result, pattern, data)
+    return plan, job.transport.trace_log
+
+
+@pytest.mark.parametrize("machine_name", MACHINES)
+@pytest.mark.parametrize("label", LABELS)
+@pytest.mark.parametrize("n_dest", [2, 4])
+def test_trace_matches_plan_short_protocol(machine_name, label, n_dest):
+    machine = resolve_machine(machine_name)
+    plan, trace = _traced_run(machine, label, n_dest, msg_elems=16)
+    assert trace, "exchange produced no message trace"
+    assert_plan_matches_trace(plan, trace)
+
+
+@pytest.mark.parametrize("machine_name", MACHINES)
+@pytest.mark.parametrize("label",
+                         [l for l in LABELS if not l.startswith("Split")])
+def test_trace_matches_plan_rendezvous_protocol(machine_name, label):
+    machine = resolve_machine(machine_name)
+    plan, trace = _traced_run(machine, label, n_dest=2, msg_elems=2048)
+    assert_plan_matches_trace(plan, trace)
+
+
+def test_check_reports_foreign_lane():
+    """A trace on an undeclared lane is reported, not silently passed."""
+    machine = resolve_machine("lassen")
+    plan, trace = _traced_run(machine, "Standard (staged)", 2, 16)
+    # re-check the Standard trace against a plan missing its lane
+    from dataclasses import replace
+
+    stripped = replace(plan, stages=(), uncosted_phases=())
+    problems = check_plan_against_trace(stripped, trace)
+    assert problems
+    assert any("direct" in p for p in problems)
+
+
+def test_check_clean_trace_returns_no_problems():
+    machine = resolve_machine("lassen")
+    plan, trace = _traced_run(machine, "3-Step (staged)", 2, 16)
+    assert check_plan_against_trace(plan, trace) == []

@@ -1,0 +1,82 @@
+"""Machine pluggability: preset resolution, round-trips, cache keys."""
+
+import numpy as np
+import pytest
+
+from repro.machine import PRESETS, resolve_machine
+from repro.models.scenarios import (
+    PAPER_SCENARIOS,
+    scenario_summary,
+    scenario_sweep_key,
+)
+from repro.models.strategies import all_strategy_models, model_label
+
+
+class TestResolveMachine:
+    def test_every_preset_resolves_by_name(self):
+        for name in PRESETS:
+            assert resolve_machine(name).name == name
+
+    def test_underscore_and_dash_spellings_agree(self):
+        assert (resolve_machine("frontier_like").name
+                == resolve_machine("frontier-like").name)
+
+    def test_whitespace_and_case_normalize(self):
+        assert resolve_machine("  Lassen ").name == "lassen"
+
+    def test_unknown_preset_names_the_alternatives(self):
+        with pytest.raises(ValueError, match="lassen"):
+            resolve_machine("nonesuch")
+
+
+class TestPresetRoundTrip:
+    """Guard: every PRESETS entry constructs every strategy model."""
+
+    @pytest.mark.parametrize("name", sorted(PRESETS))
+    def test_preset_builds_all_strategy_models(self, name):
+        machine = resolve_machine(name)
+        models = all_strategy_models(machine)
+        assert len(models) >= 8
+        summary = scenario_summary(machine, PAPER_SCENARIOS[0], 1024.0)
+        for model in models:
+            t = model.time(summary)
+            assert np.isfinite(t) and t > 0.0, (name, model_label(model))
+            plan = model.compile_plan(summary)
+            assert plan.stages, (name, model_label(model))
+
+    @pytest.mark.parametrize("name", sorted(PRESETS))
+    def test_preset_supports_traced_exchange_shapes(self, name):
+        """Chaos/scenario job shapes fit on every preset."""
+        machine = resolve_machine(name)
+        assert machine.gpus_per_node >= 2
+        assert machine.cores_per_node >= machine.gpus_per_node
+
+
+class TestCacheKeys:
+    def test_scenario_sweep_keys_differ_across_machines(self):
+        sizes = np.logspace(1, 5, 5)
+        keys = {
+            name: scenario_sweep_key(resolve_machine(name),
+                                     PAPER_SCENARIOS[0], sizes)
+            for name in PRESETS
+        }
+        assert len(set(keys.values())) == len(keys), keys
+
+    def test_scenario_sweep_key_stable_for_same_machine(self):
+        sizes = np.logspace(1, 5, 5)
+        a = scenario_sweep_key(resolve_machine("frontier_like"),
+                               PAPER_SCENARIOS[0], sizes)
+        b = scenario_sweep_key(resolve_machine("frontier-like"),
+                               PAPER_SCENARIOS[0], sizes)
+        assert a == b
+
+    def test_chaos_shard_keys_differ_across_machines(self):
+        from repro.faults.chaos import _shard_key, build_scenarios
+
+        plan = build_scenarios(seed=0, n_scenarios=1)[0]
+        spec = (0, True, 0, "Standard (staged)")
+        keys = {
+            name: _shard_key(spec, resolve_machine(name), plan, "fp")
+            for name in ("lassen", "summit")
+        }
+        assert keys["lassen"] != keys["summit"]

@@ -7,8 +7,8 @@ import pytest
 from repro.perf import run_suite, write_report
 from repro.perf.suite import SCHEMA, _find_strategy, main
 
-WORKLOADS = ["engine", "pingpong", "spmv", "scenarios", "obs_overhead",
-             "sweep_parallel"]
+WORKLOADS = ["engine", "pingpong", "spmv", "scenarios", "hop_plan",
+             "obs_overhead", "sweep_parallel"]
 
 
 def test_smoke_suite_runs_and_reports(tmp_path, capsys):
@@ -34,6 +34,11 @@ def test_smoke_suite_runs_and_reports(tmp_path, capsys):
     assert "jobs_per_s" not in parallel.metrics
     # the cached arm skips every shard, so it beats serial handily
     assert parallel.metrics["speedup_cached"] > 1.0
+    # the hop-plan kernel asserts bit-identity internally and reports
+    # the vectorized-over-scalar ratio without a _per_s companion
+    hop_plan = next(r for r in results if r.name == "hop_plan")
+    assert "speedup_vectorized" in hop_plan.metrics
+    assert "speedup_vectorized_per_s" not in hop_plan.metrics
 
     out = tmp_path / "bench.json"
     report = write_report(results, str(out), smoke=True)
@@ -41,8 +46,9 @@ def test_smoke_suite_runs_and_reports(tmp_path, capsys):
     assert on_disk == json.loads(json.dumps(report))
     assert on_disk["suite"] == "repro.perf"
     assert on_disk["schema"] == SCHEMA
-    assert SCHEMA == 2
+    assert SCHEMA == 3
     assert on_disk["smoke"] is True
+    assert on_disk["machine"] == "lassen"
     assert on_disk["total_wall_s"] > 0.0
     assert len(on_disk["workloads"]) == len(WORKLOADS)
     for w in on_disk["workloads"]:

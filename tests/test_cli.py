@@ -35,14 +35,55 @@ class TestCli:
         out = capsys.readouterr().out
         assert "lassen" in out and "Split + MD" in out
 
+    def test_info_prints_preset_thresholds(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        # every preset line is followed by its protocol/shape thresholds
+        assert out.count("short<=") == out.count("R_N = ")
+        assert "short<=512 B" in out
+        assert "eager<=8192 B" in out
+        assert "ppn<=40, gpn=4" in out   # lassen
+        assert "ppn<=42, gpn=6" in out   # summit
+
     def test_predict(self, capsys):
         assert main(["predict", "16", "256", "4096"]) == 0
         out = capsys.readouterr().out
         assert "best" in out and "Split + MD (staged)" in out
 
+    def test_predict_machine_flag(self, capsys):
+        assert main(["predict", "16", "256", "4096",
+                     "--machine", "frontier_like"]) == 0
+        out = capsys.readouterr().out
+        assert "on frontier-like" in out and "best" in out
+
     def test_predict_usage_error(self):
         with pytest.raises(SystemExit):
             main(["predict", "16"])
+
+    def test_scenario_runs_on_any_machine(self, capsys):
+        assert main(["scenario", "--machine", "frontier_like",
+                     "--points", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "on frontier-like" in out
+        assert "Split + MD (staged)" in out
+
+    def test_scenario_writes_json(self, tmp_path, capsys):
+        import json
+
+        out_file = tmp_path / "scenarios.json"
+        assert main(["scenario", "--machine", "summit", "--points", "3",
+                     "-o", str(out_file)]) == 0
+        capsys.readouterr()
+        data = json.loads(out_file.read_text())
+        assert data["machine"] == "summit"
+        assert len(data["sizes"]) == 3
+        assert len(data["scenarios"]) == 4  # the paper's Fig-4.3 panels
+        for series in data["scenarios"].values():
+            assert "Standard (staged)" in series
+
+    def test_scenario_unknown_machine_fails(self):
+        with pytest.raises(ValueError, match="nonesuch"):
+            main(["scenario", "--machine", "nonesuch"])
 
     def test_help(self, capsys):
         assert main([]) == 0
