@@ -10,9 +10,13 @@ Usage::
     python -m repro scenario [--machine M] [--jobs N] [-o out.json]
                                           # sweep the paper scenarios
                                           # and print modelled times
-    python -m repro perf [--smoke] [--repeats N] [--jobs N] [-o OUT.json]
+    python -m repro perf [--smoke] [--repeats N] [--jobs N]
+                         [--only NAME[,NAME...]] [--compare BASELINE.json]
+                         [--tolerance F] [-o OUT.json]
                                           # wall-clock micro-suite ->
-                                          # BENCH_repro.json
+                                          # BENCH_repro.json; --compare
+                                          # exits 1 on regression beyond
+                                          # --tolerance vs the baseline
     python -m repro trace [SCENARIO] [--smoke] [-o trace.json]
                                           # traced run -> Perfetto JSON
     python -m repro chaos [--seed N] [--smoke] [--jobs N] [--cache]

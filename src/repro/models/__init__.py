@@ -39,7 +39,8 @@ from repro.models.strategies import (
     SplitDDModel,
     all_strategy_models,
 )
-from repro.models.scenarios import Scenario, scenario_summary, sweep_scenario
+from repro.models.scenarios import (Scenario, fused_scenario_times,
+                                    scenario_summary, sweep_scenario)
 from repro.models.regime_map import (
     RegimeMap,
     compute_regime_map,
@@ -71,6 +72,7 @@ __all__ = [
     "Scenario",
     "scenario_summary",
     "sweep_scenario",
+    "fused_scenario_times",
     "RegimeMap",
     "compute_regime_map",
     "render_regime_map",

@@ -14,7 +14,12 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.machine.topology import MachineSpec
-from repro.models.scenarios import Scenario, best_strategy, best_strategy_sweep
+from repro.models.scenarios import (
+    Scenario,
+    best_strategy,
+    fused_scenario_times,
+)
+from repro.models.strategies import all_strategy_models
 
 #: short codes for compact map rendering
 _CODES = {
@@ -59,17 +64,34 @@ def compute_regime_map(machine: MachineSpec,
                        num_messages: int = 256,
                        dup_fraction: float = 0.0,
                        exclude_best_case: bool = True) -> RegimeMap:
-    """Evaluate the Table-6 models over a (nodes x size) grid."""
+    """Evaluate the Table-6 models over a (nodes x size) grid.
+
+    The model registry (and its labels) is built once for the whole
+    grid, and every (strategy, node-count row, size) cell evaluates in
+    a single fused kernel call — bit-identical to the historical
+    per-row ``best_strategy_sweep`` loop, which rebuilt the models for
+    every row and the time matrix for every cell.
+    """
     if sizes is None:
         sizes = list(np.logspace(1, 6, 11))
+    models = all_strategy_models(machine)
+    if exclude_best_case:
+        models = [m for m in models if m.name != "2-Step 1"]
+    scenarios = [
+        Scenario(num_dest_nodes=int(nodes),
+                 num_messages=max(num_messages, int(nodes)),
+                 dup_fraction=dup_fraction)
+        for nodes in node_counts
+    ]
     winners: List[List[str]] = []
-    for nodes in node_counts:
-        sc = Scenario(num_dest_nodes=int(nodes),
-                      num_messages=max(num_messages, int(nodes)),
-                      dup_fraction=dup_fraction)
-        winners.append(best_strategy_sweep(
-            machine, sc, [float(s) for s in sizes],
-            exclude_best_case=exclude_best_case))
+    if models and scenarios:
+        labels, times = fused_scenario_times(
+            machine, scenarios, [float(s) for s in sizes], models)
+        for r in range(len(scenarios)):
+            winners.append(
+                [labels[i] for i in np.argmin(times[:, r, :], axis=0)])
+    else:
+        winners = [["" for _ in sizes] for _ in scenarios]
     return RegimeMap(
         machine=machine.name,
         num_messages=num_messages,

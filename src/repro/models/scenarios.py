@@ -10,8 +10,8 @@ Figure 4.3 repeat the sweep with 25 % of the data flagged duplicate
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -24,7 +24,8 @@ from repro.models.strategies import (
 )
 from repro.models.vectorized import SummaryBatch
 from repro.par.cache import ResultCache, cache_key
-from repro.par.executor import sweep_map
+from repro.par.executor import resolve_jobs, sweep_map
+from repro.paths.kernel import evaluate_plans_fused
 
 
 @dataclass(frozen=True)
@@ -120,6 +121,79 @@ def scenario_summary_batch(machine: MachineSpec, scenario: Scenario,
     )
 
 
+def _joint_scenario_batch(machine: MachineSpec,
+                          scenarios: Sequence[Scenario],
+                          sizes: np.ndarray,
+                          ) -> Tuple[SummaryBatch, np.ndarray]:
+    """One flat ``(scenarios x sizes)`` batch plus its keep-fraction row.
+
+    Field ``c * len(sizes) + z`` holds scenario ``c`` at size ``z`` —
+    exactly the concatenation of the per-scenario batches, so every
+    per-element quantity (and hence every fused cost) is bit-identical
+    to evaluating the scenarios one at a time.  ``keep`` carries
+    ``1.0 - dup_fraction`` per element for the node-aware byte scaling.
+    """
+    batches = [scenario_summary_batch(machine, sc, sizes)
+               for sc in scenarios]
+    joint = SummaryBatch(
+        num_dest_nodes=np.concatenate([b.num_dest_nodes for b in batches]),
+        messages_per_node_pair=np.concatenate(
+            [b.messages_per_node_pair for b in batches]),
+        bytes_per_node_pair=np.concatenate(
+            [b.bytes_per_node_pair for b in batches]),
+        node_bytes=np.concatenate([b.node_bytes for b in batches]),
+        proc_bytes=np.concatenate([b.proc_bytes for b in batches]),
+        proc_messages=np.concatenate([b.proc_messages for b in batches]),
+        proc_dest_nodes=np.concatenate(
+            [b.proc_dest_nodes for b in batches]),
+        active_gpus=np.concatenate([b.active_gpus for b in batches]),
+    )
+    keep = np.concatenate([
+        np.full(sizes.shape, 1.0 - sc.dup_fraction) for sc in scenarios])
+    return joint, keep
+
+
+def fused_scenario_times(machine: MachineSpec,
+                         scenarios: Sequence[Scenario],
+                         sizes: Sequence[float],
+                         models: Optional[List[StrategyModel]] = None,
+                         ) -> Tuple[List[str], np.ndarray]:
+    """All (strategy, scenario, size) cells in one fused kernel call.
+
+    Returns ``(labels, times)`` with ``times`` of shape
+    ``(len(models), len(scenarios), len(sizes))``.  Each model compiles
+    *once* against the joint batch; the stacked plans then evaluate
+    through :func:`~repro.paths.kernel.evaluate_plans_fused`.  Every
+    cell is bit-identical to ``model.time_sweep(batch, dup_fraction)``
+    on the corresponding per-scenario batch:
+
+    * node-aware duplicate removal multiplies the joint byte fields by
+      the per-element keep row (``x * 1.0`` is a bitwise no-op for the
+      dup-free scenarios, the scalar keep factor elsewhere);
+    * empty cells are masked to 0.0 through the same ``np.where``.
+    """
+    sizes = np.asarray(sizes, dtype=np.float64)
+    if models is None:
+        models = all_strategy_models(machine)
+    joint, keep = _joint_scenario_batch(machine, scenarios, sizes)
+    has_dup = bool(np.any(keep != 1.0))
+    dedup = None
+    if has_dup and any(m.node_aware for m in models):
+        dedup = replace(
+            joint,
+            bytes_per_node_pair=joint.bytes_per_node_pair * keep,
+            node_bytes=joint.node_bytes * keep,
+            proc_bytes=joint.proc_bytes * keep,
+        )
+    plans = [m.compile_plan_batch(dedup if (dedup is not None
+                                            and m.node_aware) else joint)
+             for m in models]
+    times = evaluate_plans_fused(machine, plans, n=joint.node_bytes.size)
+    times = np.where(joint.is_empty[None, :], 0.0, times)
+    labels = [model_label(m) for m in models]
+    return labels, times.reshape(len(models), len(scenarios), sizes.size)
+
+
 def sweep_scenario(machine: MachineSpec, scenario: Scenario,
                    sizes: Sequence[float],
                    models: Optional[List[StrategyModel]] = None,
@@ -127,18 +201,13 @@ def sweep_scenario(machine: MachineSpec, scenario: Scenario,
     """Modelled time per strategy over a message-size sweep.
 
     Returns ``{strategy label: times}`` with one entry per model, each a
-    float array aligned with ``sizes``.  Evaluates the vectorized
-    :meth:`StrategyModel.time_sweep` (bit-identical to point-wise
-    :meth:`StrategyModel.time`).
+    float array aligned with ``sizes``.  Evaluates all models through
+    the fused multi-plan kernel (bit-identical to the point-wise
+    :meth:`StrategyModel.time` and batched
+    :meth:`StrategyModel.time_sweep` paths).
     """
-    if models is None:
-        models = all_strategy_models(machine)
-    batch = scenario_summary_batch(machine, scenario, sizes)
-    return {
-        model_label(model): model.time_sweep(
-            batch, dup_fraction=scenario.dup_fraction)
-        for model in models
-    }
+    labels, times = fused_scenario_times(machine, [scenario], sizes, models)
+    return {label: times[i, 0] for i, label in enumerate(labels)}
 
 
 def _sweep_scenario_shard(spec) -> Dict[str, np.ndarray]:
@@ -168,8 +237,20 @@ def sweep_scenarios(machine: MachineSpec, scenarios: Sequence[Scenario],
     (machine, scenario, sizes) content hash already has a result.
     Always evaluates the default model registry — callers needing a
     custom model list use :func:`sweep_scenario` directly.
+
+    The serial, uncached path evaluates *all* scenarios through one
+    fused kernel call (elementwise kernels are slice-equivariant, so
+    the joint evaluation is bit-identical to per-scenario shards);
+    with workers or a cache the per-scenario sharding is kept so cache
+    keys and fan-out granularity are unchanged.
     """
     sizes = np.asarray(sizes, dtype=np.float64)
+    if resolve_jobs(jobs) == 1 and cache is None and len(scenarios) > 0:
+        models = all_strategy_models(machine)
+        labels, times = fused_scenario_times(machine, scenarios, sizes,
+                                             models)
+        return [{label: times[i, c] for i, label in enumerate(labels)}
+                for c in range(len(scenarios))]
     tasks = [(machine, sc, sizes) for sc in scenarios]
     return sweep_map(
         _sweep_scenario_shard, tasks, jobs=jobs, cache=cache,
@@ -193,13 +274,8 @@ def best_strategy_sweep(machine: MachineSpec, scenario: Scenario,
         models = [m for m in models if m.name != "2-Step 1"]
     if not models:
         return ["" for _ in sizes]
-    batch = scenario_summary_batch(machine, scenario, sizes)
-    times = np.vstack([
-        model.time_sweep(batch, dup_fraction=scenario.dup_fraction)
-        for model in models
-    ])
-    labels = [model_label(m) for m in models]
-    return [labels[i] for i in np.argmin(times, axis=0)]
+    labels, times = fused_scenario_times(machine, [scenario], sizes, models)
+    return [labels[i] for i in np.argmin(times[:, 0, :], axis=0)]
 
 
 def best_strategy(machine: MachineSpec, scenario: Scenario, msg_size: float,

@@ -19,10 +19,13 @@ from repro.paths.ir import (
 from repro.paths.kernel import (
     ARRAY_OPS,
     SCALAR_OPS,
+    FusedPlans,
     Ops,
     cost_plan,
+    evaluate_plans_fused,
     evaluate_stages,
     hop_cost,
+    stack_plans,
     stage_cost,
 )
 from repro.paths.compile import (
@@ -54,6 +57,9 @@ __all__ = [
     "stage_cost",
     "evaluate_stages",
     "cost_plan",
+    "FusedPlans",
+    "stack_plans",
+    "evaluate_plans_fused",
     "on_node_stage",
     "hierarchical_on_node_stage",
     "split_on_node_stage",

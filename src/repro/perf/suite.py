@@ -29,6 +29,17 @@ The workloads cover the layers the optimisation work targets:
     fanned out over workers, and warm-cache — reporting the parallel
     and cached speedups over the serial baseline (and asserting all
     three reports stay byte-identical).
+``des_batched``
+    The struct-of-arrays DES fast path: identical seeded delay sets
+    scheduled per-event (``sim.timeout`` loop) vs batched
+    (:meth:`~repro.sim.engine.Simulator.schedule_ticks`), asserting the
+    per-batch completion times are bit-identical and the batched path
+    clears a ≥5x events/s floor.
+``sweep_fused``
+    Whole-sweep fused costing: every (strategy x scenario x size) cell
+    through :func:`~repro.models.scenarios.fused_scenario_times` vs the
+    point-wise scalar ``StrategyModel.time`` loop, asserting cell-wise
+    bit-identity and a ≥10x sweep-cells/s floor.
 
 Each workload reports its wall clock (best and median of ``repeats``)
 plus a throughput metric (virtual events/sec, simulated messages/sec or
@@ -54,7 +65,15 @@ import numpy as np
 #: workload, whose ``speedup_*`` metrics carry no ``_per_s`` companion.
 #: Schema 3 adds the ``hop_plan`` workload and a top-level ``machine``
 #: field naming the preset the suite ran on.
-SCHEMA = 3
+#: Schema 4 adds the ``des_batched`` and ``sweep_fused`` workloads
+#: (each asserting bit-identity plus a speedup floor internally), and
+#: keys already ending in ``_per_s`` no longer receive an automatic
+#: ``_per_s`` companion.
+SCHEMA = 4
+
+#: enforced speedup floors (ISSUE 6 acceptance criteria)
+MIN_DES_BATCHED_SPEEDUP = 5.0
+MIN_SWEEP_FUSED_SPEEDUP = 10.0
 
 
 @dataclass
@@ -235,6 +254,143 @@ def _hop_plan_workload(n_sizes: int, machine_name: str = "lassen"
     return run
 
 
+def _des_batched_workload(batches: int, per_batch: int,
+                          min_speedup: float = MIN_DES_BATCHED_SPEEDUP
+                          ) -> Callable[[], Dict[str, float]]:
+    """SoA event kernel: per-event scheduling vs ``schedule_ticks``.
+
+    Both arms fire the *same* seeded delay sets through the engine; the
+    scalar arm pays one ``Timeout`` object plus one heap push per event,
+    the batched arm one numpy merge per batch plus the anonymous-tick
+    drain.  Per-batch final virtual times (and the completion-event
+    time) must agree bit-for-bit, and the batched arm must clear the
+    ``min_speedup`` events/s floor — the tentpole claim of the SoA
+    rewrite, enforced on every suite run.
+    """
+
+    def run() -> Dict[str, float]:
+        from repro.sim.engine import Simulator
+
+        rng = np.random.default_rng(17)
+        delay_sets = [rng.uniform(1e-7, 1e-3, per_batch)
+                      for _ in range(batches)]
+
+        sim = Simulator()
+        scalar_times: List[float] = []
+        t0 = time.perf_counter()
+        for delays in delay_sets:
+            for d in delays.tolist():
+                sim.timeout(d)
+            sim.run()
+            scalar_times.append(sim.now)
+            sim.reset()
+        t_scalar = time.perf_counter() - t0
+
+        sim = Simulator()
+        batch_times: List[float] = []
+        completion_times: List[float] = []
+        t0 = time.perf_counter()
+        for delays in delay_sets:
+            handle = sim.schedule_ticks(delays, complete=True)
+            completion = handle.completed
+            completion.callbacks.append(
+                lambda ev: completion_times.append(ev.sim.now))
+            sim.run()
+            batch_times.append(sim.now)
+            sim.reset()
+        t_batch = time.perf_counter() - t0
+
+        if batch_times != scalar_times or completion_times != scalar_times:
+            raise AssertionError(
+                "batched DES times diverged from per-event scheduling: "
+                f"{batch_times[:3]} vs {scalar_times[:3]}")
+        events = batches * per_batch
+        if sim.batched_fired != 0:  # reset() must clear the SoA counters
+            raise AssertionError("reset() left batched_fired nonzero")
+        speedup = t_scalar / t_batch if t_batch > 0 else float("inf")
+        if speedup < min_speedup:
+            raise AssertionError(
+                f"batched DES speedup {speedup:.1f}x below the "
+                f"{min_speedup:.0f}x floor "
+                f"({events / t_scalar:,.0f} -> {events / t_batch:,.0f} ev/s)")
+        return {
+            "events": float(events),
+            "batched_events_per_s": events / t_batch,
+            "speedup_batched": speedup,
+        }
+
+    return run
+
+
+def _sweep_fused_workload(n_sizes: int, dup_fractions: Tuple[float, ...],
+                          machine_name: str = "lassen",
+                          min_speedup: float = MIN_SWEEP_FUSED_SPEEDUP
+                          ) -> Callable[[], Dict[str, float]]:
+    """Fused multi-plan sweep vs the point-wise scalar model loop.
+
+    Evaluates the full (strategy x scenario x size) grid once through
+    :func:`~repro.models.scenarios.fused_scenario_times` (one kernel
+    call over stacked plan tensors) and once through scalar
+    ``StrategyModel.time`` per cell — the historical ``best_strategy``
+    inner loop.  Cell-wise bit-identity and a ``min_speedup``
+    sweep-cells/s floor are both hard assertions.
+    """
+
+    def run() -> Dict[str, float]:
+        from dataclasses import replace
+
+        from repro.machine import resolve_machine
+        from repro.models.scenarios import (
+            PAPER_SCENARIOS,
+            fused_scenario_times,
+            scenario_summary,
+        )
+        from repro.models.strategies import all_strategy_models
+
+        machine = resolve_machine(machine_name)
+        sizes = np.logspace(0, 7, n_sizes)
+        scenarios = [replace(base, dup_fraction=dup)
+                     for base in PAPER_SCENARIOS for dup in dup_fractions]
+        models = all_strategy_models(machine)
+
+        t0 = time.perf_counter()
+        _labels, fused = fused_scenario_times(machine, scenarios, sizes,
+                                              models)
+        t_fused = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        scalar = np.empty_like(fused)
+        for c, scenario in enumerate(scenarios):
+            summaries = [scenario_summary(machine, scenario, float(s))
+                         for s in sizes]
+            for i, model in enumerate(models):
+                scalar[i, c] = [
+                    model.time(s, dup_fraction=scenario.dup_fraction)
+                    for s in summaries]
+        t_scalar = time.perf_counter() - t0
+
+        if not np.array_equal(fused, scalar):
+            bad = int(np.count_nonzero(fused != scalar))
+            raise AssertionError(
+                f"fused sweep diverged from scalar costing in {bad} of "
+                f"{fused.size} cells")
+        cells = fused.size
+        speedup = t_scalar / t_fused if t_fused > 0 else float("inf")
+        if speedup < min_speedup:
+            raise AssertionError(
+                f"fused sweep speedup {speedup:.1f}x below the "
+                f"{min_speedup:.0f}x floor "
+                f"({cells / t_scalar:,.0f} -> {cells / t_fused:,.0f} "
+                f"cells/s)")
+        return {
+            "cells": float(cells),
+            "fused_cells_per_s": cells / t_fused,
+            "speedup_fused": speedup,
+        }
+
+    return run
+
+
 def _sweep_parallel_workload(par_jobs: int, machine_name: str = "lassen"
                              ) -> Callable[[], Dict[str, float]]:
     """Chaos-smoke sweep: serial vs ``par_jobs`` workers vs warm cache.
@@ -335,12 +491,16 @@ def default_workloads(smoke: bool = False, jobs: Optional[int] = None,
     if smoke:
         return [
             ("engine", _engine_workload(procs=20, timeouts=100), 1),
+            ("des_batched", _des_batched_workload(batches=2,
+                                                  per_batch=12_000), 1),
             ("pingpong", _pingpong_workload(iterations=1, n_points=3,
                                             machine_name=machine), 1),
             ("spmv", _spmv_workload(matrix_n=1000, reps=1,
                                     machine_name=machine), 1),
             ("scenarios", _scenario_workload(16, (0.0,), jobs=jobs,
                                              machine_name=machine), 1),
+            ("sweep_fused", _sweep_fused_workload(32, (0.0, 0.25),
+                                                  machine_name=machine), 1),
             ("hop_plan", _hop_plan_workload(16, machine_name=machine), 1),
             ("obs_overhead", _obs_overhead_workload(nodes=2, block=32, reps=1,
                                                     machine_name=machine), 1),
@@ -349,12 +509,16 @@ def default_workloads(smoke: bool = False, jobs: Optional[int] = None,
         ]
     return [
         ("engine", _engine_workload(procs=200, timeouts=500), 3),
+        ("des_batched", _des_batched_workload(batches=4,
+                                              per_batch=50_000), 3),
         ("pingpong", _pingpong_workload(iterations=2, n_points=10,
                                         machine_name=machine), 3),
         ("spmv", _spmv_workload(matrix_n=4000, reps=3,
                                 machine_name=machine), 3),
         ("scenarios", _scenario_workload(64, (0.0, 0.25), jobs=jobs,
                                          machine_name=machine), 3),
+        ("sweep_fused", _sweep_fused_workload(64, (0.0, 0.25),
+                                              machine_name=machine), 3),
         ("hop_plan", _hop_plan_workload(64, machine_name=machine), 3),
         ("obs_overhead", _obs_overhead_workload(nodes=4, block=256, reps=3,
                                                 machine_name=machine), 3),
@@ -368,20 +532,30 @@ def default_workloads(smoke: bool = False, jobs: Optional[int] = None,
 # ---------------------------------------------------------------------------
 def run_suite(smoke: bool = False, verbose: bool = True,
               repeats: Optional[int] = None, jobs: Optional[int] = None,
-              machine: str = "lassen") -> List[WorkloadResult]:
+              machine: str = "lassen",
+              only: Optional[List[str]] = None) -> List[WorkloadResult]:
     """Run the suite; ``wall_s`` is best-of-repeats, plus the median.
 
     ``repeats`` overrides every workload's default repeat count (more
     repeats tighten the min/median against scheduler noise); ``jobs``
     is forwarded to parallel-capable workloads; ``machine`` picks the
-    preset the machine-dependent workloads model.
+    preset the machine-dependent workloads model; ``only`` restricts
+    the run to the named workloads (suite order is kept).
     """
     if repeats is not None and repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
+    workloads = default_workloads(smoke=smoke, jobs=jobs, machine=machine)
+    if only is not None:
+        known = {name for name, _fn, _reps in workloads}
+        unknown = [name for name in only if name not in known]
+        if unknown:
+            raise ValueError(
+                f"unknown workload(s) {unknown}; available: "
+                f"{sorted(known)}")
+        wanted = set(only)
+        workloads = [w for w in workloads if w[0] in wanted]
     results: List[WorkloadResult] = []
-    for name, workload, default_reps in default_workloads(smoke=smoke,
-                                                          jobs=jobs,
-                                                          machine=machine):
+    for name, workload, default_reps in workloads:
         reps = repeats if repeats is not None else default_reps
         walls: List[float] = []
         metrics: Dict[str, float] = {}
@@ -391,9 +565,10 @@ def run_suite(smoke: bool = False, verbose: bool = True,
             walls.append(time.perf_counter() - t0)
         best = min(walls)
         for key, value in list(metrics.items()):
-            # ratios and configuration values get no per-second
-            # companion — only volume-like counts do
-            if "speedup" not in key and key != "jobs":
+            # ratios, configuration values and explicit rates get no
+            # per-second companion — only volume-like counts do
+            if ("speedup" not in key and key != "jobs"
+                    and not key.endswith("_per_s")):
                 metrics[f"{key}_per_s"] = value / best if best > 0 else 0.0
         result = WorkloadResult(name=name, wall_s=best, repeats=reps,
                                 wall_median_s=statistics.median(walls),
@@ -427,9 +602,55 @@ def write_report(results: List[WorkloadResult], path: str,
     return report
 
 
+def compare_reports(baseline: Dict[str, object], current: Dict[str, object],
+                    tolerance: float = 0.25) -> List[str]:
+    """Regression messages for workloads slower than ``baseline``.
+
+    Compares ``wall_median_s`` (falling back to ``wall_s`` for schema-1
+    reports) over the workloads both reports contain; a workload
+    regresses when its current median exceeds the baseline median by
+    more than ``tolerance`` (fractional, default 25 % — wide enough for
+    scheduler noise on shared CI runners, tight enough to catch a real
+    hot-path regression).  Returns one human-readable message per
+    regression; an empty list means the gate passes.
+    """
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be >= 0, got {tolerance}")
+
+    def _by_name(report: Dict[str, object]) -> Dict[str, Dict[str, float]]:
+        return {w["name"]: w for w in report.get("workloads", [])}
+
+    def _wall(workload: Dict[str, float]) -> float:
+        return float(workload.get("wall_median_s") or workload["wall_s"])
+
+    base = _by_name(baseline)
+    cur = _by_name(current)
+    messages: List[str] = []
+    if baseline.get("smoke") != current.get("smoke"):
+        messages.append(
+            "baseline and current reports ran different suite sizes "
+            f"(baseline smoke={baseline.get('smoke')}, current "
+            f"smoke={current.get('smoke')}); wall clocks are not "
+            "comparable")
+        return messages
+    for name in [n for n in cur if n in base]:
+        b, c = _wall(base[name]), _wall(cur[name])
+        if b > 0 and c > b * (1.0 + tolerance):
+            messages.append(
+                f"{name}: wall_median_s {c:.6f} vs baseline {b:.6f} "
+                f"(+{(c / b - 1.0) * 100:.0f}%, tolerance "
+                f"{tolerance * 100:.0f}%)")
+    return messages
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI body for ``python -m repro perf [--smoke] [--repeats N]
-    [--jobs N] [-o OUT.json]``."""
+    [--jobs N] [--only NAMES] [--compare BASELINE.json] [-o OUT.json]``.
+
+    With ``--compare`` the exit status is the regression gate: 0 when
+    no workload regressed beyond ``--tolerance`` vs the baseline
+    report, 1 otherwise — usable directly from CI or a pre-push hook.
+    """
     import argparse
 
     parser = argparse.ArgumentParser(
@@ -446,14 +667,41 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--machine", default="lassen", metavar="PRESET",
                         help="machine preset the workloads model "
                              "(see `python -m repro info`)")
+    parser.add_argument("--only", default=None, metavar="NAME[,NAME...]",
+                        help="run only the named workloads "
+                             "(comma-separated)")
+    parser.add_argument("--compare", default=None, metavar="BASELINE.json",
+                        help="compare against a previous report and exit "
+                             "non-zero on regression")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="fractional wall-clock regression tolerance "
+                             "for --compare (default: %(default)s)")
     parser.add_argument("-o", "--output", default="BENCH_repro.json",
                         help="report path (default: %(default)s)")
     args = parser.parse_args(argv)
     from repro.machine import resolve_machine
 
     machine = resolve_machine(args.machine).name  # fail fast, canonical name
+    baseline = None
+    if args.compare is not None:
+        # Load before the (multi-second) run so a bad path fails fast.
+        with open(args.compare) as fh:
+            baseline = json.load(fh)
+    only = ([name.strip() for name in args.only.split(",") if name.strip()]
+            if args.only is not None else None)
     results = run_suite(smoke=args.smoke, repeats=args.repeats,
-                        jobs=args.jobs, machine=machine)
-    write_report(results, args.output, smoke=args.smoke, machine=machine)
+                        jobs=args.jobs, machine=machine, only=only)
+    report = write_report(results, args.output, smoke=args.smoke,
+                          machine=machine)
     print(f"wrote {args.output}")
+    if baseline is not None:
+        regressions = compare_reports(baseline, report,
+                                      tolerance=args.tolerance)
+        if regressions:
+            print(f"perf regression vs {args.compare}:")
+            for message in regressions:
+                print(f"  {message}")
+            return 1
+        print(f"no regressions vs {args.compare} "
+              f"(tolerance {args.tolerance:.0%})")
     return 0

@@ -31,6 +31,7 @@ Example
 from repro.sim.engine import (Simulator, Process, SimulationError,
                               DeadlockError, WatchdogError)
 from repro.sim.events import Event, Timeout, AllOf, AnyOf, EventState
+from repro.sim.soa import SoATimeline, TickBatch
 from repro.sim.resources import BandwidthResource, Resource, TokenBucket
 from repro.sim.noise import NoiseModel, NoNoise, LognormalNoise
 
@@ -45,6 +46,8 @@ __all__ = [
     "AllOf",
     "AnyOf",
     "EventState",
+    "SoATimeline",
+    "TickBatch",
     "BandwidthResource",
     "Resource",
     "TokenBucket",

@@ -1,0 +1,134 @@
+"""Fused multi-plan evaluation: one kernel call == per-plan ARRAY_OPS.
+
+:func:`repro.paths.evaluate_plans_fused` stacks every compiled plan's
+stages into padded operand tensors and costs the whole strategy x
+element grid in one numpy pass.  These tests pin the contract the sweep
+layer relies on: row ``s`` of the fused result is *bit-identical* to
+evaluating ``plans[s]`` alone with the ARRAY_OPS kernel — across
+machines, strategies, batch widths and duplicate-removal fractions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.machine import resolve_machine
+from repro.models.scenarios import (
+    PAPER_SCENARIOS,
+    Scenario,
+    fused_scenario_times,
+    scenario_summary,
+)
+from repro.models.strategies import all_strategy_models, model_label
+from repro.models.vectorized import SummaryBatch
+from repro.paths import (
+    ARRAY_OPS,
+    SCALAR_OPS,
+    cost_plan,
+    evaluate_plans_fused,
+    evaluate_stages,
+    stack_plans,
+)
+
+MACHINES = ["lassen", "summit", "frontier_like"]
+SIZES = np.logspace(0, 7, 12)
+
+
+def _batch(machine):
+    summaries = [scenario_summary(machine, sc, float(size))
+                 for sc in PAPER_SCENARIOS for size in SIZES]
+    return SummaryBatch.from_summaries(summaries)
+
+
+@pytest.mark.parametrize("machine_name", MACHINES)
+@pytest.mark.parametrize("dup_fraction", [0.0, 0.25])
+def test_fused_rows_bit_identical_to_array_ops(machine_name, dup_fraction):
+    machine = resolve_machine(machine_name)
+    batch = _batch(machine)
+    models = all_strategy_models(machine)
+    plans = [m.compile_plan_batch(batch, dup_fraction=dup_fraction)
+             for m in models]
+    fused = evaluate_plans_fused(machine, plans, n=batch.node_bytes.size)
+    assert fused.shape == (len(plans), batch.node_bytes.size)
+    for s, (model, plan) in enumerate(zip(models, plans)):
+        reference = evaluate_stages(machine, plan.stages, ARRAY_OPS)
+        assert np.array_equal(fused[s], reference), \
+            (model_label(model), machine_name)
+
+
+@pytest.mark.parametrize("machine_name", MACHINES)
+def test_fused_scalar_plans_match_cost_plan(machine_name):
+    """Width-1 case: plans compiled from scalar summaries, no arrays."""
+    machine = resolve_machine(machine_name)
+    summary = scenario_summary(machine, PAPER_SCENARIOS[0], 4096.0)
+    models = all_strategy_models(machine)
+    plans = [m.compile_plan(summary) for m in models]
+    fused = evaluate_plans_fused(machine, plans)
+    assert fused.shape == (len(plans), 1)
+    for s, (model, plan) in enumerate(zip(models, plans)):
+        assert float(fused[s, 0]) == cost_plan(machine, plan, SCALAR_OPS), \
+            model_label(model)
+        assert float(fused[s, 0]) == model.time(summary), model_label(model)
+
+
+def test_stack_plans_requires_at_least_one_plan():
+    machine = resolve_machine("lassen")
+    with pytest.raises(ValueError, match="at least one plan"):
+        stack_plans(machine, [])
+    with pytest.raises(ValueError, match="at least one plan"):
+        evaluate_plans_fused(machine, [])
+
+
+def test_stacked_tensors_are_padded_uniformly():
+    """Plans with different stage/hop counts share one padded shape."""
+    machine = resolve_machine("lassen")
+    batch = _batch(machine)
+    models = all_strategy_models(machine)
+    plans = [m.compile_plan_batch(batch) for m in models]
+    fp = stack_plans(machine, plans, n=batch.node_bytes.size)
+    assert fp.labels == tuple(p.strategy for p in plans)
+    n_stages = max(len(p.stages) for p in plans)
+    n_hops = max(len(st.hops) for p in plans for st in p.stages)
+    expected = (len(plans), n_stages, n_hops, batch.node_bytes.size)
+    for field in (fp.alpha, fp.beta, fp.count, fp.nbytes,
+                  fp.total_bytes, fp.node_bytes, fp.enabled):
+        assert field.shape == expected
+    # padding slots are disabled, so they never contribute cost
+    for s, plan in enumerate(plans):
+        for st in range(len(plan.stages), n_stages):
+            assert not fp.enabled[s, st].any()
+
+
+@pytest.mark.parametrize("machine_name", MACHINES)
+@pytest.mark.parametrize("dup_fraction", [0.0, 0.25])
+def test_fused_scenario_times_bit_identical_to_scalar_models(
+        machine_name, dup_fraction):
+    """The sweep entry point equals the historical per-cell loop."""
+    machine = resolve_machine(machine_name)
+    scenarios = [Scenario(num_dest_nodes=sc.num_dest_nodes,
+                          num_messages=sc.num_messages,
+                          dup_fraction=dup_fraction)
+                 for sc in PAPER_SCENARIOS[:2]]
+    sizes = [float(s) for s in SIZES]
+    labels, times = fused_scenario_times(machine, scenarios, sizes)
+    models = all_strategy_models(machine)
+    assert list(labels) == [model_label(m) for m in models]
+    assert times.shape == (len(models), len(scenarios), len(sizes))
+    for s, model in enumerate(models):
+        for c, sc in enumerate(scenarios):
+            for z, size in enumerate(sizes):
+                summary = scenario_summary(machine, sc, size)
+                expected = model.time(summary,
+                                      dup_fraction=sc.dup_fraction)
+                assert float(times[s, c, z]) == expected, \
+                    (model_label(model), c, z)
+
+
+def test_fused_slice_equivariance():
+    """Fusing a subset of plans gives the same rows as fusing all."""
+    machine = resolve_machine("lassen")
+    batch = _batch(machine)
+    plans = [m.compile_plan_batch(batch)
+             for m in all_strategy_models(machine)]
+    full = evaluate_plans_fused(machine, plans, n=batch.node_bytes.size)
+    half = evaluate_plans_fused(machine, plans[:3], n=batch.node_bytes.size)
+    assert np.array_equal(full[:3], half)

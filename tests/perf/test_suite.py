@@ -5,10 +5,15 @@ import json
 import pytest
 
 from repro.perf import run_suite, write_report
-from repro.perf.suite import SCHEMA, _find_strategy, main
+from repro.perf.suite import (
+    SCHEMA,
+    _find_strategy,
+    compare_reports,
+    main,
+)
 
-WORKLOADS = ["engine", "pingpong", "spmv", "scenarios", "hop_plan",
-             "obs_overhead", "sweep_parallel"]
+WORKLOADS = ["engine", "des_batched", "pingpong", "spmv", "scenarios",
+             "sweep_fused", "hop_plan", "obs_overhead", "sweep_parallel"]
 
 
 def test_smoke_suite_runs_and_reports(tmp_path, capsys):
@@ -39,6 +44,17 @@ def test_smoke_suite_runs_and_reports(tmp_path, capsys):
     hop_plan = next(r for r in results if r.name == "hop_plan")
     assert "speedup_vectorized" in hop_plan.metrics
     assert "speedup_vectorized_per_s" not in hop_plan.metrics
+    # the SoA kernel workload enforces its >= 5x floor internally;
+    # explicit rates get no second _per_s companion
+    des = next(r for r in results if r.name == "des_batched")
+    assert des.metrics["speedup_batched"] >= 5.0
+    assert "batched_events_per_s" in des.metrics
+    assert "batched_events_per_s_per_s" not in des.metrics
+    # the fused sweep workload enforces its >= 10x floor internally
+    fused = next(r for r in results if r.name == "sweep_fused")
+    assert fused.metrics["speedup_fused"] >= 10.0
+    assert "fused_cells_per_s" in fused.metrics
+    assert "fused_cells_per_s_per_s" not in fused.metrics
 
     out = tmp_path / "bench.json"
     report = write_report(results, str(out), smoke=True)
@@ -46,7 +62,7 @@ def test_smoke_suite_runs_and_reports(tmp_path, capsys):
     assert on_disk == json.loads(json.dumps(report))
     assert on_disk["suite"] == "repro.perf"
     assert on_disk["schema"] == SCHEMA
-    assert SCHEMA == 3
+    assert SCHEMA == 4
     assert on_disk["smoke"] is True
     assert on_disk["machine"] == "lassen"
     assert on_disk["total_wall_s"] > 0.0
@@ -74,6 +90,98 @@ def test_repeats_override(tmp_path, capsys):
     for w in data["workloads"]:
         assert w["repeats"] == 2
         assert w["wall_median_s"] >= w["wall_s"]
+
+
+def _fake_report(wall_by_name, smoke=True):
+    return {
+        "suite": "repro.perf",
+        "schema": SCHEMA,
+        "smoke": smoke,
+        "workloads": [
+            {"name": name, "wall_s": wall, "wall_median_s": wall,
+             "repeats": 1, "metrics": {}}
+            for name, wall in wall_by_name.items()
+        ],
+    }
+
+
+class TestCompareReports:
+    def test_no_regression_within_tolerance(self):
+        base = _fake_report({"engine": 1.0, "spmv": 2.0})
+        cur = _fake_report({"engine": 1.2, "spmv": 1.5})
+        assert compare_reports(base, cur, tolerance=0.25) == []
+
+    def test_regression_detected_beyond_tolerance(self):
+        base = _fake_report({"engine": 1.0})
+        cur = _fake_report({"engine": 1.6})
+        messages = compare_reports(base, cur, tolerance=0.25)
+        assert len(messages) == 1
+        assert "engine" in messages[0]
+        assert "+60%" in messages[0]
+
+    def test_only_common_workloads_compared(self):
+        base = _fake_report({"engine": 1.0})
+        cur = _fake_report({"spmv": 99.0})
+        assert compare_reports(base, cur) == []
+
+    def test_schema1_wall_s_fallback(self):
+        base = _fake_report({"engine": 1.0})
+        for w in base["workloads"]:
+            del w["wall_median_s"]
+        cur = _fake_report({"engine": 3.0})
+        assert len(compare_reports(base, cur)) == 1
+
+    def test_smoke_mismatch_is_a_failure(self):
+        base = _fake_report({"engine": 1.0}, smoke=False)
+        cur = _fake_report({"engine": 1.0}, smoke=True)
+        messages = compare_reports(base, cur)
+        assert messages and "not comparable" in messages[0]
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError, match="tolerance"):
+            compare_reports(_fake_report({}), _fake_report({}), tolerance=-1)
+
+
+class TestCompareCli:
+    def test_compare_gate_passes_and_fails(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        assert main(["--smoke", "--only", "engine", "-o", str(out)]) == 0
+        capsys.readouterr()
+        # same workload vs itself: inside tolerance
+        out2 = tmp_path / "bench2.json"
+        rc = main(["--smoke", "--only", "engine",
+                   "--compare", str(out), "-o", str(out2)])
+        assert rc == 0
+        assert "no regressions" in capsys.readouterr().out
+        # poison the baseline so the current run must regress
+        baseline = json.loads(out.read_text())
+        for w in baseline["workloads"]:
+            w["wall_median_s"] = w["wall_s"] = 1e-9
+        out.write_text(json.dumps(baseline))
+        rc = main(["--smoke", "--only", "engine",
+                   "--compare", str(out), "-o", str(out2)])
+        assert rc == 1
+        assert "perf regression" in capsys.readouterr().out
+
+    def test_missing_baseline_fails_fast(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(["--smoke", "--only", "engine",
+                  "--compare", str(tmp_path / "nope.json"),
+                  "-o", str(tmp_path / "out.json")])
+
+
+class TestOnlyFilter:
+    def test_only_runs_named_workloads(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        rc = main(["--smoke", "--only", "engine,spmv", "-o", str(out)])
+        assert rc == 0
+        capsys.readouterr()
+        data = json.loads(out.read_text())
+        assert [w["name"] for w in data["workloads"]] == ["engine", "spmv"]
+
+    def test_unknown_workload_is_diagnosable(self):
+        with pytest.raises(ValueError, match="no-such-workload"):
+            run_suite(smoke=True, verbose=False, only=["no-such-workload"])
 
 
 def test_repeats_must_be_positive():

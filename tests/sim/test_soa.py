@@ -1,0 +1,165 @@
+"""SoA batch scheduling: schedule_ticks / timeout_batch semantics."""
+
+import numpy as np
+import pytest
+
+from repro.obs import MemoryTracer
+from repro.sim import SimulationError, Simulator, TickBatch
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestValidation:
+    def test_delays_must_be_1d(self, sim):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            sim.schedule_ticks(np.ones((2, 2)))
+        with pytest.raises(ValueError, match="one-dimensional"):
+            sim.timeout_batch(np.ones((2, 2)))
+
+    def test_delays_must_be_strictly_positive(self, sim):
+        with pytest.raises(ValueError, match="strictly positive"):
+            sim.schedule_ticks([1.0, 0.0])
+        with pytest.raises(ValueError, match="strictly positive"):
+            sim.timeout_batch([-1.0])
+
+    def test_values_length_mismatch(self, sim):
+        with pytest.raises(ValueError, match="values length"):
+            sim.timeout_batch([1.0, 2.0], values=["only-one"])
+
+
+class TestScheduleTicks:
+    def test_ticks_advance_clock_in_order(self, sim):
+        batch = sim.schedule_ticks([3.0, 1.0, 2.0])
+        assert isinstance(batch, TickBatch)
+        assert batch.n == 3
+        assert sim.batched_pending == 3
+        assert sim.peek() == 1.0
+        sim.step()
+        assert sim.now == 1.0
+        sim.run()
+        assert sim.now == 3.0
+        assert sim.batched_pending == 0
+        assert sim.batched_fired == 3
+
+    def test_completion_fires_at_last_tick(self, sim):
+        batch = sim.schedule_ticks([5.0, 1.0], complete=True)
+        log = []
+        batch.completed.callbacks.append(lambda ev: log.append(ev.sim.now))
+        sim.run()
+        assert log == [5.0]
+        assert batch.completed.value is batch
+
+    def test_completion_requires_opt_in(self, sim):
+        batch = sim.schedule_ticks([1.0])
+        with pytest.raises(RuntimeError, match="complete=True"):
+            batch.completed
+        sim.run()
+
+    def test_empty_batch_completes_immediately(self, sim):
+        batch = sim.schedule_ticks([], complete=True)
+        assert batch.n == 0
+        assert batch.completed.triggered
+        sim.run()  # the completion event itself fires at t=0
+        assert sim.now == 0.0
+        assert batch.completed.processed
+
+    def test_process_can_wait_on_completion(self, sim):
+        def proc(sim):
+            batch = sim.schedule_ticks([2.0, 4.0], complete=True)
+            got = yield batch.completed
+            return (sim.now, got.n)
+
+        p = sim.process(proc(sim))
+        sim.run()
+        assert p.value == (4.0, 2)
+
+
+class TestTimeoutBatch:
+    def test_behaves_like_individual_timeouts(self, sim):
+        ts = sim.timeout_batch([2.0, 1.0], values=["b", "a"])
+        assert [t.delay for t in ts] == [2.0, 1.0]
+        fired = []
+        for t in ts:
+            t.callbacks.append(lambda ev: fired.append((ev.sim.now, ev.value)))
+        sim.run()
+        assert fired == [(1.0, "a"), (2.0, "b")]
+        assert all(t.processed and t.ok for t in ts)
+
+    def test_empty_batch(self, sim):
+        assert sim.timeout_batch([]) == []
+
+    def test_interleaves_with_heap_timeouts(self, sim):
+        order = []
+        a = sim.timeout(1.5, value="heap")
+        batch = sim.timeout_batch([1.0, 2.0], values=["soa-1", "soa-2"])
+        for t in [a, *batch]:
+            t.callbacks.append(lambda ev: order.append(ev.value))
+        sim.run()
+        assert order == ["soa-1", "heap", "soa-2"]
+
+    def test_same_time_fires_in_schedule_order(self, sim):
+        order = []
+        first = sim.timeout_batch([1.0], values=["batch-first"])[0]
+        second = sim.timeout(1.0, value="heap-second")
+        third = sim.timeout_batch([1.0], values=["batch-third"])[0]
+        for t in (first, second, third):
+            t.callbacks.append(lambda ev: order.append(ev.value))
+        sim.run()
+        assert order == ["batch-first", "heap-second", "batch-third"]
+
+
+class TestEngineIntegration:
+    def test_step_with_only_soa_pending(self, sim):
+        sim.schedule_ticks([1.0])
+        sim.step()
+        assert sim.now == 1.0
+        with pytest.raises(SimulationError, match="no scheduled events"):
+            sim.step()
+
+    def test_run_until_stops_mid_batch(self, sim):
+        sim.schedule_ticks([1.0, 2.0, 3.0])
+        assert sim.run(until=2.5) == 2.5
+        assert sim.batched_pending == 1
+        sim.run()
+        assert sim.now == 3.0
+
+    def test_reset_clears_soa_state(self, sim):
+        sim.schedule_ticks([1.0, 2.0])
+        sim.run()
+        assert sim.batched_fired == 2
+        sim.reset()
+        assert sim.now == 0.0
+        assert sim.batched_pending == 0
+        assert sim.batched_fired == 0
+        assert sim.peek() == float("inf")
+
+    def test_traced_run_counts_soa_events(self):
+        sim = Simulator(tracer=MemoryTracer())
+        sim.schedule_ticks([1.0, 2.0], complete=True)
+        sim.timeout(1.5)
+        sim.run()
+        assert sim.now == 2.0
+        assert sim.steps_traced >= 3
+
+    def test_guarded_run_with_soa_events(self, sim):
+        sim.schedule_ticks(np.full(10, 1.0) * np.arange(1.0, 11.0))
+        assert sim.run(max_events=100) == 10.0
+
+    def test_zero_delay_cascade_between_ticks(self, sim):
+        """An imm event scheduled from a tick callback fires before later ticks."""
+        order = []
+        batch = sim.timeout_batch([1.0, 2.0], values=["t1", "t2"])
+
+        def on_t1(ev):
+            order.append(ev.value)
+            imm = ev.sim.event()
+            imm.callbacks.append(lambda e: order.append("imm"))
+            imm.succeed(None)
+
+        batch[0].callbacks.append(on_t1)
+        batch[1].callbacks.append(lambda ev: order.append(ev.value))
+        sim.run()
+        assert order == ["t1", "imm", "t2"]
