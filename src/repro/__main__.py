@@ -20,9 +20,16 @@ Usage::
     python -m repro trace [SCENARIO] [--smoke] [-o trace.json]
                                           # traced run -> Perfetto JSON
     python -m repro chaos [--seed N] [--smoke] [--jobs N] [--cache]
+                          [--ledger L.jsonl] [--profile P.txt]
                           [-o report.json]
                                           # randomized fault sweep with
                                           # engine invariant checks
+    python -m repro obs report LEDGER     # summarize a run ledger /
+                                          # BENCH_repro.json
+    python -m repro obs diff A B          # regression attribution
+                                          # between two runs
+    python -m repro obs flame LEDGER      # collapsed stacks (flamegraph)
+    python -m repro obs validate LEDGER   # schema-check a ledger
     python -m repro --version             # print the package version
 
 ``--jobs N`` fans sweep shards out over N worker processes (results
@@ -31,11 +38,19 @@ stay byte-identical to serial runs); ``$REPRO_JOBS`` sets the default.
 from ``.repro-cache/`` (or ``$REPRO_CACHE_DIR``).  ``--machine M``
 selects any preset from ``repro.machine.PRESETS`` (dash or underscore
 spelling — ``frontier-like`` == ``frontier_like``; default lassen).
+``--ledger PATH`` writes a schema-versioned JSONL run ledger (see
+docs/observability.md) consumed by ``python -m repro obs``.
 """
 
 from __future__ import annotations
 
 import sys
+
+#: every dispatchable subcommand — the unknown-command error lists
+#: these, so the listing can never drift from the dispatch table below
+#: (tests assert each one appears in the usage text).
+COMMANDS = ("info", "report", "predict", "scenario", "perf", "trace",
+            "chaos", "obs")
 
 
 def _info() -> None:
@@ -115,14 +130,40 @@ def _scenario(args: list) -> int:
                         help="cache directory (implies --cache)")
     parser.add_argument("-o", "--output", default=None,
                         help="also write the swept times as JSON here")
+    parser.add_argument("--ledger", default=None, metavar="PATH",
+                        help="write a JSONL run ledger here (consumed by "
+                             "`python -m repro obs`)")
     ns = parser.parse_args(args)
     machine = resolve_machine(ns.machine)
     cache = None
     if ns.cache or ns.cache_dir:
         cache = ResultCache(directory=ns.cache_dir or default_cache_dir())
     sizes = np.logspace(1, 5, ns.points)
+    stats = None
+    if ns.ledger:
+        from repro.par.executor import SweepStats
+
+        stats = SweepStats()
     swept = sweep_scenarios(machine, PAPER_SCENARIOS, sizes, jobs=ns.jobs,
-                            cache=cache)
+                            cache=cache, stats=stats)
+    if ns.ledger:
+        from repro.obs.ledger import RunLedger
+
+        ledger = RunLedger(ns.ledger, "scenario",
+                           {"machine": machine.name, "points": ns.points},
+                           machine=machine.name)
+        for sc, series in zip(PAPER_SCENARIOS, swept):
+            for label, times in series.items():
+                # One cell per (scenario panel, strategy model); the
+                # panel's cost is the modelled time summed over sizes.
+                ledger.event("cell", scenario=sc.label, strategy=label,
+                             outcome="ok",
+                             time_s=float(sum(float(t) for t in times)))
+        if stats is not None:
+            ledger.sweep(stats)
+        if cache is not None:
+            ledger.cache_events(cache)
+        ledger.finish("ok")
     for sc, series in zip(PAPER_SCENARIOS, swept):
         print(render_series(f"scenario {sc.label} on {machine.name}",
                             "bytes/msg", sizes, series, mark_min=True))
@@ -176,8 +217,13 @@ def main(argv=None) -> int:
         from repro.faults.chaos import main as chaos_main
 
         return chaos_main(rest)
+    elif cmd == "obs":
+        from repro.obs.analysis import main as obs_main
+
+        return obs_main(rest)
     else:
-        print(f"unknown command {cmd!r}", file=sys.stderr)
+        print(f"unknown command {cmd!r} "
+              f"(commands: {', '.join(COMMANDS)})", file=sys.stderr)
         print(__doc__, file=sys.stderr)
         return 2
     return 0

@@ -169,6 +169,9 @@ def main(argv=None) -> int:
     parser.add_argument("--machine", default="lassen", metavar="PRESET",
                         help="machine preset to regenerate for "
                              "(see `python -m repro info`)")
+    parser.add_argument("--ledger", default=None, metavar="PATH",
+                        help="write a JSONL run ledger here (consumed by "
+                             "`python -m repro obs`)")
     args = parser.parse_args(sys.argv[1:] if argv is None else argv)
     cache = None
     if args.cache or args.cache_dir:
@@ -176,6 +179,27 @@ def main(argv=None) -> int:
 
         cache = ResultCache(directory=args.cache_dir or default_cache_dir())
     text = generate(jobs=args.jobs, cache=cache, machine=args.machine)
+    if args.ledger:
+        import hashlib
+
+        from repro.machine import resolve_machine as _resolve
+        from repro.obs.ledger import RunLedger
+
+        machine_name = _resolve(args.machine).name
+        ledger = RunLedger(args.ledger, "report",
+                           {"machine": machine_name}, machine=machine_name)
+        # The record body is bit-identical across jobs/cache settings
+        # except for the wall-time footer — hash it with that line
+        # stripped so the ledger fact is deterministic.
+        body = "\n".join(
+            line for line in text.splitlines()
+            if not line.startswith("_Total regeneration wall time"))
+        ledger.event("artifact", name="experiments-body",
+                     bytes=len(body.encode()),
+                     sha256=hashlib.sha256(body.encode()).hexdigest())
+        if cache is not None:
+            ledger.cache_events(cache)
+        ledger.finish("ok")
     if args.output:
         with open(args.output, "w") as fh:
             fh.write(text)

@@ -45,7 +45,7 @@ import numpy as np
 from repro.faults.errors import DeliveryError
 from repro.obs.metrics import MetricsRegistry
 from repro.par.cache import ResultCache, cache_key, default_cache_dir
-from repro.par.executor import sweep_map
+from repro.par.executor import SweepStats, sweep_map
 from repro.faults.plan import (
     NO_FAULTS,
     DeviceOutage,
@@ -175,14 +175,36 @@ def _check_monotone(job, violations: List[str], where: str) -> None:
             return  # one example per run is enough
 
 
+def _phase_profile(job) -> Dict[str, Dict[str, Any]]:
+    """Aggregate a traced job's strategy-phase spans by phase name.
+
+    ``{phase: {"count": spans, "total_s": summed virtual seconds}}`` —
+    virtual times are deterministic, so the profile is too (and safe to
+    put in the deterministic section of the run ledger / report).
+    """
+    profile: Dict[str, Dict[str, Any]] = {}
+    if job.tracer is None:
+        return profile
+    for span in job.tracer.spans:
+        if span.cat != "phase":
+            continue
+        cell = profile.setdefault(span.name, {"count": 0, "total_s": 0.0})
+        cell["count"] += 1
+        cell["total_s"] += span.t1 - span.t0
+    return profile
+
+
 def _run_once(machine, plan: FaultPlan, pattern, strategy,
               tracer: bool, violations: List[str],
-              where: str) -> Tuple[Dict[str, Any], Dict[str, Any]]:
+              where: str
+              ) -> Tuple[Dict[str, Any], Dict[str, Any], Dict[str, Any]]:
     """One (scenario, strategy) run.
 
-    Returns ``(outcome fingerprint, metrics snapshot)`` — the snapshot
-    is the job's :meth:`~repro.mpi.job.SimJob.metrics`, merged across
-    shards into the report's aggregate ``metrics`` section.
+    Returns ``(outcome fingerprint, metrics snapshot, phase profile)``
+    — the snapshot is the job's :meth:`~repro.mpi.job.SimJob.metrics`,
+    merged across shards into the report's aggregate ``metrics``
+    section; the phase profile (:func:`_phase_profile`) is non-empty
+    only for the traced arm.
     """
     from repro.core.base import default_data, run_exchange, verify_exchange
     from repro.mpi.job import SimJob
@@ -228,7 +250,7 @@ def _run_once(machine, plan: FaultPlan, pattern, strategy,
     _check_monotone(job, violations, where)
     if job.sim.now < 0:
         violations.append(f"{where}: virtual clock went negative")
-    return outcome, job.metrics()
+    return outcome, job.metrics(), _phase_profile(job)
 
 
 def run_chaos_shard(spec: Tuple) -> Dict[str, Any]:
@@ -238,8 +260,11 @@ def run_chaos_shard(spec: Tuple) -> Dict[str, Any]:
     preset name])`` — tiny and picklable, so shards fan out over any
     start method.  Everything else (machine, plan, pattern, strategy
     instance) is rebuilt deterministically inside the worker.  Returns
-    the cell's outcome, its local violations (in serial order) and the
-    plain run's metrics snapshot.
+    the cell's outcome, its local violations (in serial order), the
+    plain run's metrics snapshot and the traced run's per-phase
+    virtual-time profile (attached *after* the plain-vs-traced
+    fingerprint comparison, so trace transparency is still checked on
+    the bare outcome).
     """
     from repro.core.selector import strategy_by_name
     from repro.machine.presets import resolve_machine
@@ -251,17 +276,18 @@ def run_chaos_shard(spec: Tuple) -> Dict[str, Any]:
     strategy = strategy_by_name(label)
     violations: List[str] = []
     where = f"scenario {index} / {label}"
-    plain, metrics = _run_once(machine, plan, pattern, strategy,
-                               tracer=False, violations=violations,
-                               where=where)
-    traced, _ = _run_once(machine, plan, pattern, strategy,
-                          tracer=True, violations=violations,
-                          where=f"{where} [traced]")
+    plain, metrics, _ = _run_once(machine, plan, pattern, strategy,
+                                  tracer=False, violations=violations,
+                                  where=where)
+    traced, _, phases = _run_once(machine, plan, pattern, strategy,
+                                  tracer=True, violations=violations,
+                                  where=f"{where} [traced]")
     if plain != traced:
         violations.append(
             f"{where}: tracing changed the outcome fingerprint "
             f"(untraced {plain} != traced {traced})")
-    return {"outcome": plain, "violations": violations, "metrics": metrics}
+    return {"outcome": plain, "violations": violations, "metrics": metrics,
+            "phases": phases}
 
 
 def _shard_key(spec: Tuple, machine,
@@ -283,14 +309,17 @@ def _shard_key(spec: Tuple, machine,
 def run_chaos(seed: int = 0, smoke: bool = False,
               jobs: Optional[int] = None,
               cache: Optional[ResultCache] = None,
-              machine: str = "lassen") -> Dict[str, Any]:
+              machine: str = "lassen",
+              stats: Optional[SweepStats] = None) -> Dict[str, Any]:
     """Run the sweep; returns the (JSON-serializable) report.
 
     ``jobs`` fans shards out over a process pool (default:
     ``$REPRO_JOBS`` or serial); ``cache`` skips shards whose content
     hash already has a stored result.  ``machine`` names any preset in
     :data:`repro.machine.PRESETS` (workers rebuild it from the name).
-    The report is byte-identical across worker counts and cache states.
+    ``stats`` (a :class:`repro.par.SweepStats`) collects the sweep's
+    fleet telemetry in place for the run ledger.  The report is
+    byte-identical across worker counts and cache states.
     """
     from repro.core.selector import all_strategies
     from repro.machine.presets import resolve_machine
@@ -312,7 +341,7 @@ def run_chaos(seed: int = 0, smoke: bool = False,
                               pattern_fps[task[2]])
 
     shards = sweep_map(run_chaos_shard, tasks, jobs=jobs,
-                       cache=cache, key_fn=key_fn)
+                       cache=cache, key_fn=key_fn, stats=stats)
 
     violations: List[str] = []
     merged = MetricsRegistry()
@@ -331,7 +360,7 @@ def run_chaos(seed: int = 0, smoke: bool = False,
                 ok_runs += 1
             elif outcome["outcome"] == "delivery-error":
                 delivery_errors += 1
-            results[label] = outcome
+            results[label] = dict(outcome, phases=shard["phases"])
         scenarios.append({
             "index": index,
             "plan": plans[index].describe(),
@@ -353,6 +382,38 @@ def run_chaos(seed: int = 0, smoke: bool = False,
             "violations": len(violations),
         },
     }
+
+
+def write_chaos_ledger(ledger, report: Dict[str, Any],
+                       stats: Optional[SweepStats] = None,
+                       cache: Optional[ResultCache] = None) -> None:
+    """Emit a chaos report into a :class:`repro.obs.RunLedger`.
+
+    One ``cell`` record per (scenario, strategy) — outcome, delivered
+    comm time (decoded from the report's ``comm_time_hex``) and the
+    per-phase virtual-time profile — plus the merged metrics snapshot,
+    the sweep's fleet telemetry and the result-cache attribution.  All
+    cell fields are deterministic; execution-shape facts land in the
+    volatile/envelope sections via :meth:`RunLedger.sweep`.
+    """
+    for scenario in report["scenarios"]:
+        for label, cell in scenario["results"].items():
+            fields: Dict[str, Any] = {
+                k: cell[k] for k in ("outcome", "messages", "retries",
+                                     "timeouts", "gave_up", "degraded")
+                if k in cell
+            }
+            if "comm_time_hex" in cell:
+                fields["time_s"] = float.fromhex(cell["comm_time_hex"])
+            if cell.get("phases"):
+                fields["phases"] = cell["phases"]
+            ledger.event("cell", scenario=scenario["index"],
+                         strategy=label, **fields)
+    ledger.metrics(report["metrics"])
+    if stats is not None:
+        ledger.sweep(stats)
+    if cache is not None:
+        ledger.cache_events(cache)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -380,12 +441,47 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                              "--cache)")
     parser.add_argument("-o", "--output", default=None,
                         help="write the JSON report here (default stdout)")
+    parser.add_argument("--ledger", default=None, metavar="PATH",
+                        help="write a JSONL run ledger here (consumed by "
+                             "`python -m repro obs`)")
+    parser.add_argument("--profile", default=None, metavar="PATH",
+                        help="sample the host stack during the sweep and "
+                             "write collapsed stacks (flamegraph.pl "
+                             "format) here")
     args = parser.parse_args(argv)
     cache = None
     if args.cache or args.cache_dir:
         cache = ResultCache(directory=args.cache_dir or default_cache_dir())
-    report = run_chaos(seed=args.seed, smoke=args.smoke, jobs=args.jobs,
-                       cache=cache, machine=args.machine)
+    stats = SweepStats()
+    profiler = None
+    if args.profile:
+        from repro.obs.profile import SamplingProfiler
+
+        profiler = SamplingProfiler().start()
+    try:
+        report = run_chaos(seed=args.seed, smoke=args.smoke, jobs=args.jobs,
+                           cache=cache, machine=args.machine, stats=stats)
+    finally:
+        if profiler is not None:
+            profiler.stop()
+    if profiler is not None:
+        n = profiler.write_collapsed(args.profile)
+        print(f"profile: wrote {args.profile} ({n} stacks, "
+              f"{profiler.total_samples} samples)", file=sys.stderr)
+    if args.ledger:
+        from repro.obs.ledger import RunLedger
+
+        ledger = RunLedger(args.ledger, "chaos",
+                           {"seed": args.seed, "smoke": args.smoke,
+                            "machine": report["machine"]},
+                           machine=report["machine"])
+        write_chaos_ledger(ledger, report, stats=stats, cache=cache)
+        if profiler is not None:
+            for stack, count in profiler.stacks():
+                ledger.event("profile_stack", volatile=True,
+                             stack=stack, count=count)
+        ledger.finish("ok" if report["ok"] else "violations",
+                      violations=len(report["violations"]))
     text = json.dumps(report, indent=2, sort_keys=True)
     if args.output:
         with open(args.output, "w") as fh:

@@ -228,6 +228,7 @@ def sweep_scenarios(machine: MachineSpec, scenarios: Sequence[Scenario],
                     sizes: Sequence[float],
                     jobs: Optional[int] = None,
                     cache: Optional[ResultCache] = None,
+                    stats=None,
                     ) -> List[Dict[str, np.ndarray]]:
     """:func:`sweep_scenario` over many scenarios, optionally fanned out.
 
@@ -243,10 +244,19 @@ def sweep_scenarios(machine: MachineSpec, scenarios: Sequence[Scenario],
     the joint evaluation is bit-identical to per-scenario shards);
     with workers or a cache the per-scenario sharding is kept so cache
     keys and fan-out granularity are unchanged.
+
+    ``stats`` (a :class:`repro.par.SweepStats`) collects sweep
+    telemetry; the fused serial path fills in the same deterministic
+    shard totals :func:`repro.par.sweep_map` would, so run ledgers stay
+    byte-identical across worker counts.
     """
     sizes = np.asarray(sizes, dtype=np.float64)
     if resolve_jobs(jobs) == 1 and cache is None and len(scenarios) > 0:
         models = all_strategy_models(machine)
+        if stats is not None:
+            stats.tasks = stats.executed = len(scenarios)
+            stats.cache_hits = 0
+            stats.jobs = 1
         labels, times = fused_scenario_times(machine, scenarios, sizes,
                                              models)
         return [{label: times[i, c] for i, label in enumerate(labels)}
@@ -255,7 +265,7 @@ def sweep_scenarios(machine: MachineSpec, scenarios: Sequence[Scenario],
     return sweep_map(
         _sweep_scenario_shard, tasks, jobs=jobs, cache=cache,
         key_fn=(lambda t: scenario_sweep_key(t[0], t[1], t[2]))
-        if cache is not None else None)
+        if cache is not None else None, stats=stats)
 
 
 def best_strategy_sweep(machine: MachineSpec, scenario: Scenario,

@@ -16,6 +16,15 @@ hot paths diagnosable instead of guessable:
 * :mod:`repro.obs.export` — Chrome trace-event / Perfetto JSON (one
   track per rank and per NIC), a NIC-utilization time-series sampler,
   and a text report; driven by ``python -m repro trace``.
+* :mod:`repro.obs.ledger` — the append-only, schema-versioned JSONL
+  **run ledger** every CLI entry point can emit (``--ledger``):
+  byte-deterministic modulo a declared non-deterministic envelope, with
+  a stable content-hashed ``run_id``.  Consumed by
+  ``python -m repro obs`` (:mod:`repro.obs.analysis`: ``report`` /
+  ``diff`` / ``flame`` / ``validate``).
+* :mod:`repro.obs.profile` — an opt-in sampling profiler (``--profile``)
+  exporting collapsed-stack flamegraph data for host CPU time, the
+  counterpart to the tracer's virtual-time attribution.
 
 Enable recording per job::
 
@@ -50,8 +59,32 @@ from repro.obs.export import (
     validate_chrome_trace,
     write_chrome_trace,
 )
+from repro.obs.ledger import (
+    LEDGER_SCHEMA,
+    RunLedger,
+    canonical_dumps,
+    deterministic_view,
+    ledger_fingerprint,
+    ledger_json_schema,
+    make_run_id,
+    read_ledger,
+    validate_ledger,
+)
+from repro.obs.profile import SamplingProfiler
+from repro.obs.analysis import hotspots
 
 __all__ = [
+    "LEDGER_SCHEMA",
+    "RunLedger",
+    "SamplingProfiler",
+    "canonical_dumps",
+    "deterministic_view",
+    "hotspots",
+    "ledger_fingerprint",
+    "ledger_json_schema",
+    "make_run_id",
+    "read_ledger",
+    "validate_ledger",
     "NULL_TRACER",
     "NullTracer",
     "MemoryTracer",

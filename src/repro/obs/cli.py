@@ -46,6 +46,13 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="trace path (default: %(default)s)")
     parser.add_argument("--report", action="store_true",
                         help="print the text report to stdout as well")
+    parser.add_argument("--ledger", default=None, metavar="PATH",
+                        help="write a JSONL run ledger here (consumed by "
+                             "`python -m repro obs`)")
+    parser.add_argument("--profile", default=None, metavar="PATH",
+                        help="sample the host stack during the traced "
+                             "runs and write collapsed stacks "
+                             "(flamegraph.pl format) here")
     return parser
 
 
@@ -102,19 +109,34 @@ def main(argv: Optional[List[str]] = None) -> int:
         def run_one(job, strategy):
             return run_exchange(job, strategy, pattern).comm_time
 
+    profiler = None
+    if args.profile:
+        from repro.obs.profile import SamplingProfiler
+
+        profiler = SamplingProfiler().start()
     tracers = {}
     metrics = {}
-    for label in labels:
-        strategy = strategy_by_name(label)
-        tracer = MemoryTracer()
-        job = SimJob(machine, num_nodes=nodes, ppn=ppn, trace=True,
-                     tracer=tracer)
-        comm_time = run_one(job, strategy)
-        tracers[label] = tracer
-        metrics[label] = job.metrics()
-        msgs = metrics[label]["counters"]["transport.messages"]
-        print(f"{label:30s} comm time {comm_time:.3e} s, {msgs} messages, "
-              f"{tracer.num_records} trace records")
+    comm_times = {}
+    try:
+        for label in labels:
+            strategy = strategy_by_name(label)
+            tracer = MemoryTracer()
+            job = SimJob(machine, num_nodes=nodes, ppn=ppn, trace=True,
+                         tracer=tracer)
+            comm_time = run_one(job, strategy)
+            tracers[label] = tracer
+            metrics[label] = job.metrics()
+            comm_times[label] = float(comm_time)
+            msgs = metrics[label]["counters"]["transport.messages"]
+            print(f"{label:30s} comm time {comm_time:.3e} s, "
+                  f"{msgs} messages, {tracer.num_records} trace records")
+    finally:
+        if profiler is not None:
+            profiler.stop()
+    if profiler is not None:
+        n = profiler.write_collapsed(args.profile)
+        print(f"profile: wrote {args.profile} ({n} stacks, "
+              f"{profiler.total_samples} samples)")
 
     trace = to_chrome_trace(tracers)
     n_events = validate_chrome_trace(trace)
@@ -123,6 +145,26 @@ def main(argv: Optional[List[str]] = None) -> int:
           f"https://ui.perfetto.dev)")
     if args.report:
         print(render_text_report(tracers, metrics=metrics))
+    if args.ledger:
+        from repro.obs.ledger import RunLedger
+
+        ledger = RunLedger(args.ledger, "trace",
+                           {"scenario": args.scenario, "strategies": labels,
+                            "nodes": nodes, "ppn": ppn,
+                            "smoke": args.smoke},
+                           machine=machine.name)
+        for label in labels:
+            ledger.event("cell", scenario=args.scenario, strategy=label,
+                         outcome="ok", time_s=comm_times[label])
+            ledger.metrics(metrics[label], name=label)
+        # One hotspot table across all traced strategies (virtual time).
+        all_spans = [s for tr in tracers.values() for s in tr.spans]
+        ledger.span_summaries(all_spans)
+        if profiler is not None:
+            for stack, count in profiler.stacks():
+                ledger.event("profile_stack", volatile=True,
+                             stack=stack, count=count)
+        ledger.finish("ok", trace_events=n_events)
     return 0
 
 

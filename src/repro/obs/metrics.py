@@ -213,6 +213,19 @@ class MetricsRegistry:
                            for k, h in sorted(self._histograms.items())},
         }
 
+    def canonical_json(self) -> str:
+        """Byte-deterministic serialization of :meth:`to_dict`.
+
+        Sorted keys, compact separators and shortest-round-trip float
+        formatting (via :func:`repro.obs.ledger.canonical_dumps`), so
+        two registries holding the same data serialize to identical
+        bytes regardless of instrument registration order — the form
+        the run ledger embeds and byte-identity tests compare.
+        """
+        from repro.obs.ledger import canonical_dumps
+
+        return canonical_dumps(self.to_dict())
+
     def merge(self, snapshot: Dict[str, object]) -> None:
         """Fold a :meth:`to_dict` snapshot into this registry.
 

@@ -1,0 +1,143 @@
+"""Opt-in sampling profiler exporting collapsed-stack (flamegraph) data.
+
+The DES tracer attributes *virtual* time; this profiler attributes
+**host CPU/wall time** — where the Python interpreter actually spends
+its cycles while a command runs.  It samples the main thread's stack at
+a fixed interval from a background thread (via
+``sys._current_frames()``), folds samples into collapsed-stack lines
+(``frame;frame;frame count``, the format ``flamegraph.pl`` and
+https://www.speedscope.app consume) and costs nothing when not
+activated — it is wired behind the ``--profile`` flag of the CLI entry
+points and never imported on the hot path.
+
+>>> with SamplingProfiler(interval=0.001) as prof:
+...     sum(i * i for i in range(100_000))
+333328333350000
+>>> isinstance(prof.collapsed(), list)
+True
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+#: default sampling interval [s] — ~200 Hz keeps overhead low while
+#: resolving millisecond-scale phases
+DEFAULT_INTERVAL = 0.005
+
+
+def _fold(frame) -> str:
+    """Collapse one frame stack into a ``;``-joined root-to-leaf line."""
+    parts: List[str] = []
+    while frame is not None:
+        code = frame.f_code
+        module = frame.f_globals.get("__name__", "?")
+        parts.append(f"{module}:{code.co_name}")
+        frame = frame.f_back
+    return ";".join(reversed(parts))
+
+
+class SamplingProfiler:
+    """Wall-clock stack sampler for one thread (default: the caller's).
+
+    Parameters
+    ----------
+    interval:
+        Seconds between samples (default :data:`DEFAULT_INTERVAL`).
+    thread_id:
+        Thread to sample; defaults to the thread that calls
+        :meth:`start` (the CLI main thread).
+
+    Use as a context manager; afterwards :meth:`collapsed` returns the
+    folded stacks and :meth:`write_collapsed` serializes them.  Sample
+    counts approximate time: ``count * interval`` seconds per stack.
+    """
+
+    def __init__(self, interval: float = DEFAULT_INTERVAL,
+                 thread_id: Optional[int] = None) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be > 0, got {interval}")
+        self.interval = float(interval)
+        self.thread_id = thread_id
+        self.samples: Dict[str, int] = {}
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle ----------------------------------------------------------
+    def start(self) -> "SamplingProfiler":
+        if self._thread is not None:
+            raise RuntimeError("profiler already started")
+        if self.thread_id is None:
+            self.thread_id = threading.get_ident()
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._sample_loop,
+                                        name="repro-obs-profiler",
+                                        daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        self._thread = None
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, *exc) -> bool:
+        self.stop()
+        return False
+
+    def _sample_loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            frame = sys._current_frames().get(self.thread_id)
+            if frame is None:
+                continue
+            stack = _fold(frame)
+            self.samples[stack] = self.samples.get(stack, 0) + 1
+
+    # -- output -------------------------------------------------------------
+    @property
+    def total_samples(self) -> int:
+        return sum(self.samples.values())
+
+    def collapsed(self) -> List[str]:
+        """Collapsed-stack lines, heaviest first (ties: stack order)."""
+        return [f"{stack} {count}"
+                for stack, count in sorted(self.samples.items(),
+                                           key=lambda kv: (-kv[1], kv[0]))]
+
+    def stacks(self) -> List[Tuple[str, int]]:
+        """(stack, sample count) pairs, heaviest first."""
+        return sorted(self.samples.items(), key=lambda kv: (-kv[1], kv[0]))
+
+    def write_collapsed(self, path: str) -> int:
+        """Write collapsed stacks to ``path``; returns the line count.
+
+        Feed the file to ``flamegraph.pl`` or drop it on
+        https://www.speedscope.app to render a flamegraph.
+        """
+        lines = self.collapsed()
+        with open(path, "w") as fh:
+            for line in lines:
+                fh.write(line + "\n")
+        return len(lines)
+
+
+def profile_wall_estimate(samples: Dict[str, int],
+                          interval: float) -> float:
+    """Approximate profiled wall seconds represented by ``samples``."""
+    return sum(samples.values()) * interval
+
+
+if __name__ == "__main__":  # pragma: no cover - manual smoke
+    with SamplingProfiler(interval=0.001) as prof:
+        t0 = time.time()
+        while time.time() - t0 < 0.2:
+            sum(i * i for i in range(10_000))
+    print("\n".join(prof.collapsed()[:10]))

@@ -175,6 +175,33 @@ class MemoryTracer(NullTracer):
             "counters": list(self.counters),
         }
 
+    def to_snapshot(self) -> Dict[str, list]:
+        """JSON-ready snapshot: every record as a plain dict.
+
+        Unlike :meth:`to_payload` (which keeps the dataclasses for
+        cheap pickling), this is pure JSON data in record-append order
+        with a fixed field set per record.
+        """
+        from dataclasses import asdict
+
+        return {
+            "spans": [asdict(r) for r in self.spans],
+            "instants": [asdict(r) for r in self.instants],
+            "counters": [asdict(r) for r in self.counters],
+        }
+
+    def canonical_json(self) -> str:
+        """Byte-deterministic serialization of :meth:`to_snapshot`.
+
+        Sorted keys and shortest-round-trip float formatting via
+        :func:`repro.obs.ledger.canonical_dumps`: two tracers holding
+        the same records serialize to identical bytes — what the
+        trace-transparency and parallel-equivalence tests compare.
+        """
+        from repro.obs.ledger import canonical_dumps
+
+        return canonical_dumps(self.to_snapshot())
+
     def extend(self, payload: "MemoryTracer | Dict[str, list]") -> None:
         """Append another tracer's records (or a :meth:`to_payload`).
 

@@ -20,6 +20,7 @@ from repro.par.cache import (
 from repro.par.executor import (
     ENV_JOBS,
     ENV_START_METHOD,
+    STRAGGLER_FACTOR,
     SweepStats,
     default_start_method,
     resolve_jobs,
@@ -29,6 +30,7 @@ from repro.par.executor import (
 
 __all__ = [
     "CACHE_SCHEMA",
+    "STRAGGLER_FACTOR",
     "DEFAULT_CACHE_DIR",
     "ENV_CACHE_DIR",
     "ENV_JOBS",

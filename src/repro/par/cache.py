@@ -37,7 +37,8 @@ import numpy as np
 #: cache schema / code version — part of every key; bump to invalidate
 #: all previously stored shard results (e.g. when simulator cost
 #: semantics change in a way that alters shard outputs).
-CACHE_SCHEMA = 1
+#: 2: chaos shards gained a per-cell ``phases`` profile.
+CACHE_SCHEMA = 2
 
 #: environment variable overriding the default on-disk cache location
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
@@ -154,9 +155,15 @@ class ResultCache:
         only); pass :func:`default_cache_dir` for the standard
         ``.repro-cache/`` location.
 
-    Counters (``hits``, ``misses``, ``stores``, ``disk_hits``) make
-    cache behaviour assertable in tests: a warm re-run of a sweep must
-    show ``misses == 0``.
+    Counters (``hits``, ``misses``, ``stores``, ``disk_hits``,
+    ``corrupt``) make cache behaviour assertable in tests: a warm
+    re-run of a sweep must show ``misses == 0``.  Every lookup/store
+    also appends an **event** ``{"op": "hit"|"miss"|"store"|"corrupt",
+    "key": <stable fingerprint>, "tier": "memory"|"disk"|None}`` to
+    :attr:`events`, so the run ledger can attribute cache behaviour to
+    specific shard fingerprints — in particular, a corrupt on-disk
+    entry (present but unreadable) is distinguished from an ordinary
+    miss instead of being silently folded into miss-only accounting.
     """
 
     def __init__(self, directory: Optional[str] = None) -> None:
@@ -166,6 +173,8 @@ class ResultCache:
         self.misses = 0
         self.stores = 0
         self.disk_hits = 0
+        self.corrupt = 0
+        self.events: List[Dict[str, Any]] = []
 
     @classmethod
     def with_disk(cls, directory: Optional[str] = None) -> "ResultCache":
@@ -177,30 +186,51 @@ class ResultCache:
         return os.path.join(self.directory, key[:2], key + ".pkl")
 
     def lookup(self, key: str) -> Tuple[bool, Any]:
-        """``(hit, value)`` — value is ``None`` on a miss."""
+        """``(hit, value)`` — value is ``None`` on a miss.
+
+        A disk entry that exists but cannot be read back (truncated
+        write, unpicklable payload, stale class) counts as **corrupt**,
+        not merely as a miss: the ``corrupt`` counter advances and a
+        ``{"op": "corrupt"}`` event is recorded before the shard is
+        recomputed, so the run ledger can surface a ``cache_corrupt``
+        record instead of silent miss-only accounting.
+        """
         if key in self._memory:
             self.hits += 1
+            self.events.append({"op": "hit", "key": key, "tier": "memory"})
             return True, self._memory[key]
         if self.directory is not None:
             path = self._path(key)
             try:
                 with open(path, "rb") as fh:
                     value = pickle.load(fh)
+            except FileNotFoundError:
+                pass  # absent -> ordinary miss (recomputed below)
             except (OSError, pickle.PickleError, EOFError,
-                    AttributeError, ImportError):
-                pass  # absent or unreadable -> miss (recomputed below)
+                    AttributeError, ImportError, ValueError):
+                # present but unreadable -> corrupt, then miss
+                self.corrupt += 1
+                self.events.append(
+                    {"op": "corrupt", "key": key, "tier": "disk"})
             else:
                 self._memory[key] = value
                 self.hits += 1
                 self.disk_hits += 1
+                self.events.append(
+                    {"op": "hit", "key": key, "tier": "disk"})
                 return True, value
         self.misses += 1
+        self.events.append({"op": "miss", "key": key, "tier": None})
         return False, None
 
     def put(self, key: str, value: Any) -> None:
         """Store ``value`` in both tiers (atomic disk write)."""
         self._memory[key] = value
         self.stores += 1
+        self.events.append({
+            "op": "store", "key": key,
+            "tier": "memory" if self.directory is None else "disk",
+        })
         if self.directory is not None:
             path = self._path(key)
             os.makedirs(os.path.dirname(path), exist_ok=True)
@@ -216,10 +246,18 @@ class ResultCache:
         """Drop the in-memory tier (disk entries survive)."""
         self._memory.clear()
 
-    def stats(self) -> Dict[str, int]:
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from either tier (0.0 when idle)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def stats(self) -> Dict[str, float]:
         return {
             "hits": self.hits,
             "misses": self.misses,
             "stores": self.stores,
             "disk_hits": self.disk_hits,
+            "corrupt": self.corrupt,
+            "hit_rate": self.hit_rate,
         }

@@ -33,9 +33,14 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+#: default straggler threshold: a chunk this many times slower than the
+#: median chunk of its sweep is flagged (see :meth:`SweepStats.stragglers`)
+STRAGGLER_FACTOR = 2.0
 
 #: environment variable supplying the default worker count
 ENV_JOBS = "REPRO_JOBS"
@@ -91,7 +96,17 @@ def shard_tasks(n: int, jobs: int,
 
 @dataclass
 class SweepStats:
-    """Observability of one :func:`sweep_map` call (filled in place)."""
+    """Observability of one :func:`sweep_map` call (filled in place).
+
+    ``worker_events`` is the sweep's **fleet telemetry**: one
+    heartbeat/progress record per gathered chunk —
+    ``{"chunk", "lo", "hi", "tasks", "done", "total", "wall_s", "pid"}``
+    — where ``done``/``total`` count chunks gathered so far (progress),
+    ``wall_s`` is the chunk's measured in-worker wall clock and ``pid``
+    the worker that ran it.  Task counts are deterministic; wall
+    seconds and pids are not (the run ledger records them inside its
+    non-deterministic envelope).
+    """
 
     tasks: int = 0          # total shards requested
     executed: int = 0       # shards actually evaluated (cache misses)
@@ -99,12 +114,65 @@ class SweepStats:
     jobs: int = 0           # resolved worker count
     chunks: int = 0         # work units submitted to the pool (0 = serial)
     obs_payloads: List[Any] = field(default_factory=list)
+    worker_events: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of shards served from the cache (0.0 when empty)."""
+        return self.cache_hits / self.tasks if self.tasks else 0.0
+
+    def stragglers(self, factor: float = STRAGGLER_FACTOR
+                   ) -> List[Dict[str, Any]]:
+        """Chunks at least ``factor`` x slower than the median chunk.
+
+        Straggler detection needs a population to compare against:
+        fewer than three timed chunks yields no flags.  The returned
+        records are the matching :attr:`worker_events` entries.
+        """
+        if factor <= 1.0:
+            raise ValueError(f"factor must be > 1, got {factor}")
+        walls = sorted(ev["wall_s"] for ev in self.worker_events)
+        if len(walls) < 3:
+            return []
+        median = walls[len(walls) // 2]
+        if median <= 0.0:
+            return []
+        return [ev for ev in self.worker_events
+                if ev["wall_s"] >= factor * median]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready summary (fleet details under ``"fleet"``)."""
+        return {
+            "tasks": self.tasks,
+            "executed": self.executed,
+            "cache_hits": self.cache_hits,
+            "cache_hit_rate": self.cache_hit_rate,
+            "fleet": {
+                "jobs": self.jobs,
+                "chunks": self.chunks,
+                "heartbeats": [dict(ev) for ev in self.worker_events],
+                "stragglers": [ev["chunk"] for ev in self.stragglers()],
+            },
+        }
 
 
-def _run_chunk(fn: Callable[[Any], Any],
-               chunk: List[Tuple[int, Any]]) -> List[Tuple[int, Any]]:
-    """Worker body: evaluate one contiguous chunk of (index, task)."""
-    return [(index, fn(task)) for index, task in chunk]
+def _run_chunk(fn: Callable[[Any], Any], chunk: List[Tuple[int, Any]]
+               ) -> Tuple[List[Tuple[int, Any]], Dict[str, Any]]:
+    """Worker body: evaluate one contiguous chunk of (index, task).
+
+    Returns the results plus the chunk's telemetry (task span, measured
+    wall seconds, worker pid) for :attr:`SweepStats.worker_events`.
+    """
+    t0 = time.perf_counter()
+    results = [(index, fn(task)) for index, task in chunk]
+    telemetry = {
+        "lo": chunk[0][0],
+        "hi": chunk[-1][0],
+        "tasks": len(chunk),
+        "wall_s": time.perf_counter() - t0,
+        "pid": os.getpid(),
+    }
+    return results, telemetry
 
 
 def sweep_map(fn: Callable[[Any], Any], tasks: Sequence[Any],
@@ -149,8 +217,17 @@ def sweep_map(fn: Callable[[Any], Any], tasks: Sequence[Any],
         stats.chunks = 0
 
     if jobs == 1 or len(pending) <= 1:
+        t0 = time.perf_counter()
         for index, task in pending:
             results[index] = fn(task)
+        if stats is not None and pending:
+            # One in-process heartbeat so serial sweeps report the same
+            # fleet-telemetry shape as fanned-out ones.
+            stats.worker_events.append({
+                "chunk": 0, "lo": pending[0][0], "hi": pending[-1][0],
+                "tasks": len(pending), "done": 1, "total": 1,
+                "wall_s": time.perf_counter() - t0, "pid": os.getpid(),
+            })
     else:
         spans = shard_tasks(len(pending), jobs, chunk_size)
         chunks = [pending[lo:hi] for lo, hi in spans]
@@ -165,9 +242,15 @@ def sweep_map(fn: Callable[[Any], Any], tasks: Sequence[Any],
                        for chunk in chunks]
             # Gather in submission order: completion order is
             # irrelevant because every result lands at its task index.
-            for future in futures:
-                for index, value in future.result():
+            for done, future in enumerate(futures, start=1):
+                chunk_results, telemetry = future.result()
+                for index, value in chunk_results:
                     results[index] = value
+                if stats is not None:
+                    stats.worker_events.append({
+                        "chunk": done - 1, "done": done,
+                        "total": len(futures), **telemetry,
+                    })
 
     if cache is not None:
         for index, _task in pending:

@@ -602,6 +602,28 @@ def write_report(results: List[WorkloadResult], path: str,
     return report
 
 
+def write_perf_ledger(ledger, results: List[WorkloadResult]) -> None:
+    """Emit suite results into a :class:`repro.obs.RunLedger`.
+
+    One ``workload`` record per suite entry.  Volume counts (events,
+    messages, evals, cells, shards) are pure functions of the workload
+    configuration and go in the deterministic section; measured wall
+    clocks, every ``*_per_s`` rate, speedup ratios and the worker count
+    are execution-shape facts and land in the ``wall`` envelope.
+    """
+    for r in results:
+        deterministic: Dict[str, float] = {}
+        wall: Dict[str, float] = {"wall_s": r.wall_s,
+                                  "wall_median_s": r.wall_median_s}
+        for key, value in r.metrics.items():
+            if "per_s" in key or "speedup" in key or key == "jobs":
+                wall[key] = value
+            else:
+                deterministic[key] = value
+        ledger.event("workload", name=r.name, repeats=r.repeats,
+                     wall=wall, **deterministic)
+
+
 def compare_reports(baseline: Dict[str, object], current: Dict[str, object],
                     tolerance: float = 0.25) -> List[str]:
     """Regression messages for workloads slower than ``baseline``.
@@ -678,6 +700,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "for --compare (default: %(default)s)")
     parser.add_argument("-o", "--output", default="BENCH_repro.json",
                         help="report path (default: %(default)s)")
+    parser.add_argument("--ledger", default=None, metavar="PATH",
+                        help="write a JSONL run ledger here (consumed by "
+                             "`python -m repro obs`)")
     args = parser.parse_args(argv)
     from repro.machine import resolve_machine
 
@@ -694,6 +719,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     report = write_report(results, args.output, smoke=args.smoke,
                           machine=machine)
     print(f"wrote {args.output}")
+    if args.ledger:
+        from repro.obs.ledger import RunLedger
+
+        ledger = RunLedger(args.ledger, "perf",
+                           {"smoke": args.smoke, "machine": machine,
+                            "repeats": args.repeats,
+                            "only": sorted(only) if only else None},
+                           machine=machine)
+        write_perf_ledger(ledger, results)
+        ledger.finish("ok")
     if baseline is not None:
         regressions = compare_reports(baseline, report,
                                       tolerance=args.tolerance)

@@ -57,6 +57,17 @@ class TestSweep:
         assert json.dumps(smoke_report, sort_keys=True) == \
             json.dumps(again, sort_keys=True)
 
+    def test_results_carry_phase_attribution(self, smoke_report):
+        # Every cell exposes per-phase costs (from the traced arm) so
+        # the run ledger and `repro obs diff` can attribute movement.
+        for sc in smoke_report["scenarios"]:
+            for res in sc["results"].values():
+                phases = res["phases"]
+                assert phases, res
+                for name, row in phases.items():
+                    assert row["count"] >= 1
+                    assert row["total_s"] >= 0.0
+
     def test_baseline_scenario_matches_untraced_golden_style(
             self, smoke_report):
         # Scenario 0 is fault-free: no retries/timeouts anywhere, and all

@@ -83,6 +83,13 @@ class TestChromeTrace:
         with pytest.raises(ValueError):
             to_chrome_trace({})
 
+    def test_empty_tracer_yields_valid_trace(self):
+        # Satellite guarantee: a tracer that recorded nothing still
+        # exports a well-formed, JSON-serializable Perfetto document.
+        trace = to_chrome_trace(MemoryTracer())
+        assert validate_chrome_trace(trace) >= 0
+        assert json.loads(json.dumps(trace)) == trace
+
 
 class TestNicUtilization:
     def test_full_busy_is_one(self):

@@ -1,0 +1,62 @@
+"""Sampling profiler: collapsed-stack output and lifecycle."""
+
+import re
+import time
+
+import pytest
+
+from repro.obs.profile import SamplingProfiler, profile_wall_estimate
+
+
+def _busy(seconds: float) -> None:
+    t0 = time.time()
+    while time.time() - t0 < seconds:
+        sum(i * i for i in range(2000))
+
+
+class TestSamplingProfiler:
+    def test_collects_samples_from_busy_loop(self):
+        with SamplingProfiler(interval=0.001) as prof:
+            _busy(0.15)
+        assert prof.total_samples > 0
+        # the busy function must appear somewhere in the folded stacks
+        assert any("_busy" in stack for stack in prof.samples)
+
+    def test_collapsed_line_format(self):
+        with SamplingProfiler(interval=0.001) as prof:
+            _busy(0.1)
+        line = prof.collapsed()[0]
+        # "mod:func;mod:func;... count" — flamegraph.pl input format
+        assert re.fullmatch(r"\S.*? \d+", line)
+        stack, count = line.rsplit(" ", 1)
+        assert int(count) >= 1
+        assert all(":" in frame for frame in stack.split(";"))
+
+    def test_write_collapsed(self, tmp_path):
+        with SamplingProfiler(interval=0.001) as prof:
+            _busy(0.1)
+        path = str(tmp_path / "stacks.txt")
+        n = prof.write_collapsed(path)
+        lines = open(path).read().splitlines()
+        assert len(lines) == n == len(prof.collapsed())
+
+    def test_double_start_rejected(self):
+        prof = SamplingProfiler(interval=0.01).start()
+        try:
+            with pytest.raises(RuntimeError, match="already started"):
+                prof.start()
+        finally:
+            prof.stop()
+
+    def test_stop_is_idempotent(self):
+        prof = SamplingProfiler(interval=0.01).start()
+        prof.stop()
+        prof.stop()  # no error
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(interval=0.0)
+
+    def test_wall_estimate(self):
+        assert profile_wall_estimate({"a;b": 10, "c": 5}, 0.01) == \
+            pytest.approx(0.15)

@@ -97,7 +97,11 @@ class TestResultCache:
         cache.put(key, {"v": 42})
         assert cache.lookup(key) == (True, {"v": 42})
         assert cache.stats() == {"hits": 1, "misses": 1, "stores": 1,
-                                 "disk_hits": 0}
+                                 "disk_hits": 0, "corrupt": 0,
+                                 "hit_rate": 0.5}
+        assert [ev["op"] for ev in cache.events] == \
+            ["miss", "store", "hit"]
+        assert all(ev["key"] == key for ev in cache.events)
 
     def test_disk_tier_survives_instances(self, tmp_path):
         key = cache_key("t", x=2)
@@ -129,9 +133,22 @@ class TestResultCache:
         fresh = ResultCache(directory=str(tmp_path))
         assert fresh.lookup(key) == (False, None)
         assert fresh.misses == 1
+        # ... but an *attributed* miss: the corrupt counter advances
+        # and a corrupt event names the key (the run ledger turns this
+        # into a cache_corrupt record, never silent miss-only numbers)
+        assert fresh.corrupt == 1
+        assert {"op": "corrupt", "key": key, "tier": "disk"} \
+            in fresh.events
         # recompute-and-put repairs the entry
         fresh.put(key, "good")
         assert pickle.loads(path.read_bytes()) == "good"
+        assert fresh.stats()["corrupt"] == 1
+
+    def test_absent_disk_entry_is_not_corrupt(self, tmp_path):
+        cache = ResultCache(directory=str(tmp_path))
+        assert cache.lookup(cache_key("t", x=40)) == (False, None)
+        assert cache.corrupt == 0
+        assert [ev["op"] for ev in cache.events] == ["miss"]
 
     def test_clear_memory_keeps_disk(self, tmp_path):
         key = cache_key("t", x=5)

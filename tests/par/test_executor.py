@@ -185,3 +185,73 @@ class TestStartMethod:
 
         assert default_start_method() in \
             multiprocessing.get_all_start_methods()
+
+
+class TestFleetTelemetry:
+    def _event(self, chunk, wall_s, pid=1000):
+        return {"chunk": chunk, "lo": chunk, "hi": chunk, "tasks": 1,
+                "done": chunk + 1, "total": 4, "wall_s": wall_s,
+                "pid": pid}
+
+    def test_serial_sweep_emits_one_heartbeat(self):
+        import os
+
+        stats = SweepStats()
+        sweep_map(_square, list(range(5)), jobs=1, stats=stats)
+        assert len(stats.worker_events) == 1
+        beat = stats.worker_events[0]
+        assert beat["chunk"] == 0
+        assert (beat["lo"], beat["hi"]) == (0, 4)
+        assert beat["tasks"] == 5
+        assert (beat["done"], beat["total"]) == (1, 1)
+        assert beat["wall_s"] >= 0.0
+        assert beat["pid"] == os.getpid()
+
+    def test_parallel_sweep_emits_per_chunk_heartbeats(self):
+        stats = SweepStats()
+        sweep_map(_square, list(range(16)), jobs=2, stats=stats)
+        assert len(stats.worker_events) == stats.chunks > 1
+        assert [ev["done"] for ev in stats.worker_events] == \
+            list(range(1, stats.chunks + 1))
+        assert all(ev["total"] == stats.chunks
+                   for ev in stats.worker_events)
+        covered = sorted(i for ev in stats.worker_events
+                         for i in range(ev["lo"], ev["hi"] + 1))
+        assert covered == list(range(16))
+        assert all(ev["wall_s"] >= 0.0 and ev["pid"] > 0
+                   for ev in stats.worker_events)
+
+    def test_stragglers_flags_slow_chunks(self):
+        stats = SweepStats()
+        stats.worker_events = [self._event(0, 0.1), self._event(1, 0.1),
+                               self._event(2, 0.1), self._event(3, 0.5)]
+        assert [ev["chunk"] for ev in stats.stragglers()] == [3]
+        # a 1.4x chunk is within the default 2x band
+        stats.worker_events[3] = self._event(3, 0.14)
+        assert stats.stragglers() == []
+        # ... but a tighter factor flags it
+        assert [ev["chunk"] for ev in stats.stragglers(factor=1.2)] == [3]
+
+    def test_stragglers_need_a_population(self):
+        stats = SweepStats()
+        stats.worker_events = [self._event(0, 0.1), self._event(1, 9.0)]
+        assert stats.stragglers() == []
+
+    def test_stragglers_factor_validation(self):
+        with pytest.raises(ValueError, match="factor"):
+            SweepStats().stragglers(factor=1.0)
+
+    def test_cache_hit_rate(self):
+        assert SweepStats().cache_hit_rate == 0.0
+        assert SweepStats(tasks=4, cache_hits=1).cache_hit_rate == 0.25
+
+    def test_to_dict_shape(self):
+        stats = SweepStats(tasks=4, executed=3, cache_hits=1, jobs=2,
+                           chunks=4)
+        stats.worker_events = [self._event(i, 0.1) for i in range(4)]
+        out = stats.to_dict()
+        assert out["tasks"] == 4 and out["cache_hit_rate"] == 0.25
+        fleet = out["fleet"]
+        assert fleet["jobs"] == 2 and fleet["chunks"] == 4
+        assert len(fleet["heartbeats"]) == 4
+        assert fleet["stragglers"] == []

@@ -96,11 +96,27 @@ class TestCli:
         assert out.strip() == f"repro {repro.__version__}"
 
     def test_unknown_command_prints_usage_to_stderr(self, capsys):
+        from repro.__main__ import COMMANDS
+
         assert main(["bogus"]) == 2
         captured = capsys.readouterr()
         assert not captured.out
         assert "unknown command 'bogus'" in captured.err
         assert "Usage" in captured.err
+        # the error line enumerates every real subcommand
+        assert "obs" in COMMANDS
+        for command in COMMANDS:
+            assert command in captured.err.splitlines()[0]
+
+    def test_obs_subcommand_round_trip(self, tmp_path, capsys):
+        ledger = tmp_path / "run.jsonl"
+        assert main(["scenario", "--points", "3",
+                     "--ledger", str(ledger)]) == 0
+        capsys.readouterr()
+        assert main(["obs", "validate", str(ledger)]) == 0
+        assert main(["obs", "report", str(ledger)]) == 0
+        out = capsys.readouterr().out
+        assert "per-strategy breakdown" in out
 
     def test_trace_smoke(self, tmp_path, capsys):
         out = tmp_path / "trace.json"
