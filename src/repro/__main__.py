@@ -20,10 +20,12 @@ Usage::
     python -m repro trace [SCENARIO] [--smoke] [-o trace.json]
                                           # traced run -> Perfetto JSON
     python -m repro chaos [--seed N] [--smoke] [--jobs N] [--cache]
-                          [--ledger L.jsonl] [--profile P.txt]
-                          [-o report.json]
+                          [--proc-faults [SPEC]] [--ledger L.jsonl]
+                          [--profile P.txt] [-o report.json]
                                           # randomized fault sweep with
-                                          # engine invariant checks
+                                          # engine invariant checks;
+                                          # --proc-faults injects seeded
+                                          # worker crashes/hangs/raises
     python -m repro obs report LEDGER     # summarize a run ledger /
                                           # BENCH_repro.json
     python -m repro obs diff A B          # regression attribution
@@ -40,6 +42,13 @@ selects any preset from ``repro.machine.PRESETS`` (dash or underscore
 spelling — ``frontier-like`` == ``frontier_like``; default lassen).
 ``--ledger PATH`` writes a schema-versioned JSONL run ledger (see
 docs/observability.md) consumed by ``python -m repro obs``.
+
+``report``, ``scenario``, ``perf`` and ``chaos`` also take
+``--max-retries N`` / ``--task-timeout SECONDS`` / ``--resume``: any of
+them opts the sweep into *supervised* execution — watchdog deadlines,
+pool respawn after worker loss, seeded retry with quarantine, and
+incremental checkpointing so a killed run can ``--resume`` and
+re-execute only missing shards (see docs/resilience.md).
 """
 
 from __future__ import annotations
@@ -112,6 +121,7 @@ def _scenario(args: list) -> int:
     from repro.machine import resolve_machine
     from repro.models.scenarios import PAPER_SCENARIOS, sweep_scenarios
     from repro.par.cache import ResultCache, default_cache_dir
+    from repro.par.cliopts import add_supervision_args, supervision_from_args
 
     parser = argparse.ArgumentParser(
         prog="python -m repro scenario",
@@ -133,11 +143,13 @@ def _scenario(args: list) -> int:
     parser.add_argument("--ledger", default=None, metavar="PATH",
                         help="write a JSONL run ledger here (consumed by "
                              "`python -m repro obs`)")
+    add_supervision_args(parser)
     ns = parser.parse_args(args)
     machine = resolve_machine(ns.machine)
     cache = None
-    if ns.cache or ns.cache_dir:
+    if ns.cache or ns.cache_dir or ns.resume:
         cache = ResultCache(directory=ns.cache_dir or default_cache_dir())
+    policy, journal_dir, resume = supervision_from_args(ns, cache)
     sizes = np.logspace(1, 5, ns.points)
     stats = None
     if ns.ledger:
@@ -145,7 +157,8 @@ def _scenario(args: list) -> int:
 
         stats = SweepStats()
     swept = sweep_scenarios(machine, PAPER_SCENARIOS, sizes, jobs=ns.jobs,
-                            cache=cache, stats=stats)
+                            cache=cache, stats=stats, policy=policy,
+                            journal_dir=journal_dir, resume=resume)
     if ns.ledger:
         from repro.obs.ledger import RunLedger
 

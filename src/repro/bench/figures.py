@@ -95,7 +95,8 @@ def fig4_3_data(machine: MachineSpec,
                 scenarios: Sequence[Scenario] = PAPER_SCENARIOS,
                 dup_fractions: Sequence[float] = (0.0, 0.25),
                 jobs: Optional[int] = None,
-                cache: Optional[ResultCache] = None
+                cache: Optional[ResultCache] = None,
+                policy=None, journal_dir=None, resume: bool = False
                 ) -> Dict[str, Tuple[np.ndarray, Dict[str, np.ndarray]]]:
     """Modelled strategy times per scenario panel (incl. dup variants).
 
@@ -103,6 +104,8 @@ def fig4_3_data(machine: MachineSpec,
     :func:`~repro.models.scenarios.sweep_scenarios`: bit-identical at
     any ``jobs`` value, and a warm ``cache`` skips every panel whose
     inputs are unchanged (zero model evaluations).
+    ``policy``/``journal_dir``/``resume`` opt into supervised execution
+    (see :func:`repro.par.sweep_map`).
     """
     from dataclasses import replace
 
@@ -112,7 +115,8 @@ def fig4_3_data(machine: MachineSpec,
     panel_scenarios = [replace(base, dup_fraction=dup)
                        for base in scenarios for dup in dup_fractions]
     swept = sweep_scenarios(machine, panel_scenarios, sizes, jobs=jobs,
-                            cache=cache)
+                            cache=cache, policy=policy,
+                            journal_dir=journal_dir, resume=resume)
     return {sc.label: (sizes, series)
             for sc, series in zip(panel_scenarios, swept)}
 
@@ -155,12 +159,16 @@ def fig4_2_data(machine: MachineSpec,
                 matrix_n: int = 24_000, ppn: int = 0,
                 noise_sigma: float = 0.0, seed: int = 0,
                 jobs: Optional[int] = None,
-                cache: Optional[ResultCache] = None) -> Dict[int, Dict]:
+                cache: Optional[ResultCache] = None,
+                policy=None, journal_dir=None,
+                resume: bool = False) -> Dict[int, Dict]:
     """Measured (DES) vs modelled times, audikw analog, per GPU count.
 
     Returns ``{gpus: {"measured": {label: t}, "model": {label: t},
     "meta": {...}}}``.  One shard per GPU count (the matrix is built
     once and shipped to workers); bit-identical at any ``jobs`` value.
+    ``policy``/``journal_dir``/``resume`` opt into supervised execution
+    (see :func:`repro.par.sweep_map`).
     """
     ppn = ppn or machine.max_ppn
     gpn = machine.gpus_per_node
@@ -180,7 +188,8 @@ def fig4_2_data(machine: MachineSpec,
                              noise_sigma=noise_sigma, seed=seed)
 
     columns = sweep_map(_fig4_2_shard, tasks, jobs=jobs, cache=cache,
-                        key_fn=key_fn)
+                        key_fn=key_fn, policy=policy,
+                        journal_dir=journal_dir, resume=resume)
     return {gpus: column for gpus, column in zip(gpu_counts, columns)}
 
 
@@ -193,7 +202,8 @@ def fig5_1_data(machine: MachineSpec,
                 matrix_n: int = 0, ppn: int = 0,
                 noise_sigma: float = 0.0, seed: int = 0,
                 jobs: Optional[int] = None,
-                cache: Optional[ResultCache] = None
+                cache: Optional[ResultCache] = None,
+                policy=None, journal_dir=None, resume: bool = False
                 ) -> Dict[str, Dict]:
     """Measured strategy times per suite matrix and GPU count.
 
@@ -203,11 +213,14 @@ def fig5_1_data(machine: MachineSpec,
     :func:`repro.sparse.suite.suite_sweep`: one shard per matrix,
     fanned out over ``jobs`` workers with bit-identical ordered
     results, and content-hash cached when ``cache`` is given.
+    ``policy``/``journal_dir``/``resume`` opt into supervised execution
+    (see :func:`repro.par.sweep_map`).
     """
     return suite_sweep(machine, matrices=matrices, gpu_counts=gpu_counts,
                        matrix_n=matrix_n, ppn=ppn,
                        noise_sigma=noise_sigma, seed=seed, jobs=jobs,
-                       cache=cache)
+                       cache=cache, policy=policy, journal_dir=journal_dir,
+                       resume=resume)
 
 
 # ---------------------------------------------------------------------------

@@ -39,7 +39,8 @@ def _code(text: str) -> List[str]:
 
 
 def generate(matrix_n: int = 16_000, gpu_counts=(8, 16, 32),
-             jobs=None, cache=None, machine="lassen") -> str:
+             jobs=None, cache=None, machine="lassen", policy=None,
+             journal_dir=None, resume: bool = False) -> str:
     """Regenerate the full record.
 
     ``jobs`` fans the sweep-shaped sections (Figures 4.2, 4.3, 5.1) out
@@ -49,6 +50,12 @@ def generate(matrix_n: int = 16_000, gpu_counts=(8, 16, 32),
     name from :data:`repro.machine.PRESETS` (Lassen reproduces the
     paper; the others model its Section-6 what-if architectures).
     Output is bit-identical at any ``jobs``/cache setting.
+
+    ``policy``/``journal_dir``/``resume`` run each sweep section under
+    supervised execution (watchdog + retry + checkpoint–resume; see
+    :func:`repro.par.sweep_map`).  Each section journals under its own
+    sweep id, so a killed regeneration resumed with ``resume=True``
+    re-executes only the shards that had not yet checkpointed.
     """
     machine = resolve_machine(machine)
     out: List[str] = []
@@ -90,7 +97,8 @@ def generate(matrix_n: int = 16_000, gpu_counts=(8, 16, 32),
     # --- Figure 4.2 --------------------------------------------------------
     out.append("### Figure 4.2 — model validation (audikw analog)\n")
     data = fig4_2_data(machine, gpu_counts=gpu_counts, matrix_n=matrix_n,
-                       jobs=jobs, cache=cache)
+                       jobs=jobs, cache=cache, policy=policy,
+                       journal_dir=journal_dir, resume=resume)
     labels = sorted(next(iter(data.values()))["measured"])
     measured = {l: [data[g]["measured"][l] for g in gpu_counts]
                 for l in labels}
@@ -111,7 +119,8 @@ def generate(matrix_n: int = 16_000, gpu_counts=(8, 16, 32),
     # --- Figure 4.3 --------------------------------------------------------
     out.append("### Figure 4.3 — modelled scenarios\n")
     panels = fig4_3_data(machine, sizes=np.logspace(1, 5.5, 10),
-                         jobs=jobs, cache=cache)
+                         jobs=jobs, cache=cache, policy=policy,
+                         journal_dir=journal_dir, resume=resume)
     for label, (xs, series) in panels.items():
         out.extend(_code(render_series(f"panel: {label}", "bytes", xs,
                                        series, mark_min=True)))
@@ -119,7 +128,9 @@ def generate(matrix_n: int = 16_000, gpu_counts=(8, 16, 32),
     # --- Figure 5.1 --------------------------------------------------------
     out.append("### Figure 5.1 — SpMV communication across the suite\n")
     suite_data = fig5_1_data(machine, gpu_counts=gpu_counts,
-                             matrix_n=matrix_n, jobs=jobs, cache=cache)
+                             matrix_n=matrix_n, jobs=jobs, cache=cache,
+                             policy=policy, journal_dir=journal_dir,
+                             resume=resume)
     winners = {}
     for name, d in suite_data.items():
         meta = ", ".join(
@@ -172,13 +183,18 @@ def main(argv=None) -> int:
     parser.add_argument("--ledger", default=None, metavar="PATH",
                         help="write a JSONL run ledger here (consumed by "
                              "`python -m repro obs`)")
+    from repro.par.cliopts import add_supervision_args, supervision_from_args
+
+    add_supervision_args(parser)
     args = parser.parse_args(sys.argv[1:] if argv is None else argv)
     cache = None
-    if args.cache or args.cache_dir:
+    if args.cache or args.cache_dir or args.resume:
         from repro.par.cache import ResultCache, default_cache_dir
 
         cache = ResultCache(directory=args.cache_dir or default_cache_dir())
-    text = generate(jobs=args.jobs, cache=cache, machine=args.machine)
+    policy, journal_dir, resume = supervision_from_args(args, cache)
+    text = generate(jobs=args.jobs, cache=cache, machine=args.machine,
+                    policy=policy, journal_dir=journal_dir, resume=resume)
     if args.ledger:
         import hashlib
 

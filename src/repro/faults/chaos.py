@@ -31,6 +31,18 @@ in serial order, so parallel reports are byte-identical to serial ones.
 ``--cache`` / ``--cache-dir`` enable the content-addressed result cache
 (:class:`repro.par.ResultCache`): a re-run with unchanged inputs skips
 completed shards entirely.
+
+**Process-level chaos** (``--proc-faults [SPEC]``) turns the sweep into
+its own test subject: a seeded :class:`repro.faults.ProcFaultPlan`
+makes worker processes crash (``os._exit``), hang past their deadline,
+or raise on schedule, and the supervised executor (see
+:mod:`repro.par.executor`) must recover — respawning pools, retrying
+under ``--max-retries``/``--task-timeout``, and quarantining at most
+the poisoned cells (reported with ``"outcome": "quarantined"``).
+Because shards are pure, every *surviving* cell is byte-identical to a
+fault-free serial run; with only transient faults the whole report is.
+``--resume`` (implies ``--cache``) re-executes only the shards a killed
+run didn't checkpoint.
 """
 
 from __future__ import annotations
@@ -43,9 +55,16 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.faults.errors import DeliveryError
+from repro.faults.procfault import ProcFaultPlan
 from repro.obs.metrics import MetricsRegistry
 from repro.par.cache import ResultCache, cache_key, default_cache_dir
-from repro.par.executor import SweepStats, sweep_map
+from repro.par.executor import (
+    DEFAULT_SWEEP_RETRY,
+    SweepPolicy,
+    SweepStats,
+    resolve_jobs,
+    sweep_map,
+)
 from repro.faults.plan import (
     NO_FAULTS,
     DeviceOutage,
@@ -310,7 +329,12 @@ def run_chaos(seed: int = 0, smoke: bool = False,
               jobs: Optional[int] = None,
               cache: Optional[ResultCache] = None,
               machine: str = "lassen",
-              stats: Optional[SweepStats] = None) -> Dict[str, Any]:
+              stats: Optional[SweepStats] = None,
+              policy: Optional[SweepPolicy] = None,
+              journal_dir: Optional[str] = None,
+              resume: bool = False,
+              proc_faults: Optional[ProcFaultPlan] = None
+              ) -> Dict[str, Any]:
     """Run the sweep; returns the (JSON-serializable) report.
 
     ``jobs`` fans shards out over a process pool (default:
@@ -320,6 +344,17 @@ def run_chaos(seed: int = 0, smoke: bool = False,
     ``stats`` (a :class:`repro.par.SweepStats`) collects the sweep's
     fleet telemetry in place for the run ledger.  The report is
     byte-identical across worker counts and cache states.
+
+    ``policy`` / ``journal_dir`` / ``resume`` / ``proc_faults`` opt the
+    sweep into supervised execution (see
+    :func:`repro.par.sweep_map`).  The default supervised policy is
+    non-strict: a poison cell is *quarantined* — reported with
+    ``"outcome": "quarantined"`` and counted in
+    ``summary["quarantined"]`` — rather than aborting the sweep, and
+    every surviving cell stays byte-identical to a fault-free serial
+    run.  The injected plan itself is deliberately **not** embedded in
+    the report: with only transient faults the recovered report is
+    byte-identical to the fault-free one, which is the whole point.
     """
     from repro.core.selector import all_strategies
     from repro.machine.presets import resolve_machine
@@ -340,19 +375,47 @@ def run_chaos(seed: int = 0, smoke: bool = False,
             return _shard_key(task, spec, plans[task[2]],
                               pattern_fps[task[2]])
 
-    shards = sweep_map(run_chaos_shard, tasks, jobs=jobs,
-                       cache=cache, key_fn=key_fn, stats=stats)
+    supervised = (policy is not None or journal_dir is not None
+                  or resume or proc_faults is not None)
+    if supervised:
+        if stats is None:
+            stats = SweepStats()
+        if policy is None:
+            policy = SweepPolicy(strict=False)
+        shards = sweep_map(run_chaos_shard, tasks, jobs=jobs,
+                           cache=cache, key_fn=key_fn, stats=stats,
+                           policy=policy, journal_dir=journal_dir,
+                           resume=resume, proc_faults=proc_faults)
+    else:
+        shards = sweep_map(run_chaos_shard, tasks, jobs=jobs,
+                           cache=cache, key_fn=key_fn, stats=stats)
+    quarantined_by_index = {
+        q["index"]: q
+        for q in (stats.quarantined if stats is not None else ())}
 
     violations: List[str] = []
     merged = MetricsRegistry()
     scenarios = []
-    runs = ok_runs = delivery_errors = 0
-    shard_iter = iter(shards)
+    runs = ok_runs = delivery_errors = quarantined = 0
+    task_index = 0
     for index in range(n_scenarios):
         results: Dict[str, Any] = {}
         for label in labels:
-            shard = next(shard_iter)
+            shard = shards[task_index]
             runs += 1
+            if shard is None:
+                # the supervised executor gave up on this cell: report
+                # it explicitly (stable fields only — no run counts or
+                # wall facts — so the report stays deterministic)
+                q = quarantined_by_index.get(task_index, {})
+                quarantined += 1
+                results[label] = {
+                    "outcome": "quarantined",
+                    "reason": q.get("reason", "unknown"),
+                    "error": q.get("error", ""),
+                }
+                task_index += 1
+                continue
             violations.extend(shard["violations"])
             merged.merge(shard["metrics"])
             outcome = shard["outcome"]
@@ -361,6 +424,7 @@ def run_chaos(seed: int = 0, smoke: bool = False,
             elif outcome["outcome"] == "delivery-error":
                 delivery_errors += 1
             results[label] = dict(outcome, phases=shard["phases"])
+            task_index += 1
         scenarios.append({
             "index": index,
             "plan": plans[index].describe(),
@@ -379,6 +443,7 @@ def run_chaos(seed: int = 0, smoke: bool = False,
             "runs": runs,
             "ok": ok_runs,
             "delivery_errors": delivery_errors,
+            "quarantined": quarantined,
             "violations": len(violations),
         },
     }
@@ -439,6 +504,32 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--cache-dir", default=None, metavar="DIR",
                         help="cache shard results under DIR (implies "
                              "--cache)")
+    parser.add_argument("--proc-faults", nargs="?", metavar="SPEC",
+                        default=None, const="crash=1,hang=1,poison=1",
+                        help="inject process-level faults into the sweep "
+                             "workers: comma-separated kind[=count] over "
+                             "crash/hang/raise (transient) and poison "
+                             "(persistent raise); bare flag means "
+                             "'crash=1,hang=1,poison=1'.  Requires "
+                             "--jobs >= 2.  Sampled from --seed.")
+    parser.add_argument("--max-retries", type=int, default=None,
+                        metavar="N",
+                        help="supervised execution: retries before a "
+                             "failing shard is quarantined (default "
+                             f"{DEFAULT_SWEEP_RETRY.max_retries}); "
+                             "giving this flag opts into supervision")
+    parser.add_argument("--task-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="supervised execution: per-shard wall-clock "
+                             "budget enforced by the watchdog (default: "
+                             "no deadline; 5.0 when --proc-faults "
+                             "injects hangs); giving this flag opts "
+                             "into supervision")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume a killed sweep: restore completed "
+                             "shards from the result cache + sweep "
+                             "journal and re-execute only the rest "
+                             "(implies --cache)")
     parser.add_argument("-o", "--output", default=None,
                         help="write the JSON report here (default stdout)")
     parser.add_argument("--ledger", default=None, metavar="PATH",
@@ -450,8 +541,48 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                              "format) here")
     args = parser.parse_args(argv)
     cache = None
-    if args.cache or args.cache_dir:
+    if args.cache or args.cache_dir or args.resume:
         cache = ResultCache(directory=args.cache_dir or default_cache_dir())
+
+    supervised = (args.proc_faults is not None or args.resume
+                  or args.max_retries is not None
+                  or args.task_timeout is not None)
+    policy = None
+    journal_dir = None
+    plan = None
+    if supervised:
+        from repro.core.selector import all_strategies
+        from repro.faults.procfault import parse_proc_fault_spec
+
+        task_timeout = args.task_timeout
+        if args.proc_faults is not None:
+            try:
+                counts = parse_proc_fault_spec(args.proc_faults)
+            except ValueError as exc:
+                parser.error(str(exc))
+            if resolve_jobs(args.jobs) < 2:
+                parser.error("--proc-faults needs --jobs >= 2: injected "
+                             "crashes/hangs must hit *worker* processes, "
+                             "not the supervising one")
+            n_tasks = ((3 if args.smoke else 6)
+                       * len(all_strategies()))
+            if counts["hangs"] and task_timeout is None:
+                task_timeout = 5.0  # a hang needs a deadline to trip
+            try:
+                plan = ProcFaultPlan.sample(args.seed, n_tasks, **counts)
+            except ValueError as exc:
+                parser.error(str(exc))
+        retry = DEFAULT_SWEEP_RETRY
+        if args.max_retries is not None:
+            retry = RetryPolicy(timeout=retry.timeout,
+                                backoff=retry.backoff,
+                                backoff_cap=retry.backoff_cap,
+                                max_retries=args.max_retries)
+        policy = SweepPolicy(task_timeout=task_timeout, retry=retry,
+                             seed=args.seed, strict=False)
+        if cache is not None:
+            journal_dir = cache.directory
+
     stats = SweepStats()
     profiler = None
     if args.profile:
@@ -460,7 +591,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         profiler = SamplingProfiler().start()
     try:
         report = run_chaos(seed=args.seed, smoke=args.smoke, jobs=args.jobs,
-                           cache=cache, machine=args.machine, stats=stats)
+                           cache=cache, machine=args.machine, stats=stats,
+                           policy=policy, journal_dir=journal_dir,
+                           resume=args.resume, proc_faults=plan)
     finally:
         if profiler is not None:
             profiler.stop()
@@ -471,9 +604,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.ledger:
         from repro.obs.ledger import RunLedger
 
-        ledger = RunLedger(args.ledger, "chaos",
-                           {"seed": args.seed, "smoke": args.smoke,
-                            "machine": report["machine"]},
+        ledger_args = {"seed": args.seed, "smoke": args.smoke,
+                       "machine": report["machine"]}
+        if args.proc_faults is not None:
+            # the injected plan is a semantic input: a faulted run is a
+            # different experiment than an unfaulted one
+            ledger_args["proc_faults"] = args.proc_faults
+        ledger = RunLedger(args.ledger, "chaos", ledger_args,
                            machine=report["machine"])
         write_chaos_ledger(ledger, report, stats=stats, cache=cache)
         if profiler is not None:
@@ -491,8 +628,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     summary = report["summary"]
     print(f"chaos: {summary['runs']} runs, {summary['ok']} ok, "
           f"{summary['delivery_errors']} delivery errors, "
+          f"{summary['quarantined']} quarantined, "
           f"{summary['violations']} invariant violations",
           file=sys.stderr)
+    if supervised:
+        print(f"chaos: supervised sweep — {stats.retried} retries, "
+              f"{stats.respawns} pool respawns, {stats.resumed} shards "
+              f"resumed, {len(stats.quarantined)} quarantined"
+              + (f"; injected {plan.describe()['faults']}"
+                 if plan is not None and plan.active else ""),
+              file=sys.stderr)
     for v in report["violations"]:
         print(f"  VIOLATION: {v}", file=sys.stderr)
     return 0 if report["ok"] else 1

@@ -229,6 +229,9 @@ def sweep_scenarios(machine: MachineSpec, scenarios: Sequence[Scenario],
                     jobs: Optional[int] = None,
                     cache: Optional[ResultCache] = None,
                     stats=None,
+                    policy=None,
+                    journal_dir=None,
+                    resume: bool = False,
                     ) -> List[Dict[str, np.ndarray]]:
     """:func:`sweep_scenario` over many scenarios, optionally fanned out.
 
@@ -249,9 +252,16 @@ def sweep_scenarios(machine: MachineSpec, scenarios: Sequence[Scenario],
     telemetry; the fused serial path fills in the same deterministic
     shard totals :func:`repro.par.sweep_map` would, so run ledgers stay
     byte-identical across worker counts.
+
+    ``policy`` / ``journal_dir`` / ``resume`` opt into supervised
+    execution (watchdog, retry/quarantine, checkpoint–resume — see
+    :func:`repro.par.sweep_map`); any of them disables the fused fast
+    path so supervision semantics actually apply per shard.
     """
     sizes = np.asarray(sizes, dtype=np.float64)
-    if resolve_jobs(jobs) == 1 and cache is None and len(scenarios) > 0:
+    supervised = policy is not None or journal_dir is not None or resume
+    if (resolve_jobs(jobs) == 1 and cache is None and not supervised
+            and len(scenarios) > 0):
         models = all_strategy_models(machine)
         if stats is not None:
             stats.tasks = stats.executed = len(scenarios)
@@ -265,7 +275,8 @@ def sweep_scenarios(machine: MachineSpec, scenarios: Sequence[Scenario],
     return sweep_map(
         _sweep_scenario_shard, tasks, jobs=jobs, cache=cache,
         key_fn=(lambda t: scenario_sweep_key(t[0], t[1], t[2]))
-        if cache is not None else None, stats=stats)
+        if cache is not None else None, stats=stats,
+        policy=policy, journal_dir=journal_dir, resume=resume)
 
 
 def best_strategy_sweep(machine: MachineSpec, scenario: Scenario,

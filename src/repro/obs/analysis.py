@@ -5,8 +5,10 @@ Subcommands
 ``obs report <ledger|BENCH.json>``
     One-page summary of a run: header (run id, command, machine, git),
     per-strategy/per-phase cost breakdown, latency histograms with
-    p50/p95/p99, cache hit rate and fleet telemetry (workers, chunk
-    heartbeats, stragglers).
+    p50/p95/p99, cache hit rate, fleet telemetry (workers, chunk
+    heartbeats, stragglers) and — for supervised sweeps — a recovery
+    section (retries, pool respawns, resumed shards, quarantined
+    tasks).
 ``obs diff <A> <B>``
     **Regression attribution** between two artifacts.  For two perf
     reports it generalizes :func:`repro.perf.suite.compare_reports`
@@ -143,9 +145,15 @@ class LedgerSummary:
         self.metrics: Dict[str, Dict[str, Any]] = {}
         self.cache: Optional[Dict[str, Any]] = None
         self.cache_corrupt: List[Dict[str, Any]] = []
+        self.cache_repair: List[Dict[str, Any]] = []
         self.sweeps: List[Dict[str, Any]] = []
         self.fleet: List[Dict[str, Any]] = []
         self.heartbeats: List[Dict[str, Any]] = []
+        self.worker_lost: List[Dict[str, Any]] = []
+        self.chunk_retries: List[Dict[str, Any]] = []
+        self.quarantined: List[Dict[str, Any]] = []
+        self.resumes: List[Dict[str, Any]] = []
+        self.recovery: Optional[Dict[str, Any]] = None
         self.span_summaries: List[Dict[str, Any]] = []
         self.profile_stacks: List[Dict[str, Any]] = []
         for record in run[1:]:
@@ -162,12 +170,24 @@ class LedgerSummary:
                 self.cache = dict(record)
             elif kind == "cache_corrupt":
                 self.cache_corrupt.append(dict(record))
+            elif kind == "cache_repair":
+                self.cache_repair.append(dict(record))
             elif kind == "sweep":
                 self.sweeps.append(dict(record))
             elif kind == "fleet":
                 self.fleet.append(dict(record))
             elif kind == "heartbeat":
                 self.heartbeats.append(dict(record))
+            elif kind == "worker_lost":
+                self.worker_lost.append(dict(record))
+            elif kind == "chunk_retry":
+                self.chunk_retries.append(dict(record))
+            elif kind == "task_quarantined":
+                self.quarantined.append(dict(record))
+            elif kind == "sweep_resume":
+                self.resumes.append(dict(record))
+            elif kind == "recovery":
+                self.recovery = dict(record)
             elif kind == "span_summary":
                 self.span_summaries.append(dict(record))
             elif kind == "profile_stack":
@@ -328,17 +348,22 @@ def render_report(kind: str, data: Any, top: int = DEFAULT_TOP) -> str:
         c = summary.cache
         lines.append(f"  hits {c['hits']}, misses {c['misses']}, "
                      f"stores {c['stores']}, corrupt {c['corrupt']}, "
+                     f"repaired {c.get('repaired', 0)}, "
                      f"hit rate {c['hit_rate']:.1%}")
         for ev in summary.cache_corrupt:
             lines.append(f"  CORRUPT entry: {ev['key']}")
+        for ev in summary.cache_repair:
+            lines.append(f"  repaired (deleted) entry: {ev['key']}")
 
     if summary.sweeps or summary.heartbeats:
         lines.append("")
         lines.append("=== sweep fleet ===")
         for sweep in summary.sweeps:
+            env = sweep.get(ENVELOPE_KEY) or {}
+            executed = sweep.get("executed", env.get("executed"))
+            cache_hits = sweep.get("cache_hits", env.get("cache_hits"))
             lines.append(f"  tasks {sweep['tasks']}, executed "
-                         f"{sweep['executed']}, cache hits "
-                         f"{sweep['cache_hits']}")
+                         f"{executed}, cache hits {cache_hits}")
         for fleet in summary.fleet:
             stragglers = fleet.get("stragglers", [])
             lines.append(f"  jobs {fleet.get('jobs')}, chunks "
@@ -354,6 +379,32 @@ def render_report(kind: str, data: Any, top: int = DEFAULT_TOP) -> str:
                          f"min {walls[0]:.3f} s / median "
                          f"{walls[len(walls) // 2]:.3f} s / max "
                          f"{walls[-1]:.3f} s")
+
+    if (summary.recovery or summary.worker_lost or summary.chunk_retries
+            or summary.quarantined or summary.resumes):
+        lines.append("")
+        lines.append("=== recovery ===")
+        rec = summary.recovery or {}
+        lines.append(f"  retried {rec.get('retried', 0)}, pool respawns "
+                     f"{rec.get('respawns', 0)}, resumed shards "
+                     f"{rec.get('resumed', 0)}, quarantined "
+                     f"{rec.get('quarantined', len(summary.quarantined))}")
+        for ev in summary.resumes:
+            lines.append(f"  resumed: {ev.get('done')}/{ev.get('tasks')} "
+                         f"shards restored from a previous run")
+        for ev in summary.worker_lost:
+            span = (f"tasks {ev.get('lo')}-{ev.get('hi')}"
+                    if ev.get("lo") is not None else "?")
+            lines.append(f"  worker lost ({ev.get('reason')}): {span}")
+        for ev in summary.chunk_retries:
+            lines.append(f"  {ev.get('action', 'retry')} "
+                         f"({ev.get('reason')}): tasks "
+                         f"{ev.get('lo')}-{ev.get('hi')}"
+                         + (f", attempt {ev['attempt']}"
+                            if ev.get("attempt") is not None else ""))
+        for ev in summary.quarantined:
+            lines.append(f"  QUARANTINED task {ev.get('index')} "
+                         f"({ev.get('reason')}): {ev.get('error')}")
     return "\n".join(lines)
 
 

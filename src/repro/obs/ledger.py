@@ -17,8 +17,14 @@ runs with the same seed/args produce byte-identical ledgers at any
   pids, host facts, measured wall seconds — which is excluded from the
   deterministic view;
 * records flagged ``"volatile": true`` (worker heartbeats, sampling
-  profiler stacks, execution-shape facts like the worker count) are
-  excluded entirely.
+  profiler stacks, cache behaviour, recovery actions like
+  ``worker_lost``/``chunk_retry``/``sweep_resume``, and other
+  execution-shape facts like the worker count) are excluded entirely.
+
+The one recovery record that **is** deterministic is
+``task_quarantined``: for a given process-fault plan the quarantine set
+is a pure function of the plan (independent of worker count, chunk
+geometry or resume), so it belongs to the result, not the execution.
 
 :func:`deterministic_view` applies both rules; :func:`ledger_fingerprint`
 hashes the result, which is what the byte-identity tests compare.
@@ -74,10 +80,15 @@ _REQUIRED_FIELDS = {
     "cell": ("scenario", "strategy"),
     "workload": ("name",),
     "metrics": ("snapshot",),
-    "sweep": ("tasks", "executed", "cache_hits"),
+    "sweep": ("tasks",),
     "cache": ("hits", "misses", "stores", "corrupt"),
     "cache_corrupt": ("key",),
+    "cache_repair": ("key",),
     "heartbeat": ("chunk",),
+    "worker_lost": ("reason",),
+    "chunk_retry": ("reason",),
+    "task_quarantined": ("index", "reason"),
+    "sweep_resume": ("done", "tasks"),
     "span_summary": ("name", "count", "total_s"),
     "profile_stack": ("stack", "count"),
 }
@@ -213,27 +224,38 @@ class RunLedger:
     def cache_events(self, cache: Any) -> None:
         """Record a :class:`~repro.par.cache.ResultCache`'s activity.
 
-        One ``cache`` summary record (hit/miss/store/corrupt counts and
-        the derived hit rate) plus one ``cache_corrupt`` record per
-        corrupt on-disk entry — a corrupt read is never just a silent
-        miss in the ledger.
+        One ``cache`` summary record (hit/miss/store/corrupt/repair
+        counts and the derived hit rate) plus one ``cache_corrupt`` /
+        ``cache_repair`` record per corrupt on-disk entry — a corrupt
+        read is never just a silent miss in the ledger.  All of these
+        are **volatile**: cache behaviour is a fact about the execution
+        (warm vs cold, interrupted vs not), never about the result, so
+        it must not move the deterministic fingerprint.
         """
         stats = cache.stats()
-        self.event("cache", **stats)
+        self.event("cache", volatile=True, **stats)
         for ev in getattr(cache, "events", ()):
             if ev.get("op") == "corrupt":
-                self.event("cache_corrupt", key=ev["key"])
+                self.event("cache_corrupt", volatile=True, key=ev["key"])
+            elif ev.get("op") == "repair":
+                self.event("cache_repair", volatile=True, key=ev["key"])
 
     def sweep(self, stats: Any, name: str = "sweep") -> None:
         """Record a :class:`~repro.par.SweepStats`: totals + fleet.
 
-        Shard totals (tasks, executed, cache hits) are deterministic;
+        The shard total is deterministic.  Executed/cache-hit counts,
         the worker count, chunking and per-chunk heartbeats depend on
-        the execution shape and are recorded as volatile records with
-        their measured wall seconds in the envelope.
+        the execution shape (worker count, cache warmth, whether the
+        run was resumed) and live in volatile records or the wall
+        envelope.  Recovery telemetry follows the same split: a
+        ``task_quarantined`` record is a *result* — the shard is
+        missing, deterministically, for a given fault plan — while
+        ``worker_lost`` / ``chunk_retry`` / ``sweep_resume`` describe
+        how this particular execution got there and are volatile.
         """
-        self.event(name, tasks=stats.tasks, executed=stats.executed,
-                   cache_hits=stats.cache_hits)
+        self.event(name, tasks=stats.tasks,
+                   wall={"executed": stats.executed,
+                         "cache_hits": stats.cache_hits})
         self.event("fleet", volatile=True, jobs=stats.jobs,
                    chunks=stats.chunks,
                    stragglers=[ev["chunk"] for ev in stats.stragglers()])
@@ -244,6 +266,21 @@ class RunLedger:
                        wall={"wall_s": ev.get("wall_s"),
                              "pid": ev.get("pid")},
                        **fields)
+        recovery = getattr(stats, "recovery_events", None) or ()
+        for ev in recovery:
+            fields = {k: v for k, v in ev.items() if k != "kind"}
+            if ev.get("kind") == "task_quarantined":
+                self.event("task_quarantined", **fields)
+            else:
+                self.event(ev["kind"], volatile=True, **fields)
+        counters = {
+            "retried": getattr(stats, "retried", 0),
+            "respawns": getattr(stats, "respawns", 0),
+            "resumed": getattr(stats, "resumed", 0),
+            "quarantined": len(getattr(stats, "quarantined", ()) or ()),
+        }
+        if any(counters.values()):
+            self.event("recovery", volatile=True, **counters)
 
     def span_summaries(self, tracer: Any, top: int = 0) -> None:
         """Record per-(track-kind, name) span aggregates of a tracer.
@@ -399,9 +436,10 @@ def deterministic_view(records: Iterable[Mapping[str, Any]]
 def ledger_fingerprint(records_or_path: Any) -> str:
     """SHA-256 over the canonical deterministic view of a ledger.
 
-    Two runs of the same experiment — at any ``--jobs`` level, with or
-    without a result cache in the same state — have equal fingerprints.
-    Accepts a path or an already-parsed record list.
+    Two runs of the same experiment — at any ``--jobs`` level, with a
+    result cache in *any* state, interrupted-and-resumed or not — have
+    equal fingerprints.  Accepts a path or an already-parsed record
+    list.
     """
     import hashlib
 

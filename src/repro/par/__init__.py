@@ -6,6 +6,11 @@ ordered gather (results bit-identical to serial order at any worker
 count); :class:`~repro.par.cache.ResultCache` skips shards whose inputs
 hash to an already-computed result.  See ``docs/api.md`` ("Parallel
 sweeps & result cache").
+
+Supervised execution (watchdog, retry/quarantine, checkpoint–resume)
+is opt-in via :class:`~repro.par.executor.SweepPolicy` and the
+``journal_dir``/``resume`` arguments; see ``docs/resilience.md``
+("Fault-tolerant sweeps").
 """
 
 from repro.par.cache import (
@@ -18,28 +23,44 @@ from repro.par.cache import (
     stable_fingerprint,
 )
 from repro.par.executor import (
+    DEFAULT_SWEEP_RETRY,
     ENV_JOBS,
     ENV_START_METHOD,
     STRAGGLER_FACTOR,
+    SweepPolicy,
+    SweepQuarantineError,
     SweepStats,
     default_start_method,
     resolve_jobs,
     shard_tasks,
     sweep_map,
 )
+from repro.par.journal import (
+    JOURNAL_SCHEMA,
+    SweepJournal,
+    journal_path,
+    read_journal,
+)
 
 __all__ = [
     "CACHE_SCHEMA",
+    "DEFAULT_SWEEP_RETRY",
+    "JOURNAL_SCHEMA",
     "STRAGGLER_FACTOR",
     "DEFAULT_CACHE_DIR",
     "ENV_CACHE_DIR",
     "ENV_JOBS",
     "ENV_START_METHOD",
     "ResultCache",
+    "SweepJournal",
+    "SweepPolicy",
+    "SweepQuarantineError",
     "SweepStats",
     "cache_key",
     "default_cache_dir",
     "default_start_method",
+    "journal_path",
+    "read_journal",
     "resolve_jobs",
     "shard_tasks",
     "stable_fingerprint",

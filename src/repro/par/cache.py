@@ -158,12 +158,15 @@ class ResultCache:
     Counters (``hits``, ``misses``, ``stores``, ``disk_hits``,
     ``corrupt``) make cache behaviour assertable in tests: a warm
     re-run of a sweep must show ``misses == 0``.  Every lookup/store
-    also appends an **event** ``{"op": "hit"|"miss"|"store"|"corrupt",
-    "key": <stable fingerprint>, "tier": "memory"|"disk"|None}`` to
-    :attr:`events`, so the run ledger can attribute cache behaviour to
-    specific shard fingerprints — in particular, a corrupt on-disk
-    entry (present but unreadable) is distinguished from an ordinary
-    miss instead of being silently folded into miss-only accounting.
+    also appends an **event** ``{"op":
+    "hit"|"miss"|"store"|"corrupt"|"repair", "key": <stable
+    fingerprint>, "tier": "memory"|"disk"|None}`` to :attr:`events`, so
+    the run ledger can attribute cache behaviour to specific shard
+    fingerprints — in particular, a corrupt on-disk entry (present but
+    unreadable) is distinguished from an ordinary miss instead of being
+    silently folded into miss-only accounting, and is **deleted on
+    detection** (a ``repair`` event + the ``repaired`` counter) so it
+    costs one recompute instead of re-failing on every lookup.
     """
 
     def __init__(self, directory: Optional[str] = None) -> None:
@@ -174,6 +177,7 @@ class ResultCache:
         self.stores = 0
         self.disk_hits = 0
         self.corrupt = 0
+        self.repaired = 0
         self.events: List[Dict[str, Any]] = []
 
     @classmethod
@@ -212,6 +216,17 @@ class ResultCache:
                 self.corrupt += 1
                 self.events.append(
                     {"op": "corrupt", "key": key, "tier": "disk"})
+                # repair: delete the entry so it re-fails exactly once
+                # (the recomputed value's put() rewrites it) instead of
+                # surfacing as cache_corrupt on every future lookup
+                try:
+                    os.remove(path)
+                except OSError:
+                    pass  # already gone, or unremovable -> next put fixes
+                else:
+                    self.repaired += 1
+                    self.events.append(
+                        {"op": "repair", "key": key, "tier": "disk"})
             else:
                 self._memory[key] = value
                 self.hits += 1
@@ -259,5 +274,6 @@ class ResultCache:
             "stores": self.stores,
             "disk_hits": self.disk_hits,
             "corrupt": self.corrupt,
+            "repaired": self.repaired,
             "hit_rate": self.hit_rate,
         }

@@ -21,9 +21,38 @@ fan-out primitive they all share:
   test suite pins ``spawn`` compatibility.
 * **Content-addressed caching** — pass a
   :class:`~repro.par.cache.ResultCache` plus a ``key_fn``; cache hits
-  skip evaluation entirely and only misses are fanned out.  The parent
-  writes results back to the cache after the ordered gather, so the
-  disk tier needs no cross-process locking.
+  skip evaluation entirely and only misses are fanned out.
+* **Supervised execution** (opt-in, via :class:`SweepPolicy` /
+  ``journal_dir`` / ``resume`` / ``proc_faults``) — the fan-out becomes
+  fault tolerant instead of all-or-nothing:
+
+  - a **watchdog** enforces per-chunk wall-clock deadlines
+    (``task_timeout`` seconds per task); a chunk past its deadline is
+    declared hung, the pool is killed and respawned, and every innocent
+    in-flight chunk is resubmitted without penalty;
+  - a **lost worker** (``BrokenProcessPool`` — e.g. a child that
+    ``os._exit``'s) likewise respawns the pool; the chunks that were
+    in flight are re-run one at a time in *isolation* so guilt is
+    attributed exactly (an innocent chunk that merely shared the pool
+    is never penalized);
+  - a guilty multi-task chunk is **bisected** — split in half and
+    re-run — until the poison task is isolated;
+  - a guilty single task is retried under the plan's bounded, seeded
+    exponential-backoff :class:`~repro.faults.plan.RetryPolicy` and
+    finally **quarantined**: recorded (index, cache key, reason,
+    error) in :attr:`SweepStats.quarantined` and, in strict mode,
+    re-raised at the end as :class:`SweepQuarantineError` — the sweep
+    always completes with an explicit completeness manifest;
+  - completed shards **checkpoint incrementally**: cache ``put`` on
+    gather (not after the full sweep) plus a
+    :class:`~repro.par.journal.SweepJournal` line per shard, so a
+    killed process can ``resume=True`` and re-execute only the missing
+    shards — the final result list is bit-identical to a fault-free
+    serial run.
+
+  Deterministic *process-level* fault injection for all of the above
+  lives in :mod:`repro.faults.procfault` (crash / hang / raise on
+  seeded schedules), driven by ``python -m repro chaos --proc-faults``.
 
 Worker count resolution (:func:`resolve_jobs`): explicit ``jobs``
 argument, else ``$REPRO_JOBS``, else 1.
@@ -31,12 +60,19 @@ argument, else ``$REPRO_JOBS``, else 1.
 
 from __future__ import annotations
 
+import collections
 import multiprocessing
 import os
+import statistics
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import BrokenExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.faults.plan import RetryPolicy
 
 #: default straggler threshold: a chunk this many times slower than the
 #: median chunk of its sweep is flagged (see :meth:`SweepStats.stragglers`)
@@ -48,9 +84,21 @@ ENV_JOBS = "REPRO_JOBS"
 #: environment variable overriding the multiprocessing start method
 ENV_START_METHOD = "REPRO_START_METHOD"
 
+#: supervisor retry defaults — wall-clock scale (the simulated
+#: transport's :class:`RetryPolicy` defaults are virtual-time scale)
+DEFAULT_SWEEP_RETRY = RetryPolicy(timeout=30.0, backoff=0.05,
+                                  backoff_cap=1.0, max_retries=2)
+
+#: extra wall seconds granted on top of a chunk's deadline, per start
+#: method — spawn/forkserver workers re-import the package before the
+#: first task runs, which must not read as a hang
+POOL_SPINUP_GRACE = {"fork": 0.25}
+DEFAULT_SPINUP_GRACE = 2.0
+
 
 def resolve_jobs(jobs: Optional[int] = None) -> int:
     """Resolve a worker count: argument > ``$REPRO_JOBS`` > 1."""
+    from_env = False
     if jobs is None or jobs == 0:
         env = os.environ.get(ENV_JOBS, "").strip()
         if not env:
@@ -61,7 +109,13 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
             raise ValueError(
                 f"${ENV_JOBS} must be a positive integer, got {env!r}"
             ) from None
+        from_env = True
     if not isinstance(jobs, int) or isinstance(jobs, bool) or jobs < 1:
+        if from_env:
+            # Name the source: "repro chaos" never passed this value,
+            # the environment did, and the fix is $REPRO_JOBS.
+            raise ValueError(
+                f"${ENV_JOBS} must be a positive integer, got {jobs!r}")
         raise ValueError(f"jobs must be a positive integer, got {jobs!r}")
     return jobs
 
@@ -94,6 +148,78 @@ def shard_tasks(n: int, jobs: int,
     return [(lo, min(lo + chunk_size, n)) for lo in range(0, n, chunk_size)]
 
 
+@dataclass(frozen=True)
+class SweepPolicy:
+    """Supervision contract for one :func:`sweep_map` call.
+
+    ``task_timeout`` is the per-task wall-clock budget: a chunk of
+    ``k`` tasks is declared hung ``task_timeout * k`` (plus a start-
+    method spin-up grace) seconds after submission, its workers are
+    killed and the chunk is re-run.  ``None`` disables the watchdog
+    (lost workers are still detected and respawned).
+
+    ``retry`` reuses the fault plan's
+    :class:`~repro.faults.plan.RetryPolicy` semantics for *resubmission*:
+    retry ``k`` of a guilty single task waits
+    ``min(backoff * 2**k, backoff_cap)`` seconds (jittered by a stream
+    seeded from ``seed``), and after ``max_retries`` retries the task is
+    quarantined.  ``strict`` re-raises quarantined tasks at the end of
+    the sweep as :class:`SweepQuarantineError`; non-strict sweeps leave
+    ``None`` at the quarantined indices and report them via
+    :attr:`SweepStats.quarantined`.
+    """
+
+    task_timeout: Optional[float] = None
+    retry: RetryPolicy = DEFAULT_SWEEP_RETRY
+    seed: int = 0
+    strict: bool = True
+
+    def __post_init__(self) -> None:
+        if self.task_timeout is not None and not self.task_timeout > 0:
+            raise ValueError(
+                f"SweepPolicy.task_timeout must be > 0 or None, got "
+                f"{self.task_timeout!r}")
+        if not isinstance(self.retry, RetryPolicy):
+            raise ValueError(
+                f"SweepPolicy.retry must be a RetryPolicy, got "
+                f"{self.retry!r}")
+
+    def backoff_delay(self, attempt: int,
+                      rng: Optional[np.random.Generator] = None) -> float:
+        """Seconds to wait before retry ``attempt`` (0-based)."""
+        delay = min(self.retry.backoff * (2 ** attempt),
+                    self.retry.backoff_cap)
+        if rng is not None and delay > 0.0:
+            delay *= 0.5 + rng.random()  # seeded jitter in [0.5, 1.5)
+        return delay
+
+    def rng(self) -> np.random.Generator:
+        """Backoff-jitter stream (``0xFB`` prefix: disjoint from the
+        fault streams' ``0xFA`` and the bare noise streams)."""
+        return np.random.default_rng(np.random.SeedSequence(
+            entropy=int(self.seed), spawn_key=(0xFB,)))
+
+
+class SweepQuarantineError(RuntimeError):
+    """A strict supervised sweep finished with quarantined tasks.
+
+    ``quarantined`` holds the completeness manifest entries
+    (``{"index", "key", "reason", "error"}``) so callers can still see
+    exactly which shards are missing and why.
+    """
+
+    def __init__(self, quarantined: Sequence[Dict[str, Any]]) -> None:
+        self.quarantined = [dict(q) for q in quarantined]
+        head = "; ".join(
+            f"task {q['index']} [{q['reason']}] {q['error']}"
+            for q in self.quarantined[:4])
+        more = (f" (+{len(self.quarantined) - 4} more)"
+                if len(self.quarantined) > 4 else "")
+        super().__init__(
+            f"{len(self.quarantined)} task(s) quarantined after "
+            f"exhausting retries: {head}{more}")
+
+
 @dataclass
 class SweepStats:
     """Observability of one :func:`sweep_map` call (filled in place).
@@ -106,6 +232,14 @@ class SweepStats:
     the worker that ran it.  Task counts are deterministic; wall
     seconds and pids are not (the run ledger records them inside its
     non-deterministic envelope).
+
+    Supervised sweeps additionally fill the **recovery telemetry**:
+    ``retried`` / ``respawns`` / ``resumed`` counters, the
+    ``quarantined`` completeness manifest, and ``recovery_events`` —
+    one record per supervision action (``worker_lost``,
+    ``chunk_retry``, ``task_quarantined``, ``sweep_resume``) that the
+    run ledger forwards (quarantines deterministically, the rest as
+    volatile execution-shape facts).
     """
 
     tasks: int = 0          # total shards requested
@@ -113,13 +247,24 @@ class SweepStats:
     cache_hits: int = 0     # shards served from the cache
     jobs: int = 0           # resolved worker count
     chunks: int = 0         # work units submitted to the pool (0 = serial)
+    retried: int = 0        # chunk/task resubmissions (supervised only)
+    respawns: int = 0       # pool respawns after lost/hung workers
+    resumed: int = 0        # shards restored from a prior journaled run
     obs_payloads: List[Any] = field(default_factory=list)
     worker_events: List[Dict[str, Any]] = field(default_factory=list)
+    quarantined: List[Dict[str, Any]] = field(default_factory=list)
+    recovery_events: List[Dict[str, Any]] = field(default_factory=list)
 
     @property
     def cache_hit_rate(self) -> float:
         """Fraction of shards served from the cache (0.0 when empty)."""
         return self.cache_hits / self.tasks if self.tasks else 0.0
+
+    def recovery(self, kind: str, **fields: Any) -> Dict[str, Any]:
+        """Append (and return) one recovery-telemetry record."""
+        record = {"kind": kind, **fields}
+        self.recovery_events.append(record)
+        return record
 
     def stragglers(self, factor: float = STRAGGLER_FACTOR
                    ) -> List[Dict[str, Any]]:
@@ -131,17 +276,21 @@ class SweepStats:
         """
         if factor <= 1.0:
             raise ValueError(f"factor must be > 1, got {factor}")
-        walls = sorted(ev["wall_s"] for ev in self.worker_events)
+        walls = [ev["wall_s"] for ev in self.worker_events]
         if len(walls) < 3:
             return []
-        median = walls[len(walls) // 2]
+        # statistics.median averages the middle pair for even-length
+        # sweeps; indexing the sorted list would take the upper middle
+        # and bias the threshold high.
+        median = statistics.median(walls)
         if median <= 0.0:
             return []
         return [ev for ev in self.worker_events
                 if ev["wall_s"] >= factor * median]
 
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-ready summary (fleet details under ``"fleet"``)."""
+        """JSON-ready summary (fleet details under ``"fleet"``,
+        supervision details under ``"recovery"``)."""
         return {
             "tasks": self.tasks,
             "executed": self.executed,
@@ -152,6 +301,13 @@ class SweepStats:
                 "chunks": self.chunks,
                 "heartbeats": [dict(ev) for ev in self.worker_events],
                 "stragglers": [ev["chunk"] for ev in self.stragglers()],
+            },
+            "recovery": {
+                "retried": self.retried,
+                "respawns": self.respawns,
+                "resumed": self.resumed,
+                "quarantined": [dict(q) for q in self.quarantined],
+                "events": [dict(ev) for ev in self.recovery_events],
             },
         }
 
@@ -175,23 +331,350 @@ def _run_chunk(fn: Callable[[Any], Any], chunk: List[Tuple[int, Any]]
     return results, telemetry
 
 
+def _run_chunk_guarded(fn: Callable[[Any], Any],
+                       chunk: List[Tuple[int, Any]],
+                       faults: Any,
+                       runs: Dict[int, int]
+                       ) -> Tuple[List[Tuple[int, bool, Any, Optional[str]]],
+                                  Dict[str, Any]]:
+    """Supervised worker body: per-task outcomes instead of fail-fast.
+
+    Each task yields ``(index, ok, value, error)`` — a task that raises
+    is *recorded*, not propagated, so one poison task cannot discard its
+    chunk-mates' results.  ``faults`` (a
+    :class:`~repro.faults.procfault.ProcFaultPlan` or ``None``) injects
+    process-level failures first: ``crash`` exits the worker without
+    cleanup, ``hang`` sleeps past any reasonable deadline, ``raise``
+    records an injected error.  ``runs`` carries each task's 1-based
+    evaluation count so transient schedules can clear on retry.
+    """
+    t0 = time.perf_counter()
+    outcomes: List[Tuple[int, bool, Any, Optional[str]]] = []
+    for index, task in chunk:
+        if faults is not None:
+            action = faults.action(index, runs[index])
+            if action == "crash":
+                os._exit(faults.exit_code)
+            elif action == "hang":
+                time.sleep(faults.hang_seconds)
+            elif action == "raise":
+                outcomes.append((index, False, None,
+                                 f"ProcFaultError: injected raise "
+                                 f"(task {index})"))
+                continue
+        try:
+            value = fn(task)
+        except BaseException as exc:  # noqa: BLE001 — quarantine wants all
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                raise
+            outcomes.append((index, False, None,
+                             f"{type(exc).__name__}: {exc}"))
+        else:
+            outcomes.append((index, True, value, None))
+    telemetry = {
+        "lo": chunk[0][0],
+        "hi": chunk[-1][0],
+        "tasks": len(chunk),
+        "wall_s": time.perf_counter() - t0,
+        "pid": os.getpid(),
+    }
+    return outcomes, telemetry
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Terminate a pool's workers and reap them (hung workers never
+    exit on their own, so a plain shutdown would block forever)."""
+    procs = list(getattr(pool, "_processes", {}).values())
+    for proc in procs:
+        try:
+            proc.terminate()
+        except (OSError, ValueError):  # pragma: no cover — racing exit
+            pass
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except TypeError:  # pragma: no cover — cancel_futures needs 3.9
+        pool.shutdown(wait=False)
+    for proc in procs:
+        try:
+            proc.join(timeout=5.0)
+        except (OSError, ValueError, AssertionError):  # pragma: no cover
+            pass
+
+
+class _Supervisor:
+    """State machine for one supervised fan-out (see :func:`sweep_map`).
+
+    Failure attribution protocol: when the pool breaks (a worker died)
+    every in-flight chunk is *suspect* — guilt is unknowable pool-wide —
+    so suspects re-run one at a time in isolation.  A chunk that fails
+    alone is guilty: bisected while it holds more than one task,
+    retried under the policy's backoff once it is a single task, and
+    quarantined when retries exhaust.  A chunk that succeeds alone was
+    an innocent bystander and is never penalized, which keeps the
+    quarantine set a pure function of the fault schedule (not of the
+    worker count or chunk geometry).
+    """
+
+    def __init__(self, fn: Callable[[Any], Any],
+                 pending: List[Tuple[int, Any]], jobs: int,
+                 chunk_size: Optional[int], start_method: str,
+                 policy: SweepPolicy, stats: SweepStats,
+                 proc_faults: Any,
+                 checkpoint: Callable[[int, Any], None]) -> None:
+        self.fn = fn
+        self.jobs = jobs
+        self.start_method = start_method
+        self.policy = policy
+        self.stats = stats
+        self.faults = proc_faults
+        self.checkpoint = checkpoint
+        self.rng = policy.rng()
+        spans = shard_tasks(len(pending), jobs, chunk_size)
+        self.queue: collections.deque = collections.deque(
+            pending[lo:hi] for lo, hi in spans)
+        self.suspects: collections.deque = collections.deque()
+        self.inflight: Dict[Any, List[Tuple[int, Any]]] = {}
+        self.deadlines: Dict[Any, float] = {}
+        self.runs: Dict[int, int] = {index: 0 for index, _ in pending}
+        self.attempts: Dict[int, int] = {index: 0 for index, _ in pending}
+        self.results: Dict[int, Any] = {}
+        self.gathered = 0
+        self.pool: Optional[ProcessPoolExecutor] = None
+        self.grace = POOL_SPINUP_GRACE.get(start_method,
+                                           DEFAULT_SPINUP_GRACE)
+
+    # -- pool lifecycle -----------------------------------------------------
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self.pool is None:
+            ctx = multiprocessing.get_context(self.start_method)
+            self.pool = ProcessPoolExecutor(max_workers=self.jobs,
+                                            mp_context=ctx)
+        return self.pool
+
+    def _respawn(self) -> None:
+        if self.pool is not None:
+            _kill_pool(self.pool)
+            self.pool = None
+        self.stats.respawns += 1
+        self.deadlines.clear()
+
+    def _submit(self, chunk: List[Tuple[int, Any]]) -> None:
+        pool = self._ensure_pool()
+        for index, _task in chunk:
+            self.runs[index] += 1
+        future = pool.submit(_run_chunk_guarded, self.fn, chunk,
+                             self.faults,
+                             {index: self.runs[index]
+                              for index, _ in chunk})
+        self.inflight[future] = chunk
+        self.stats.chunks += 1
+        if self.policy.task_timeout is not None:
+            self.deadlines[future] = (
+                time.monotonic()
+                + self.policy.task_timeout * len(chunk) + self.grace)
+
+    # -- failure handling ---------------------------------------------------
+    def _quarantine(self, index: int, reason: str, error: str) -> None:
+        record = {"index": index, "key": None, "reason": reason,
+                  "error": error}
+        self.stats.quarantined.append(record)
+        self.stats.recovery("task_quarantined", index=index,
+                            reason=reason, error=error)
+
+    def _penalize(self, chunk: List[Tuple[int, Any]], reason: str,
+                  error: Optional[str] = None) -> None:
+        """A chunk failed *attributably*: bisect or retry/quarantine."""
+        span = (chunk[0][0], chunk[-1][0])
+        if len(chunk) > 1:
+            mid = len(chunk) // 2
+            self.stats.recovery("chunk_retry", reason=reason,
+                                action="bisect", lo=span[0], hi=span[1],
+                                tasks=len(chunk))
+            self.stats.retried += 1
+            self.queue.appendleft(chunk[mid:])
+            self.queue.appendleft(chunk[:mid])
+            return
+        index = chunk[0][0]
+        self.attempts[index] += 1
+        attempt = self.attempts[index]
+        message = error or f"worker {reason} while running task {index}"
+        if attempt > self.policy.retry.max_retries:
+            self._quarantine(index, reason, message)
+            return
+        self.stats.retried += 1
+        self.stats.recovery("chunk_retry", reason=reason, action="retry",
+                            lo=index, hi=index, tasks=1, attempt=attempt)
+        delay = self.policy.backoff_delay(attempt - 1, self.rng)
+        if delay > 0.0:
+            time.sleep(delay)
+        self.queue.appendleft(list(chunk))
+
+    # -- gather -------------------------------------------------------------
+    def _absorb(self, chunk: List[Tuple[int, Any]],
+                outcomes: List[Tuple[int, bool, Any, Optional[str]]],
+                telemetry: Dict[str, Any]) -> None:
+        self.gathered += 1
+        task_by_index = dict(chunk)
+        for index, ok, value, error in outcomes:
+            if ok:
+                self.results[index] = value
+                self.checkpoint(index, value)
+            else:
+                self._penalize([(index, task_by_index[index])],
+                               "error", error)
+        self.stats.worker_events.append({
+            "chunk": self.gathered - 1, "done": self.gathered,
+            "total": self.gathered + len(self.queue)
+            + len(self.suspects) + len(self.inflight), **telemetry,
+        })
+
+    # -- main loop ----------------------------------------------------------
+    def run(self) -> Dict[int, Any]:
+        try:
+            while self.queue or self.suspects or self.inflight:
+                self._top_up()
+                if self.inflight:
+                    self._step()
+        finally:
+            if self.pool is not None:
+                _kill_pool(self.pool)
+                self.pool = None
+        return self.results
+
+    def _top_up(self) -> None:
+        """Keep exactly the runnable set submitted.
+
+        Submitting no more chunks than workers means every in-flight
+        chunk is actually *running*, so watchdog deadlines and crash
+        attribution never implicate a chunk that was merely queued.
+        While suspects exist they run strictly one at a time, alone in
+        the pool, so a repeat failure identifies the guilty chunk.
+        """
+        if self.suspects:
+            if not self.inflight:
+                self._submit(self.suspects.popleft())
+            return
+        while self.queue and len(self.inflight) < self.jobs:
+            self._submit(self.queue.popleft())
+
+    def _step(self) -> None:
+        timeout = None
+        if self.deadlines:
+            timeout = max(0.0, min(self.deadlines.values())
+                          - time.monotonic())
+        done, _ = wait(list(self.inflight), timeout=timeout,
+                       return_when=FIRST_COMPLETED)
+        broken: List[List[Tuple[int, Any]]] = []
+        for future in done:
+            chunk = self.inflight.get(future)
+            if chunk is None:
+                continue
+            try:
+                outcomes, telemetry = future.result()
+            except (BrokenExecutor, OSError):
+                # the worker died (or the result transport collapsed
+                # with it) — guilt is attributed below, not here
+                self.inflight.pop(future, None)
+                self.deadlines.pop(future, None)
+                broken.append(chunk)
+                continue
+            self.inflight.pop(future, None)
+            self.deadlines.pop(future, None)
+            self._absorb(chunk, outcomes, telemetry)
+        if broken:
+            # The pool is dead: every still-in-flight chunk was killed
+            # with it.  A lone broken chunk with no bystanders is
+            # guilty by elimination; otherwise nobody can be blamed
+            # pool-wide, so all of them re-run in isolation.
+            bystanders = list(self.inflight.values())
+            self.inflight.clear()
+            self._respawn()
+            if len(broken) == 1 and not bystanders:
+                chunk = broken[0]
+                self.stats.recovery("worker_lost", reason="crash",
+                                    lo=chunk[0][0], hi=chunk[-1][0],
+                                    tasks=len(chunk))
+                self._penalize(chunk, "crash")
+            else:
+                for chunk in broken:
+                    self.stats.recovery("worker_lost", reason="crash",
+                                        lo=chunk[0][0], hi=chunk[-1][0],
+                                        tasks=len(chunk))
+                    self.suspects.append(chunk)
+                for chunk in bystanders:
+                    self.suspects.append(chunk)
+            return
+        if self.deadlines:
+            now = time.monotonic()
+            expired = [future for future in list(self.inflight)
+                       if future in self.deadlines
+                       and now >= self.deadlines[future]
+                       and not future.done()]
+            if expired:
+                # chunks past their own deadline are hung (each deadline
+                # already budgets for the chunk's size); the rest were
+                # innocent pool-mates and re-run without penalty
+                guilty = [self.inflight.pop(future) for future in expired]
+                bystanders = list(self.inflight.values())
+                self.inflight.clear()
+                self._respawn()
+                for chunk in guilty:
+                    self.stats.recovery("worker_lost", reason="hang",
+                                        lo=chunk[0][0], hi=chunk[-1][0],
+                                        tasks=len(chunk))
+                    self._penalize(chunk, "hang")
+                for chunk in bystanders:
+                    self.queue.appendleft(chunk)
+
+
 def sweep_map(fn: Callable[[Any], Any], tasks: Sequence[Any],
               jobs: Optional[int] = None, *,
               cache: Optional[Any] = None,
               key_fn: Optional[Callable[[Any], str]] = None,
               chunk_size: Optional[int] = None,
               start_method: Optional[str] = None,
-              stats: Optional[SweepStats] = None) -> List[Any]:
+              stats: Optional[SweepStats] = None,
+              policy: Optional[SweepPolicy] = None,
+              journal_dir: Optional[str] = None,
+              resume: bool = False,
+              proc_faults: Optional[Any] = None) -> List[Any]:
     """``[fn(t) for t in tasks]`` with optional fan-out and caching.
 
     The result list is always in task order and bit-identical across
     worker counts (``fn`` must be a pure function of its task).  With
     ``jobs > 1``, ``fn`` must be module-level and each task picklable.
-    Exceptions raised by ``fn`` propagate to the caller (the pool is
-    shut down first).
+
+    **Unsupervised** (the default — none of ``policy`` / ``journal_dir``
+    / ``resume`` / ``proc_faults`` given): exceptions raised by ``fn``
+    propagate to the caller (the pool is shut down first), the cache is
+    written after the full ordered gather, and a crashed or hung worker
+    aborts the sweep — the zero-overhead fast path is byte-for-byte the
+    pre-supervision behaviour.
+
+    **Supervised** (any of those arguments given): lost and hung
+    workers are detected, the pool respawned, failing chunks bisected
+    and poison tasks quarantined under ``policy`` (see
+    :class:`SweepPolicy`); completed shards checkpoint incrementally to
+    ``cache`` and to a :class:`~repro.par.journal.SweepJournal` under
+    ``journal_dir``; ``resume=True`` (requires ``cache`` and
+    ``journal_dir``) restores previously completed shards and
+    re-executes only the missing ones.  ``proc_faults`` injects
+    deterministic process-level failures (tests / ``repro chaos
+    --proc-faults``).
     """
     tasks = list(tasks)
     jobs = resolve_jobs(jobs)
+    supervised = (policy is not None or journal_dir is not None
+                  or resume or proc_faults is not None)
+    if supervised:
+        return _sweep_supervised(
+            fn, tasks, jobs, cache=cache, key_fn=key_fn,
+            chunk_size=chunk_size,
+            start_method=start_method or default_start_method(),
+            stats=stats, policy=policy or SweepPolicy(),
+            journal_dir=journal_dir, resume=resume,
+            proc_faults=proc_faults)
+
     results: List[Any] = [None] * len(tasks)
     keys: List[Optional[str]] = [None] * len(tasks)
     pending: List[Tuple[int, Any]] = []
@@ -256,3 +739,158 @@ def sweep_map(fn: Callable[[Any], Any], tasks: Sequence[Any],
         for index, _task in pending:
             cache.put(keys[index], results[index])
     return results
+
+
+def _sweep_supervised(fn: Callable[[Any], Any], tasks: List[Any],
+                      jobs: int, *, cache: Optional[Any],
+                      key_fn: Optional[Callable[[Any], str]],
+                      chunk_size: Optional[int], start_method: str,
+                      stats: Optional[SweepStats], policy: SweepPolicy,
+                      journal_dir: Optional[str], resume: bool,
+                      proc_faults: Optional[Any]) -> List[Any]:
+    """Supervised body of :func:`sweep_map` (see its docstring)."""
+    from repro.par.cache import stable_fingerprint
+    from repro.par.journal import SweepJournal, journal_path
+
+    if resume and (cache is None or journal_dir is None):
+        raise ValueError(
+            "resume requires both a cache (to restore completed shard "
+            "values) and a journal_dir (to identify the sweep)")
+    if cache is not None and key_fn is None:
+        raise ValueError("cache requires a key_fn")
+    if stats is None:
+        stats = SweepStats()
+
+    results: List[Any] = [None] * len(tasks)
+    keys: List[Optional[str]] = [None] * len(tasks)
+    pending: List[Tuple[int, Any]] = []
+    if cache is not None:
+        for index, task in enumerate(tasks):
+            key = key_fn(task)
+            keys[index] = key
+            hit, value = cache.lookup(key)
+            if hit:
+                results[index] = value
+            else:
+                pending.append((index, task))
+    else:
+        pending = list(enumerate(tasks))
+
+    stats.tasks = len(tasks)
+    stats.executed = len(pending)
+    stats.cache_hits = len(tasks) - len(pending)
+    stats.jobs = jobs
+    stats.chunks = 0
+
+    journal: Optional[SweepJournal] = None
+    if journal_dir is not None:
+        sweep_id = stable_fingerprint(
+            {"keys": keys} if cache is not None else {"n": len(tasks)})
+        journal = SweepJournal(journal_path(journal_dir, sweep_id),
+                               sweep_id, tasks=len(tasks), resume=resume)
+        if journal.resumed:
+            # shards the journal marks done *and* the cache restored
+            done_indices = set(journal.done)
+            restored = sum(
+                1 for index in range(len(tasks))
+                if index in done_indices and results[index] is not None)
+            stats.resumed = restored
+            stats.recovery("sweep_resume", done=restored,
+                           tasks=len(tasks))
+
+    def checkpoint(index: int, value: Any) -> None:
+        # incremental: a kill after this line never loses the shard
+        if cache is not None:
+            cache.put(keys[index], value)
+        if journal is not None:
+            journal.shard_done(index, key=keys[index])
+
+    try:
+        if jobs == 1 or len(pending) <= 1:
+            _supervised_serial(fn, pending, policy, stats, proc_faults,
+                               checkpoint, results)
+        else:
+            supervisor = _Supervisor(fn, pending, jobs, chunk_size,
+                                     start_method, policy, stats,
+                                     proc_faults, checkpoint)
+            gathered = supervisor.run()
+            for index, value in gathered.items():
+                results[index] = value
+        for record in stats.quarantined:
+            record["key"] = keys[record["index"]]
+            if journal is not None:
+                journal.event("task_quarantined", index=record["index"],
+                              key=record["key"], reason=record["reason"],
+                              error=record["error"])
+        if journal is not None:
+            journal.finish(
+                completed=len(tasks) - len(stats.quarantined),
+                quarantined=sorted(q["index"]
+                                   for q in stats.quarantined))
+    finally:
+        if journal is not None:
+            journal.close()
+
+    if policy.strict and stats.quarantined:
+        raise SweepQuarantineError(stats.quarantined)
+    return results
+
+
+def _supervised_serial(fn: Callable[[Any], Any],
+                       pending: List[Tuple[int, Any]],
+                       policy: SweepPolicy, stats: SweepStats,
+                       proc_faults: Optional[Any],
+                       checkpoint: Callable[[int, Any], None],
+                       results: List[Any]) -> None:
+    """In-process supervised loop (``jobs=1``).
+
+    Raised exceptions (and injected ``raise`` faults) are retried and
+    quarantined exactly like the pooled path.  Injected ``crash`` /
+    ``hang`` faults act on *this* process — a crash genuinely kills the
+    run (which is what checkpoint + resume recover from) and a hang
+    sleeps; there is no out-of-process watchdog to fire.
+    """
+    rng = policy.rng()
+    t0 = time.perf_counter()
+    for index, task in pending:
+        attempt = 0
+        while True:
+            error = None
+            if proc_faults is not None:
+                action = proc_faults.action(index, attempt + 1)
+                if action == "crash":
+                    os._exit(proc_faults.exit_code)
+                elif action == "hang":
+                    time.sleep(proc_faults.hang_seconds)
+                elif action == "raise":
+                    error = f"ProcFaultError: injected raise (task {index})"
+            if error is None:
+                try:
+                    results[index] = fn(task)
+                except BaseException as exc:  # noqa: BLE001
+                    if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                        raise
+                    error = f"{type(exc).__name__}: {exc}"
+                else:
+                    checkpoint(index, results[index])
+                    break
+            attempt += 1
+            if attempt > policy.retry.max_retries:
+                stats.quarantined.append({
+                    "index": index, "key": None, "reason": "error",
+                    "error": error})
+                stats.recovery("task_quarantined", index=index,
+                               reason="error", error=error)
+                break
+            stats.retried += 1
+            stats.recovery("chunk_retry", reason="error", action="retry",
+                           lo=index, hi=index, tasks=1, attempt=attempt)
+            delay = policy.backoff_delay(attempt - 1, rng)
+            if delay > 0.0:
+                time.sleep(delay)
+    if pending:
+        stats.worker_events.append({
+            "chunk": 0, "lo": pending[0][0], "hi": pending[-1][0],
+            "tasks": len(pending), "done": 1, "total": 1,
+            "wall_s": time.perf_counter() - t0, "pid": os.getpid(),
+        })

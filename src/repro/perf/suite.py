@@ -183,7 +183,8 @@ def _spmv_workload(matrix_n: int, reps: int,
 def _scenario_workload(n_sizes: int,
                        dup_fractions: Tuple[float, ...],
                        jobs: Optional[int] = None,
-                       machine_name: str = "lassen"
+                       machine_name: str = "lassen",
+                       policy=None,
                        ) -> Callable[[], Dict[str, float]]:
     def run() -> Dict[str, float]:
         from repro.machine import resolve_machine
@@ -200,7 +201,8 @@ def _scenario_workload(n_sizes: int,
                               dup_fraction=dup)
                      for base in PAPER_SCENARIOS
                      for dup in dup_fractions]
-        swept = sweep_scenarios(machine, scenarios, sizes, jobs=jobs)
+        swept = sweep_scenarios(machine, scenarios, sizes, jobs=jobs,
+                                policy=policy)
         evals = sum(len(out) * n_sizes for out in swept)
         return {"evals": evals}
 
@@ -478,7 +480,7 @@ def _obs_overhead_workload(nodes: int, block: int, reps: int,
 
 
 def default_workloads(smoke: bool = False, jobs: Optional[int] = None,
-                      machine: str = "lassen"
+                      machine: str = "lassen", policy=None,
                       ) -> List[Tuple[str, Callable[[], Dict[str, float]], int]]:
     """(name, workload, repeats) triples for the standard suite.
 
@@ -486,6 +488,9 @@ def default_workloads(smoke: bool = False, jobs: Optional[int] = None,
     ``sweep_parallel`` comparison arm uses ``jobs`` when it implies real
     fan-out, else 4 workers.  ``machine`` names the preset every
     machine-dependent workload runs on (resolved lazily per workload).
+    ``policy`` (a :class:`repro.par.SweepPolicy`) runs the sweep-shaped
+    ``scenarios`` workload under supervised execution, so its measured
+    wall clock includes the supervision overhead.
     """
     par_jobs = jobs if jobs is not None and jobs > 1 else 4
     if smoke:
@@ -498,7 +503,8 @@ def default_workloads(smoke: bool = False, jobs: Optional[int] = None,
             ("spmv", _spmv_workload(matrix_n=1000, reps=1,
                                     machine_name=machine), 1),
             ("scenarios", _scenario_workload(16, (0.0,), jobs=jobs,
-                                             machine_name=machine), 1),
+                                             machine_name=machine,
+                                             policy=policy), 1),
             ("sweep_fused", _sweep_fused_workload(32, (0.0, 0.25),
                                                   machine_name=machine), 1),
             ("hop_plan", _hop_plan_workload(16, machine_name=machine), 1),
@@ -516,7 +522,8 @@ def default_workloads(smoke: bool = False, jobs: Optional[int] = None,
         ("spmv", _spmv_workload(matrix_n=4000, reps=3,
                                 machine_name=machine), 3),
         ("scenarios", _scenario_workload(64, (0.0, 0.25), jobs=jobs,
-                                         machine_name=machine), 3),
+                                         machine_name=machine,
+                                         policy=policy), 3),
         ("sweep_fused", _sweep_fused_workload(64, (0.0, 0.25),
                                               machine_name=machine), 3),
         ("hop_plan", _hop_plan_workload(64, machine_name=machine), 3),
@@ -533,18 +540,21 @@ def default_workloads(smoke: bool = False, jobs: Optional[int] = None,
 def run_suite(smoke: bool = False, verbose: bool = True,
               repeats: Optional[int] = None, jobs: Optional[int] = None,
               machine: str = "lassen",
-              only: Optional[List[str]] = None) -> List[WorkloadResult]:
+              only: Optional[List[str]] = None,
+              policy=None) -> List[WorkloadResult]:
     """Run the suite; ``wall_s`` is best-of-repeats, plus the median.
 
     ``repeats`` overrides every workload's default repeat count (more
     repeats tighten the min/median against scheduler noise); ``jobs``
     is forwarded to parallel-capable workloads; ``machine`` picks the
     preset the machine-dependent workloads model; ``only`` restricts
-    the run to the named workloads (suite order is kept).
+    the run to the named workloads (suite order is kept); ``policy``
+    runs the sweep-shaped workloads under supervised execution.
     """
     if repeats is not None and repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
-    workloads = default_workloads(smoke=smoke, jobs=jobs, machine=machine)
+    workloads = default_workloads(smoke=smoke, jobs=jobs, machine=machine,
+                                  policy=policy)
     if only is not None:
         known = {name for name, _fn, _reps in workloads}
         unknown = [name for name in only if name not in known]
@@ -703,7 +713,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--ledger", default=None, metavar="PATH",
                         help="write a JSONL run ledger here (consumed by "
                              "`python -m repro obs`)")
+    from repro.par.cliopts import add_supervision_args, supervision_from_args
+
+    add_supervision_args(parser)
     args = parser.parse_args(argv)
+    if args.resume:
+        # Perf workloads are stateless by design (each repeat must do
+        # the full work); there is no sweep to resume.
+        parser.error("--resume is not supported by the perf suite; "
+                     "use --max-retries/--task-timeout for supervision")
+    policy, _journal_dir, _resume = supervision_from_args(args, None)
     from repro.machine import resolve_machine
 
     machine = resolve_machine(args.machine).name  # fail fast, canonical name
@@ -715,7 +734,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     only = ([name.strip() for name in args.only.split(",") if name.strip()]
             if args.only is not None else None)
     results = run_suite(smoke=args.smoke, repeats=args.repeats,
-                        jobs=args.jobs, machine=machine, only=only)
+                        jobs=args.jobs, machine=machine, only=only,
+                        policy=policy)
     report = write_report(results, args.output, smoke=args.smoke,
                           machine=machine)
     print(f"wrote {args.output}")

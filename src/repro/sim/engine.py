@@ -51,6 +51,15 @@ from typing import Any, Generator, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+
+class SimulationError(RuntimeError):
+    """Raised for structural errors in a simulation."""
+
+
+# The exception hierarchy is defined *before* any intra-package imports:
+# repro.faults.errors subclasses SimulationError and is reachable from
+# repro.obs via the supervised sweep executor, so it may re-enter this
+# module while the imports below are still resolving.
 from repro.obs.tracer import NULL_TRACER
 from repro.sim.events import (
     AllOf,
@@ -67,10 +76,6 @@ _TRIGGERED = EventState.TRIGGERED
 
 #: traced-run queue-depth sampling period (steps per counter sample)
 _TRACE_SAMPLE_EVERY = 256
-
-
-class SimulationError(RuntimeError):
-    """Raised for structural errors in a simulation."""
 
 
 class DeadlockError(SimulationError):

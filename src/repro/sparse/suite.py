@@ -210,7 +210,8 @@ def measure_matrix_panel(spec) -> Dict[str, object]:
 
 def suite_sweep(machine, matrices=None, gpu_counts=(8, 16, 32, 64),
                 matrix_n: int = 0, ppn: int = 0, noise_sigma: float = 0.0,
-                seed: int = 0, jobs=None, cache=None) -> Dict[str, Dict]:
+                seed: int = 0, jobs=None, cache=None, policy=None,
+                journal_dir=None, resume: bool = False) -> Dict[str, Dict]:
     """Measured strategy times per suite matrix, one panel per matrix.
 
     The measurement loop behind Figure 5.1 — each matrix is one shard
@@ -218,6 +219,8 @@ def suite_sweep(machine, matrices=None, gpu_counts=(8, 16, 32, 64),
     worker), fanned out by :func:`repro.par.sweep_map` and gathered in
     suite order, so results are bit-identical at any ``jobs`` value.
     ``cache`` keys panels by matrix content + machine + sweep shape.
+    ``policy``/``journal_dir``/``resume`` opt into supervised execution
+    (see :func:`repro.par.sweep_map`).
     """
     from repro.par.cache import cache_key
     from repro.par.executor import sweep_map
@@ -237,6 +240,7 @@ def suite_sweep(machine, matrices=None, gpu_counts=(8, 16, 32, 64),
                          seed=s)
 
     panels = sweep_map(measure_matrix_panel, tasks, jobs=jobs, cache=cache,
-                       key_fn=key_fn if cache is not None else None)
+                       key_fn=key_fn if cache is not None else None,
+                       policy=policy, journal_dir=journal_dir, resume=resume)
     return {name: panel
             for (name, _matrix), panel in zip(built, panels)}

@@ -95,3 +95,61 @@ class TestCli:
         assert main(["--smoke", "--seed", "0", "-o", str(a)]) == 0
         assert main(["--smoke", "--seed", "0", "-o", str(b)]) == 0
         assert a.read_bytes() == b.read_bytes()
+
+
+class TestProcFaultRecovery:
+    """ISSUE-8 acceptance: supervised chaos sweeps recover from seeded
+    process-level faults with surviving cells byte-identical to the
+    fault-free serial baseline."""
+
+    @staticmethod
+    def _policy(max_retries=2):
+        from repro.faults.plan import RetryPolicy
+        from repro.par import SweepPolicy
+
+        return SweepPolicy(
+            retry=RetryPolicy(timeout=30.0, backoff=0.0, backoff_cap=0.0,
+                              max_retries=max_retries),
+            strict=False)
+
+    def test_baseline_reports_zero_quarantined(self, smoke_report):
+        assert smoke_report["summary"]["quarantined"] == 0
+
+    def test_transient_faults_leave_the_report_byte_identical(
+            self, smoke_report):
+        from repro.faults import ProcFaultPlan
+
+        n_tasks = smoke_report["summary"]["runs"]
+        plan = ProcFaultPlan.sample(0, n_tasks, crashes=1, raises=1)
+        recovered = run_chaos(seed=0, smoke=True, jobs=2,
+                              policy=self._policy(), proc_faults=plan)
+        assert json.dumps(recovered, sort_keys=True) == \
+            json.dumps(smoke_report, sort_keys=True)
+
+    def test_poison_quarantines_exactly_the_poisoned_cells(
+            self, smoke_report):
+        from repro.faults import ProcFaultPlan
+        from repro.par import SweepStats
+
+        n_tasks = smoke_report["summary"]["runs"]
+        plan = ProcFaultPlan.sample(0, n_tasks, crashes=0, poison=2)
+        stats = SweepStats()
+        report = run_chaos(seed=0, smoke=True, jobs=2,
+                           policy=self._policy(max_retries=1),
+                           stats=stats, proc_faults=plan)
+        poisoned = set(plan.poison_indices())
+        assert {q["index"] for q in stats.quarantined} == poisoned
+        assert report["summary"]["quarantined"] == len(poisoned)
+        # every surviving cell is byte-identical to the baseline
+        task_index = 0
+        for base_sc, sc in zip(smoke_report["scenarios"],
+                               report["scenarios"]):
+            for label in base_sc["results"]:
+                if task_index in poisoned:
+                    cell = sc["results"][label]
+                    assert cell["outcome"] == "quarantined"
+                    assert "injected raise" in cell["error"]
+                else:
+                    assert sc["results"][label] == \
+                        base_sc["results"][label]
+                task_index += 1

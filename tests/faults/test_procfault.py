@@ -1,0 +1,133 @@
+"""Process-level fault plans: validation, determinism, spec parsing."""
+
+import pytest
+
+from repro.faults import (
+    NO_PROC_FAULTS,
+    PROC_FAULT_EXIT,
+    PROC_FAULT_KINDS,
+    ProcFault,
+    ProcFaultPlan,
+    parse_proc_fault_spec,
+)
+
+
+class TestProcFault:
+    def test_transient_fires_only_up_to_max_runs(self):
+        fault = ProcFault(kind="crash", index=3, max_runs=2)
+        assert fault.fires(1) and fault.fires(2)
+        assert not fault.fires(3)
+
+    def test_poison_fires_forever(self):
+        fault = ProcFault(kind="raise", index=0, max_runs=None)
+        assert all(fault.fires(run) for run in (1, 5, 100))
+
+    @pytest.mark.parametrize("kwargs", [
+        {"kind": "segfault", "index": 0},
+        {"kind": "crash", "index": -1},
+        {"kind": "crash", "index": 0, "max_runs": 0},
+    ])
+    def test_invalid_faults_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ProcFault(**kwargs)
+
+
+class TestProcFaultPlan:
+    def test_empty_plan_is_inert(self):
+        assert not NO_PROC_FAULTS.active
+        assert NO_PROC_FAULTS.action(0, 1) is None
+        assert NO_PROC_FAULTS.poison_indices() == ()
+
+    def test_first_matching_fault_wins(self):
+        plan = ProcFaultPlan(faults=(
+            ProcFault(kind="crash", index=2, max_runs=1),
+            ProcFault(kind="raise", index=2, max_runs=None),
+        ))
+        assert plan.action(2, 1) == "crash"   # crash still fires on run 1
+        assert plan.action(2, 2) == "raise"   # crash cleared, poison next
+        assert plan.action(1, 1) is None
+
+    def test_poison_indices_sorted_and_persistent_only(self):
+        plan = ProcFaultPlan(faults=(
+            ProcFault(kind="raise", index=7, max_runs=None),
+            ProcFault(kind="crash", index=1, max_runs=1),
+            ProcFault(kind="raise", index=3, max_runs=None),
+        ))
+        assert plan.poison_indices() == (3, 7)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProcFaultPlan(hang_seconds=0.0)
+        with pytest.raises(ValueError):
+            ProcFaultPlan(exit_code=0)
+        with pytest.raises(ValueError):
+            ProcFaultPlan(exit_code=256)
+
+    def test_plans_are_hashable_and_picklable(self):
+        import pickle
+
+        plan = ProcFaultPlan.sample(0, 10, crashes=1, poison=1)
+        assert hash(plan) == hash(pickle.loads(pickle.dumps(plan)))
+
+
+class TestSample:
+    def test_sample_is_deterministic(self):
+        a = ProcFaultPlan.sample(3, 20, crashes=2, hangs=1, raises=1,
+                                 poison=2)
+        b = ProcFaultPlan.sample(3, 20, crashes=2, hangs=1, raises=1,
+                                 poison=2)
+        assert a == b
+        assert a.describe() == b.describe()
+
+    def test_sample_assigns_distinct_indices(self):
+        plan = ProcFaultPlan.sample(1, 8, crashes=3, hangs=2, raises=2,
+                                    poison=1)
+        indices = [f.index for f in plan.faults]
+        assert len(set(indices)) == len(indices) == 8
+        assert all(0 <= i < 8 for i in indices)
+
+    def test_sample_kind_counts(self):
+        plan = ProcFaultPlan.sample(0, 30, crashes=2, hangs=3, raises=1,
+                                    poison=4)
+        kinds = [(f.kind, f.max_runs) for f in plan.faults]
+        assert kinds.count(("crash", 1)) == 2
+        assert kinds.count(("hang", 1)) == 3
+        assert kinds.count(("raise", 1)) == 1
+        assert kinds.count(("raise", None)) == 4
+        assert plan.exit_code == PROC_FAULT_EXIT
+
+    def test_sample_rejects_overfull_schedules(self):
+        with pytest.raises(ValueError):
+            ProcFaultPlan.sample(0, 3, crashes=2, poison=2)
+
+    def test_seed_changes_the_draw(self):
+        n = 100
+        a = ProcFaultPlan.sample(0, n, crashes=4, poison=4)
+        b = ProcFaultPlan.sample(1, n, crashes=4, poison=4)
+        assert a != b
+
+
+class TestParseSpec:
+    def test_bare_kind_means_one(self):
+        assert parse_proc_fault_spec("crash") == {
+            "crashes": 1, "hangs": 0, "raises": 0, "poison": 0}
+
+    def test_counts_and_accumulation(self):
+        assert parse_proc_fault_spec("crash=2,hang,raise=3,poison=1") == {
+            "crashes": 2, "hangs": 1, "raises": 3, "poison": 1}
+        # repeated kinds accumulate
+        assert parse_proc_fault_spec("crash,crash")["crashes"] == 2
+
+    def test_whitespace_and_empty_terms_tolerated(self):
+        assert parse_proc_fault_spec(" crash = 2 , ,hang ") == {
+            "crashes": 2, "hangs": 1, "raises": 0, "poison": 0}
+
+    @pytest.mark.parametrize("bad", ["segv", "crash=x", "crash=-1"])
+    def test_bad_specs_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_proc_fault_spec(bad)
+
+    def test_kind_names_cover_the_registry(self):
+        for kind in PROC_FAULT_KINDS:
+            counts = parse_proc_fault_spec(kind)
+            assert sum(counts.values()) == 1

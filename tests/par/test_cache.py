@@ -98,7 +98,7 @@ class TestResultCache:
         assert cache.lookup(key) == (True, {"v": 42})
         assert cache.stats() == {"hits": 1, "misses": 1, "stores": 1,
                                  "disk_hits": 0, "corrupt": 0,
-                                 "hit_rate": 0.5}
+                                 "repaired": 0, "hit_rate": 0.5}
         assert [ev["op"] for ev in cache.events] == \
             ["miss", "store", "hit"]
         assert all(ev["key"] == key for ev in cache.events)
@@ -139,10 +139,20 @@ class TestResultCache:
         assert fresh.corrupt == 1
         assert {"op": "corrupt", "key": key, "tier": "disk"} \
             in fresh.events
-        # recompute-and-put repairs the entry
+        # ... and a *repaired* one: the unreadable file is deleted on
+        # detection so it cannot re-fail on every future lookup
+        assert not path.exists()
+        assert fresh.repaired == 1
+        assert {"op": "repair", "key": key, "tier": "disk"} \
+            in fresh.events
+        later = ResultCache(directory=str(tmp_path))
+        assert later.lookup(key) == (False, None)
+        assert later.corrupt == 0  # plain miss now, not corrupt again
+        # recompute-and-put rewrites the entry
         fresh.put(key, "good")
         assert pickle.loads(path.read_bytes()) == "good"
         assert fresh.stats()["corrupt"] == 1
+        assert fresh.stats()["repaired"] == 1
 
     def test_absent_disk_entry_is_not_corrupt(self, tmp_path):
         cache = ResultCache(directory=str(tmp_path))

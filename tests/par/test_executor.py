@@ -52,6 +52,20 @@ class TestResolveJobs:
         with pytest.raises(ValueError):
             resolve_jobs(None)
 
+    @pytest.mark.parametrize("bad", ["0", "-3", "oops"])
+    def test_env_sourced_errors_name_the_variable(self, monkeypatch, bad):
+        # the caller never passed this value — the fix is $REPRO_JOBS,
+        # so the error must say so
+        monkeypatch.setenv(ENV_JOBS, bad)
+        with pytest.raises(ValueError, match=r"\$REPRO_JOBS"):
+            resolve_jobs(None)
+
+    def test_argument_errors_do_not_blame_the_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_JOBS, "4")
+        with pytest.raises(ValueError, match="jobs must be") as excinfo:
+            resolve_jobs(-1)
+        assert "REPRO_JOBS" not in str(excinfo.value)
+
     @pytest.mark.parametrize("bad", [-1, 1.5, True])
     def test_bad_argument_raises(self, bad):
         with pytest.raises(ValueError):
