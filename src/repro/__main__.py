@@ -26,6 +26,14 @@ Usage::
                                           # engine invariant checks;
                                           # --proc-faults injects seeded
                                           # worker crashes/hangs/raises
+    python -m repro atlas build [--machine M] [--smoke] [--jobs N]
+                                [--cache] [--ledger L.jsonl] [-o A.atlas]
+                                          # precompute the best-strategy
+                                          # frontier (byte-identical at
+                                          # any --jobs; --resume-able)
+    python -m repro atlas query A.atlas N_NODES MSGS SIZE [--dup F]
+                                          # O(1) winner + margin lookup
+    python -m repro atlas info A.atlas    # describe an artifact
     python -m repro obs report LEDGER     # summarize a run ledger /
                                           # BENCH_repro.json
     python -m repro obs diff A B          # regression attribution
@@ -59,7 +67,7 @@ import sys
 #: these, so the listing can never drift from the dispatch table below
 #: (tests assert each one appears in the usage text).
 COMMANDS = ("info", "report", "predict", "scenario", "perf", "trace",
-            "chaos", "obs")
+            "chaos", "atlas", "obs")
 
 
 def _info() -> None:
@@ -230,6 +238,10 @@ def main(argv=None) -> int:
         from repro.faults.chaos import main as chaos_main
 
         return chaos_main(rest)
+    elif cmd == "atlas":
+        from repro.atlas.cli import main as atlas_main
+
+        return atlas_main(rest)
     elif cmd == "obs":
         from repro.obs.analysis import main as obs_main
 

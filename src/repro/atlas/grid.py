@@ -1,0 +1,127 @@
+"""Atlas grid specification: the scenario lattice an atlas precomputes.
+
+An atlas covers the full (node-count x message-count x duplicate-
+fraction x message-size) scenario space of one machine preset with a
+**rectilinear** grid, so the query layer can bracket any point with one
+bisection per axis and interpolate multilinearly.  Axes must be
+strictly increasing, and every message count must be at least the
+largest node count — the same constraint :class:`~repro.models.
+scenarios.Scenario` enforces (one message per destination node), stated
+up front so no grid cell is silently clamped to a different scenario
+than its coordinates claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+import numpy as np
+
+from repro.models.scenarios import Scenario
+
+
+def _check_axis(name: str, values: Tuple, minimum=None) -> None:
+    if not values:
+        raise ValueError(f"AtlasGridSpec.{name} must not be empty")
+    if any(b <= a for a, b in zip(values, values[1:])):
+        raise ValueError(
+            f"AtlasGridSpec.{name} must be strictly increasing, got "
+            f"{values!r}")
+    if minimum is not None and values[0] < minimum:
+        raise ValueError(
+            f"AtlasGridSpec.{name} values must be >= {minimum}, got "
+            f"{values!r}")
+
+
+@dataclass(frozen=True)
+class AtlasGridSpec:
+    """Axes of one atlas build (see module docstring for invariants)."""
+
+    node_counts: Tuple[int, ...] = (2, 4, 8, 16, 32)
+    msg_counts: Tuple[int, ...] = (32, 64, 128, 256, 512)
+    dup_fractions: Tuple[float, ...] = (0.0, 0.125, 0.25)
+    sizes: Tuple[float, ...] = tuple(float(s) for s in np.logspace(1, 6, 11))
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "node_counts",
+                           tuple(int(n) for n in self.node_counts))
+        object.__setattr__(self, "msg_counts",
+                           tuple(int(m) for m in self.msg_counts))
+        object.__setattr__(self, "dup_fractions",
+                           tuple(float(d) for d in self.dup_fractions))
+        object.__setattr__(self, "sizes",
+                           tuple(float(s) for s in self.sizes))
+        _check_axis("node_counts", self.node_counts, minimum=1)
+        _check_axis("msg_counts", self.msg_counts, minimum=1)
+        _check_axis("dup_fractions", self.dup_fractions, minimum=0.0)
+        _check_axis("sizes", self.sizes)
+        if self.sizes[0] <= 0.0:
+            raise ValueError(
+                f"AtlasGridSpec.sizes must be positive (log-space "
+                f"interpolation), got {self.sizes!r}")
+        if self.dup_fractions[-1] >= 1.0:
+            raise ValueError(
+                f"AtlasGridSpec.dup_fractions must stay below 1.0, got "
+                f"{self.dup_fractions!r}")
+        if self.msg_counts[0] < self.node_counts[-1]:
+            raise ValueError(
+                f"every msg_count must be >= the largest node_count "
+                f"({self.node_counts[-1]}) so each cell is a valid "
+                f"scenario; got msg_counts={self.msg_counts!r}")
+
+    # -- shape ---------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, int, int, int]:
+        """(nodes, msgs, dups, sizes) tensor shape of the grid."""
+        return (len(self.node_counts), len(self.msg_counts),
+                len(self.dup_fractions), len(self.sizes))
+
+    @property
+    def cells(self) -> int:
+        n, m, d, z = self.shape
+        return n * m * d * z
+
+    def scenario_at(self, node_idx: int, msg_idx: int,
+                    dup_idx: int) -> Scenario:
+        """The scenario of one (node, msg, dup) lattice point."""
+        return Scenario(num_dest_nodes=self.node_counts[node_idx],
+                        num_messages=self.msg_counts[msg_idx],
+                        dup_fraction=self.dup_fractions[dup_idx])
+
+    def points(self) -> Iterator[Tuple[int, int, int, int]]:
+        """Every grid index tuple, in C (row-major) order."""
+        n, m, d, z = self.shape
+        for i in range(n):
+            for j in range(m):
+                for k in range(d):
+                    for l in range(z):  # noqa: E741 — axis index
+                        yield (i, j, k, l)
+
+    def to_dict(self) -> dict:
+        """Plain-JSON axes (the artifact header's ``axes`` object)."""
+        return {
+            "node_counts": list(self.node_counts),
+            "msg_counts": list(self.msg_counts),
+            "dup_fractions": list(self.dup_fractions),
+            "sizes": list(self.sizes),
+        }
+
+    @classmethod
+    def from_dict(cls, axes: dict) -> "AtlasGridSpec":
+        return cls(node_counts=tuple(axes["node_counts"]),
+                   msg_counts=tuple(axes["msg_counts"]),
+                   dup_fractions=tuple(axes["dup_fractions"]),
+                   sizes=tuple(axes["sizes"]))
+
+
+def default_grid(smoke: bool = False) -> AtlasGridSpec:
+    """The standard atlas lattice (``smoke`` shrinks it for CI/tests)."""
+    if smoke:
+        return AtlasGridSpec(
+            node_counts=(4, 16),
+            msg_counts=(32, 256),
+            dup_fractions=(0.0, 0.25),
+            sizes=tuple(float(s) for s in np.logspace(1, 6, 5)),
+        )
+    return AtlasGridSpec()

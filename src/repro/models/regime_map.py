@@ -8,7 +8,8 @@ strategies on a given machine.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import re
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -21,7 +22,9 @@ from repro.models.scenarios import (
 )
 from repro.models.strategies import all_strategy_models
 
-#: short codes for compact map rendering
+#: curated short codes for the paper's strategy families; labels outside
+#: this table get a code *derived* from the label (see :func:`short_code`)
+#: so new strategy families render without editing this dict
 _CODES = {
     "Standard (staged)": "St/S",
     "Standard (device-aware)": "St/D",
@@ -36,9 +39,41 @@ _CODES = {
 }
 
 
+def short_code(label: str) -> str:
+    """Deterministic compact code for a strategy label.
+
+    Curated labels come straight from :data:`_CODES`; any other label —
+    e.g. a new strategy family — derives its code from its own text
+    (name initials + data-path initial), so regime maps and atlas
+    renderings never show a placeholder for unknown strategies.
+    """
+    known = _CODES.get(label)
+    if known is not None:
+        return known
+    if not label:
+        return "--"
+    name, _sep, variant = label.partition("(")
+    variant = variant.rstrip(")").strip()
+    tokens = [t for t in re.split(r"[\s+\-/_]+", name.strip()) if t]
+    if not tokens:
+        head = "--"
+    elif len(tokens) == 1:
+        head = tokens[0][:2].capitalize()
+    else:
+        head = (tokens[0][0] + tokens[-1][0]).upper()
+    return f"{head}/{variant[0].upper()}" if variant else head
+
+
 @dataclass
 class RegimeMap:
-    """Winner per (node count, message size) grid cell."""
+    """Winner per (node count, message size) grid cell.
+
+    ``winners`` holds the full labels for human consumption;
+    ``labels`` + ``winners_idx`` are the array view of the same data
+    (``winners[i][j] == labels[winners_idx[i, j]]``) that the atlas
+    builder consumes directly, and ``times`` (kept on request) is the
+    per-strategy modelled-time tensor behind the argmin.
+    """
 
     machine: str
     num_messages: int
@@ -46,9 +81,16 @@ class RegimeMap:
     node_counts: List[int]
     sizes: List[float]
     winners: List[List[str]]  # [node_idx][size_idx] full labels
+    #: evaluated model labels in registry order (indexes ``winners_idx``)
+    labels: List[str] = field(default_factory=list)
+    #: ``(len(node_counts), len(sizes))`` argmin indices into ``labels``
+    winners_idx: Optional[np.ndarray] = None
+    #: ``(len(labels), len(node_counts), len(sizes))`` modelled times,
+    #: populated by ``compute_regime_map(..., keep_times=True)``
+    times: Optional[np.ndarray] = None
 
     def code(self, node_idx: int, size_idx: int) -> str:
-        return _CODES.get(self.winners[node_idx][size_idx], "????")
+        return short_code(self.winners[node_idx][size_idx])
 
     def distinct_winners(self) -> List[str]:
         seen: Dict[str, None] = {}
@@ -63,14 +105,19 @@ def compute_regime_map(machine: MachineSpec,
                        node_counts: Sequence[int] = (2, 4, 8, 16, 32),
                        num_messages: int = 256,
                        dup_fraction: float = 0.0,
-                       exclude_best_case: bool = True) -> RegimeMap:
+                       exclude_best_case: bool = True,
+                       keep_times: bool = False) -> RegimeMap:
     """Evaluate the Table-6 models over a (nodes x size) grid.
 
     The model registry (and its labels) is built once for the whole
     grid, and every (strategy, node-count row, size) cell evaluates in
     a single fused kernel call — bit-identical to the historical
     per-row ``best_strategy_sweep`` loop, which rebuilt the models for
-    every row and the time matrix for every cell.
+    every row and the time matrix for every cell.  The winner grid is
+    carried both as labels (``winners``) and as the ``winners_idx``
+    index array; ``keep_times=True`` additionally retains the full
+    ``(model, node, size)`` time tensor (the atlas builder needs it for
+    runner-up margins).
     """
     if sizes is None:
         sizes = list(np.logspace(1, 6, 11))
@@ -83,14 +130,16 @@ def compute_regime_map(machine: MachineSpec,
                  dup_fraction=dup_fraction)
         for nodes in node_counts
     ]
-    winners: List[List[str]] = []
+    labels: List[str] = []
+    times = None
     if models and scenarios:
         labels, times = fused_scenario_times(
             machine, scenarios, [float(s) for s in sizes], models)
-        for r in range(len(scenarios)):
-            winners.append(
-                [labels[i] for i in np.argmin(times[:, r, :], axis=0)])
+        winners_idx = np.argmin(times, axis=0)
+        winners = [[labels[i] for i in row] for row in winners_idx]
     else:
+        winners_idx = np.full((len(scenarios), len(sizes)), -1,
+                              dtype=np.int64)
         winners = [["" for _ in sizes] for _ in scenarios]
     return RegimeMap(
         machine=machine.name,
@@ -99,6 +148,9 @@ def compute_regime_map(machine: MachineSpec,
         node_counts=[int(n) for n in node_counts],
         sizes=[float(s) for s in sizes],
         winners=winners,
+        labels=labels,
+        winners_idx=winners_idx,
+        times=times if keep_times else None,
     )
 
 
@@ -114,7 +166,9 @@ def render_regime_map(rm: RegimeMap) -> str:
     for i, nodes in enumerate(rm.node_counts):
         cells = " ".join(f"{rm.code(i, j):>7s}" for j in range(len(rm.sizes)))
         lines.append(f"{nodes:>10d} {cells}")
-    legend = ", ".join(f"{code}={label}" for label, code in _CODES.items()
-                       if label in rm.distinct_winners())
+    winners = rm.distinct_winners()
+    ordered = [label for label in _CODES if label in winners]
+    ordered += [label for label in winners if label not in _CODES]
+    legend = ", ".join(f"{short_code(label)}={label}" for label in ordered)
     lines.append(f"legend: {legend}")
     return "\n".join(lines)

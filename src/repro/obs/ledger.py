@@ -78,6 +78,7 @@ _REQUIRED_FIELDS = {
     "run_start": ("schema", "run_id", "cmd", "args"),
     "run_end": ("status",),
     "cell": ("scenario", "strategy"),
+    "atlas_shard": ("msgs", "dup"),
     "workload": ("name",),
     "metrics": ("snapshot",),
     "sweep": ("tasks",),

@@ -40,6 +40,13 @@ The workloads cover the layers the optimisation work targets:
     through :func:`~repro.models.scenarios.fused_scenario_times` vs the
     point-wise scalar ``StrategyModel.time`` loop, asserting cell-wise
     bit-identity and a ≥10x sweep-cells/s floor.
+``atlas_query``
+    The precomputed regime-map atlas: every grid point answered through
+    :meth:`~repro.atlas.index.AtlasIndex.lookup` vs exact
+    :func:`~repro.models.scenarios.best_strategy` evaluation, asserting
+    winner-for-winner exact agreement and a ≥50x queries/s floor (the
+    atlas is built outside the timed region — it is the offline
+    artifact).
 
 Each workload reports its wall clock (best and median of ``repeats``)
 plus a throughput metric (virtual events/sec, simulated messages/sec or
@@ -69,11 +76,17 @@ import numpy as np
 #: (each asserting bit-identity plus a speedup floor internally), and
 #: keys already ending in ``_per_s`` no longer receive an automatic
 #: ``_per_s`` companion.
-SCHEMA = 4
+#: Schema 5 adds the ``atlas_query`` workload (O(1) atlas lookups vs
+#: exact ``best_strategy`` evaluation, with an exact-agreement check
+#: and a queries/s speedup floor).
+SCHEMA = 5
 
 #: enforced speedup floors (ISSUE 6 acceptance criteria)
 MIN_DES_BATCHED_SPEEDUP = 5.0
 MIN_SWEEP_FUSED_SPEEDUP = 10.0
+
+#: enforced atlas speedup floor (ISSUE 9 acceptance criterion)
+MIN_ATLAS_QUERY_SPEEDUP = 50.0
 
 
 @dataclass
@@ -393,6 +406,76 @@ def _sweep_fused_workload(n_sizes: int, dup_fractions: Tuple[float, ...],
     return run
 
 
+def _atlas_query_workload(smoke: bool, rounds: int,
+                          machine_name: str = "lassen",
+                          min_speedup: float = MIN_ATLAS_QUERY_SPEEDUP
+                          ) -> Callable[[], Dict[str, float]]:
+    """O(1) atlas lookups vs exact per-query evaluation.
+
+    The atlas is built once at workload construction — it is the
+    *offline* artifact, so its cost never lands in the timed region.
+    The atlas arm answers every grid point ``rounds`` times through
+    :meth:`~repro.atlas.index.AtlasIndex.lookup`; the exact arm answers
+    each point once through :func:`~repro.models.scenarios.
+    best_strategy` (which rebuilds the model registry and runs the
+    fused kernel per query — the cost the atlas amortizes away).  The
+    two winner sequences must agree exactly on every grid point, every
+    lookup must be served from the atlas (no fallbacks on-grid), and
+    the per-query speedup must clear the ``min_speedup`` floor — the
+    tentpole claim of the atlas, enforced on every suite run.
+    """
+    from repro.atlas import build_atlas, default_grid
+    from repro.machine import resolve_machine
+
+    machine = resolve_machine(machine_name)
+    spec = default_grid(smoke=smoke)
+    atlas = build_atlas(machine, spec=spec)
+    queries = [(spec.scenario_at(i, j, k), spec.sizes[l])
+               for (i, j, k, l) in spec.points()]
+
+    def run() -> Dict[str, float]:
+        from repro.atlas import AtlasIndex
+        from repro.models.scenarios import best_strategy
+
+        index = AtlasIndex(atlas)
+        t0 = time.perf_counter()
+        atlas_winners: List[str] = []
+        for _ in range(rounds):
+            atlas_winners = [index.lookup(sc, size).winner
+                             for sc, size in queries]
+        t_atlas_q = (time.perf_counter() - t0) / (rounds * len(queries))
+
+        t0 = time.perf_counter()
+        exact_winners = [best_strategy(machine, sc, size)
+                         for sc, size in queries]
+        t_exact_q = (time.perf_counter() - t0) / len(queries)
+
+        if atlas_winners != exact_winners:
+            bad = sum(a != e for a, e in zip(atlas_winners, exact_winners))
+            raise AssertionError(
+                f"atlas winners diverged from exact evaluation on {bad} "
+                f"of {len(queries)} grid points")
+        counters = index.counters()
+        if counters["atlas.hits"] != counters["atlas.lookups"]:
+            raise AssertionError(
+                f"on-grid atlas queries fell back to exact evaluation: "
+                f"{counters}")
+        speedup = t_exact_q / t_atlas_q if t_atlas_q > 0 else float("inf")
+        if speedup < min_speedup:
+            raise AssertionError(
+                f"atlas query speedup {speedup:.1f}x below the "
+                f"{min_speedup:.0f}x floor "
+                f"({1.0 / t_exact_q:,.0f} -> {1.0 / t_atlas_q:,.0f} "
+                f"queries/s)")
+        return {
+            "queries": float(rounds * len(queries)),
+            "atlas_queries_per_s": 1.0 / t_atlas_q,
+            "speedup_atlas": speedup,
+        }
+
+    return run
+
+
 def _sweep_parallel_workload(par_jobs: int, machine_name: str = "lassen"
                              ) -> Callable[[], Dict[str, float]]:
     """Chaos-smoke sweep: serial vs ``par_jobs`` workers vs warm cache.
@@ -507,6 +590,8 @@ def default_workloads(smoke: bool = False, jobs: Optional[int] = None,
                                              policy=policy), 1),
             ("sweep_fused", _sweep_fused_workload(32, (0.0, 0.25),
                                                   machine_name=machine), 1),
+            ("atlas_query", _atlas_query_workload(smoke=True, rounds=20,
+                                                  machine_name=machine), 1),
             ("hop_plan", _hop_plan_workload(16, machine_name=machine), 1),
             ("obs_overhead", _obs_overhead_workload(nodes=2, block=32, reps=1,
                                                     machine_name=machine), 1),
@@ -525,6 +610,8 @@ def default_workloads(smoke: bool = False, jobs: Optional[int] = None,
                                          machine_name=machine,
                                          policy=policy), 3),
         ("sweep_fused", _sweep_fused_workload(64, (0.0, 0.25),
+                                              machine_name=machine), 3),
+        ("atlas_query", _atlas_query_workload(smoke=False, rounds=5,
                                               machine_name=machine), 3),
         ("hop_plan", _hop_plan_workload(64, machine_name=machine), 3),
         ("obs_overhead", _obs_overhead_workload(nodes=4, block=256, reps=3,

@@ -1,0 +1,188 @@
+"""Atlas artifact format: roundtrip, byte-determinism, failure modes."""
+
+import numpy as np
+import pytest
+
+from repro.atlas import (
+    ATLAS_SCHEMA,
+    Atlas,
+    AtlasFormatError,
+    AtlasGridSpec,
+    decode_winner_runs,
+    encode_winner_runs,
+    load_atlas,
+    read_header,
+    save_atlas,
+)
+
+
+def tiny_atlas(seed: int = 3) -> Atlas:
+    spec = AtlasGridSpec(node_counts=(2, 4), msg_counts=(8, 16),
+                         dup_fractions=(0.0,), sizes=(10.0, 100.0, 1000.0))
+    labels = ["A (staged)", "B (staged)", "C (device-aware)"]
+    rng = np.random.default_rng(seed)
+    times = rng.uniform(1e-6, 1e-3, (len(labels),) + spec.shape)
+    return Atlas(machine="lassen", spec=spec, labels=labels, times=times,
+                 winners_idx=np.argmin(times, axis=0))
+
+
+class TestWinnerRuns:
+    def test_roundtrip(self):
+        grid = np.array([[0, 0, 1], [1, 1, 2]])
+        runs = encode_winner_runs(grid)
+        assert runs == [[2, 0], [3, 1], [1, 2]]
+        assert np.array_equal(decode_winner_runs(runs, grid.shape), grid)
+
+    def test_constant_grid_is_one_run(self):
+        grid = np.zeros((4, 5), dtype=np.int64)
+        assert encode_winner_runs(grid) == [[20, 0]]
+
+    def test_empty(self):
+        assert encode_winner_runs(np.empty((0,), dtype=np.int64)) == []
+
+    def test_coverage_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="cover"):
+            decode_winner_runs([[3, 0]], (2, 2))
+
+
+class TestRoundtrip:
+    def test_save_load_identity(self, tmp_path):
+        atlas = tiny_atlas()
+        path = tmp_path / "t.atlas"
+        header = save_atlas(atlas, str(path))
+        assert header["schema"] == ATLAS_SCHEMA
+        loaded = load_atlas(str(path))
+        assert loaded.machine == atlas.machine
+        assert loaded.labels == atlas.labels
+        assert loaded.spec == atlas.spec
+        assert np.array_equal(loaded.times, atlas.times)
+        assert np.array_equal(loaded.winners_idx, atlas.winners_idx)
+
+    def test_two_saves_are_byte_identical(self, tmp_path):
+        atlas = tiny_atlas()
+        a, b = tmp_path / "a.atlas", tmp_path / "b.atlas"
+        save_atlas(atlas, str(a))
+        save_atlas(atlas, str(b))
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_read_header_alone(self, tmp_path):
+        atlas = tiny_atlas()
+        path = tmp_path / "t.atlas"
+        save_atlas(atlas, str(path))
+        header = read_header(str(path))
+        assert header["machine"] == "lassen"
+        assert header["labels"] == atlas.labels
+
+    def test_shape_validation_in_constructor(self):
+        atlas = tiny_atlas()
+        with pytest.raises(ValueError, match="times tensor shape"):
+            Atlas(machine="m", spec=atlas.spec, labels=atlas.labels,
+                  times=atlas.times[:, :1], winners_idx=atlas.winners_idx)
+        with pytest.raises(ValueError, match="winners_idx shape"):
+            Atlas(machine="m", spec=atlas.spec, labels=atlas.labels,
+                  times=atlas.times, winners_idx=atlas.winners_idx[:1])
+
+
+class TestFailureModes:
+    """Every torn/corrupt artifact reads as a clean AtlasFormatError."""
+
+    @pytest.fixture()
+    def saved(self, tmp_path):
+        path = tmp_path / "t.atlas"
+        save_atlas(tiny_atlas(), str(path))
+        return path
+
+    def test_bad_magic(self, saved):
+        saved.write_bytes(b"NOTATLAS" + saved.read_bytes()[8:])
+        with pytest.raises(AtlasFormatError, match="bad magic"):
+            load_atlas(str(saved))
+
+    def test_torn_header(self, saved):
+        blob = saved.read_bytes()
+        saved.write_bytes(blob[:40])  # mid-header, no newline
+        with pytest.raises(AtlasFormatError, match="torn header"):
+            load_atlas(str(saved))
+
+    def test_truncated_payload(self, saved):
+        blob = saved.read_bytes()
+        saved.write_bytes(blob[:-100])
+        with pytest.raises(AtlasFormatError, match="truncated payload"):
+            load_atlas(str(saved))
+
+    def test_corrupted_payload(self, saved):
+        blob = bytearray(saved.read_bytes())
+        blob[-1] ^= 0xFF
+        saved.write_bytes(bytes(blob))
+        with pytest.raises(AtlasFormatError, match="checksum"):
+            load_atlas(str(saved))
+
+    def test_future_schema_names_both_versions(self, saved):
+        blob = saved.read_bytes()
+        head, payload = blob.split(b"\n", 1)
+        head = head.replace(b'"schema":%d' % ATLAS_SCHEMA,
+                            b'"schema":%d' % (ATLAS_SCHEMA + 1))
+        saved.write_bytes(head + b"\n" + payload)
+        with pytest.raises(AtlasFormatError) as exc:
+            load_atlas(str(saved))
+        message = str(exc.value)
+        assert str(ATLAS_SCHEMA + 1) in message
+        assert f"expects {ATLAS_SCHEMA}" in message
+
+    def test_unreadable_header_json(self, saved):
+        saved.write_bytes(b"RPRATLAS {not json\n")
+        with pytest.raises(AtlasFormatError, match="unreadable header"):
+            load_atlas(str(saved))
+
+    def test_winner_encoding_must_match_argmin(self, saved, tmp_path):
+        # flip one winner run so the RLE disagrees with the tensor
+        import json
+
+        blob = saved.read_bytes()
+        head, payload = blob.split(b"\n", 1)
+        header = json.loads(head[len(b"RPRATLAS "):])
+        header["winners_rle"][0][1] = (header["winners_rle"][0][1] + 1) % 3
+        from repro.obs.ledger import canonical_dumps
+
+        forged = (b"RPRATLAS " + canonical_dumps(header).encode() + b"\n"
+                  + payload)
+        bad = tmp_path / "forged.atlas"
+        bad.write_bytes(forged)
+        with pytest.raises(AtlasFormatError, match="argmin"):
+            load_atlas(str(bad))
+
+    def test_error_message_names_reader_schema(self, saved):
+        saved.write_bytes(b"junk")
+        with pytest.raises(AtlasFormatError,
+                           match=f"atlas schema {ATLAS_SCHEMA} reader"):
+            load_atlas(str(saved))
+
+
+class TestGridSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="strictly increasing"):
+            AtlasGridSpec(node_counts=(4, 2))
+        with pytest.raises(ValueError, match="must not be empty"):
+            AtlasGridSpec(sizes=())
+        with pytest.raises(ValueError, match="below 1.0"):
+            AtlasGridSpec(dup_fractions=(0.0, 1.0))
+        with pytest.raises(ValueError, match="msg_count must be >="):
+            AtlasGridSpec(node_counts=(2, 64), msg_counts=(32, 128))
+
+    def test_dict_roundtrip(self):
+        spec = AtlasGridSpec(node_counts=(2, 4), msg_counts=(8,),
+                             dup_fractions=(0.0, 0.5),
+                             sizes=(1.0, 10.0))
+        assert AtlasGridSpec.from_dict(spec.to_dict()) == spec
+
+    def test_scenarios_are_valid(self):
+        from repro.atlas import default_grid
+
+        for smoke in (False, True):
+            spec = default_grid(smoke=smoke)
+            for i in range(len(spec.node_counts)):
+                for j in range(len(spec.msg_counts)):
+                    for k in range(len(spec.dup_fractions)):
+                        sc = spec.scenario_at(i, j, k)
+                        # no silent clamping: coordinates are the scenario
+                        assert sc.num_dest_nodes == spec.node_counts[i]
+                        assert sc.num_messages == spec.msg_counts[j]

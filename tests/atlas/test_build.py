@@ -1,0 +1,110 @@
+"""Atlas building: shapes, determinism, caching, winners_idx reuse."""
+
+import numpy as np
+import pytest
+
+from repro.atlas import (
+    AtlasGridSpec,
+    atlas_shard_key,
+    build_atlas,
+    build_tasks,
+    default_grid,
+    save_atlas,
+)
+from repro.machine import lassen
+from repro.models.regime_map import compute_regime_map
+
+SPEC = AtlasGridSpec(node_counts=(4, 16), msg_counts=(32, 256),
+                     dup_fractions=(0.0, 0.25),
+                     sizes=(100.0, 10_000.0, 1e6))
+
+
+@pytest.fixture(scope="module")
+def atlas():
+    return build_atlas(lassen(), spec=SPEC)
+
+
+class TestAssembly:
+    def test_shapes(self, atlas):
+        assert atlas.times.shape == (len(atlas.labels),) + SPEC.shape
+        assert atlas.winners_idx.shape == SPEC.shape
+        assert atlas.cells == SPEC.cells == 2 * 2 * 2 * 3
+
+    def test_winners_are_the_argmin(self, atlas):
+        assert np.array_equal(atlas.winners_idx,
+                              np.argmin(atlas.times, axis=0))
+
+    def test_best_case_models_excluded(self, atlas):
+        assert all("2-Step 1" not in label for label in atlas.labels)
+
+    def test_cells_match_regime_map_slices(self, atlas):
+        """The atlas consumes compute_regime_map's array view directly:
+        every (msgs, dup) slice equals an independent regime-map run."""
+        for j, msgs in enumerate(SPEC.msg_counts):
+            for k, dup in enumerate(SPEC.dup_fractions):
+                rm = compute_regime_map(lassen(), sizes=list(SPEC.sizes),
+                                        node_counts=SPEC.node_counts,
+                                        num_messages=msgs, dup_fraction=dup,
+                                        keep_times=True)
+                assert rm.labels == atlas.labels
+                assert np.array_equal(atlas.times[:, :, j, k, :], rm.times)
+                assert np.array_equal(atlas.winners_idx[:, j, k, :],
+                                      rm.winners_idx)
+
+
+class TestDeterminism:
+    def test_jobs_do_not_change_the_artifact(self, atlas, tmp_path):
+        serial = tmp_path / "serial.atlas"
+        fanned = tmp_path / "fanned.atlas"
+        save_atlas(atlas, str(serial))
+        save_atlas(build_atlas(lassen(), spec=SPEC, jobs=2), str(fanned))
+        assert serial.read_bytes() == fanned.read_bytes()
+
+    def test_warm_cache_skips_every_shard(self, tmp_path):
+        from repro.par.cache import ResultCache
+        from repro.par.executor import SweepStats
+
+        cache = ResultCache(directory=str(tmp_path / "cache"))
+        cold_stats = SweepStats()
+        cold = build_atlas(lassen(), spec=SPEC, cache=cache,
+                           stats=cold_stats)
+        assert cold_stats.executed == len(build_tasks(lassen(), SPEC))
+        warm_stats = SweepStats()
+        warm = build_atlas(lassen(), spec=SPEC, cache=cache,
+                           stats=warm_stats)
+        assert warm_stats.executed == 0
+        assert np.array_equal(cold.times, warm.times)
+
+    def test_shard_key_depends_on_the_grid(self):
+        tasks = build_tasks(lassen(), SPEC)
+        keys = {atlas_shard_key(t) for t in tasks}
+        assert len(keys) == len(tasks)  # every shard distinct
+        other = AtlasGridSpec(node_counts=(4, 16), msg_counts=(32, 256),
+                              dup_fractions=(0.0, 0.25),
+                              sizes=(100.0, 10_000.0, 2e6))
+        assert atlas_shard_key(build_tasks(lassen(), other)[0]) \
+            != atlas_shard_key(tasks[0])
+
+    def test_shard_done_observes_every_shard_in_order(self):
+        seen = []
+        build_atlas(lassen(), spec=SPEC,
+                    shard_done=lambda index, shard: seen.append(index))
+        assert seen == list(range(len(build_tasks(lassen(), SPEC))))
+
+
+class TestDefaultGrids:
+    def test_smoke_grid_is_a_strict_shrink(self):
+        full, smoke = default_grid(), default_grid(smoke=True)
+        assert smoke.cells < full.cells
+        assert set(smoke.node_counts) <= set(full.node_counts)
+        assert set(smoke.msg_counts) <= set(full.msg_counts)
+
+    def test_machine_presets_build(self):
+        from repro.machine import resolve_machine
+
+        spec = AtlasGridSpec(node_counts=(4,), msg_counts=(32,),
+                             dup_fractions=(0.0,), sizes=(1000.0,))
+        for name in ("summit", "frontier_like"):
+            atlas = build_atlas(resolve_machine(name), spec=spec)
+            assert atlas.machine == resolve_machine(name).name
+            assert atlas.cells == 1

@@ -1,0 +1,122 @@
+"""`python -m repro atlas` end to end: build, info, query, ledger."""
+
+import json
+
+import pytest
+
+from repro.atlas.cli import main
+
+
+@pytest.fixture()
+def artifact(tmp_path):
+    path = tmp_path / "smoke.atlas"
+    assert main(["build", "--smoke", "-o", str(path)]) == 0
+    return path
+
+
+class TestBuild:
+    def test_build_prints_summary_and_writes(self, tmp_path, capsys):
+        path = tmp_path / "smoke.atlas"
+        assert main(["build", "--smoke", "-o", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "atlas: lassen" in out
+        assert "frontier:" in out
+        assert "wrote" in out
+        assert path.exists()
+
+    def test_jobs_builds_are_byte_identical(self, tmp_path, capsys):
+        one, two = tmp_path / "j1.atlas", tmp_path / "j2.atlas"
+        assert main(["build", "--smoke", "--jobs", "1", "-o",
+                     str(one)]) == 0
+        assert main(["build", "--smoke", "--jobs", "2", "-o",
+                     str(two)]) == 0
+        assert one.read_bytes() == two.read_bytes()
+
+    def test_build_with_ledger_validates(self, tmp_path, capsys):
+        from repro.obs.ledger import read_ledger, validate_ledger
+
+        path = tmp_path / "a.atlas"
+        ledger = tmp_path / "atlas.jsonl"
+        cache = tmp_path / "cache"
+        assert main(["build", "--smoke", "-o", str(path),
+                     "--cache-dir", str(cache),
+                     "--ledger", str(ledger)]) == 0
+        assert validate_ledger(read_ledger(str(ledger))) == 1
+        records = [json.loads(line)
+                   for line in ledger.read_text().splitlines()]
+        kinds = [r["event"] for r in records]
+        assert kinds.count("atlas_shard") == 4  # 2 msgs x 2 dups
+        assert "sweep" in kinds
+        assert "cache" in kinds
+        end = records[-1]
+        assert end["event"] == "run_end" and end["status"] == "ok"
+        assert end["artifact"] == str(path)
+
+    def test_resume_from_cache_is_byte_identical(self, tmp_path, capsys):
+        cache = tmp_path / "cache"
+        cold, resumed = tmp_path / "cold.atlas", tmp_path / "resumed.atlas"
+        assert main(["build", "--smoke", "--cache-dir", str(cache),
+                     "-o", str(cold)]) == 0
+        assert main(["build", "--smoke", "--resume",
+                     "--cache-dir", str(cache), "-o", str(resumed)]) == 0
+        assert cold.read_bytes() == resumed.read_bytes()
+
+
+class TestInfoAndQuery:
+    def test_info(self, artifact, capsys):
+        assert main(["info", str(artifact)]) == 0
+        out = capsys.readouterr().out
+        assert "machine: lassen" in out
+        assert "cells:   40" in out
+        assert "frontier:" in out
+
+    def test_query_on_grid(self, artifact, capsys):
+        assert main(["query", str(artifact), "4", "32", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "winner:" in out
+        assert "atlas grid point" in out
+        assert "<= best" in out
+
+    def test_query_interpolated(self, artifact, capsys):
+        assert main(["query", str(artifact), "8", "100", "5000",
+                     "--dup", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "interpolated from the atlas grid" in out
+
+    def test_query_outside_hull_reports_exact(self, artifact, capsys):
+        assert main(["query", str(artifact), "64", "1024", "5000"]) == 0
+        out = capsys.readouterr().out
+        assert "outside the atlas grid" in out
+
+    def test_query_margin_band_override(self, artifact, capsys):
+        assert main(["query", str(artifact), "8", "100", "5000",
+                     "--dup", "0.1", "--margin-band", "1e9"]) == 0
+        out = capsys.readouterr().out
+        assert "inside the frontier band" in out
+
+
+class TestErrors:
+    def test_corrupt_artifact_is_a_clean_error(self, artifact, capsys):
+        artifact.write_bytes(artifact.read_bytes()[:100])
+        rc = main(["info", str(artifact)])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "atlas schema" in err
+
+    def test_unknown_verb(self, capsys):
+        assert main(["frobnicate"]) == 2
+        assert "unknown atlas verb" in capsys.readouterr().err
+
+    def test_help(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "build" in out and "query" in out and "info" in out
+
+
+def test_dispatch_from_package_main(capsys):
+    from repro.__main__ import COMMANDS, main as repro_main
+
+    assert "atlas" in COMMANDS
+    assert repro_main(["atlas"]) == 0
+    assert "usage" in capsys.readouterr().out

@@ -1,5 +1,6 @@
 """Regime-map computation and rendering."""
 
+import numpy as np
 import pytest
 
 from repro.machine import frontier_like, lassen
@@ -8,6 +9,7 @@ from repro.models.regime_map import (
     RegimeMap,
     compute_regime_map,
     render_regime_map,
+    short_code,
 )
 
 
@@ -56,6 +58,53 @@ class TestCompute:
         rm = compute_regime_map(frontier_like(), sizes=[1000.0],
                                 node_counts=(4,))
         assert rm.machine == "frontier-like"
+
+
+class TestShortCode:
+    def test_known_labels_use_curated_codes(self):
+        for label, code in _CODES.items():
+            assert short_code(label) == code
+
+    def test_unknown_labels_never_render_placeholders(self):
+        for label in ("Hierarchical (staged)", "Ring Exchange (device-aware)",
+                      "Locality", "Split + XY (staged)", "Neighborhood"):
+            code = short_code(label)
+            assert "?" not in code
+            assert code.strip()
+
+    def test_derivation_is_structural(self):
+        # name initials + data-path initial for multi-token labels
+        assert short_code("Ring Exchange (device-aware)") == "RE/D"
+        assert short_code("Hierarchical (staged)") == "Hi/S"
+        # no variant: just the head
+        assert short_code("Locality") == "Lo"
+        assert short_code("") == "--"
+
+    def test_code_method_handles_unknown_winner(self):
+        rm = RegimeMap(machine="m", num_messages=1, dup_fraction=0.0,
+                       node_counts=[2], sizes=[1.0],
+                       winners=[["Brand New (staged)"]])
+        assert "?" not in rm.code(0, 0)
+
+
+class TestArrayView:
+    def test_winners_idx_aligns_with_labels(self, rm):
+        assert rm.winners_idx is not None
+        assert rm.winners_idx.shape == (len(rm.node_counts), len(rm.sizes))
+        for i in range(len(rm.node_counts)):
+            for j in range(len(rm.sizes)):
+                assert rm.winners[i][j] == rm.labels[rm.winners_idx[i, j]]
+
+    def test_times_dropped_by_default(self, rm):
+        assert rm.times is None
+
+    def test_keep_times_retains_the_argmin_tensor(self):
+        kept = compute_regime_map(lassen(), sizes=[100.0, 1e6],
+                                  node_counts=(4, 16), keep_times=True)
+        assert kept.times is not None
+        assert kept.times.shape == (len(kept.labels), 2, 2)
+        assert np.array_equal(np.argmin(kept.times, axis=0),
+                              kept.winners_idx)
 
 
 class TestRender:

@@ -13,7 +13,8 @@ from repro.perf.suite import (
 )
 
 WORKLOADS = ["engine", "des_batched", "pingpong", "spmv", "scenarios",
-             "sweep_fused", "hop_plan", "obs_overhead", "sweep_parallel"]
+             "sweep_fused", "atlas_query", "hop_plan", "obs_overhead",
+             "sweep_parallel"]
 
 
 def test_smoke_suite_runs_and_reports(tmp_path, capsys):
@@ -55,6 +56,11 @@ def test_smoke_suite_runs_and_reports(tmp_path, capsys):
     assert fused.metrics["speedup_fused"] >= 10.0
     assert "fused_cells_per_s" in fused.metrics
     assert "fused_cells_per_s_per_s" not in fused.metrics
+    # the atlas workload enforces >= 50x queries/s and exact agreement
+    atlas = next(r for r in results if r.name == "atlas_query")
+    assert atlas.metrics["speedup_atlas"] >= 50.0
+    assert "atlas_queries_per_s" in atlas.metrics
+    assert "atlas_queries_per_s_per_s" not in atlas.metrics
 
     out = tmp_path / "bench.json"
     report = write_report(results, str(out), smoke=True)
@@ -62,7 +68,7 @@ def test_smoke_suite_runs_and_reports(tmp_path, capsys):
     assert on_disk == json.loads(json.dumps(report))
     assert on_disk["suite"] == "repro.perf"
     assert on_disk["schema"] == SCHEMA
-    assert SCHEMA == 4
+    assert SCHEMA == 5
     assert on_disk["smoke"] is True
     assert on_disk["machine"] == "lassen"
     assert on_disk["total_wall_s"] > 0.0
