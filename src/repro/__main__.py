@@ -86,6 +86,21 @@ def _info() -> None:
               f"eager<={th.eager_limit} B, "
               f"gpu-eager<={th.gpu_eager_limit} B, "
               f"ppn<={m.cores_per_node}, gpn={m.gpus_per_node}")
+        print(f"  {'':14s} NICs/node={m.nic.nics_per_node}, "
+              f"node rate = {m.nic.node_injection_rate:.2e} B/s, "
+              f"leaders/node={m.leaders_per_node}")
+        tiers = []
+        for tier in m.locality_hierarchy.tiers:
+            extras = []
+            if tier.alpha_scale != 1.0:
+                extras.append(f"alpha x{tier.alpha_scale:g}")
+            if tier.beta_scale != 1.0:
+                extras.append(f"beta x{tier.beta_scale:g}")
+            if tier.nic_share != 1.0:
+                extras.append(f"nic share {tier.nic_share:g}")
+            suffix = f" ({', '.join(extras)})" if extras else ""
+            tiers.append(f"{tier.name}[{tier.base.name.lower()}]{suffix}")
+        print(f"  {'':14s} tiers: {' -> '.join(tiers)}")
     from repro.core import all_strategies
 
     print("strategies:", ", ".join(s.label for s in all_strategies()))
@@ -139,6 +154,10 @@ def _scenario(args: list) -> int:
                         help="machine preset (see `python -m repro info`)")
     parser.add_argument("--points", type=int, default=9,
                         help="message sizes per scenario panel (default 9)")
+    parser.add_argument("--extended", action="store_true",
+                        help="also sweep the hierarchy-aware strategy "
+                             "families (3-Step H, Neighbor P, ML 3-Step) "
+                             "beyond the paper's Table-5 set")
     parser.add_argument("-j", "--jobs", type=int, default=None,
                         help="worker processes (default: $REPRO_JOBS or "
                              "serial); results are byte-identical")
@@ -166,7 +185,8 @@ def _scenario(args: list) -> int:
         stats = SweepStats()
     swept = sweep_scenarios(machine, PAPER_SCENARIOS, sizes, jobs=ns.jobs,
                             cache=cache, stats=stats, policy=policy,
-                            journal_dir=journal_dir, resume=resume)
+                            journal_dir=journal_dir, resume=resume,
+                            include_extended=ns.extended)
     if ns.ledger:
         from repro.obs.ledger import RunLedger
 

@@ -134,7 +134,7 @@ def _fig4_2_shard(spec) -> Dict:
     pattern = dist.comm_pattern()
     summary = pattern.summarize(job.layout)
     measured = {}
-    for strategy in all_strategies():
+    for strategy in all_strategies(include_extended=False):
         res = run_exchange(job, strategy, pattern)
         measured[strategy.label] = res.comm_time
     model = {

@@ -34,8 +34,8 @@ from repro.machine import resolve_machine
 from repro.sparse.suite import SUITE
 
 
-def _code(text: str) -> List[str]:
-    return ["```", text, "```", ""]
+def _code(text: str, lang: str = "") -> List[str]:
+    return [f"```{lang}", text, "```", ""]
 
 
 def generate(matrix_n: int = 16_000, gpu_counts=(8, 16, 32),
@@ -154,6 +154,41 @@ def generate(matrix_n: int = 16_000, gpu_counts=(8, 16, 32),
     out.extend(_code(render_regime_map(compute_regime_map(machine))))
     out.extend(_code(render_regime_map(
         compute_regime_map(machine, dup_fraction=0.25))))
+
+    # --- Extended strategies on the multi-NIC preset -------------------------
+    from repro.machine.presets import frontier_like
+
+    out.append("### Extended-strategy regime map "
+               "(multi-NIC preset; beyond the paper)\n")
+    out.append(
+        "The hierarchy-aware families (3-Step H, Neighbor P, ML 3-Step) "
+        "are kept\nout of the paper maps above by default; they compete "
+        "when opted in.  On\nthe multi-NIC `frontier_like` preset "
+        "(4 NICs/node, dragonfly-ish group\ntier) they rewrite most of "
+        "the mid/large-message frontier —\n"
+        "`NP/S` = Neighbor P (persistent channels + amortized setup),\n"
+        "`ML/S` = ML 3-Step (one leader per NIC):\n")
+    out.extend(_code(
+        "from repro.machine.presets import frontier_like\n"
+        "from repro.models.regime_map import compute_regime_map, "
+        "render_regime_map\n"
+        "print(render_regime_map(compute_regime_map(frontier_like(),\n"
+        "                                           "
+        "include_extended=True)))", lang="python"))
+    out.extend(_code(render_regime_map(
+        compute_regime_map(frontier_like(), include_extended=True))))
+    out.append(
+        "Neighbor P wins exactly where the flat map's 3-Step wins turned\n"
+        "rendezvous-bound (pair bytes > 8 KiB): pre-posted channels drop "
+        "the\nRTS/CTS latency while the amortized SETUP stage (window 64) "
+        "hides the\nregistration cost.  ML 3-Step takes the "
+        "bandwidth-bound frontier by\ninjecting through all four NICs "
+        "concurrently (`nics_used=4` on the\ngroup-tier inter-node "
+        "stage).  The default (`include_extended=False`)\nmaps and all "
+        "figure goldens stay on the paper's Table-5 competitor set;\n"
+        "the flat single-NIC presets cost the paper strategies "
+        "bit-identically\nto the pre-hierarchy model either way "
+        "(`tier_flat` goldens).\n")
 
     out.append(f"\n_Total regeneration wall time: "
                f"{time.time() - t_start:.0f} s._\n")

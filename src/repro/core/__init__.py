@@ -34,6 +34,11 @@ from repro.core.hierarchical import (
     ThreeStepHierarchicalDevice,
     ThreeStepHierarchicalStaged,
 )
+from repro.core.multileader import MultiLeaderStaged
+from repro.core.neighbor import (
+    NeighborPersistentDevice,
+    NeighborPersistentStaged,
+)
 from repro.core.two_step import TwoStepStaged, TwoStepDevice
 from repro.core.split import SplitMD, SplitDD, SplitSetup
 from repro.core.selector import (
@@ -67,6 +72,9 @@ __all__ = [
     "ThreeStepDevice",
     "ThreeStepHierarchicalStaged",
     "ThreeStepHierarchicalDevice",
+    "NeighborPersistentStaged",
+    "NeighborPersistentDevice",
+    "MultiLeaderStaged",
     "TwoStepStaged",
     "TwoStepDevice",
     "SplitMD",

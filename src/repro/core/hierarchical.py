@@ -292,12 +292,14 @@ class _HierarchicalBase(CommunicationStrategy):
                                             nbytes=nbytes))
 
         # Phase 1: intra-socket gather to the socket leaders.
-        for leader, dest_node, union in rp.sgather_sends:
-            nrec = NodeRecord(rp.gpu, dest_node, 0, data[rp.gpu][union])
-            send_reqs.append(
-                ctx.comm.isend(self._wrap(ctx, [nrec], nrec.nbytes, staged),
-                               dest=leader, tag=TAG_SGATHER,
-                               nbytes=nrec.nbytes))
+        with ctx.phase("socket-gather"):
+            for leader, dest_node, union in rp.sgather_sends:
+                nrec = NodeRecord(rp.gpu, dest_node, 0, data[rp.gpu][union])
+                send_reqs.append(
+                    ctx.comm.isend(self._wrap(ctx, [nrec], nrec.nbytes,
+                                              staged),
+                                   dest=leader, tag=TAG_SGATHER,
+                                   nbytes=nrec.nbytes))
 
         # Phase 2: socket leaders forward to the paired sender.
         leader_buckets: Dict[int, List[NodeRecord]] = {
@@ -306,51 +308,79 @@ class _HierarchicalBase(CommunicationStrategy):
             for node, unions in rp.leader_own.items()
         }
         if rp.lead:
-            msgs = yield ctx.comm.waitall(sgather_reqs)
-            for nrec in flatten_messages(msgs):
-                leader_buckets.setdefault(nrec.dest_node, []).append(nrec)
-            for dest_node, (_n, sender) in sorted(rp.lead.items()):
-                recs = leader_buckets.get(dest_node, [])
-                if sender == ctx.rank:
-                    continue  # kept; consumed by the forward phase below
-                nbytes = node_records_nbytes(recs)
-                send_reqs.append(
-                    ctx.comm.isend(self._wrap(ctx, recs, nbytes, staged),
-                                   dest=sender, tag=TAG_GATHER,
-                                   nbytes=nbytes))
+            with ctx.phase("gather"):
+                msgs = yield ctx.comm.waitall(sgather_reqs)
+                for nrec in flatten_messages(msgs):
+                    leader_buckets.setdefault(nrec.dest_node, []).append(nrec)
+                for dest_node, (_n, sender) in sorted(rp.lead.items()):
+                    recs = leader_buckets.get(dest_node, [])
+                    if sender == ctx.rank:
+                        continue  # kept; consumed by the forward phase below
+                    nbytes = node_records_nbytes(recs)
+                    send_reqs.append(
+                        ctx.comm.isend(self._wrap(ctx, recs, nbytes, staged),
+                                       dest=sender, tag=TAG_GATHER,
+                                       nbytes=nbytes))
 
         # Phase 3: paired sender ships one buffer per destination node.
         if rp.forward:
-            buckets: Dict[int, List[NodeRecord]] = {}
-            for dest_node in rp.forward:
-                if dest_node in rp.lead and rp.lead[dest_node][1] == ctx.rank:
-                    buckets[dest_node] = leader_buckets.get(dest_node, [])
-            msgs = yield ctx.comm.waitall(gather_reqs)
-            for nrec in flatten_messages(msgs):
-                buckets.setdefault(nrec.dest_node, []).append(nrec)
-            for dest_node, (recv_rank, _n) in sorted(rp.forward.items()):
-                recs = buckets.get(dest_node, [])
-                nbytes = node_records_nbytes(recs)
-                send_reqs.append(
-                    ctx.comm.isend(self._wrap(ctx, recs, nbytes, staged),
-                                   dest=recv_rank, tag=TAG_INTER,
-                                   nbytes=nbytes))
+            with ctx.phase("inter-node"):
+                buckets: Dict[int, List[NodeRecord]] = {}
+                for dest_node in rp.forward:
+                    if (dest_node in rp.lead
+                            and rp.lead[dest_node][1] == ctx.rank):
+                        buckets[dest_node] = leader_buckets.get(dest_node, [])
+                msgs = yield ctx.comm.waitall(gather_reqs)
+                for nrec in flatten_messages(msgs):
+                    buckets.setdefault(nrec.dest_node, []).append(nrec)
+                for dest_node, (recv_rank, _n) in sorted(rp.forward.items()):
+                    recs = buckets.get(dest_node, [])
+                    nbytes = node_records_nbytes(recs)
+                    send_reqs.append(
+                        ctx.comm.isend(self._wrap(ctx, recs, nbytes, staged),
+                                       dest=recv_rank, tag=TAG_INTER,
+                                       nbytes=nbytes))
 
         # Phase 4: paired receiver expands and scatters per socket.
         kept: List[Record] = []
         if rp.n_inter_recv:
-            msgs = yield ctx.comm.waitall(inter_reqs)
-            expanded: List[Record] = []
-            for nrec in flatten_messages(msgs):
-                pos = plan.positions[(nrec.src_gpu, nrec.dest_node)]
-                expanded.extend(expand_node_record(nrec, pos))
-            my_socket = ctx.socket
-            per_socket: Dict[int, List[Record]] = {}
-            for dest_gpu, recs in sorted(group_by(expanded,
-                                                  "dest_gpu").items()):
-                owner = ctx.layout.owner_of_global_gpu(dest_gpu)
-                socket = ctx.layout.socket_of(owner)
-                if socket == my_socket:
+            with ctx.phase("socket-redistribute"):
+                msgs = yield ctx.comm.waitall(inter_reqs)
+                expanded: List[Record] = []
+                for nrec in flatten_messages(msgs):
+                    pos = plan.positions[(nrec.src_gpu, nrec.dest_node)]
+                    expanded.extend(expand_node_record(nrec, pos))
+                my_socket = ctx.socket
+                per_socket: Dict[int, List[Record]] = {}
+                for dest_gpu, recs in sorted(group_by(expanded,
+                                                      "dest_gpu").items()):
+                    owner = ctx.layout.owner_of_global_gpu(dest_gpu)
+                    socket = ctx.layout.socket_of(owner)
+                    if socket == my_socket:
+                        if owner == ctx.rank:
+                            kept.extend(recs)
+                        else:
+                            nbytes = records_nbytes(recs)
+                            send_reqs.append(ctx.comm.isend(
+                                self._wrap(ctx, recs, nbytes, staged),
+                                dest=owner, tag=TAG_REDIST, nbytes=nbytes))
+                    else:
+                        per_socket.setdefault(socket, []).extend(recs)
+                for socket, recs in sorted(per_socket.items()):
+                    rl = rp.scatter_to[socket]
+                    nbytes = records_nbytes(recs)
+                    send_reqs.append(ctx.comm.isend(
+                        self._wrap(ctx, recs, nbytes, staged), dest=rl,
+                        tag=TAG_SREDIST, nbytes=nbytes))
+
+        # Phase 5: redistribution leaders deliver to final owners.
+        if rp.n_sredist_recv:
+            with ctx.phase("redistribute"):
+                msgs = yield ctx.comm.waitall(sredist_reqs)
+                incoming = flatten_messages(msgs)
+                for dest_gpu, recs in sorted(group_by(incoming,
+                                                      "dest_gpu").items()):
+                    owner = ctx.layout.owner_of_global_gpu(dest_gpu)
                     if owner == ctx.rank:
                         kept.extend(recs)
                     else:
@@ -358,29 +388,6 @@ class _HierarchicalBase(CommunicationStrategy):
                         send_reqs.append(ctx.comm.isend(
                             self._wrap(ctx, recs, nbytes, staged), dest=owner,
                             tag=TAG_REDIST, nbytes=nbytes))
-                else:
-                    per_socket.setdefault(socket, []).extend(recs)
-            for socket, recs in sorted(per_socket.items()):
-                rl = rp.scatter_to[socket]
-                nbytes = records_nbytes(recs)
-                send_reqs.append(ctx.comm.isend(
-                    self._wrap(ctx, recs, nbytes, staged), dest=rl,
-                    tag=TAG_SREDIST, nbytes=nbytes))
-
-        # Phase 5: redistribution leaders deliver to final owners.
-        if rp.n_sredist_recv:
-            msgs = yield ctx.comm.waitall(sredist_reqs)
-            incoming = flatten_messages(msgs)
-            for dest_gpu, recs in sorted(group_by(incoming,
-                                                  "dest_gpu").items()):
-                owner = ctx.layout.owner_of_global_gpu(dest_gpu)
-                if owner == ctx.rank:
-                    kept.extend(recs)
-                else:
-                    nbytes = records_nbytes(recs)
-                    send_reqs.append(ctx.comm.isend(
-                        self._wrap(ctx, recs, nbytes, staged), dest=owner,
-                        tag=TAG_REDIST, nbytes=nbytes))
 
         local_msgs = yield ctx.comm.waitall(local_reqs)
         redist_msgs = yield ctx.comm.waitall(redist_reqs)

@@ -12,39 +12,41 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.base import CommunicationStrategy
 from repro.core.pattern import CommPattern
-from repro.core.split import SplitDD, SplitMD
-from repro.core.standard import StandardDevice, StandardStaged
-from repro.core.three_step import ThreeStepDevice, ThreeStepStaged
-from repro.core.two_step import TwoStepDevice, TwoStepStaged
 from repro.machine.topology import JobLayout
 from repro.models.strategies import (
-    SplitDDModel,
-    SplitMDModel,
-    StandardDeviceModel,
-    StandardStagedModel,
+    STRATEGY_SPECS,
     StrategyModel,
-    ThreeStepDeviceModel,
-    ThreeStepStagedModel,
-    TwoStepDeviceModel,
-    TwoStepStagedModel,
+    spec_by_label,
 )
 
-#: label -> (implementation factory, model class)
-_REGISTRY = {
-    "Standard (staged)": (StandardStaged, StandardStagedModel),
-    "Standard (device-aware)": (StandardDevice, StandardDeviceModel),
-    "3-Step (staged)": (ThreeStepStaged, ThreeStepStagedModel),
-    "3-Step (device-aware)": (ThreeStepDevice, ThreeStepDeviceModel),
-    "2-Step (staged)": (TwoStepStaged, TwoStepStagedModel),
-    "2-Step (device-aware)": (TwoStepDevice, TwoStepDeviceModel),
-    "Split + MD (staged)": (SplitMD, SplitMDModel),
-    "Split + DD (staged)": (SplitDD, SplitDDModel),
-}
+#: label -> registry row, for every strategy with a DES implementation.
+#: Derived from the single source of truth in
+#: :data:`repro.models.strategies.STRATEGY_SPECS` — the analytic bounds
+#: without implementations (2-Step 1) are model-sweep-only and excluded
+#: here.
+_REGISTRY = {spec.label: spec for spec in STRATEGY_SPECS if spec.has_impl}
 
 
-def all_strategies() -> List[CommunicationStrategy]:
-    """One instance of every Table-5 strategy implementation."""
-    return [factory() for factory, _model in _REGISTRY.values()]
+def _spec(label: str):
+    try:
+        return _REGISTRY[label]
+    except KeyError:
+        raise KeyError(
+            f"unknown strategy {label!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def all_strategies(include_extended: bool = True
+                   ) -> List[CommunicationStrategy]:
+    """One instance of every registered strategy implementation.
+
+    ``include_extended=False`` restricts to the paper's Table-5 set,
+    dropping the hierarchy-aware families (3-Step H, Neighbor P,
+    ML 3-Step) — paper-figure reproductions use that subset so their
+    goldens match the publication exactly.
+    """
+    return [spec.impl_factory()() for spec in _REGISTRY.values()
+            if include_extended or not spec.extended]
 
 
 def strategy_by_name(label: str) -> CommunicationStrategy:
@@ -53,25 +55,14 @@ def strategy_by_name(label: str) -> CommunicationStrategy:
     Accepts either the full label (``"3-Step (staged)"``) or the bare
     name when unambiguous is not required (must include the data path).
     """
-    try:
-        factory, _model = _REGISTRY[label]
-    except KeyError:
-        raise KeyError(
-            f"unknown strategy {label!r}; available: {sorted(_REGISTRY)}"
-        ) from None
-    return factory()
+    return _spec(label).impl_factory()()
 
 
 def model_for(label: str, machine, ppn: Optional[int] = None,
               message_cap: Optional[int] = None) -> StrategyModel:
     """The Table-6 analytic model paired with a strategy label."""
-    try:
-        _factory, model_cls = _REGISTRY[label]
-    except KeyError:
-        raise KeyError(
-            f"unknown strategy {label!r}; available: {sorted(_REGISTRY)}"
-        ) from None
-    return model_cls(machine, ppn=ppn, message_cap=message_cap)
+    spec = spec_by_label(label)
+    return spec.model_cls(machine, ppn=ppn, message_cap=message_cap)
 
 
 def compile_plan_for(label: str, pattern: CommPattern, layout: JobLayout,
@@ -107,8 +98,8 @@ def predict_times(pattern: CommPattern, layout: JobLayout,
     """Modelled time per strategy label for this pattern on this layout."""
     summary = pattern.summarize(layout)
     out: Dict[str, float] = {}
-    for label, (_factory, model_cls) in _REGISTRY.items():
-        model: StrategyModel = model_cls(
+    for label, spec in _REGISTRY.items():
+        model: StrategyModel = spec.model_cls(
             layout.machine, ppn=ppn if ppn is not None else layout.ppn,
             message_cap=message_cap)
         out[label] = model.time(summary)

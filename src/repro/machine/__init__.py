@@ -17,7 +17,14 @@ they exist to support the "future architectures" discussion, not to claim
 measured accuracy for those machines.
 """
 
-from repro.machine.locality import Locality, Protocol, TransportKind, CopyDirection
+from repro.machine.locality import (
+    CopyDirection,
+    Locality,
+    LocalityHierarchy,
+    LocalityTier,
+    Protocol,
+    TransportKind,
+)
 from repro.machine.params import (
     LinkParams,
     CommParams,
@@ -38,6 +45,8 @@ from repro.machine.presets import (
 
 __all__ = [
     "Locality",
+    "LocalityHierarchy",
+    "LocalityTier",
     "Protocol",
     "TransportKind",
     "CopyDirection",

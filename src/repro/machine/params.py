@@ -146,6 +146,23 @@ class CommParams:
         protocol = self.thresholds.select(kind, nbytes)
         return protocol, self.link(kind, protocol, locality)
 
+    def persistent_link(self, kind: TransportKind, locality: Locality,
+                        nbytes: float) -> Tuple[Protocol, LinkParams]:
+        """Link parameters for a *pre-posted* (persistent) channel.
+
+        Persistent neighborhood collectives register buffers once at
+        setup: per-iteration rendezvous messages skip the RTS/CTS
+        handshake (they pay the **eager** latency) while keeping the
+        zero-copy rendezvous bandwidth.  Below the rendezvous threshold
+        the channel behaves exactly like the transient protocol chain —
+        the degenerate case is bit-identical to :meth:`for_message`.
+        """
+        protocol, link = self.for_message(kind, locality, nbytes)
+        if protocol is Protocol.RENDEZVOUS:
+            eager = self.link(kind, Protocol.EAGER, locality)
+            return protocol, LinkParams(eager.alpha, link.beta)
+        return protocol, link
+
     def time(self, kind: TransportKind, locality: Locality,
              nbytes: float) -> float:
         """Postal-model time for one message, with protocol selection."""
@@ -153,7 +170,9 @@ class CommParams:
         return link.time(nbytes)
 
     def link_arrays(self, kind: TransportKind, locality: Locality,
-                    sizes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+                    sizes: np.ndarray,
+                    pre_posted: bool = False
+                    ) -> Tuple[np.ndarray, np.ndarray]:
         """Per-element Table-2 ``(alpha, beta)`` for a size array.
 
         The array counterpart of :meth:`for_message` — the single
@@ -161,7 +180,8 @@ class CommParams:
         kernel.  The ``np.select`` condition order replicates the
         scalar threshold chain in :meth:`ProtocolThresholds.select`
         (first true wins), so per-element results are bit-identical to
-        scalar selection.
+        scalar selection.  ``pre_posted=True`` mirrors
+        :meth:`persistent_link` element-wise.
         """
         th = self.thresholds
         if np.any(sizes < 0):
@@ -173,6 +193,12 @@ class CommParams:
             protocols = (Protocol.SHORT, Protocol.EAGER, Protocol.RENDEZVOUS)
             conds = [sizes <= th.short_limit, sizes <= th.eager_limit]
         links = [self.link(kind, p, locality) for p in protocols]
+        if pre_posted:
+            # Persistent channels: rendezvous (the np.select default)
+            # pays the eager latency, keeps the rendezvous bandwidth.
+            eager = self.link(kind, Protocol.EAGER, locality)
+            rend = links[-1]
+            links = links[:-1] + [LinkParams(eager.alpha, rend.beta)]
         alpha = np.select(conds, [l.alpha for l in links[:-1]],
                           default=links[-1].alpha)
         beta = np.select(conds, [l.beta for l in links[:-1]],
@@ -263,8 +289,18 @@ class NicParams:
 
     @property
     def injection_rate(self) -> float:
-        """``R_N`` in bytes/second (CPU injection)."""
+        """``R_N`` in bytes/second for ONE NIC (CPU injection).
+
+        The costing kernel multiplies by :attr:`nics_per_node` when a
+        hop may spread over the node's full port set; hops pinned to a
+        subset (``Hop.nics_used``) serialize through fewer ports.
+        """
         return 1.0 / self.rn_inv
+
+    @property
+    def node_injection_rate(self) -> float:
+        """Aggregate CPU injection rate over all NICs (bytes/second)."""
+        return self.injection_rate * self.nics_per_node
 
     @property
     def gpu_injection_rate(self) -> float:

@@ -11,7 +11,14 @@ from __future__ import annotations
 
 from typing import Callable, Dict
 
-from repro.machine.locality import CopyDirection, Locality, Protocol, TransportKind
+from repro.machine.locality import (
+    CopyDirection,
+    Locality,
+    LocalityHierarchy,
+    LocalityTier,
+    Protocol,
+    TransportKind,
+)
 from repro.machine.params import (
     CommParams,
     CopyParams,
@@ -135,6 +142,15 @@ def frontier_like() -> MachineSpec:
     Off-node bandwidth is scaled 2x (Slingshot-11 vs EDR) and the NIC
     injection rate 4x (4 NICs per node); latencies kept at Lassen's —
     conservative for the Section-6 projection.
+
+    The locality hierarchy refines the network into a dragonfly-ish
+    chain: a **group** tier (nodes behind the same router group, one
+    optical hop saved — half the global latency, one NIC endpoint per
+    port) sits between node and global.  Plain ``OFF_NODE`` hops keep
+    resolving to the unscaled global tier, so every flat-model strategy
+    costs bit-identically to the pre-hierarchy preset; only tier-aware
+    strategies (multi-leader / hierarchical aggregation) can target
+    ``"group"``.
     """
     return MachineSpec(
         name="frontier-like",
@@ -144,6 +160,13 @@ def frontier_like() -> MachineSpec:
         comm_params=_scaled_comm(scale_alpha=1.0, scale_beta_off=0.5),
         copy_params=CopyParams(_lassen_copy_table()),
         nic=NicParams(rn_inv=4.19e-11 / 4.0, nics_per_node=4),
+        hierarchy=LocalityHierarchy(tiers=(
+            LocalityTier("socket", Locality.ON_SOCKET),
+            LocalityTier("node", Locality.ON_NODE),
+            LocalityTier("group", Locality.OFF_NODE, alpha_scale=0.5,
+                         nic_share=0.25),
+            LocalityTier("global", Locality.OFF_NODE),
+        )),
     )
 
 

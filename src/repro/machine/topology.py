@@ -23,13 +23,21 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.machine.locality import Locality
+from repro.machine.locality import Locality, LocalityHierarchy
 from repro.machine.params import CommParams, CopyParams, NicParams
 
 
 @dataclass(frozen=True)
 class MachineSpec:
-    """One node architecture plus its measured communication constants."""
+    """One node architecture plus its measured communication constants.
+
+    ``hierarchy`` optionally refines the flat three-way locality model
+    into an explicit :class:`~repro.machine.locality.LocalityHierarchy`
+    (e.g. a dragonfly group tier between node and global).  Machines
+    that leave it ``None`` expose the degenerate flat chain through
+    :attr:`locality_hierarchy`; hops that do not target a tier are never
+    affected either way.
+    """
 
     name: str
     sockets_per_node: int
@@ -38,6 +46,7 @@ class MachineSpec:
     comm_params: CommParams
     copy_params: CopyParams
     nic: NicParams
+    hierarchy: Optional[LocalityHierarchy] = None
 
     def __post_init__(self) -> None:
         # Integer-ness first (floats, NaN and bools are not counts), then
@@ -58,6 +67,17 @@ class MachineSpec:
                 f"{self.name}: each GPU needs at least one owner core "
                 f"({self.gpus_per_socket} GPUs > {self.cores_per_socket} cores)"
             )
+        if (self.hierarchy is not None
+                and not isinstance(self.hierarchy, LocalityHierarchy)):
+            raise ValueError(
+                f"{self.name}: 'hierarchy' must be a LocalityHierarchy, "
+                f"got {self.hierarchy!r}")
+
+    @property
+    def locality_hierarchy(self) -> LocalityHierarchy:
+        """The machine's tier chain (the flat default when undeclared)."""
+        return (self.hierarchy if self.hierarchy is not None
+                else LocalityHierarchy.flat())
 
     @property
     def gpus_per_node(self) -> int:
@@ -77,6 +97,32 @@ class MachineSpec:
         if not 0 <= gpu < self.gpus_per_node:
             raise ValueError(f"gpu index {gpu} out of range on {self.name}")
         return gpu // self.gpus_per_socket
+
+    @property
+    def leaders_per_node(self) -> int:
+        """Leader groups a node's GPUs partition into (multi-leader comm).
+
+        One group per NIC when the network is the wider resource, else
+        one per socket — capped by the GPU count (each group needs a
+        leader).  On Lassen (2 sockets, 1 NIC) this is 2; on a
+        frontier-like node (1 socket, 4 NICs, 4 GPUs) every GPU leads
+        its own group.
+        """
+        want = max(self.sockets_per_node, self.nic.nics_per_node)
+        return max(1, min(max(self.gpus_per_node, 1), want))
+
+    @property
+    def leader_group_geometry(self) -> Tuple[int, int]:
+        """``(group_size, num_groups)`` of the leader partition.
+
+        Groups are contiguous local-GPU blocks of ``group_size``
+        (socket-aligned whenever ``group_size`` divides the socket's
+        GPU count), so the gather leg of a multi-leader scheme stays
+        socket-local on every preset.
+        """
+        gpn = max(self.gpus_per_node, 1)
+        num = self.leaders_per_node
+        return -(-gpn // num), num
 
 
 @dataclass(frozen=True)

@@ -36,6 +36,11 @@ _CODES = {
     "2-Step 1 (device-aware)": "21/D",
     "Split + MD (staged)": "MD/S",
     "Split + DD (staged)": "DD/S",
+    "3-Step H (staged)": "3H/S",
+    "3-Step H (device-aware)": "3H/D",
+    "Neighbor P (staged)": "NP/S",
+    "Neighbor P (device-aware)": "NP/D",
+    "ML 3-Step (staged)": "ML/S",
 }
 
 
@@ -106,6 +111,7 @@ def compute_regime_map(machine: MachineSpec,
                        num_messages: int = 256,
                        dup_fraction: float = 0.0,
                        exclude_best_case: bool = True,
+                       include_extended: bool = False,
                        keep_times: bool = False) -> RegimeMap:
     """Evaluate the Table-6 models over a (nodes x size) grid.
 
@@ -117,11 +123,13 @@ def compute_regime_map(machine: MachineSpec,
     carried both as labels (``winners``) and as the ``winners_idx``
     index array; ``keep_times=True`` additionally retains the full
     ``(model, node, size)`` time tensor (the atlas builder needs it for
-    runner-up margins).
+    runner-up margins).  ``include_extended=True`` lets the
+    hierarchy-aware families (3-Step H, Neighbor P, ML 3-Step) compete;
+    the default keeps the paper's Table-5 competitor set.
     """
     if sizes is None:
         sizes = list(np.logspace(1, 6, 11))
-    models = all_strategy_models(machine)
+    models = all_strategy_models(machine, include_extended=include_extended)
     if exclude_best_case:
         models = [m for m in models if m.name != "2-Step 1"]
     scenarios = [

@@ -157,6 +157,7 @@ def fused_scenario_times(machine: MachineSpec,
                          scenarios: Sequence[Scenario],
                          sizes: Sequence[float],
                          models: Optional[List[StrategyModel]] = None,
+                         include_extended: bool = False,
                          ) -> Tuple[List[str], np.ndarray]:
     """All (strategy, scenario, size) cells in one fused kernel call.
 
@@ -174,7 +175,8 @@ def fused_scenario_times(machine: MachineSpec,
     """
     sizes = np.asarray(sizes, dtype=np.float64)
     if models is None:
-        models = all_strategy_models(machine)
+        models = all_strategy_models(machine,
+                                     include_extended=include_extended)
     joint, keep = _joint_scenario_batch(machine, scenarios, sizes)
     has_dup = bool(np.any(keep != 1.0))
     dedup = None
@@ -197,6 +199,7 @@ def fused_scenario_times(machine: MachineSpec,
 def sweep_scenario(machine: MachineSpec, scenario: Scenario,
                    sizes: Sequence[float],
                    models: Optional[List[StrategyModel]] = None,
+                   include_extended: bool = False,
                    ) -> Dict[str, np.ndarray]:
     """Modelled time per strategy over a message-size sweep.
 
@@ -206,21 +209,30 @@ def sweep_scenario(machine: MachineSpec, scenario: Scenario,
     :meth:`StrategyModel.time` and batched
     :meth:`StrategyModel.time_sweep` paths).
     """
-    labels, times = fused_scenario_times(machine, [scenario], sizes, models)
+    labels, times = fused_scenario_times(machine, [scenario], sizes, models,
+                                         include_extended=include_extended)
     return {label: times[i, 0] for i, label in enumerate(labels)}
 
 
 def _sweep_scenario_shard(spec) -> Dict[str, np.ndarray]:
     """Module-level worker for :func:`sweep_scenarios` (picklable)."""
-    machine, scenario, sizes = spec
-    return sweep_scenario(machine, scenario, np.asarray(sizes,
-                                                        dtype=np.float64))
+    machine, scenario, sizes, include_extended = spec
+    return sweep_scenario(machine, scenario,
+                          np.asarray(sizes, dtype=np.float64),
+                          include_extended=include_extended)
 
 
 def scenario_sweep_key(machine: MachineSpec, scenario: Scenario,
-                       sizes: Sequence[float]) -> str:
-    """Content hash of one scenario sweep (default model registry)."""
-    return cache_key("scenario-sweep", machine=machine, scenario=scenario,
+                       sizes: Sequence[float],
+                       include_extended: bool = False) -> str:
+    """Content hash of one scenario sweep (default model registry).
+
+    The extended model set hashes into a distinct namespace so paper
+    sweeps and extended sweeps never share cache entries (and existing
+    paper-set cache keys are unchanged).
+    """
+    tag = "scenario-sweep-ext" if include_extended else "scenario-sweep"
+    return cache_key(tag, machine=machine, scenario=scenario,
                      sizes=np.asarray(sizes, dtype=np.float64))
 
 
@@ -232,6 +244,7 @@ def sweep_scenarios(machine: MachineSpec, scenarios: Sequence[Scenario],
                     policy=None,
                     journal_dir=None,
                     resume: bool = False,
+                    include_extended: bool = False,
                     ) -> List[Dict[str, np.ndarray]]:
     """:func:`sweep_scenario` over many scenarios, optionally fanned out.
 
@@ -239,8 +252,9 @@ def sweep_scenarios(machine: MachineSpec, scenarios: Sequence[Scenario],
     with ``scenarios`` and bit-identical to the serial loop at any
     ``jobs`` value (ordered gather).  ``cache`` skips scenarios whose
     (machine, scenario, sizes) content hash already has a result.
-    Always evaluates the default model registry — callers needing a
-    custom model list use :func:`sweep_scenario` directly.
+    Always evaluates the default model registry (plus the
+    hierarchy-aware families when ``include_extended=True``) — callers
+    needing a custom model list use :func:`sweep_scenario` directly.
 
     The serial, uncached path evaluates *all* scenarios through one
     fused kernel call (elementwise kernels are slice-equivariant, so
@@ -262,7 +276,8 @@ def sweep_scenarios(machine: MachineSpec, scenarios: Sequence[Scenario],
     supervised = policy is not None or journal_dir is not None or resume
     if (resolve_jobs(jobs) == 1 and cache is None and not supervised
             and len(scenarios) > 0):
-        models = all_strategy_models(machine)
+        models = all_strategy_models(machine,
+                                     include_extended=include_extended)
         if stats is not None:
             stats.tasks = stats.executed = len(scenarios)
             stats.cache_hits = 0
@@ -271,10 +286,10 @@ def sweep_scenarios(machine: MachineSpec, scenarios: Sequence[Scenario],
                                              models)
         return [{label: times[i, c] for i, label in enumerate(labels)}
                 for c in range(len(scenarios))]
-    tasks = [(machine, sc, sizes) for sc in scenarios]
+    tasks = [(machine, sc, sizes, include_extended) for sc in scenarios]
     return sweep_map(
         _sweep_scenario_shard, tasks, jobs=jobs, cache=cache,
-        key_fn=(lambda t: scenario_sweep_key(t[0], t[1], t[2]))
+        key_fn=(lambda t: scenario_sweep_key(t[0], t[1], t[2], t[3]))
         if cache is not None else None, stats=stats,
         policy=policy, journal_dir=journal_dir, resume=resume)
 
@@ -282,7 +297,8 @@ def sweep_scenarios(machine: MachineSpec, scenarios: Sequence[Scenario],
 def best_strategy_sweep(machine: MachineSpec, scenario: Scenario,
                         sizes: Sequence[float],
                         models: Optional[List[StrategyModel]] = None,
-                        exclude_best_case: bool = True) -> List[str]:
+                        exclude_best_case: bool = True,
+                        include_extended: bool = False) -> List[str]:
     """Minimum-time strategy label at every size of a sweep.
 
     Ties resolve to the earliest model in registry order, exactly like
@@ -290,7 +306,8 @@ def best_strategy_sweep(machine: MachineSpec, scenario: Scenario,
     returns the first occurrence of the minimum).
     """
     if models is None:
-        models = all_strategy_models(machine)
+        models = all_strategy_models(machine,
+                                     include_extended=include_extended)
     if exclude_best_case:
         models = [m for m in models if m.name != "2-Step 1"]
     if not models:
@@ -301,11 +318,13 @@ def best_strategy_sweep(machine: MachineSpec, scenario: Scenario,
 
 def best_strategy(machine: MachineSpec, scenario: Scenario, msg_size: float,
                   models: Optional[List[StrategyModel]] = None,
-                  exclude_best_case: bool = True) -> str:
+                  exclude_best_case: bool = True,
+                  include_extended: bool = False) -> str:
     """Label of the minimum-time strategy at one point.
 
     ``exclude_best_case`` drops the 2-Step 1 idealizations, matching how
     the paper circles its minima.
     """
     return best_strategy_sweep(machine, scenario, [msg_size], models,
-                               exclude_best_case=exclude_best_case)[0]
+                               exclude_best_case=exclude_best_case,
+                               include_extended=include_extended)[0]

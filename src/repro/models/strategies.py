@@ -30,14 +30,18 @@ redundant payload (Section 2.3 / Figure 4.3 bottom rows).
 
 from __future__ import annotations
 
+import importlib
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.machine.locality import Locality
 from repro.machine.topology import MachineSpec
 from repro.models.pattern_summary import PatternSummary
 from repro.models.vectorized import SummaryBatch
 from repro.paths.compile import (
+    as_setup,
     copy_stage,
     device_off_node_stage,
     hierarchical_on_node_stage,
@@ -45,8 +49,20 @@ from repro.paths.compile import (
     on_node_stage,
     split_on_node_stage,
 )
-from repro.paths.ir import CheckMode, HopKind, HopPlan, HopStage
+from repro.paths.ir import (
+    CheckMode,
+    Hop,
+    HopKind,
+    HopPlan,
+    HopStage,
+    Serialization,
+)
 from repro.paths.kernel import ARRAY_OPS, SCALAR_OPS, Ops, evaluate_stages
+
+#: Default persistence window for Neighbor P: exchanges a channel setup
+#: amortizes over.  Iterative solvers reuse one communication pattern
+#: for hundreds of Krylov iterations; 64 is a conservative floor.
+PERSISTENT_WINDOW = 64.0
 
 STAGED = "staged"
 DEVICE = "device-aware"
@@ -448,27 +464,213 @@ class SplitDDModel(_SplitModelBase):
 
 
 # ---------------------------------------------------------------------------
+# Persistent neighborhood collectives ("Neighbor P")
+# ---------------------------------------------------------------------------
+class NeighborPersistentStagedModel(StrategyModel):
+    """Persistent-channel 3-Step, staged: pre-posted off-node leg.
+
+    Identical message structure to 3-Step; the off-node exchanges run
+    over persistent channels (rendezvous-sized messages pay the eager
+    latency, keep the rendezvous bandwidth) and a one-time full-price
+    setup exchange amortizes over :data:`PERSISTENT_WINDOW` iterations.
+    """
+
+    name = "Neighbor P"
+    data_path = STAGED
+
+    def _stages(self, s, ops: Ops) -> List[HopStage]:
+        m = self._dests_per_proc(s, ops)
+        s_nn = s.bytes_per_node_pair
+        return [
+            off_node_stage(m, m * s_nn, s.node_bytes, s_nn, pre_posted=True),
+            as_setup(off_node_stage(m, m * s_nn, s.node_bytes, s_nn),
+                     PERSISTENT_WINDOW),
+            on_node_stage(self.machine, HopKind.CPU_SEND, s_nn, repeat=2.0,
+                          phases=("gather", "redistribute")),
+            copy_stage(s.proc_bytes, s_nn),
+        ]
+
+
+class NeighborPersistentDeviceModel(StrategyModel):
+    """Persistent-channel 3-Step, device-aware (no staging copies)."""
+
+    name = "Neighbor P"
+    data_path = DEVICE
+
+    def _stages(self, s, ops: Ops) -> List[HopStage]:
+        m = self._dests_per_proc(s, ops)
+        s_nn = s.bytes_per_node_pair
+        return [
+            device_off_node_stage(m, m * s_nn, s_nn, pre_posted=True),
+            as_setup(device_off_node_stage(m, m * s_nn, s_nn),
+                     PERSISTENT_WINDOW),
+            on_node_stage(self.machine, HopKind.GPU_SEND, s_nn, repeat=2.0,
+                          phases=("gather", "redistribute")),
+        ]
+
+
+# ---------------------------------------------------------------------------
+# Multi-leader aggregation ("ML 3-Step")
+# ---------------------------------------------------------------------------
+class MultiLeaderStagedModel(StrategyModel):
+    """Multi-leader 3-Step, staged: one leader group per NIC (or socket).
+
+    Each of the node's ``L`` leader groups runs the 3-Step scheme over
+    its ``1/L`` share of every node pair's volume: the gather shrinks
+    to the group (vanishing when every GPU leads its own group), the
+    inter-node leg carries ``L``-fold more messages of ``1/L`` the size
+    but injects through ``L`` NIC ports concurrently — and, on machines
+    whose locality hierarchy refines the network, targets the innermost
+    network tier (group-local routing).
+    """
+
+    name = "ML 3-Step"
+    data_path = STAGED
+
+    def _stages(self, s, ops: Ops) -> List[HopStage]:
+        machine = self.machine
+        size, num = machine.leader_group_geometry
+        s_nn = s.bytes_per_node_pair
+        s_g = s_nn / num           # one group's share of a pair volume
+        m = ops.ceil(s.num_dest_nodes / size)
+        stages = [off_node_stage(
+            m, m * s_g, s.node_bytes, s_g, check=CheckMode.BOUND_TOTAL,
+            tier=machine.locality_hierarchy.deepest_network_tier(),
+            nics_used=num)]
+        # Group-local gather: each member feeds its group's leader.  The
+        # per-member contribution is the GPU's union share; the hops'
+        # ``total_bytes`` carries the node-volume check bound (BOUND_RANK
+        # reads it; SEQUENTIAL costing does not).
+        member = s_nn / self.gpn
+        gps = machine.gpus_per_socket
+        gather = [Hop(kind=HopKind.CPU_SEND, locality=Locality.ON_SOCKET,
+                      count=float(min(size, gps) - 1), nbytes=member,
+                      total_bytes=s.node_bytes,
+                      serialization=Serialization.SEQUENTIAL,
+                      phase="gather")]
+        if size > gps:
+            gather.append(Hop(kind=HopKind.CPU_SEND,
+                              locality=Locality.ON_NODE,
+                              count=float(size - gps), nbytes=member,
+                              total_bytes=s.node_bytes,
+                              serialization=Serialization.SEQUENTIAL,
+                              phase="gather"))
+        stages.append(HopStage(label="group gather", hops=tuple(gather),
+                               phases=("gather",),
+                               check=CheckMode.BOUND_RANK))
+        stages.append(on_node_stage(machine, HopKind.CPU_SEND, s_g,
+                                    phases=("redistribute",),
+                                    label="group redistribute"))
+        stages.append(copy_stage(s.proc_bytes, s_g))
+        return stages
+
+
+# ---------------------------------------------------------------------------
 # Registry
 # ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class StrategySpec:
+    """One registry row: display label + model class + DES impl ref.
+
+    The single source of truth shared by :mod:`repro.core.selector`
+    (implementation side) and :func:`all_strategy_models` (model side).
+    ``impl_ref`` is a lazy ``"module:Class"`` string — resolved at call
+    time so this module never imports ``repro.core`` (which imports it
+    back through the selector).  ``best_case`` marks analytic bounds
+    with no DES implementation (2-Step 1): present in model sweeps,
+    absent from the selector.  ``extended`` marks the hierarchy-aware
+    families added on top of the paper's Table 5 — excluded from
+    paper-reproduction surfaces by default, opted into via
+    ``all_strategy_models(include_extended=True)``.
+    """
+
+    label: str
+    model_cls: type
+    impl_ref: Optional[str] = None
+    best_case: bool = False
+    extended: bool = False
+
+    @property
+    def has_impl(self) -> bool:
+        return self.impl_ref is not None
+
+    def impl_factory(self):
+        """The DES strategy class behind this row (lazy import)."""
+        if self.impl_ref is None:
+            raise KeyError(
+                f"{self.label!r} is an analytic bound with no DES "
+                f"implementation")
+        module, _, name = self.impl_ref.partition(":")
+        return getattr(importlib.import_module(module), name)
+
+
+STRATEGY_SPECS: Tuple[StrategySpec, ...] = (
+    StrategySpec("Standard (staged)", StandardStagedModel,
+                 "repro.core.standard:StandardStaged"),
+    StrategySpec("Standard (device-aware)", StandardDeviceModel,
+                 "repro.core.standard:StandardDevice"),
+    StrategySpec("3-Step (staged)", ThreeStepStagedModel,
+                 "repro.core.three_step:ThreeStepStaged"),
+    StrategySpec("3-Step (device-aware)", ThreeStepDeviceModel,
+                 "repro.core.three_step:ThreeStepDevice"),
+    StrategySpec("2-Step (staged)", TwoStepStagedModel,
+                 "repro.core.two_step:TwoStepStaged"),
+    StrategySpec("2-Step (device-aware)", TwoStepDeviceModel,
+                 "repro.core.two_step:TwoStepDevice"),
+    StrategySpec("2-Step 1 (staged)", TwoStepBestCaseStagedModel,
+                 best_case=True),
+    StrategySpec("2-Step 1 (device-aware)", TwoStepBestCaseDeviceModel,
+                 best_case=True),
+    StrategySpec("Split + MD (staged)", SplitMDModel,
+                 "repro.core.split:SplitMD"),
+    StrategySpec("Split + DD (staged)", SplitDDModel,
+                 "repro.core.split:SplitDD"),
+    StrategySpec("3-Step H (staged)", ThreeStepHierarchicalStagedModel,
+                 "repro.core.hierarchical:ThreeStepHierarchicalStaged",
+                 extended=True),
+    StrategySpec("3-Step H (device-aware)", ThreeStepHierarchicalDeviceModel,
+                 "repro.core.hierarchical:ThreeStepHierarchicalDevice",
+                 extended=True),
+    StrategySpec("Neighbor P (staged)", NeighborPersistentStagedModel,
+                 "repro.core.neighbor:NeighborPersistentStaged",
+                 extended=True),
+    StrategySpec("Neighbor P (device-aware)", NeighborPersistentDeviceModel,
+                 "repro.core.neighbor:NeighborPersistentDevice",
+                 extended=True),
+    StrategySpec("ML 3-Step (staged)", MultiLeaderStagedModel,
+                 "repro.core.multileader:MultiLeaderStaged",
+                 extended=True),
+)
+
+
+def spec_by_label(label: str) -> StrategySpec:
+    """The registry row for a display label (KeyError listing on miss)."""
+    for spec in STRATEGY_SPECS:
+        if spec.label == label:
+            return spec
+    known = sorted(s.label for s in STRATEGY_SPECS)
+    raise KeyError(f"unknown strategy {label!r}; available: {known}")
+
+
 def all_strategy_models(machine: MachineSpec, ppn: Optional[int] = None,
                         message_cap: Optional[int] = None,
-                        include_best_case: bool = True
+                        include_best_case: bool = True,
+                        include_extended: bool = False
                         ) -> List[StrategyModel]:
-    """The Table-5 model set (optionally with the 2-Step 1 best cases)."""
-    models: List[StrategyModel] = [
-        StandardStagedModel(machine, ppn, message_cap),
-        StandardDeviceModel(machine, ppn, message_cap),
-        ThreeStepStagedModel(machine, ppn, message_cap),
-        ThreeStepDeviceModel(machine, ppn, message_cap),
-        TwoStepStagedModel(machine, ppn, message_cap),
-        TwoStepDeviceModel(machine, ppn, message_cap),
-        SplitMDModel(machine, ppn, message_cap),
-        SplitDDModel(machine, ppn, message_cap),
-    ]
-    if include_best_case:
-        models.insert(6, TwoStepBestCaseStagedModel(machine, ppn, message_cap))
-        models.insert(7, TwoStepBestCaseDeviceModel(machine, ppn, message_cap))
-    return models
+    """The Table-5 model set (optionally with the 2-Step 1 best cases).
+
+    Derived from :data:`STRATEGY_SPECS` in registry order: incumbents
+    first (preserving historical regime-map column order and argmin
+    tie-breaks), the hierarchy-aware families after.  The default
+    ``include_extended=False`` keeps paper-reproduction surfaces
+    (scenario sweeps, figure goldens, regime maps) on the exact Table-5
+    competitor set; pass ``include_extended=True`` to let the
+    hierarchy-aware families (3-Step H, Neighbor P, ML 3-Step) compete.
+    """
+    return [spec.model_cls(machine, ppn, message_cap)
+            for spec in STRATEGY_SPECS
+            if (include_best_case or not spec.best_case)
+            and (include_extended or not spec.extended)]
 
 
 def model_label(model: StrategyModel) -> str:

@@ -40,10 +40,10 @@ def validate_models(job: SimJob, pattern: CommPattern,
     """Measured (DES) vs modelled time for every registered strategy."""
     summary = pattern.summarize(job.layout)
     out: Dict[str, ValidationEntry] = {}
-    for label, (factory, model_cls) in _REGISTRY.items():
-        strategy = factory()
-        model = model_cls(job.layout.machine,
-                          ppn=ppn if ppn is not None else job.layout.ppn)
+    for label, spec in _REGISTRY.items():
+        strategy = spec.impl_factory()()
+        model = spec.model_cls(job.layout.machine,
+                               ppn=ppn if ppn is not None else job.layout.ppn)
         result = run_exchange(job, strategy, pattern)
         out[label] = ValidationEntry(
             label=label,

@@ -15,6 +15,7 @@ from repro.paths.ir import (
     HopPlan,
     HopStage,
     Serialization,
+    StageKind,
 )
 from repro.paths.kernel import (
     ARRAY_OPS,
@@ -29,6 +30,7 @@ from repro.paths.kernel import (
     stage_cost,
 )
 from repro.paths.compile import (
+    as_setup,
     copy_stage,
     device_off_node_stage,
     hierarchical_on_node_stage,
@@ -50,6 +52,7 @@ __all__ = [
     "HopPlan",
     "HopStage",
     "Serialization",
+    "StageKind",
     "Ops",
     "SCALAR_OPS",
     "ARRAY_OPS",
@@ -66,6 +69,7 @@ __all__ = [
     "off_node_stage",
     "device_off_node_stage",
     "copy_stage",
+    "as_setup",
     "PhaseProfile",
     "profile_trace",
     "check_plan_against_trace",

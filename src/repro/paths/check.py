@@ -27,7 +27,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Sequence, Set
 
 from repro.machine.locality import Locality, TransportKind
-from repro.paths.ir import CheckMode, HopKind, HopPlan, HopStage
+from repro.paths.ir import CheckMode, HopKind, HopPlan, HopStage, StageKind
 
 
 @dataclass
@@ -122,7 +122,7 @@ def check_plan_against_trace(plan: HopPlan, trace: Sequence) -> List[str]:
 
     # 2. Per-stage count/byte agreement, by declared strictness.
     for stage in plan.stages:
-        if stage.check is CheckMode.SKIP:
+        if stage.kind is StageKind.SETUP or stage.check is CheckMode.SKIP:
             continue
         hops = _stage_hops(stage)
         if not hops:

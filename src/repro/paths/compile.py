@@ -15,11 +15,19 @@ bundle so one body serves scalars and arrays.
 
 from __future__ import annotations
 
-from typing import Any, Tuple
+import dataclasses
+from typing import Any, Optional, Tuple
 
 from repro.machine.locality import CopyDirection, Locality
 from repro.machine.topology import MachineSpec
-from repro.paths.ir import CheckMode, Hop, HopKind, HopStage, Serialization
+from repro.paths.ir import (
+    CheckMode,
+    Hop,
+    HopKind,
+    HopStage,
+    Serialization,
+    StageKind,
+)
 from repro.paths.kernel import Ops
 
 
@@ -119,23 +127,32 @@ def off_node_stage(m: Any, s_proc: Any, s_node: Any, msg_size: Any, *,
                    phase: str = "inter-node",
                    check: CheckMode = CheckMode.EXACT_RANK,
                    node_count: Any = None,
+                   tier: Optional[int] = None,
+                   nics_used: Optional[int] = None,
+                   pre_posted: bool = False,
                    label: str = "off-node") -> HopStage:
     """Eq. (4.3): staged off-node sends under the max-rate model.
 
     ``m`` messages of ``msg_size`` each from the busiest process
     (``s_proc`` bytes), rate-limited by the busiest node's ``s_node``
-    bytes through the NIC.
+    bytes through the NIC.  Tier-aware strategies refine the term with
+    ``tier`` (per-tier alpha/beta scales + NIC share), ``nics_used``
+    (explicit injection-port count) and ``pre_posted`` (persistent
+    channels); all default to the flat pre-hierarchy model.
     """
     hop = Hop(kind=HopKind.CPU_SEND, locality=Locality.OFF_NODE, count=m,
               nbytes=msg_size, serialization=Serialization.MAX_RATE,
               phase=phase, total_bytes=s_proc, node_bytes=s_node,
-              node_count=node_count)
+              node_count=node_count, tier=tier, nics_used=nics_used,
+              pre_posted=pre_posted)
     return HopStage(label=label, hops=(hop,), phases=(phase,), check=check)
 
 
 def device_off_node_stage(m: Any, s_proc: Any, msg_size: Any, *,
                           phase: str = "inter-node",
                           check: CheckMode = CheckMode.EXACT_RANK,
+                          tier: Optional[int] = None,
+                          pre_posted: bool = False,
                           label: str = "device off-node") -> HopStage:
     """Eq. (4.4): device-aware off-node sends, postal form.
 
@@ -144,7 +161,8 @@ def device_off_node_stage(m: Any, s_proc: Any, msg_size: Any, *,
     """
     hop = Hop(kind=HopKind.GPU_SEND, locality=Locality.OFF_NODE, count=m,
               nbytes=msg_size, serialization=Serialization.MAX_RATE,
-              phase=phase, total_bytes=s_proc)
+              phase=phase, total_bytes=s_proc, tier=tier,
+              pre_posted=pre_posted)
     return HopStage(label=label, hops=(hop,), phases=(phase,), check=check)
 
 
@@ -163,3 +181,24 @@ def copy_stage(s_send: Any, s_recv: Any, nproc: int = 1, *,
             nbytes=s_recv, nproc=nproc, phase="copy"),
     )
     return HopStage(label=label, hops=hops, phases=(), check=CheckMode.SKIP)
+
+
+def as_setup(stage: HopStage, amortize_over: float, *,
+             label: Optional[str] = None) -> HopStage:
+    """Re-cast a transfer stage as its one-time SETUP counterpart.
+
+    Persistent neighborhood collectives pay one full-price exchange up
+    front (buffer registration + the rendezvous handshakes that later
+    pre-posted rounds skip); amortized over the persistence window of
+    ``amortize_over`` exchanges, that cost is this stage.  The returned
+    stage drops its tracer lanes and check (setup traffic is not part
+    of the steady-state message trace) and clears ``pre_posted`` on
+    every hop — setup itself runs at transient-protocol price.
+    """
+    hops = tuple(
+        dataclasses.replace(hop, pre_posted=False) if hop.pre_posted else hop
+        for hop in stage.hops)
+    return dataclasses.replace(
+        stage, label=label if label is not None else f"{stage.label} setup",
+        hops=hops, phases=(), check=CheckMode.SKIP,
+        kind=StageKind.SETUP, amortize_over=amortize_over)

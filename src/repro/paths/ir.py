@@ -63,6 +63,23 @@ class Serialization(enum.Enum):
     MAX_RATE = "max-rate"
 
 
+class StageKind(enum.Enum):
+    """What a stage's cost represents.
+
+    TRANSFER
+        A per-exchange data-movement term — every pre-hierarchy stage.
+    SETUP
+        One-time channel establishment (persistent neighborhood
+        collectives: buffer registration + the RTS/CTS handshakes the
+        pre-posted channels skip later).  Setup stages amortize over
+        ``HopStage.amortize_over`` exchanges and are invisible to the
+        DES message trace (the cross-check skips them).
+    """
+
+    TRANSFER = "transfer"
+    SETUP = "setup"
+
+
 class CheckMode(enum.Enum):
     """How the DES cross-check compares a stage against a trace lane.
 
@@ -89,6 +106,27 @@ class Hop:
     eq. (4.2)'s cross-socket term exists only when some socket hosts no
     distributor.  MEMCPY hops use ``direction``/``nproc`` instead of a
     locality.
+
+    Locality-hierarchy extensions (all optional — a hop that sets none
+    of them costs bit-identically to the flat pre-hierarchy model):
+
+    ``tier``
+        Index into the machine's
+        :class:`~repro.machine.locality.LocalityHierarchy`.  The hop
+        still carries its flat ``locality`` (the Table-2 row family and
+        the DES trace lane discipline key); the tier refines the cost
+        with per-tier alpha/beta scales and the tier's NIC share.
+    ``nics_used``
+        How many of a multi-NIC node's ports this hop's senders can
+        inject through concurrently (CPU MAX_RATE hops).  ``None``
+        keeps the legacy node-aggregate rate; setting it serializes the
+        NIC term through ``min(nics_used, nics_per_node)`` ports and
+        overrides the tier's ``nic_share``.
+    ``pre_posted``
+        Persistent-channel semantics: rendezvous-sized messages pay the
+        eager latency but keep the rendezvous bandwidth (receives were
+        posted at setup).  Below the rendezvous threshold this is a
+        no-op.
     """
 
     kind: HopKind
@@ -103,6 +141,9 @@ class Hop:
     direction: Optional[CopyDirection] = None   # MEMCPY only
     nproc: int = 1               # MEMCPY: concurrent copying processes
     enabled: Any = True
+    tier: Optional[int] = None   # locality-hierarchy tier index
+    nics_used: Optional[int] = None  # concurrent injection ports
+    pre_posted: bool = False     # persistent (pre-registered) channel
 
     def __post_init__(self) -> None:
         if self.kind is HopKind.MEMCPY:
@@ -110,6 +151,11 @@ class Hop:
                 raise ValueError("MEMCPY hop requires a direction")
         elif self.locality is None:
             raise ValueError(f"{self.kind} hop requires a locality")
+        if self.tier is not None and self.tier < 0:
+            raise ValueError(f"tier index must be >= 0, got {self.tier!r}")
+        if self.nics_used is not None and self.nics_used < 1:
+            raise ValueError(
+                f"nics_used must be a count >= 1, got {self.nics_used!r}")
 
 
 @dataclass(frozen=True, eq=False)
@@ -121,6 +167,11 @@ class HopStage:
     stage then realizes one tracer lane per entry of ``phases``.
     ``check`` tells :mod:`repro.paths.check` how strictly the DES trace
     must match.
+
+    ``kind`` distinguishes per-exchange TRANSFER stages from one-time
+    SETUP stages; a setup stage's summed cost is divided by
+    ``amortize_over`` (the persistence window, in exchanges) and is
+    exempt from the DES trace check.
     """
 
     label: str
@@ -128,6 +179,8 @@ class HopStage:
     repeat: float = 1.0
     phases: Tuple[str, ...] = ()
     check: CheckMode = CheckMode.BOUND_RANK
+    kind: StageKind = StageKind.TRANSFER
+    amortize_over: float = 1.0
 
     def __post_init__(self) -> None:
         if not self.hops:
@@ -137,6 +190,14 @@ class HopStage:
             raise ValueError(
                 f"stage {self.label!r}: the leading hop must be "
                 f"unconditional (conditional hops fold onto a running sum)")
+        if not (self.amortize_over >= 1.0):
+            raise ValueError(
+                f"stage {self.label!r}: amortize_over must be >= 1, "
+                f"got {self.amortize_over!r}")
+        if self.kind is StageKind.SETUP and self.phases:
+            raise ValueError(
+                f"stage {self.label!r}: SETUP stages are invisible to the "
+                f"message trace and cannot realize tracer lanes")
 
 
 @dataclass(frozen=True, eq=False)

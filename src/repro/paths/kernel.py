@@ -40,19 +40,26 @@ class Ops:
     minimum: Callable[[Any, Any], Any]
     where: Callable[[Any, Any, Any], Any]
     any: Callable[[Any], bool]
-    #: ``link(machine, kind, locality, nbytes) -> (alpha, beta)`` with
-    #: protocol selection by individual-message size
-    link: Callable[[MachineSpec, TransportKind, Any, Any], Any]
+    #: ``link(machine, kind, locality, nbytes, pre_posted) -> (alpha,
+    #: beta)`` with protocol selection by individual-message size
+    link: Callable[[MachineSpec, TransportKind, Any, Any, bool], Any]
 
 
 def _scalar_link(machine: MachineSpec, kind: TransportKind, locality,
-                 nbytes):
-    _protocol, link = machine.comm_params.for_message(kind, locality, nbytes)
+                 nbytes, pre_posted: bool = False):
+    if pre_posted:
+        _protocol, link = machine.comm_params.persistent_link(
+            kind, locality, nbytes)
+    else:
+        _protocol, link = machine.comm_params.for_message(
+            kind, locality, nbytes)
     return link.alpha, link.beta
 
 
-def _array_link(machine: MachineSpec, kind: TransportKind, locality, nbytes):
-    return machine.comm_params.link_arrays(kind, locality, nbytes)
+def _array_link(machine: MachineSpec, kind: TransportKind, locality, nbytes,
+                pre_posted: bool = False):
+    return machine.comm_params.link_arrays(kind, locality, nbytes,
+                                           pre_posted=pre_posted)
 
 
 SCALAR_OPS = Ops(
@@ -76,6 +83,44 @@ ARRAY_OPS = Ops(
 )
 
 
+def resolve_link(machine: MachineSpec, hop: Hop, ops: Ops) -> Any:
+    """Tier-aware ``(alpha, beta)`` for a send hop.
+
+    Protocol selection runs over the hop's flat ``locality`` (honoring
+    ``pre_posted`` persistent channels); a tier index then refines the
+    pair with the tier's alpha/beta scale factors.  Flat hops
+    (``tier is None``) never consult the hierarchy — the degenerate
+    case takes exactly the pre-hierarchy code path.
+    """
+    alpha, beta = ops.link(machine, hop.kind.transport_kind, hop.locality,
+                           hop.nbytes, hop.pre_posted)
+    if hop.tier is not None:
+        tier = machine.locality_hierarchy[hop.tier]
+        if tier.alpha_scale != 1.0:
+            alpha = tier.alpha_scale * alpha
+        if tier.beta_scale != 1.0:
+            beta = tier.beta_scale * beta
+    return alpha, beta
+
+
+def cpu_injection_rate(machine: MachineSpec, hop: Hop) -> float:
+    """Effective NIC rate (bytes/s) for one CPU MAX_RATE hop.
+
+    The legacy node-aggregate rate unless the hop pins its senders to a
+    port subset: an explicit ``nics_used`` serializes through
+    ``min(nics_used, nics_per_node)`` ports and overrides the tier's
+    ``nic_share``; otherwise a tier's share scales the node rate.
+    """
+    nic = machine.nic
+    if hop.nics_used is not None:
+        return nic.injection_rate * min(hop.nics_used, nic.nics_per_node)
+    if hop.tier is not None:
+        share = machine.locality_hierarchy[hop.tier].nic_share
+        if share != 1.0:
+            return nic.injection_rate * nic.nics_per_node * share
+    return nic.injection_rate * nic.nics_per_node
+
+
 def hop_cost(machine: MachineSpec, hop: Hop, ops: Ops) -> Any:
     """Cost of one hop from the machine's measured constants.
 
@@ -88,12 +133,11 @@ def hop_cost(machine: MachineSpec, hop: Hop, ops: Ops) -> Any:
     if hop.kind is HopKind.MEMCPY:
         link = machine.copy_params.link(hop.direction, hop.nproc)
         return link.alpha + link.beta * hop.nbytes
-    alpha, beta = ops.link(machine, hop.kind.transport_kind, hop.locality,
-                           hop.nbytes)
+    alpha, beta = resolve_link(machine, hop, ops)
     if hop.serialization is Serialization.SEQUENTIAL:
         return hop.count * (alpha + beta * hop.nbytes)
     if hop.kind is HopKind.CPU_SEND:
-        rn = machine.nic.injection_rate * machine.nic.nics_per_node
+        rn = cpu_injection_rate(machine, hop)
         return alpha * hop.count + ops.maximum(hop.node_bytes / rn,
                                                hop.total_bytes * beta)
     base = alpha * hop.count + hop.total_bytes * beta
@@ -112,7 +156,8 @@ def stage_cost(machine: MachineSpec, stage: HopStage, ops: Ops) -> Any:
     Conditional hops (``enabled`` other than the literal ``True``) fold
     onto the running sum through ``ops.where`` — replicating the scalar
     ``if`` branches and their ``np.where`` twins bitwise — and are
-    skipped entirely when no element enables them.
+    skipped entirely when no element enables them.  SETUP stages
+    amortize: the finished (repeated) sum divides by ``amortize_over``.
     """
     total = None
     for hop in stage.hops:
@@ -126,6 +171,8 @@ def stage_cost(machine: MachineSpec, stage: HopStage, ops: Ops) -> Any:
             total = ops.where(hop.enabled, total + cost, total)
     if stage.repeat != 1.0:
         total = stage.repeat * total
+    if stage.amortize_over != 1.0:
+        total = total / stage.amortize_over
     return total
 
 
@@ -192,6 +239,10 @@ class FusedPlans:
     gpu_rate: float              # gpu_injection_rate (may be inf)
     gpu_rate_denom: float        # gpu_injection_rate * nics_per_node
     gpus_per_node: int           # max(gpus_per_node, 1)
+    # locality-hierarchy extensions; None for all-flat plan sets (the
+    # evaluator then takes exactly the pre-hierarchy expressions)
+    cpu_rate: Optional[np.ndarray] = None   # (S, St, H, 1) per-hop NIC rate
+    amortize: Optional[np.ndarray] = None   # (S, St, 1) setup divisor
 
     @property
     def shape(self) -> Tuple[int, int, int, int]:
@@ -209,8 +260,10 @@ class FusedPlans:
         # SEQUENTIAL (and MEMCPY with count=1): postal model times count.
         cost = count * (alpha + beta * self.nbytes)
         if np.any(self.is_cpu_max_rate):
+            rate = (self.cpu_rate if self.cpu_rate is not None
+                    else self.cpu_rate_node)
             cpu_mr = alpha * count + np.maximum(
-                self.node_bytes / self.cpu_rate_node,
+                self.node_bytes / rate,
                 self.total_bytes * beta)
             cost = np.where(self.is_cpu_max_rate, cpu_mr, cost)
         if np.any(self.is_gpu_max_rate):
@@ -230,6 +283,8 @@ class FusedPlans:
                                    stage_total + cost[:, :, h, :],
                                    stage_total)
         scaled = self.repeat * stage_total
+        if self.amortize is not None:
+            scaled = scaled / self.amortize
         total = scaled[:, 0, :]
         for st in range(1, scaled.shape[1]):
             total = total + scaled[:, st, :]
@@ -277,6 +332,8 @@ def stack_plans(machine: MachineSpec, plans: Sequence[HopPlan],
     n_stages = max(len(p.stages) for p in plans)
     n_hops = max((len(st.hops) for p in plans for st in p.stages), default=1)
     shape = (len(plans), max(n_stages, 1), max(n_hops, 1), n)
+    nic = machine.nic
+    rate_node = nic.injection_rate * nic.nics_per_node
     alpha = np.zeros(shape)
     beta = np.zeros(shape)
     count = np.zeros(shape)
@@ -287,9 +344,15 @@ def stack_plans(machine: MachineSpec, plans: Sequence[HopPlan],
     is_cpu_mr = np.zeros(shape[:3] + (1,), dtype=bool)
     is_gpu_mr = np.zeros(shape[:3] + (1,), dtype=bool)
     repeat = np.ones(shape[:2] + (1,))
+    cpu_rate: Optional[np.ndarray] = None
+    amortize: Optional[np.ndarray] = None
     for s, plan in enumerate(plans):
         for t, stage in enumerate(plan.stages):
             repeat[s, t, 0] = stage.repeat
+            if stage.amortize_over != 1.0:
+                if amortize is None:
+                    amortize = np.ones(shape[:2] + (1,))
+                amortize[s, t, 0] = stage.amortize_over
             for h, hop in enumerate(stage.hops):
                 _fill(nbytes[s, t, h], hop.nbytes)
                 if hop.kind is HopKind.MEMCPY:
@@ -300,7 +363,13 @@ def stack_plans(machine: MachineSpec, plans: Sequence[HopPlan],
                 else:
                     a, b = machine.comm_params.link_arrays(
                         hop.kind.transport_kind, hop.locality,
-                        nbytes[s, t, h])
+                        nbytes[s, t, h], pre_posted=hop.pre_posted)
+                    if hop.tier is not None:
+                        tier = machine.locality_hierarchy[hop.tier]
+                        if tier.alpha_scale != 1.0:
+                            a = tier.alpha_scale * a
+                        if tier.beta_scale != 1.0:
+                            b = tier.beta_scale * b
                     alpha[s, t, h] = a
                     beta[s, t, h] = b
                     _fill(count[s, t, h], hop.count)
@@ -309,21 +378,27 @@ def stack_plans(machine: MachineSpec, plans: Sequence[HopPlan],
                         if hop.kind is HopKind.CPU_SEND:
                             _fill(node_bytes[s, t, h], hop.node_bytes)
                             is_cpu_mr[s, t, h, 0] = True
+                            rate = cpu_injection_rate(machine, hop)
+                            if rate != rate_node and cpu_rate is None:
+                                cpu_rate = np.full(shape[:3] + (1,),
+                                                   rate_node)
+                            if cpu_rate is not None:
+                                cpu_rate[s, t, h, 0] = rate
                         else:
                             is_gpu_mr[s, t, h, 0] = True
                 enabled[s, t, h] = (True if hop.enabled is True
                                     else np.asarray(hop.enabled, dtype=bool))
-    nic = machine.nic
     return FusedPlans(
         labels=tuple(p.strategy for p in plans),
         alpha=alpha, beta=beta, count=count, nbytes=nbytes,
         total_bytes=total_bytes, node_bytes=node_bytes,
         enabled=enabled, is_cpu_max_rate=is_cpu_mr,
         is_gpu_max_rate=is_gpu_mr, repeat=repeat,
-        cpu_rate_node=nic.injection_rate * nic.nics_per_node,
+        cpu_rate_node=rate_node,
         gpu_rate=nic.gpu_injection_rate,
         gpu_rate_denom=nic.gpu_injection_rate * nic.nics_per_node,
         gpus_per_node=max(machine.gpus_per_node, 1),
+        cpu_rate=cpu_rate, amortize=amortize,
     )
 
 

@@ -79,7 +79,12 @@ import numpy as np
 #: Schema 5 adds the ``atlas_query`` workload (O(1) atlas lookups vs
 #: exact ``best_strategy`` evaluation, with an exact-agreement check
 #: and a queries/s speedup floor).
-SCHEMA = 5
+#: Schema 6 adds the ``hier_strategies`` workload: the full registry —
+#: paper set plus the hierarchy-aware families — swept on the
+#: multi-NIC ``frontier_like`` preset, asserting the fused coster stays
+#: cell-wise bit-identical to the scalar models on *tiered* plans
+#: (tier scales, NIC pinning, persistent channels, SETUP stages).
+SCHEMA = 6
 
 #: enforced speedup floors (ISSUE 6 acceptance criteria)
 MIN_DES_BATCHED_SPEEDUP = 5.0
@@ -406,6 +411,62 @@ def _sweep_fused_workload(n_sizes: int, dup_fractions: Tuple[float, ...],
     return run
 
 
+def _hier_strategies_workload(n_sizes: int,
+                              machine_name: str = "frontier_like"
+                              ) -> Callable[[], Dict[str, float]]:
+    """Extended-family sweep on a tiered multi-NIC machine.
+
+    Evaluates the *full* registry — paper set plus the hierarchy-aware
+    families (3-Step H, Neighbor P, ML 3-Step) — on the multi-NIC
+    ``frontier_like`` preset, where the extended plans carry tier
+    indices, ``nics_used`` port pinning, pre-posted persistent channels
+    and amortized SETUP stages.  The fused coster must stay cell-wise
+    **bit-identical** to the scalar models on those tiered plans (the
+    flat-degenerate identity is pinned by goldens; this guards the
+    tiered operand tensors), asserted on every suite run.
+    """
+
+    def run() -> Dict[str, float]:
+        from repro.machine import resolve_machine
+        from repro.models.scenarios import (
+            PAPER_SCENARIOS,
+            fused_scenario_times,
+            scenario_summary,
+        )
+        from repro.models.strategies import all_strategy_models
+
+        machine = resolve_machine(machine_name)
+        sizes = np.logspace(0, 7, n_sizes)
+        models = all_strategy_models(machine, include_best_case=False,
+                                     include_extended=True)
+
+        t0 = time.perf_counter()
+        _labels, fused = fused_scenario_times(machine, PAPER_SCENARIOS,
+                                              sizes, models)
+        t_fused = time.perf_counter() - t0
+
+        scalar = np.empty_like(fused)
+        for c, scenario in enumerate(PAPER_SCENARIOS):
+            summaries = [scenario_summary(machine, scenario, float(s))
+                         for s in sizes]
+            for i, model in enumerate(models):
+                scalar[i, c] = [model.time(s) for s in summaries]
+
+        if not np.array_equal(fused, scalar):
+            bad = int(np.count_nonzero(fused != scalar))
+            raise AssertionError(
+                f"fused coster diverged from scalar models on tiered "
+                f"plans in {bad} of {fused.size} cells")
+        cells = fused.size
+        return {
+            "cells": float(cells),
+            "models": float(len(models)),
+            "fused_cells_per_s": cells / t_fused,
+        }
+
+    return run
+
+
 def _atlas_query_workload(smoke: bool, rounds: int,
                           machine_name: str = "lassen",
                           min_speedup: float = MIN_ATLAS_QUERY_SPEEDUP
@@ -590,6 +651,7 @@ def default_workloads(smoke: bool = False, jobs: Optional[int] = None,
                                              policy=policy), 1),
             ("sweep_fused", _sweep_fused_workload(32, (0.0, 0.25),
                                                   machine_name=machine), 1),
+            ("hier_strategies", _hier_strategies_workload(16), 1),
             ("atlas_query", _atlas_query_workload(smoke=True, rounds=20,
                                                   machine_name=machine), 1),
             ("hop_plan", _hop_plan_workload(16, machine_name=machine), 1),
@@ -611,6 +673,7 @@ def default_workloads(smoke: bool = False, jobs: Optional[int] = None,
                                          policy=policy), 3),
         ("sweep_fused", _sweep_fused_workload(64, (0.0, 0.25),
                                               machine_name=machine), 3),
+        ("hier_strategies", _hier_strategies_workload(48), 3),
         ("atlas_query", _atlas_query_workload(smoke=False, rounds=5,
                                               machine_name=machine), 3),
         ("hop_plan", _hop_plan_workload(64, machine_name=machine), 3),

@@ -184,7 +184,7 @@ def measure_matrix_panel(spec) -> Dict[str, object]:
     machine, matrix, gpu_counts, ppn, noise_sigma, seed = spec
     gpn = machine.gpus_per_node
     series: Dict[str, _List[float]] = {
-        s.label: [] for s in all_strategies()
+        s.label: [] for s in all_strategies(include_extended=False)
     }
     meta: Dict[int, Dict] = {}
     for gpus in gpu_counts:
@@ -202,7 +202,7 @@ def measure_matrix_panel(spec) -> Dict[str, object]:
             "inter_node_bytes": sum(b for _m, b in pair.values()),
             "inter_node_msgs": sum(m for m, _b in pair.values()),
         }
-        for strategy in all_strategies():
+        for strategy in all_strategies(include_extended=False):
             res = run_exchange(job, strategy, pattern)
             series[strategy.label].append(res.comm_time)
     return {"gpus": list(gpu_counts), "series": series, "meta": meta}

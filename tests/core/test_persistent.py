@@ -102,7 +102,7 @@ class TestMeasure:
 class TestCompare:
     def test_compare_all(self, job, pattern):
         stats = compare_strategies(job, pattern)
-        assert len(stats) == 8
+        assert len(stats) == 13
         assert all(s.max_avg_time > 0 for s in stats.values())
 
     def test_compare_subset(self, job, pattern):

@@ -25,7 +25,7 @@ def heavy_pattern():
 class TestRegistry:
     def test_all_strategies_unique_labels(self):
         labels = [s.label for s in all_strategies()]
-        assert len(labels) == 8 and len(set(labels)) == 8
+        assert len(labels) == 13 and len(set(labels)) == 13
 
     def test_strategy_by_name(self):
         s = strategy_by_name("3-Step (device-aware)")
@@ -37,7 +37,7 @@ class TestRegistry:
 class TestPrediction:
     def test_predict_times_covers_all(self, layout):
         times = predict_times(heavy_pattern(), layout)
-        assert len(times) == 8
+        assert len(times) == 13
         assert all(t > 0 for t in times.values())
 
     def test_select_returns_minimum(self, layout):

@@ -41,7 +41,7 @@ class TestSweep:
     def test_smoke_sweep_holds_all_invariants(self, smoke_report):
         assert smoke_report["ok"], smoke_report["violations"]
         assert smoke_report["violations"] == []
-        assert smoke_report["summary"]["runs"] == 24  # 3 scenarios x 8
+        assert smoke_report["summary"]["runs"] == 39  # 3 scenarios x 13
 
     def test_smoke_sweep_exercises_faults(self, smoke_report):
         totals = {"retries": 0, "degraded": 0}

@@ -1,0 +1,113 @@
+"""Locality-tier chain: validation, resolution, preset geometry."""
+
+import pytest
+
+from repro.machine.locality import Locality, LocalityHierarchy, LocalityTier
+from repro.machine.presets import frontier_like, lassen, summit
+
+
+class TestLocalityTier:
+    def test_identity_by_default(self):
+        tier = LocalityTier("node", Locality.ON_NODE)
+        assert tier.is_identity
+
+    def test_scaled_tier_is_not_identity(self):
+        assert not LocalityTier("group", Locality.OFF_NODE,
+                                alpha_scale=0.5).is_identity
+        assert not LocalityTier("group", Locality.OFF_NODE,
+                                nic_share=0.25).is_identity
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(ValueError, match="non-empty name"):
+            LocalityTier("", Locality.ON_NODE)
+
+    @pytest.mark.parametrize("attr", ["alpha_scale", "beta_scale",
+                                      "nic_share"])
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("nan"), float("inf")])
+    def test_rejects_non_positive_factors(self, attr, bad):
+        with pytest.raises(ValueError, match="finite positive"):
+            LocalityTier("t", Locality.ON_NODE, **{attr: bad})
+
+
+class TestLocalityHierarchy:
+    def test_flat_is_three_identity_tiers(self):
+        h = LocalityHierarchy.flat()
+        assert len(h) == 3
+        assert [t.name for t in h.tiers] == ["socket", "node", "network"]
+        assert all(t.is_identity for t in h.tiers)
+
+    def test_rejects_empty_chain(self):
+        with pytest.raises(ValueError, match="at least one tier"):
+            LocalityHierarchy(tiers=())
+
+    def test_rejects_out_of_order_bases(self):
+        with pytest.raises(ValueError, match="ordered socket"):
+            LocalityHierarchy(tiers=(
+                LocalityTier("net", Locality.OFF_NODE),
+                LocalityTier("node", Locality.ON_NODE),
+                LocalityTier("socket", Locality.ON_SOCKET),
+            ))
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ValueError, match="duplicate tier names"):
+            LocalityHierarchy(tiers=(
+                LocalityTier("x", Locality.ON_SOCKET),
+                LocalityTier("x", Locality.ON_NODE),
+                LocalityTier("net", Locality.OFF_NODE),
+            ))
+
+    def test_rejects_uncovered_locality(self):
+        with pytest.raises(ValueError, match="no tier for localities"):
+            LocalityHierarchy(tiers=(
+                LocalityTier("socket", Locality.ON_SOCKET),
+                LocalityTier("net", Locality.OFF_NODE),
+            ))
+
+    def test_tier_of_resolves_last_matching_base(self):
+        h = frontier_like().locality_hierarchy
+        # the dragonfly-ish refinement sits between node and global ...
+        assert [t.name for t in h.tiers] == ["socket", "node", "group",
+                                             "global"]
+        # ... yet flat OFF_NODE hops resolve to the outermost tier
+        assert h.tier_of(Locality.OFF_NODE) == 3
+        assert h[h.tier_of(Locality.OFF_NODE)].is_identity
+        assert h.tier_of(Locality.ON_SOCKET) == 0
+        assert h.tier_of(Locality.ON_NODE) == 1
+
+    def test_deepest_network_tier_requires_a_refinement(self):
+        assert LocalityHierarchy.flat().deepest_network_tier() is None
+        h = frontier_like().locality_hierarchy
+        assert h.deepest_network_tier() == 2
+        assert h[2].name == "group"
+
+    def test_index_of(self):
+        h = frontier_like().locality_hierarchy
+        assert h.index_of("group") == 2
+        with pytest.raises(ValueError, match="unknown locality tier"):
+            h.index_of("rack")
+
+
+class TestPresetHierarchies:
+    @pytest.mark.parametrize("factory", [lassen, summit])
+    def test_paper_machines_are_flat(self, factory):
+        m = factory()
+        assert m.locality_hierarchy == LocalityHierarchy.flat()
+        assert m.nic.nics_per_node == 1
+        assert m.nic.node_injection_rate == m.nic.injection_rate
+
+    def test_frontier_like_multi_nic(self):
+        m = frontier_like()
+        assert m.nic.nics_per_node == 4
+        assert m.nic.node_injection_rate == 4 * m.nic.injection_rate
+        group = m.locality_hierarchy[2]
+        assert group.alpha_scale == 0.5
+        assert group.nic_share == 0.25
+
+    def test_leader_geometry(self):
+        # lassen/summit: one leader per socket; frontier: one per NIC
+        assert lassen().leaders_per_node == 2
+        assert lassen().leader_group_geometry == (2, 2)
+        assert summit().leaders_per_node == 2
+        assert summit().leader_group_geometry == (3, 2)
+        assert frontier_like().leaders_per_node == 4
+        assert frontier_like().leader_group_geometry == (1, 4)

@@ -25,7 +25,7 @@ def entries():
 
 class TestValidate:
     def test_covers_all_strategies(self, entries):
-        assert len(entries) == 8
+        assert len(entries) == 13
         for e in entries.values():
             assert e.measured > 0 and e.modelled > 0
 

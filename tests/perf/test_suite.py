@@ -13,8 +13,8 @@ from repro.perf.suite import (
 )
 
 WORKLOADS = ["engine", "des_batched", "pingpong", "spmv", "scenarios",
-             "sweep_fused", "atlas_query", "hop_plan", "obs_overhead",
-             "sweep_parallel"]
+             "sweep_fused", "hier_strategies", "atlas_query", "hop_plan",
+             "obs_overhead", "sweep_parallel"]
 
 
 def test_smoke_suite_runs_and_reports(tmp_path, capsys):
@@ -56,6 +56,11 @@ def test_smoke_suite_runs_and_reports(tmp_path, capsys):
     assert fused.metrics["speedup_fused"] >= 10.0
     assert "fused_cells_per_s" in fused.metrics
     assert "fused_cells_per_s_per_s" not in fused.metrics
+    # the tiered-plan workload covers the full 13-model registry and
+    # asserts fused == scalar bit-identity on tiered plans internally
+    hier = next(r for r in results if r.name == "hier_strategies")
+    assert hier.metrics["models"] == 13.0
+    assert "fused_cells_per_s" in hier.metrics
     # the atlas workload enforces >= 50x queries/s and exact agreement
     atlas = next(r for r in results if r.name == "atlas_query")
     assert atlas.metrics["speedup_atlas"] >= 50.0
@@ -68,7 +73,7 @@ def test_smoke_suite_runs_and_reports(tmp_path, capsys):
     assert on_disk == json.loads(json.dumps(report))
     assert on_disk["suite"] == "repro.perf"
     assert on_disk["schema"] == SCHEMA
-    assert SCHEMA == 5
+    assert SCHEMA == 6
     assert on_disk["smoke"] is True
     assert on_disk["machine"] == "lassen"
     assert on_disk["total_wall_s"] > 0.0
